@@ -1,0 +1,38 @@
+//! Conversion throughput: encoding a blocked matrix into ReFloat format (the one-time
+//! cost paid before a solve) and re-encoding a solver vector (paid every iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use refloat_core::vector::VectorConverter;
+use refloat_core::{ReFloatConfig, ReFloatMatrix};
+use refloat_matgen::generators;
+use refloat_sparse::BlockedMatrix;
+
+fn bench_convert(c: &mut Criterion) {
+    let a = generators::mass_matrix_3d(24, 24, 24, 1e-12, 0.8, 3).to_csr();
+    let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
+    let config = ReFloatConfig::paper_default();
+
+    let mut group = c.benchmark_group("refloat_convert");
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    group.bench_function("encode_matrix_blocks", |b| {
+        b.iter(|| ReFloatMatrix::from_blocked(&blocked, config));
+    });
+    group.finish();
+
+    let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 97) as f64 - 48.0) * 1e-3 + 1.0).collect();
+    let mut converter = VectorConverter::new(config);
+    let mut out = vec![0.0; x.len()];
+    let mut group = c.benchmark_group("vector_converter");
+    group.throughput(Throughput::Elements(x.len() as u64));
+    group.bench_function("convert_vector", |b| {
+        b.iter(|| converter.convert_into(&x, &mut out));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_convert
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Whole-solve cost of CG and BiCGSTAB under FP64 and ReFloat numerics on a small
+//! Poisson problem — the end-to-end functional-simulation cost per solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refloat_core::{ReFloatConfig, ReFloatMatrix};
+use refloat_matgen::generators;
+use refloat_solvers::{bicgstab, cg, SolverConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let a = generators::laplacian_2d(64, 64, 0.2).to_csr();
+    let b: Vec<f64> = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8).with_trace(false);
+
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    group.bench_function("cg_fp64_poisson_64x64", |bench| {
+        bench.iter(|| {
+            let mut op = a.clone();
+            cg(&mut op, &b, &cfg)
+        });
+    });
+    group.bench_function("cg_refloat_poisson_64x64", |bench| {
+        bench.iter(|| {
+            let mut op = ReFloatMatrix::from_csr(&a, ReFloatConfig::paper_default());
+            cg(&mut op, &b, &cfg)
+        });
+    });
+    group.bench_function("bicgstab_fp64_poisson_64x64", |bench| {
+        bench.iter(|| {
+            let mut op = a.clone();
+            bicgstab(&mut op, &b, &cfg)
+        });
+    });
+    group.bench_function("bicgstab_refloat_poisson_64x64", |bench| {
+        bench.iter(|| {
+            let mut op = ReFloatMatrix::from_csr(&a, ReFloatConfig::paper_default());
+            bicgstab(&mut op, &b, &cfg)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

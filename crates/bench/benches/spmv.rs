@@ -1,0 +1,37 @@
+//! SpMV throughput: CSR (serial and parallel) versus the blocked layout, on a
+//! Table V-sized workload.  These numbers back the "functional simulation cost" notes in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use refloat_matgen::generators;
+use refloat_sparse::BlockedMatrix;
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = generators::wathen(40, 40, 7).to_csr();
+    let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.013).sin() + 1.0).collect();
+    let mut y = vec![0.0; a.nrows()];
+
+    let mut group = c.benchmark_group("spmv");
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    group.bench_function(BenchmarkId::new("csr_serial", a.nnz()), |b| {
+        b.iter(|| a.spmv_into(&x, &mut y));
+    });
+    group.bench_function(BenchmarkId::new("csr_parallel_4t", a.nnz()), |b| {
+        b.iter(|| a.par_spmv_into(&x, &mut y, 4));
+    });
+    group.bench_function(BenchmarkId::new("blocked_serial", a.nnz()), |b| {
+        b.iter(|| blocked.spmv_into(&x, &mut y));
+    });
+    group.bench_function(BenchmarkId::new("blocked_parallel_4t", a.nnz()), |b| {
+        b.iter(|| blocked.par_spmv_into(&x, &mut y, 4));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmv
+}
+criterion_main!(benches);

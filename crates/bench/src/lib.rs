@@ -1,0 +1,22 @@
+//! Experiment harness for the ReFloat reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a dedicated binary in
+//! `src/bin/` (see `DESIGN.md` §5 for the index); this library holds the shared pieces:
+//!
+//! * [`experiment`] — workload preparation, the solver runs for each platform
+//!   (FP64 / ReFloat / Feinberg), and the Fig. 8 performance-row computation,
+//! * [`table`] — plain-text table rendering for the binaries' stdout reports,
+//! * [`json`] — serialisable result records so `EXPERIMENTS.md` numbers can be
+//!   regenerated and diffed.
+//!
+//! The Criterion micro-benchmarks live in `benches/` and cover the wall-clock cost of
+//! the building blocks themselves (SpMV, block conversion, quantized SpMV, the bit-exact
+//! crossbar pipeline and whole solver iterations).
+
+pub mod experiment;
+pub mod json;
+pub mod table;
+
+pub use experiment::{
+    solve_all_platforms, ExperimentConfig, PerformanceRow, PlatformSolve, PreparedWorkload,
+};

@@ -1,0 +1,106 @@
+//! Classical number formats expressed as ReFloat instances (Table III) and the solver
+//! bit configuration of Table VII.
+
+use crate::format::ReFloatConfig;
+
+/// A named format from Table III with its ReFloat-equivalent parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NamedFormat {
+    /// Human-readable name (as used in the paper).
+    pub name: &'static str,
+    /// The equivalent `ReFloat(b, e, f)` parameters (vector bits mirror the matrix bits).
+    pub config: ReFloatConfig,
+    /// Total bits per scalar value (sign + exponent + fraction), ignoring block sharing.
+    pub bits_per_value: u32,
+}
+
+/// All Table III rows: classical formats as ReFloat instances.
+pub fn table_iii() -> Vec<NamedFormat> {
+    let mk = |name, b, e, f| NamedFormat {
+        name,
+        config: ReFloatConfig::new(b, e, f, e, f),
+        bits_per_value: 1 + e + f,
+    };
+    vec![
+        mk("Int8", 0, 0, 7),
+        mk("bfloat16", 0, 8, 7),
+        mk("Int16", 0, 0, 15),
+        mk("ms-fp9", 0, 5, 3),
+        mk("FP32 (float)", 0, 8, 23),
+        mk("TensorFloat32", 0, 8, 10),
+        mk("FP64 (double)", 0, 11, 52),
+        mk("BFP64", 6, 0, 52),
+    ]
+}
+
+/// Looks up a Table III format by (case-insensitive) name prefix.
+pub fn lookup(name: &str) -> Option<NamedFormat> {
+    let lower = name.to_ascii_lowercase();
+    table_iii()
+        .into_iter()
+        .find(|f| f.name.to_ascii_lowercase().starts_with(&lower))
+}
+
+/// The Table VII solver configuration: `e = f = ev = 3`, `fv = 8` (or 16 for the two
+/// matrices that need the wider vector fraction), on `2^b` crossbars.
+pub fn table_vii(b: u32, wide_vector_fraction: bool) -> ReFloatConfig {
+    if wide_vector_fraction {
+        ReFloatConfig::new(b, 3, 3, 3, 16)
+    } else {
+        ReFloatConfig::new(b, 3, 3, 3, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_matches_the_paper_rows() {
+        let rows = table_iii();
+        assert_eq!(rows.len(), 8);
+        let find = |n: &str| rows.iter().find(|f| f.name == n).unwrap();
+
+        // Int8 = ReFloat(0, 0, 7); bfloat16 = ReFloat(0, 8, 7); ms-fp9 = ReFloat(0, 5, 3);
+        // FP32 = ReFloat(0, 8, 23); TF32 = ReFloat(0, 8, 10); FP64 = ReFloat(0, 11, 52);
+        // BFP64 = ReFloat(6, 0, 52).
+        assert_eq!((find("Int8").config.e, find("Int8").config.f), (0, 7));
+        assert_eq!((find("bfloat16").config.e, find("bfloat16").config.f), (8, 7));
+        assert_eq!((find("Int16").config.e, find("Int16").config.f), (0, 15));
+        assert_eq!((find("ms-fp9").config.e, find("ms-fp9").config.f), (5, 3));
+        assert_eq!((find("FP32 (float)").config.e, find("FP32 (float)").config.f), (8, 23));
+        assert_eq!((find("TensorFloat32").config.e, find("TensorFloat32").config.f), (8, 10));
+        assert_eq!((find("FP64 (double)").config.e, find("FP64 (double)").config.f), (11, 52));
+        let bfp = find("BFP64");
+        assert_eq!((bfp.config.b, bfp.config.e, bfp.config.f), (6, 0, 52));
+    }
+
+    #[test]
+    fn bits_per_value_matches_standard_widths() {
+        let rows = table_iii();
+        let bits = |n: &str| rows.iter().find(|f| f.name == n).unwrap().bits_per_value;
+        assert_eq!(bits("Int8"), 8);
+        assert_eq!(bits("bfloat16"), 16);
+        assert_eq!(bits("Int16"), 16);
+        assert_eq!(bits("ms-fp9"), 9);
+        assert_eq!(bits("FP32 (float)"), 32);
+        assert_eq!(bits("TensorFloat32"), 19);
+        assert_eq!(bits("FP64 (double)"), 64);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_prefix_match() {
+        assert_eq!(lookup("fp32").unwrap().bits_per_value, 32);
+        assert_eq!(lookup("BFLOAT16").unwrap().bits_per_value, 16);
+        assert!(lookup("unknown").is_none());
+    }
+
+    #[test]
+    fn table_vii_configurations() {
+        let narrow = table_vii(7, false);
+        assert_eq!((narrow.e, narrow.f, narrow.ev, narrow.fv), (3, 3, 3, 8));
+        let wide = table_vii(7, true);
+        assert_eq!(wide.fv, 16);
+        assert_eq!(wide.block_size(), 128);
+    }
+}

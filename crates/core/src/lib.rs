@@ -1,0 +1,50 @@
+//! The ReFloat data format and its quantized operators — the primary contribution of
+//! *ReFloat: Low-Cost Floating-Point Processing in ReRAM for Accelerating Iterative
+//! Linear Solvers* (SC 2023).
+//!
+//! # The format
+//!
+//! A `ReFloat(b, e, f)(ev, fv)` configuration (see [`ReFloatConfig`]) partitions a sparse
+//! matrix into `2^b × 2^b` blocks.  Every block stores a single *exponent base* `eb`
+//! (chosen by the closed-form optimum of Eq. 5, the rounded mean of the element
+//! exponents) and represents each element with
+//!
+//! * 1 sign bit,
+//! * an `e`-bit signed exponent *offset* from `eb`, saturating at
+//!   `[−2^(e−1)+1, 2^(e−1)−1]` (Eq. 4–5 and §III.D), and
+//! * the leading `f` bits of the IEEE-754 fraction (§IV.B, Fig. 5).
+//!
+//! Vector segments of length `2^b` are re-encoded the same way before every SpMV with
+//! their own base `ebv` and `(ev, fv)` bits — this is the "vector converter" of
+//! Fig. 6(d) and the part the Feinberg baseline lacks, which is what makes that baseline
+//! diverge on matrices whose values sit far from 1.0.
+//!
+//! # What lives where
+//!
+//! * [`scalar`] — bit-exact decomposition/encoding of a single f64 value,
+//! * [`block`] — per-block base selection and encoding ([`ReFloatBlock`]),
+//! * [`vector`] — the vector converter ([`vector::VectorConverter`]),
+//! * [`matrix`] — [`ReFloatMatrix`], the quantized operator that plugs into the solvers,
+//! * [`feinberg`] — the exponent-truncation baseline of Feinberg et al. [ISCA'18] as
+//!   described in §III.C of the paper (correct matrix, fixed-window vectors),
+//! * [`truncate`] — the plain fraction/exponent truncation formats of the Table I study,
+//! * [`memory`] — the storage model behind Fig. 4 and Table VIII,
+//! * [`locality`] — the exponent-locality analysis behind Fig. 3(d),
+//! * [`formats`] — the classical formats of Table III expressed as ReFloat instances.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod feinberg;
+pub mod format;
+pub mod formats;
+pub mod locality;
+pub mod matrix;
+pub mod memory;
+pub mod scalar;
+pub mod truncate;
+pub mod vector;
+
+pub use block::ReFloatBlock;
+pub use format::{ReFloatConfig, RoundingMode, UnderflowMode};
+pub use matrix::ReFloatMatrix;

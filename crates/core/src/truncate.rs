@@ -1,0 +1,257 @@
+//! Plain fraction/exponent truncation — the formats of the Table I study.
+//!
+//! Table I of the paper sweeps two axes on `crystm03`:
+//!
+//! 1. keep the full 11-bit exponent and truncate the *fraction* to `k` bits — the
+//!    iteration count degrades gracefully until a threshold, below which the solver no
+//!    longer converges;
+//! 2. keep the full 52-bit fraction and truncate the *exponent* to `k` bits (the
+//!    Feinberg-style window) — convergence survives only while the window still covers
+//!    the vector values that arise during the solve.
+//!
+//! [`TruncatedOperator`] implements both knobs at once: the matrix is truncated to
+//! `fraction_bits` once (its exponent stays exact, mirroring the FPU fall-back of
+//! Feinberg et al.), and each input vector is truncated to `fraction_bits` and passed
+//! through a fixed window of `2^exponent_bits` binades anchored at the matrix's mean
+//! exponent.
+
+use refloat_sparse::CsrMatrix;
+use refloat_solvers::LinearOperator;
+
+use crate::block::optimal_exponent_base;
+use crate::format::{RoundingMode, UnderflowMode};
+use crate::scalar::{decompose, pow2, requantize};
+
+/// A truncation configuration for the Table I study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationConfig {
+    /// Exponent bits for the vector window (11 = the full IEEE range, no truncation).
+    pub exponent_bits: u32,
+    /// Fraction bits kept for matrix and vector values (52 = exact).
+    pub fraction_bits: u32,
+}
+
+impl TruncationConfig {
+    /// Full double precision — the reference configuration of Table I.
+    pub fn full() -> Self {
+        TruncationConfig { exponent_bits: 11, fraction_bits: 52 }
+    }
+
+    /// Truncate only the fraction (the first row block of Table I).
+    pub fn fraction_only(fraction_bits: u32) -> Self {
+        TruncationConfig { exponent_bits: 11, fraction_bits }
+    }
+
+    /// Truncate only the exponent (the second row block of Table I).
+    pub fn exponent_only(exponent_bits: u32) -> Self {
+        TruncationConfig { exponent_bits, fraction_bits: 52 }
+    }
+}
+
+/// An operator that applies plain truncation to the matrix (once) and to every input
+/// vector (per apply).
+#[derive(Debug, Clone)]
+pub struct TruncatedOperator {
+    truncated: CsrMatrix,
+    config: TruncationConfig,
+    window_lo: i32,
+    window_hi: i32,
+    scratch: Vec<f64>,
+}
+
+impl TruncatedOperator {
+    /// Builds the truncated operator from an exact matrix.
+    pub fn new(a: &CsrMatrix, config: TruncationConfig) -> Self {
+        // Truncate the stored matrix fractions; exponents stay exact (FPU assistance).
+        let mut truncated = a.clone();
+        if config.fraction_bits < 52 {
+            for v in truncated.values_mut() {
+                if let Some(d) = decompose(*v) {
+                    *v = requantize(
+                        *v,
+                        d.exponent,
+                        11,
+                        config.fraction_bits,
+                        RoundingMode::Truncate,
+                        UnderflowMode::Saturate,
+                    );
+                }
+            }
+        }
+        let center = optimal_exponent_base(a.values().iter());
+        let half = 1i32 << (config.exponent_bits.saturating_sub(1));
+        let (window_lo, window_hi) = if config.exponent_bits >= 11 {
+            (i32::MIN / 2, i32::MAX / 2)
+        } else {
+            (center - half, center + half - 1)
+        };
+        let scratch = vec![0.0; a.ncols()];
+        TruncatedOperator { truncated, config, window_lo, window_hi, scratch }
+    }
+
+    /// The truncation configuration.
+    pub fn config(&self) -> &TruncationConfig {
+        &self.config
+    }
+
+    /// The quantized matrix actually multiplied by.
+    pub fn truncated_matrix(&self) -> &CsrMatrix {
+        &self.truncated
+    }
+
+    fn convert_value(&self, v: f64) -> f64 {
+        let Some(d) = decompose(v) else {
+            return 0.0;
+        };
+        // Exponent window first (wrap above, flush below), then fraction truncation.
+        let (exp, frac) = if d.exponent > self.window_hi {
+            let width = 1i32 << self.config.exponent_bits;
+            (self.window_lo + (d.exponent - self.window_lo).rem_euclid(width), d.fraction)
+        } else if d.exponent < self.window_lo {
+            return 0.0;
+        } else {
+            (d.exponent, d.fraction)
+        };
+        let q = if self.config.fraction_bits < 52 {
+            crate::scalar::quantize_fraction(frac, self.config.fraction_bits, RoundingMode::Truncate)
+        } else {
+            frac
+        };
+        let mag = q * pow2(exp);
+        if d.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl LinearOperator for TruncatedOperator {
+    fn nrows(&self) -> usize {
+        self.truncated.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.truncated.ncols()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        let mut buf = std::mem::take(&mut self.scratch);
+        for (bi, &xi) in buf.iter_mut().zip(x.iter()) {
+            *bi = self.convert_value(xi);
+        }
+        self.truncated.spmv_into(&buf, y);
+        self.scratch = buf;
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "truncated (exp {} bits, frac {} bits)",
+            self.config.exponent_bits, self.config.fraction_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_matgen::{generators, rhs};
+    use refloat_solvers::{cg, SolverConfig};
+    use refloat_sparse::vecops;
+
+    fn crystm_like() -> CsrMatrix {
+        generators::mass_matrix_3d(7, 7, 7, 1e-12, 0.8, 355).to_csr()
+    }
+
+    #[test]
+    fn full_config_is_numerically_identical_to_fp64() {
+        let a = crystm_like();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).sin() + 1.2).collect();
+        let mut op = TruncatedOperator::new(&a, TruncationConfig::full());
+        let mut y = vec![0.0; a.nrows()];
+        op.apply(&x, &mut y);
+        assert_eq!(y, a.spmv(&x));
+    }
+
+    #[test]
+    fn fraction_truncation_perturbs_matrix_within_bound() {
+        let a = crystm_like();
+        let op = TruncatedOperator::new(&a, TruncationConfig::fraction_only(20));
+        let t = op.truncated_matrix();
+        for (orig, trunc) in a.values().iter().zip(t.values().iter()) {
+            let rel = ((orig - trunc) / orig).abs();
+            assert!(rel <= 2.0f64.powi(-20) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn moderate_fraction_truncation_still_converges_with_modest_penalty() {
+        // Table I: going from 52 to ~26 fraction bits costs only a handful of extra
+        // iterations.
+        let a = crystm_like();
+        let b = rhs::ones(a.nrows());
+        let cfg = SolverConfig::relative(1e-8).with_max_iterations(3000);
+
+        let mut exact = a.clone();
+        let full = cg(&mut exact, &b, &cfg);
+        let mut t26 = TruncatedOperator::new(&a, TruncationConfig::fraction_only(26));
+        let r26 = cg(&mut t26, &b, &cfg);
+
+        assert!(full.converged() && r26.converged());
+        assert!(r26.iterations >= full.iterations);
+        assert!(r26.iterations <= full.iterations * 2 + 10);
+    }
+
+    #[test]
+    fn severe_fraction_truncation_degrades_or_diverges() {
+        // The other end of the Table I sweep: very few fraction bits either blow the
+        // iteration count up substantially or fail to converge at all.
+        let a = crystm_like();
+        let b = rhs::ones(a.nrows());
+        let cfg = SolverConfig::relative(1e-8).with_max_iterations(2000);
+        let mut exact = a.clone();
+        let full = cg(&mut exact, &b, &cfg);
+        let mut t2 = TruncatedOperator::new(&a, TruncationConfig::fraction_only(2));
+        let r2 = cg(&mut t2, &b, &cfg);
+        assert!(
+            !r2.converged() || r2.iterations > full.iterations,
+            "2-bit fractions should cost extra iterations: {} vs {}",
+            r2.iterations,
+            full.iterations
+        );
+    }
+
+    #[test]
+    fn small_exponent_window_fails_on_crystm_like_matrices() {
+        // Table I: with the 52-bit fraction intact, a 6-bit exponent is not enough on
+        // crystm03 — the O(1) right-hand side falls outside the window anchored at the
+        // tiny matrix exponents.
+        let a = crystm_like();
+        let b = rhs::ones(a.nrows());
+        let cfg = SolverConfig::relative(1e-8).with_max_iterations(1000);
+        let mut t6 = TruncatedOperator::new(&a, TruncationConfig::exponent_only(6));
+        let r6 = cg(&mut t6, &b, &cfg);
+        assert!(!r6.converged());
+
+        // A 10-bit window covers everything and converges exactly like FP64.
+        let mut t10 = TruncatedOperator::new(&a, TruncationConfig::exponent_only(10));
+        let r10 = cg(&mut t10, &b, &cfg);
+        assert!(r10.converged());
+        let mut exact = a.clone();
+        let full = cg(&mut exact, &b, &cfg);
+        assert_eq!(r10.iterations, full.iterations);
+    }
+
+    #[test]
+    fn vector_conversion_respects_window_and_fraction() {
+        let a = crystm_like();
+        let op = TruncatedOperator::new(&a, TruncationConfig { exponent_bits: 6, fraction_bits: 8 });
+        // Within-window value: only fraction truncation.
+        let center = optimal_exponent_base(a.values().iter());
+        let v = 1.375 * pow2(center);
+        let out = op.convert_value(v);
+        assert!(vecops::rel_err(&[out], &[v]) <= 2.0f64.powi(-8) + 1e-12);
+        // Far-below value flushes to zero.
+        assert_eq!(op.convert_value(pow2(center - 200)), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic workload generators for the ReFloat reproduction.
+//!
+//! The paper evaluates on 12 matrices from the SuiteSparse collection (Table V).  That
+//! collection cannot be downloaded in this environment, so this crate generates
+//! *synthetic analogues* that preserve the properties the ReFloat study is sensitive to:
+//!
+//! * dimension and number of non-zeros (within a few percent),
+//! * structure class — banded FEM mass matrices (`crystm*`, `qa8fm`), grid stencils
+//!   (`minsurfo`, `gridgena`, `Dubcova2`), the Wathen random FEM matrix (`wathen100/120`,
+//!   generated with the *actual* Wathen element assembly), a 3-regular sphere-like graph
+//!   (`shallow_water1`) and scattered random FEM graphs (`thermomech_TC/dM`),
+//! * symmetric positive definiteness (all 12 paper matrices are solvable by CG),
+//! * the *value-magnitude profile*: which matrices have entries many binades away from
+//!   O(1) — that is what breaks the fixed-window exponent handling of the Feinberg
+//!   baseline — and how much the exponents vary inside a 128×128 block (the "exponent
+//!   value locality" of Fig. 3d).
+//!
+//! Real SuiteSparse matrices can still be used through `refloat_sparse::mm` when
+//! available; every experiment binary accepts them interchangeably.
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod rhs;
+pub mod workloads;
+
+pub use workloads::{Workload, WorkloadSpec};

@@ -1,0 +1,30 @@
+//! ReRAM crossbar accelerator simulator for the ReFloat reproduction.
+//!
+//! The paper evaluates ReFloat on a simulated crossbar accelerator (Table IV); this
+//! crate rebuilds that simulation infrastructure:
+//!
+//! * [`xbar`] — single-bit crossbars and the bit-sliced fixed-point MVM pipeline of
+//!   Fig. 2 (bit-exact, used to validate the functional ReFloat operator),
+//! * [`engine`] — the floating-point processing engine of Fig. 6(b/c): one ReFloat
+//!   block × one vector segment through the integer pipeline, scaled by `2^{eb+ebv}`,
+//! * [`cost`] — the closed-form crossbar-count (Eq. 2) and cycle-count (Eq. 3) models,
+//! * [`accelerator`] — the chip-level organization (banks / clusters / crossbars of
+//!   Table IV), the cluster-requirement arithmetic of §VI.B and the SpMV / solver-time
+//!   model used to regenerate Fig. 8,
+//! * [`gpu`] — a roofline + kernel-launch latency model standing in for the V100 +
+//!   cuSPARSE baseline (see DESIGN.md §3 for the substitution argument),
+//! * [`noise`] — the random-telegraph-noise model of the Fig. 10 robustness study.
+
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod cost;
+pub mod engine;
+pub mod gpu;
+pub mod noise;
+pub mod xbar;
+
+pub use accelerator::{AcceleratorConfig, SolverKind, SolverTimeBreakdown};
+pub use cost::{crossbar_count_eq2, crossbars_per_cluster, cycle_count_eq3};
+pub use gpu::GpuModel;
+pub use noise::NoisyReFloatOperator;

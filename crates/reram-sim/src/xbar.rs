@@ -1,0 +1,327 @@
+//! Single-bit crossbars and the bit-sliced fixed-point MVM pipeline of Fig. 2.
+//!
+//! A ReRAM crossbar stores one bit-slice of a matrix block as cell conductances; driving
+//! wordlines with one bit of the input vector produces, on every bitline, the *count* of
+//! cells where both the stored bit and the input bit are 1 — a binary dot product
+//! evaluated in the analog domain and digitized by the shared ADC.  Multi-bit operands
+//! are handled by slicing the matrix across crossbars and streaming the vector bits
+//! serially, combining partial results with shift-and-add exactly as the example in
+//! Fig. 2 / Eq. 1 of the paper.
+
+/// A single-bit `size × size` crossbar: each cell stores 0 or 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCrossbar {
+    size: usize,
+    /// Row-major cell bits.
+    cells: Vec<bool>,
+}
+
+impl BitCrossbar {
+    /// Creates an empty (all-zero) crossbar.
+    pub fn new(size: usize) -> Self {
+        BitCrossbar { size, cells: vec![false; size * size] }
+    }
+
+    /// Builds the crossbar holding bit `bit` of every entry of a row-major unsigned
+    /// integer matrix.
+    ///
+    /// # Panics
+    /// Panics if `matrix.len() != size * size`.
+    pub fn from_bit_slice(matrix: &[u64], size: usize, bit: u32) -> Self {
+        assert_eq!(matrix.len(), size * size, "bit slice: matrix must be size²");
+        let cells = matrix.iter().map(|&m| (m >> bit) & 1 == 1).collect();
+        BitCrossbar { size, cells }
+    }
+
+    /// Crossbar edge length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sets one cell.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.cells[row * self.size + col] = value;
+    }
+
+    /// Reads one cell.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.cells[row * self.size + col]
+    }
+
+    /// Number of programmed (1) cells — proportional to the programming energy.
+    pub fn ones(&self) -> usize {
+        self.cells.iter().filter(|&&c| c).count()
+    }
+
+    /// The analog read: for a 1-bit input vector on the wordlines, returns the per-column
+    /// accumulated current, i.e. the count of `(cell AND input)` per bitline.
+    ///
+    /// The count is at most `size`, which is what bounds the ADC resolution to `b` bits
+    /// (`fx = b` in Fig. 6's description).
+    ///
+    /// # Panics
+    /// Panics if `input.len() != size`.
+    pub fn dot_columns(&self, input: &[bool]) -> Vec<u32> {
+        assert_eq!(input.len(), self.size, "crossbar input must have one bit per wordline");
+        let mut out = vec![0u32; self.size];
+        for (row, &active) in input.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            let cells = &self.cells[row * self.size..(row + 1) * self.size];
+            for (o, &c) in out.iter_mut().zip(cells.iter()) {
+                *o += u32::from(c);
+            }
+        }
+        out
+    }
+
+    /// The analog read with multiplicative cell noise: each programmed cell contributes
+    /// `1 + ε` instead of exactly 1, with `ε` drawn by the caller-provided closure (the
+    /// RTN model of §VI.D); the result is digitized by rounding (the ADC).
+    pub fn dot_columns_noisy<F: FnMut() -> f64>(&self, input: &[bool], mut noise: F) -> Vec<u32> {
+        assert_eq!(input.len(), self.size, "crossbar input must have one bit per wordline");
+        let mut analog = vec![0.0f64; self.size];
+        for (row, &active) in input.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            let cells = &self.cells[row * self.size..(row + 1) * self.size];
+            for (a, &c) in analog.iter_mut().zip(cells.iter()) {
+                if c {
+                    *a += 1.0 + noise();
+                }
+            }
+        }
+        analog.iter().map(|&a| a.max(0.0).round() as u32).collect()
+    }
+}
+
+/// The bit-sliced fixed-point MVM engine of Fig. 2: an `NM`-bit unsigned matrix mapped
+/// onto `NM` single-bit crossbars, multiplied by an `Nv`-bit unsigned vector streamed
+/// one bit per cycle.
+#[derive(Debug, Clone)]
+pub struct FixedPointMvm {
+    size: usize,
+    matrix_bits: u32,
+    crossbars: Vec<BitCrossbar>,
+}
+
+impl FixedPointMvm {
+    /// Maps a row-major unsigned matrix (`size × size`, entries `< 2^matrix_bits`) onto
+    /// `matrix_bits` crossbars.
+    ///
+    /// Physically the element `a_ij` sits at wordline `j` / bitline `i` (the crossbar
+    /// holds the transpose), so that driving the wordlines with `x` accumulates
+    /// `y_i = Σ_j a_ij · x_j` on bitline `i`; [`multiply`](Self::multiply) therefore
+    /// computes the ordinary product `M · x`.
+    ///
+    /// # Panics
+    /// Panics if any entry needs more than `matrix_bits` bits.
+    pub fn new(matrix: &[u64], size: usize, matrix_bits: u32) -> Self {
+        assert!(matrix_bits >= 1 && matrix_bits <= 63, "matrix bits must be in 1..=63");
+        assert_eq!(matrix.len(), size * size, "matrix must be size²");
+        for &m in matrix {
+            assert!(
+                matrix_bits == 63 || m < (1u64 << matrix_bits),
+                "matrix entry {m} does not fit in {matrix_bits} bits"
+            );
+        }
+        // Store the transpose: cell (wordline j, bitline i) holds a_ij.
+        let mut transposed = vec![0u64; size * size];
+        for i in 0..size {
+            for j in 0..size {
+                transposed[j * size + i] = matrix[i * size + j];
+            }
+        }
+        let crossbars = (0..matrix_bits)
+            .map(|bit| BitCrossbar::from_bit_slice(&transposed, size, bit))
+            .collect();
+        FixedPointMvm { size, matrix_bits, crossbars }
+    }
+
+    /// Crossbars used by this engine (= number of matrix bit-slices).
+    pub fn num_crossbars(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// The crossbars themselves (bit 0 first).
+    pub fn crossbars(&self) -> &[BitCrossbar] {
+        &self.crossbars
+    }
+
+    /// Processing cycles for a `vector_bits`-bit input under the pipelined input/reduce
+    /// scheme: `C_int = N_v + (N_M − 1)` (§III.A).
+    pub fn cycles(&self, vector_bits: u32) -> u64 {
+        vector_bits as u64 + self.matrix_bits as u64 - 1
+    }
+
+    /// Computes `Mᵀ… no — M · x` for the unsigned vector `x` (entries `< 2^vector_bits`)
+    /// by streaming vector bits MSB-first and shift-and-adding the per-crossbar partial
+    /// sums, exactly as in Fig. 2.  The result is exact.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != size` or an entry does not fit in `vector_bits` bits.
+    pub fn multiply(&self, x: &[u64], vector_bits: u32) -> Vec<u128> {
+        assert_eq!(x.len(), self.size, "vector length must match crossbar size");
+        for &v in x {
+            assert!(
+                vector_bits >= 64 || v < (1u64 << vector_bits),
+                "vector entry {v} does not fit in {vector_bits} bits"
+            );
+        }
+        // Per-crossbar running sums S (one per output column), as in Fig. 2.
+        let mut per_xbar: Vec<Vec<u128>> = vec![vec![0u128; self.size]; self.crossbars.len()];
+        let mut input = vec![false; self.size];
+        for bit in (0..vector_bits).rev() {
+            for (ii, &v) in x.iter().enumerate() {
+                input[ii] = (v >> bit) & 1 == 1;
+            }
+            for (xb, sums) in self.crossbars.iter().zip(per_xbar.iter_mut()) {
+                let partial = xb.dot_columns(&input);
+                for (s, &p) in sums.iter_mut().zip(partial.iter()) {
+                    // Shift the running sum (weight of the previous, more significant,
+                    // input bit) and add the new partial result.
+                    *s = (*s << 1) + p as u128;
+                }
+            }
+        }
+        // Combine the crossbar results with their bit-slice weights (cycles C5..C7 in
+        // Fig. 2: shift-and-add across crossbars).
+        let mut out = vec![0u128; self.size];
+        for (bit, sums) in per_xbar.iter().enumerate() {
+            for (o, &s) in out.iter_mut().zip(sums.iter()) {
+                *o += s << bit;
+            }
+        }
+        out
+    }
+}
+
+/// Reference (exact, non-bit-sliced) unsigned MVM used to cross-check the pipeline.
+pub fn reference_mvm(matrix: &[u64], size: usize, x: &[u64]) -> Vec<u128> {
+    let mut out = vec![0u128; size];
+    for row in 0..size {
+        let mut acc = 0u128;
+        for col in 0..size {
+            acc += matrix[row * size + col] as u128 * x[col] as u128;
+        }
+        out[row] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The worked example of Eq. 1 / Fig. 2: the paper multiplies the *transpose* of the
+    /// printed matrix by [6, 12, 6, 13], so the logical matrix being applied (row-major)
+    /// is the printed one with rows and columns swapped; the expected product is
+    /// [368, 354, 207, 387].
+    fn fig2_matrix() -> Vec<u64> {
+        // Columns of the printed matrix become rows of the logical matrix.
+        vec![
+            0, 11, 9, 14, //
+            13, 14, 5, 6, //
+            7, 3, 2, 9, //
+            11, 8, 5, 15,
+        ]
+    }
+
+    #[test]
+    fn fig2_example_reproduces_published_result() {
+        let m = fig2_matrix();
+        let x = vec![6u64, 12, 6, 13];
+        let engine = FixedPointMvm::new(&m, 4, 4);
+        let y = engine.multiply(&x, 4);
+        assert_eq!(y, vec![368, 354, 207, 387]);
+        // Four 1-bit crossbars, C_int = 4 + (4 - 1) = 7 cycles — the C1..C7 of Fig. 2.
+        assert_eq!(engine.num_crossbars(), 4);
+        assert_eq!(engine.cycles(4), 7);
+    }
+
+    #[test]
+    fn bit_slices_reassemble_the_matrix_transposed() {
+        // The crossbars hold the transpose (a_ij at wordline j / bitline i).
+        let m = fig2_matrix();
+        let engine = FixedPointMvm::new(&m, 4, 4);
+        for row in 0..4 {
+            for col in 0..4 {
+                let mut value = 0u64;
+                for (bit, xb) in engine.crossbars().iter().enumerate() {
+                    value |= (xb.get(col, row) as u64) << bit;
+                }
+                assert_eq!(value, m[row * 4 + col]);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_columns_counts_active_cells() {
+        let mut xb = BitCrossbar::new(3);
+        xb.set(0, 0, true);
+        xb.set(1, 0, true);
+        xb.set(2, 2, true);
+        assert_eq!(xb.ones(), 3);
+        let out = xb.dot_columns(&[true, true, false]);
+        assert_eq!(out, vec![2, 0, 0]);
+        let out = xb.dot_columns(&[true, true, true]);
+        assert_eq!(out, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn noisy_dot_columns_with_zero_noise_matches_clean() {
+        let m = fig2_matrix();
+        let xb = BitCrossbar::from_bit_slice(&m, 4, 3);
+        let input = [true, false, true, true];
+        assert_eq!(xb.dot_columns(&input), xb.dot_columns_noisy(&input, || 0.0));
+    }
+
+    #[test]
+    fn noisy_dot_columns_never_go_negative() {
+        let mut xb = BitCrossbar::new(2);
+        xb.set(0, 0, true);
+        let out = xb.dot_columns_noisy(&[true, true], || -3.0);
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn cycle_count_matches_section_iii_formula() {
+        let m = vec![1u64; 16];
+        let engine = FixedPointMvm::new(&m, 4, 1);
+        assert_eq!(engine.cycles(1), 1);
+        let engine = FixedPointMvm::new(&vec![255u64; 16], 4, 8);
+        assert_eq!(engine.cycles(16), 16 + 8 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_matrix_entry_is_rejected() {
+        let _ = FixedPointMvm::new(&[16, 0, 0, 0], 2, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn pipeline_matches_reference_for_random_inputs(
+            m in proptest::collection::vec(0u64..256, 16),
+            x in proptest::collection::vec(0u64..4096, 4),
+            extra_vector_bits in 0u32..4,
+        ) {
+            let engine = FixedPointMvm::new(&m, 4, 8);
+            let y = engine.multiply(&x, 12 + extra_vector_bits);
+            prop_assert_eq!(y, reference_mvm(&m, 4, &x));
+        }
+
+        #[test]
+        fn pipeline_matches_reference_for_larger_crossbars(
+            m in proptest::collection::vec(0u64..16, 64),
+            x in proptest::collection::vec(0u64..16, 8),
+        ) {
+            let engine = FixedPointMvm::new(&m, 8, 4);
+            let y = engine.multiply(&x, 4);
+            prop_assert_eq!(y, reference_mvm(&m, 8, &x));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Extreme-eigenvalue and condition-number estimation.
+//!
+//! Table V of the paper reports the condition number κ of every workload.  To validate
+//! that the synthetic analogues are in the right regime, this module estimates the
+//! largest eigenvalue by power iteration and the smallest by inverse iteration (each
+//! inverse application solved by CG), giving `κ ≈ λ_max / λ_min` for SPD matrices.
+
+use crate::cg::cg;
+use crate::operator::LinearOperator;
+use crate::result::SolverConfig;
+use refloat_sparse::vecops;
+
+/// Result of an extreme-eigenvalue estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EigenEstimate {
+    /// Estimated largest eigenvalue.
+    pub lambda_max: f64,
+    /// Estimated smallest eigenvalue.
+    pub lambda_min: f64,
+}
+
+impl EigenEstimate {
+    /// The condition-number estimate `λ_max / λ_min`.
+    pub fn condition_number(&self) -> f64 {
+        self.lambda_max / self.lambda_min
+    }
+}
+
+/// Estimates the largest eigenvalue of an SPD operator by power iteration.
+pub fn power_iteration<A: LinearOperator + ?Sized>(
+    a: &mut A,
+    iterations: usize,
+    seed: u64,
+) -> f64 {
+    let n = a.nrows();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            // Deterministic pseudo-random start vector (splitmix-style hash).
+            let mut z = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0;
+    for _ in 0..iterations {
+        let norm = vecops::norm2(&x);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        vecops::scale(1.0 / norm, &mut x);
+        a.apply(&x, &mut y);
+        lambda = vecops::dot(&x, &y);
+        std::mem::swap(&mut x, &mut y);
+    }
+    lambda.abs()
+}
+
+/// Estimates the smallest eigenvalue of an SPD operator by inverse power iteration,
+/// where each application of `A⁻¹` is computed with CG to a loose tolerance.
+pub fn inverse_power_iteration<A: LinearOperator + ?Sized>(
+    a: &mut A,
+    outer_iterations: usize,
+    seed: u64,
+) -> f64 {
+    let n = a.nrows();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut z = (i as u64).wrapping_add(seed ^ 0xABCD).wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            ((z >> 11) as f64 / (1u64 << 53) as f64) + 0.25
+        })
+        .collect();
+    let cfg = SolverConfig::relative(1e-6).with_max_iterations(2_000).with_trace(false);
+    let mut mu = 0.0;
+    for _ in 0..outer_iterations {
+        let norm = vecops::norm2(&x);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        vecops::scale(1.0 / norm, &mut x);
+        let solve = cg(a, &x, &cfg);
+        // Rayleigh quotient of the inverse: xᵀ A⁻¹ x ≈ 1/λ_min direction.
+        mu = vecops::dot(&x, &solve.x);
+        x = solve.x;
+    }
+    if mu <= 0.0 {
+        0.0
+    } else {
+        1.0 / mu
+    }
+}
+
+/// Estimates both extreme eigenvalues of an SPD operator.
+pub fn estimate_extremes<A: LinearOperator + ?Sized>(a: &mut A, seed: u64) -> EigenEstimate {
+    let lambda_max = power_iteration(a, 60, seed);
+    let lambda_min = inverse_power_iteration(a, 8, seed);
+    EigenEstimate { lambda_max, lambda_min }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_matgen::generators;
+
+    #[test]
+    fn diagonal_matrix_extremes_are_recovered() {
+        let mut a = generators::logspace_diagonal(200, 0.5, 128.0).to_csr();
+        let est = estimate_extremes(&mut a, 1);
+        assert!((est.lambda_max - 128.0).abs() / 128.0 < 0.05, "λmax = {}", est.lambda_max);
+        assert!((est.lambda_min - 0.5).abs() / 0.5 < 0.1, "λmin = {}", est.lambda_min);
+        let kappa = est.condition_number();
+        assert!((kappa - 256.0).abs() / 256.0 < 0.15, "κ = {kappa}");
+    }
+
+    #[test]
+    fn laplacian_condition_number_is_in_expected_range() {
+        // 1D/2D Laplacian eigenvalues are known: for the 2D 5-point stencil on an m×m
+        // grid, λ ∈ [8 sin²(π/(2(m+1))), 8 cos²(π/(2(m+1)))] plus the shift.
+        let m = 24;
+        let shift = 0.05;
+        let mut a = generators::laplacian_2d(m, m, shift).to_csr();
+        let est = estimate_extremes(&mut a, 7);
+        let h = std::f64::consts::PI / (2.0 * (m as f64 + 1.0));
+        let expected_max = 8.0 * h.cos().powi(2) + shift;
+        let expected_min = 8.0 * h.sin().powi(2) + shift;
+        assert!((est.lambda_max - expected_max).abs() / expected_max < 0.05);
+        assert!((est.lambda_min - expected_min).abs() / expected_min < 0.15);
+    }
+
+    #[test]
+    fn power_iteration_handles_zero_operator() {
+        let mut a = crate::operator::DiagonalOperator::new(vec![0.0; 10]);
+        assert_eq!(power_iteration(&mut a, 5, 3), 0.0);
+    }
+}

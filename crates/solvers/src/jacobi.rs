@@ -1,0 +1,95 @@
+//! Jacobi (diagonal) preconditioning helpers.
+//!
+//! The paper's solvers are unpreconditioned, but a diagonal preconditioner is a natural
+//! extension for badly scaled systems (it is also what the related ReRAM work by
+//! Feinberg et al. later explored as an "analog preconditioner").  The helpers here
+//! extract the inverse diagonal in the form [`crate::cg::pcg`] expects.
+
+use refloat_sparse::CsrMatrix;
+
+/// Returns the inverse diagonal `1 / a_ii` of a matrix, suitable for [`crate::cg::pcg`].
+///
+/// Rows with a zero (or missing) diagonal get a unit weight so the preconditioner stays
+/// well defined; for the SPD workloads in this repository every diagonal entry is
+/// positive.
+pub fn inverse_diagonal(a: &CsrMatrix) -> Vec<f64> {
+    a.diagonal()
+        .iter()
+        .map(|&d| if d != 0.0 && d.is_finite() { 1.0 / d } else { 1.0 })
+        .collect()
+}
+
+/// Symmetrically scales a right-hand side by `D^{-1/2}`, returning the scaled vector —
+/// used together with [`symmetric_diagonal_scaling`] when equilibrating a system before
+/// quantization (an optional preprocessing step for very badly scaled matrices).
+pub fn scale_rhs(b: &[f64], diag: &[f64]) -> Vec<f64> {
+    b.iter()
+        .zip(diag.iter())
+        .map(|(&bi, &di)| if di > 0.0 { bi / di.sqrt() } else { bi })
+        .collect()
+}
+
+/// Computes the symmetrically scaled matrix `D^{-1/2} A D^{-1/2}` (Jacobi equilibration).
+///
+/// The result has a unit diagonal, which concentrates the exponent range of the entries
+/// — an alternative way to help fixed-window formats that we compare against ReFloat in
+/// the ablation benchmarks.
+pub fn symmetric_diagonal_scaling(a: &CsrMatrix) -> CsrMatrix {
+    let diag = a.diagonal();
+    let mut coo = a.to_coo();
+    let scale: Vec<f64> =
+        diag.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 }).collect();
+    let rows = coo.row_indices().to_vec();
+    let cols = coo.col_indices().to_vec();
+    let vals: Vec<f64> = coo
+        .iter()
+        .map(|(r, c, v)| v * scale[r] * scale[c])
+        .collect();
+    coo = refloat_sparse::CooMatrix::from_triplets(a.nrows(), a.ncols(), rows, cols, vals)
+        .expect("same structure remains valid");
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_matgen::generators;
+
+    #[test]
+    fn inverse_diagonal_inverts_positive_entries() {
+        let a = generators::logspace_diagonal(5, 1.0, 16.0).to_csr();
+        let inv = inverse_diagonal(&a);
+        for (d, i) in a.diagonal().iter().zip(inv.iter()) {
+            assert!((d * i - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn inverse_diagonal_handles_missing_diagonal() {
+        let mut coo = refloat_sparse::CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 2, 1.0); // row 1 has no diagonal entry
+        coo.push(2, 2, 4.0);
+        let inv = inverse_diagonal(&coo.to_csr());
+        assert_eq!(inv[1], 1.0);
+        assert_eq!(inv[0], 0.5);
+    }
+
+    #[test]
+    fn symmetric_scaling_produces_unit_diagonal() {
+        let a = generators::mass_matrix_3d(4, 4, 4, 1e-12, 0.5, 3).to_csr();
+        let scaled = symmetric_diagonal_scaling(&a);
+        for d in scaled.diagonal() {
+            assert!((d - 1.0).abs() < 1e-12, "diagonal entry {d}");
+        }
+        assert!(scaled.is_symmetric(1e-12));
+        assert_eq!(scaled.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn scale_rhs_matches_manual_division() {
+        let b = vec![4.0, 9.0];
+        let d = vec![4.0, 9.0];
+        assert_eq!(scale_rhs(&b, &d), vec![2.0, 3.0]);
+    }
+}

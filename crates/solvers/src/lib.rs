@@ -1,0 +1,30 @@
+//! Iterative Krylov solvers for the ReFloat reproduction.
+//!
+//! The paper evaluates two Krylov-subspace solvers — Conjugate Gradient (CG, Hestenes &
+//! Stiefel) and stabilized bi-conjugate gradient (BiCGSTAB, van der Vorst) — whose only
+//! interaction with the matrix is the sparse matrix–vector product `y = A·x` (Code 1 of
+//! the paper).  Both solvers here are therefore generic over a [`LinearOperator`]:
+//!
+//! * plain `f64` CSR / blocked SpMV (`refloat-sparse`) models the GPU and "Feinberg-fc"
+//!   baselines, which are numerically exact double precision;
+//! * the quantized operators in `refloat-core` model ReFloat and the Feinberg
+//!   exponent-truncation baseline;
+//! * the noisy crossbar operators in `reram-sim` model analog-noise studies (Fig. 10).
+//!
+//! Each solve records a residual trace (for the convergence plots of Fig. 9), the number
+//! of iterations and SpMV applications (the quantities the accelerator timing model
+//! consumes), and the reason it stopped.
+
+#![warn(missing_docs)]
+
+pub mod bicgstab;
+pub mod cg;
+pub mod eigs;
+pub mod jacobi;
+pub mod operator;
+pub mod result;
+
+pub use bicgstab::bicgstab;
+pub use cg::{cg, pcg};
+pub use operator::{LinearOperator, OperatorStats};
+pub use result::{SolveResult, SolverConfig, StopReason};

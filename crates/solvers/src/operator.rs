@@ -1,0 +1,208 @@
+//! The operator abstraction the solvers are written against.
+
+use refloat_sparse::{BlockedMatrix, CsrMatrix};
+
+/// A square (or rectangular) linear operator `y = A·x`.
+///
+/// `apply` takes `&mut self` so that operators with internal state — iteration-dependent
+/// vector quantization (ReFloat's vector converter), analog noise generators, or
+/// instrumentation counters — do not need interior mutability.
+pub trait LinearOperator {
+    /// Number of rows of the operator (length of the output vector).
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the operator (length of the input vector).
+    fn ncols(&self) -> usize;
+
+    /// Computes `y ← A·x`.
+    ///
+    /// Implementations must not assume anything about the prior contents of `y`.
+    fn apply(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// A short human-readable description used in experiment logs.
+    fn name(&self) -> String {
+        "operator".to_string()
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn name(&self) -> String {
+        format!("csr-fp64 ({}x{}, nnz {})", CsrMatrix::nrows(self), CsrMatrix::ncols(self), self.nnz())
+    }
+}
+
+impl LinearOperator for BlockedMatrix {
+    fn nrows(&self) -> usize {
+        BlockedMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        BlockedMatrix::ncols(self)
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "blocked-fp64 (b = {}, {} blocks)",
+            self.b(),
+            self.num_blocks()
+        )
+    }
+}
+
+/// Wraps an operator and counts how many times it is applied — the solver-time model
+/// multiplies this count by the per-SpMV latency of each platform.
+pub struct OperatorStats<A> {
+    inner: A,
+    applies: usize,
+}
+
+impl<A: LinearOperator> OperatorStats<A> {
+    /// Wraps `inner` with an application counter starting at zero.
+    pub fn new(inner: A) -> Self {
+        OperatorStats { inner, applies: 0 }
+    }
+
+    /// Number of `apply` calls so far.
+    pub fn applies(&self) -> usize {
+        self.applies
+    }
+
+    /// Consumes the wrapper and returns the inner operator.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Borrows the inner operator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for OperatorStats<A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.applies += 1;
+        self.inner.apply(x, y);
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+/// A diagonal operator, mostly useful in tests (its solves have closed-form answers).
+#[derive(Debug, Clone)]
+pub struct DiagonalOperator {
+    diag: Vec<f64>,
+}
+
+impl DiagonalOperator {
+    /// Creates the operator `diag(d)`.
+    pub fn new(diag: Vec<f64>) -> Self {
+        DiagonalOperator { diag }
+    }
+
+    /// The diagonal entries.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.diag
+    }
+}
+
+impl LinearOperator for DiagonalOperator {
+    fn nrows(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn ncols(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        for ((yi, xi), di) in y.iter_mut().zip(x.iter()).zip(self.diag.iter()) {
+            *yi = di * xi;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("diagonal ({})", self.diag.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_sparse::CooMatrix;
+
+    fn small_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 2, 4.0);
+        coo.push(0, 1, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_operator_applies_spmv() {
+        let mut a = small_csr();
+        let mut y = vec![0.0; 3];
+        LinearOperator::apply(&mut a, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 3.0, 4.0]);
+        assert!(a.name().contains("csr-fp64"));
+    }
+
+    #[test]
+    fn blocked_operator_matches_csr() {
+        let csr = small_csr();
+        let mut blocked = BlockedMatrix::from_csr(&csr, 1).unwrap();
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        let mut csr_mut = csr.clone();
+        LinearOperator::apply(&mut csr_mut, &[1.0, 2.0, 3.0], &mut y1);
+        LinearOperator::apply(&mut blocked, &[1.0, 2.0, 3.0], &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn operator_stats_counts_applications() {
+        let mut wrapped = OperatorStats::new(small_csr());
+        let mut y = vec![0.0; 3];
+        for _ in 0..5 {
+            wrapped.apply(&[1.0, 0.0, 0.0], &mut y);
+        }
+        assert_eq!(wrapped.applies(), 5);
+        assert_eq!(wrapped.nrows(), 3);
+    }
+
+    #[test]
+    fn diagonal_operator_scales_elementwise() {
+        let mut d = DiagonalOperator::new(vec![1.0, 2.0, 3.0]);
+        let mut y = vec![0.0; 3];
+        d.apply(&[5.0, 5.0, 5.0], &mut y);
+        assert_eq!(y, vec![5.0, 10.0, 15.0]);
+        assert_eq!(d.diagonal(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Square-block partitioning and the block-major layout of Fig. 7.
+//!
+//! ReRAM crossbars compute MVM at the granularity of a `2^b × 2^b` matrix block
+//! (`b = 7`, i.e. 128×128, for the crossbars in Table IV of the paper).  A
+//! [`BlockedMatrix`] stores only the *non-empty* blocks of a sparse matrix; each block
+//! records its block coordinates `(i, j)` (the leading index bits of Fig. 5a) and its
+//! entries with *local* `(ii, jj)` coordinates inside the block (the trailing `b` bits).
+//!
+//! Blocks are kept in block-row-major order, which is exactly the *block-major layout*
+//! the paper introduces in §V.C / Fig. 7 so that all non-zeros of a block — and all
+//! blocks that are scheduled together — are read sequentially from memory.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::parallel;
+use crate::Result;
+
+/// One non-empty `2^b × 2^b` block of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block-row index `i` (row `r` of the full matrix lives in block-row `r >> b`).
+    pub block_row: usize,
+    /// Block-column index `j`.
+    pub block_col: usize,
+    /// Local row indices `ii` (`< 2^b`), one per entry.
+    pub rows: Vec<u16>,
+    /// Local column indices `jj` (`< 2^b`), one per entry.
+    pub cols: Vec<u16>,
+    /// Entry values, one per entry, in the same order as `rows`/`cols`.
+    pub vals: Vec<f64>,
+}
+
+impl Block {
+    /// Number of non-zero entries stored in the block.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterates over `(ii, jj, value)` entries of the block.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u16, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.vals.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Materializes the block as a dense row-major `2^b × 2^b` matrix (zero filled).
+    ///
+    /// Used by the crossbar simulator, which maps a whole block onto a crossbar.
+    pub fn to_dense(&self, block_size: usize) -> Vec<f64> {
+        let mut dense = vec![0.0; block_size * block_size];
+        for (r, c, v) in self.iter() {
+            dense[r as usize * block_size + c as usize] = v;
+        }
+        dense
+    }
+
+    /// Largest absolute value in the block (0.0 for an empty block).
+    pub fn max_abs(&self) -> f64 {
+        self.vals.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// A sparse matrix partitioned into square `2^b × 2^b` blocks, stored block-row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// log2 of the block edge length (the paper's `b`).
+    b: u32,
+    /// Non-empty blocks in block-row-major order (sorted by `(block_row, block_col)`).
+    blocks: Vec<Block>,
+    /// Start offsets into `blocks` for each block-row (`num_block_rows + 1` entries).
+    block_row_ptr: Vec<usize>,
+}
+
+impl BlockedMatrix {
+    /// Partitions a CSR matrix into `2^b × 2^b` blocks.
+    ///
+    /// Returns an error if `b == 0` would make blocks degenerate (`b` must be ≥ 1) or if
+    /// `b` is large enough that local indices no longer fit in `u16` (`b ≤ 15`).
+    pub fn from_csr(a: &CsrMatrix, b: u32) -> Result<Self> {
+        if b == 0 || b > 15 {
+            return Err(SparseError::InvalidParameter(format!(
+                "block size exponent b must be in 1..=15, got {b}"
+            )));
+        }
+        let bs = 1usize << b;
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let num_block_rows = nrows.div_ceil(bs);
+        let num_block_cols = ncols.div_ceil(bs);
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_row_ptr = Vec::with_capacity(num_block_rows + 1);
+        block_row_ptr.push(0);
+
+        // Scratch: for the current block-row, map block-col -> position in `current`.
+        let mut col_to_slot: Vec<usize> = vec![usize::MAX; num_block_cols];
+        for brow in 0..num_block_rows {
+            let mut current: Vec<Block> = Vec::new();
+            let row_lo = brow * bs;
+            let row_hi = (row_lo + bs).min(nrows);
+            for r in row_lo..row_hi {
+                let (cols, vals) = a.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let bcol = c >> b;
+                    let slot = col_to_slot[bcol];
+                    let blk = if slot == usize::MAX {
+                        col_to_slot[bcol] = current.len();
+                        current.push(Block {
+                            block_row: brow,
+                            block_col: bcol,
+                            rows: Vec::new(),
+                            cols: Vec::new(),
+                            vals: Vec::new(),
+                        });
+                        current.last_mut().expect("just pushed")
+                    } else {
+                        &mut current[slot]
+                    };
+                    blk.rows.push((r - row_lo) as u16);
+                    blk.cols.push((c & (bs - 1)) as u16);
+                    blk.vals.push(v);
+                }
+            }
+            // Reset scratch and emit the block-row sorted by block column.
+            for blk in &current {
+                col_to_slot[blk.block_col] = usize::MAX;
+            }
+            current.sort_unstable_by_key(|blk| blk.block_col);
+            blocks.extend(current);
+            block_row_ptr.push(blocks.len());
+        }
+
+        Ok(BlockedMatrix { nrows, ncols, b, blocks, block_row_ptr })
+    }
+
+    /// Partitions a COO matrix (duplicates are summed via CSR first).
+    pub fn from_coo(a: &CooMatrix, b: u32) -> Result<Self> {
+        Self::from_csr(&a.to_csr(), b)
+    }
+
+    /// Number of rows of the underlying matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the underlying matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The block-size exponent `b` (blocks are `2^b × 2^b`).
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// Block edge length `2^b`.
+    pub fn block_size(&self) -> usize {
+        1 << self.b
+    }
+
+    /// Number of block rows (`⌈nrows / 2^b⌉`).
+    pub fn num_block_rows(&self) -> usize {
+        self.nrows.div_ceil(self.block_size())
+    }
+
+    /// Number of block columns (`⌈ncols / 2^b⌉`).
+    pub fn num_block_cols(&self) -> usize {
+        self.ncols.div_ceil(self.block_size())
+    }
+
+    /// Number of *non-empty* blocks.
+    ///
+    /// This is the number of crossbar clusters one full SpMV requires on the
+    /// accelerator (§VI.B of the paper), so it drives the timing model.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(Block::nnz).sum()
+    }
+
+    /// All non-empty blocks in block-row-major order (the block-major layout).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The non-empty blocks of block-row `brow`.
+    pub fn block_row(&self, brow: usize) -> &[Block] {
+        let (lo, hi) = (self.block_row_ptr[brow], self.block_row_ptr[brow + 1]);
+        &self.blocks[lo..hi]
+    }
+
+    /// Average number of non-zeros per non-empty block.
+    pub fn avg_nnz_per_block(&self) -> f64 {
+        if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.blocks.len() as f64
+        }
+    }
+
+    /// Serial blocked SpMV: `y ← A x`, accumulating block partial products exactly as
+    /// Eq. 8 of the paper (`y_c(p) = Σ_i A_c(p, i) x_c(i)` over non-empty blocks).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "blocked spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "blocked spmv: y length mismatch");
+        for yi in y.iter_mut() {
+            *yi = 0.0;
+        }
+        let bs = self.block_size();
+        for blk in &self.blocks {
+            let row0 = blk.block_row * bs;
+            let col0 = blk.block_col * bs;
+            for (ii, jj, v) in blk.iter() {
+                y[row0 + ii as usize] += v * x[col0 + jj as usize];
+            }
+        }
+    }
+
+    /// Parallel blocked SpMV over block-rows (block-rows write disjoint output ranges).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn par_spmv_into(&self, x: &[f64], y: &mut [f64], num_threads: usize) {
+        assert_eq!(x.len(), self.ncols, "blocked par_spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "blocked par_spmv: y length mismatch");
+        let threads = num_threads.max(1);
+        if threads == 1 || self.num_block_rows() < 2 {
+            self.spmv_into(x, y);
+            return;
+        }
+        let bs = self.block_size();
+        // Weight block-rows by their nonzero count to balance the chunks.
+        let mut prefix = vec![0usize; self.num_block_rows() + 1];
+        for brow in 0..self.num_block_rows() {
+            let w: usize = self.block_row(brow).iter().map(Block::nnz).sum();
+            prefix[brow + 1] = prefix[brow] + w;
+        }
+        let brow_chunks = parallel::balance_by_weight(&prefix, threads);
+        // Convert block-row chunks into row ranges over y.
+        let row_bounds: Vec<std::ops::Range<usize>> = brow_chunks
+            .iter()
+            .map(|r| (r.start * bs)..((r.end * bs).min(self.nrows)))
+            .collect();
+        parallel::scoped_chunks(y, &row_bounds, |chunk_idx, rows, out| {
+            for yi in out.iter_mut() {
+                *yi = 0.0;
+            }
+            let brows = brow_chunks[chunk_idx].clone();
+            for brow in brows {
+                for blk in self.block_row(brow) {
+                    let row0 = blk.block_row * bs - rows.start;
+                    let col0 = blk.block_col * bs;
+                    for (ii, jj, v) in blk.iter() {
+                        out[row0 + ii as usize] += v * x[col0 + jj as usize];
+                    }
+                }
+            }
+        });
+    }
+
+    /// Reconstructs the matrix as CSR (for round-trip testing and interoperability).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        let bs = self.block_size();
+        for blk in &self.blocks {
+            let row0 = blk.block_row * bs;
+            let col0 = blk.block_col * bs;
+            for (ii, jj, v) in blk.iter() {
+                coo.push(row0 + ii as usize, col0 + jj as usize, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// The streaming order of blocks under the block-major layout with parallelism `P`
+    /// (Fig. 7): within each block-row, blocks are issued in groups of `P`; groups of the
+    /// same block-row are completed before moving to the next block-row.
+    ///
+    /// Returns indices into [`blocks`](Self::blocks), grouped into scheduling rounds.
+    pub fn stream_schedule(&self, p: usize) -> Vec<Vec<usize>> {
+        let p = p.max(1);
+        let mut rounds = Vec::new();
+        for brow in 0..self.num_block_rows() {
+            let (lo, hi) = (self.block_row_ptr[brow], self.block_row_ptr[brow + 1]);
+            let mut start = lo;
+            while start < hi {
+                let end = (start + p).min(hi);
+                rounds.push((start..end).collect());
+                start = end;
+            }
+        }
+        rounds
+    }
+
+    /// Histogram of non-zeros per non-empty block; index `k` counts blocks with `k`
+    /// entries, capped at `max_bin` (last bin is "≥ max_bin").
+    pub fn nnz_per_block_histogram(&self, max_bin: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; max_bin + 1];
+        for blk in &self.blocks {
+            let k = blk.nnz().min(max_bin);
+            hist[k] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0 + i as f64 * 1e-3);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+            if i + 7 < n {
+                coo.push(i, i + 7, 0.25);
+                coo.push(i + 7, i, 0.25);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn from_csr_partitions_all_nonzeros() {
+        let a = banded(100);
+        let blocked = BlockedMatrix::from_csr(&a, 4).unwrap();
+        assert_eq!(blocked.block_size(), 16);
+        assert_eq!(blocked.nnz(), a.nnz());
+        assert_eq!(blocked.num_block_rows(), 7);
+        assert_eq!(blocked.num_block_cols(), 7);
+        assert!(blocked.num_blocks() >= blocked.num_block_rows());
+    }
+
+    #[test]
+    fn invalid_block_exponent_is_rejected() {
+        let a = banded(10);
+        assert!(BlockedMatrix::from_csr(&a, 0).is_err());
+        assert!(BlockedMatrix::from_csr(&a, 16).is_err());
+    }
+
+    #[test]
+    fn blocks_are_sorted_block_row_major() {
+        let a = banded(200);
+        let blocked = BlockedMatrix::from_csr(&a, 5).unwrap();
+        let keys: Vec<(usize, usize)> =
+            blocked.blocks().iter().map(|b| (b.block_row, b.block_col)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn local_indices_fit_in_block() {
+        let a = banded(100);
+        let blocked = BlockedMatrix::from_csr(&a, 4).unwrap();
+        for blk in blocked.blocks() {
+            for (ii, jj, _) in blk.iter() {
+                assert!((ii as usize) < blocked.block_size());
+                assert!((jj as usize) < blocked.block_size());
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = banded(150);
+        let blocked = BlockedMatrix::from_csr(&a, 4).unwrap();
+        let x: Vec<f64> = (0..150).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut y_csr = vec![0.0; 150];
+        let mut y_blk = vec![0.0; 150];
+        a.spmv_into(&x, &mut y_csr);
+        blocked.spmv_into(&x, &mut y_blk);
+        for (u, v) in y_csr.iter().zip(y_blk.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn par_spmv_matches_serial() {
+        let a = banded(777);
+        let blocked = BlockedMatrix::from_csr(&a, 6).unwrap();
+        let x: Vec<f64> = (0..777).map(|i| (i as f64 * 0.01).cos()).collect();
+        let mut y1 = vec![0.0; 777];
+        let mut y2 = vec![0.0; 777];
+        blocked.spmv_into(&x, &mut y1);
+        blocked.par_spmv_into(&x, &mut y2, 5);
+        for (u, v) in y1.iter().zip(y2.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matrix() {
+        let a = banded(120);
+        let blocked = BlockedMatrix::from_csr(&a, 4).unwrap();
+        let back = blocked.to_csr();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn block_to_dense_places_entries() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 1, 2.0);
+        coo.push(3, 2, -1.0);
+        let blocked = BlockedMatrix::from_coo(&coo, 2).unwrap();
+        assert_eq!(blocked.num_blocks(), 1);
+        let dense = blocked.blocks()[0].to_dense(4);
+        assert_eq!(dense[0 * 4 + 1], 2.0);
+        assert_eq!(dense[3 * 4 + 2], -1.0);
+        assert_eq!(dense.iter().filter(|v| **v != 0.0).count(), 2);
+    }
+
+    #[test]
+    fn stream_schedule_groups_within_block_rows() {
+        let a = banded(200);
+        let blocked = BlockedMatrix::from_csr(&a, 4).unwrap();
+        let rounds = blocked.stream_schedule(2);
+        // Every round only touches a single block-row and at most 2 blocks.
+        for round in &rounds {
+            assert!(round.len() <= 2 && !round.is_empty());
+            let brow = blocked.blocks()[round[0]].block_row;
+            for &idx in round {
+                assert_eq!(blocked.blocks()[idx].block_row, brow);
+            }
+        }
+        // All blocks scheduled exactly once.
+        let mut seen: Vec<usize> = rounds.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..blocked.num_blocks()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn histogram_counts_blocks() {
+        let a = banded(64);
+        let blocked = BlockedMatrix::from_csr(&a, 3).unwrap();
+        let hist = blocked.nnz_per_block_histogram(64);
+        assert_eq!(hist.iter().sum::<usize>(), blocked.num_blocks());
+    }
+
+    #[test]
+    fn non_square_matrix_is_supported() {
+        let mut coo = CooMatrix::new(10, 37);
+        coo.push(0, 36, 1.0);
+        coo.push(9, 0, 2.0);
+        coo.push(5, 20, 3.0);
+        let blocked = BlockedMatrix::from_coo(&coo, 3).unwrap();
+        assert_eq!(blocked.num_block_rows(), 2);
+        assert_eq!(blocked.num_block_cols(), 5);
+        assert_eq!(blocked.nnz(), 3);
+        let x = vec![1.0; 37];
+        let mut y = vec![0.0; 10];
+        blocked.spmv_into(&x, &mut y);
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[9], 2.0);
+        assert_eq!(y[5], 3.0);
+    }
+}

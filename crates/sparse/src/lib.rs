@@ -1,0 +1,41 @@
+//! Sparse-matrix substrate for the ReFloat reproduction.
+//!
+//! The ReFloat accelerator (Song et al., SC'23) operates on large sparse matrices that
+//! are partitioned into `2^b × 2^b` blocks, one block per ReRAM crossbar cluster.  This
+//! crate provides everything the rest of the workspace needs to stand on:
+//!
+//! * [`CooMatrix`] — coordinate (triplet) storage, the natural construction and
+//!   interchange format (also what Matrix Market files decode to),
+//! * [`CsrMatrix`] — compressed sparse row storage with serial and parallel
+//!   sparse-matrix/dense-vector products (SpMV), the reference FP64 operator,
+//! * [`BlockedMatrix`] — the matrix partitioned into square `2^b × 2^b` blocks stored in
+//!   the *block-major* layout of Fig. 7 of the paper, which is the granularity at which
+//!   ReFloat quantizes values and at which the accelerator maps work onto crossbars,
+//! * [`mm`] — a Matrix Market (`.mtx`) reader/writer so the real SuiteSparse inputs can
+//!   be used when available,
+//! * [`vecops`] — the dense vector kernels (dot, axpy, norms, …) used by the Krylov
+//!   solvers,
+//! * [`parallel`] — a small scoped-thread parallel-for used by the data-parallel kernels.
+//!
+//! All numeric storage is `f64`; reduced-precision behaviour is layered on top by the
+//! `refloat-core` crate, never baked into the substrate.
+
+#![warn(missing_docs)]
+
+pub mod blocked;
+pub mod coo;
+pub mod csr;
+pub mod error;
+pub mod mm;
+pub mod parallel;
+pub mod stats;
+pub mod vecops;
+
+pub use blocked::{Block, BlockedMatrix};
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use stats::MatrixStats;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

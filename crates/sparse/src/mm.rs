@@ -1,0 +1,378 @@
+//! Matrix Market (`.mtx`) reader and writer.
+//!
+//! The paper's workloads come from the SuiteSparse collection, which distributes
+//! matrices in the Matrix Market exchange format [Boisvert et al.].  This module
+//! implements the subset needed for those inputs: the `coordinate` format with
+//! `real` / `integer` / `pattern` fields and `general` / `symmetric` /
+//! `skew-symmetric` symmetry, plus the dense `array` format for completeness.
+//!
+//! The synthetic generators in `refloat-matgen` are the default workload source, but
+//! any SuiteSparse matrix downloaded separately can be dropped in via [`read_coo`] /
+//! [`read_coo_from_str`].
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::Result;
+
+/// How values are stored in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry annotation of the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market file into a [`CooMatrix`].
+pub fn read_coo<P: AsRef<Path>>(path: P) -> Result<CooMatrix> {
+    let file = File::open(path)?;
+    read_coo_from_reader(BufReader::new(file))
+}
+
+/// Parses Matrix Market text into a [`CooMatrix`].
+pub fn read_coo_from_str(text: &str) -> Result<CooMatrix> {
+    read_coo_from_reader(BufReader::new(text.as_bytes()))
+}
+
+/// Reads a Matrix Market stream into a [`CooMatrix`].
+pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> {
+    let mut lines = reader.lines();
+
+    // --- Header line: %%MatrixMarket matrix <format> <field> <symmetry>
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(SparseError::MatrixMarket("empty file".into())),
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") || tokens[1] != "matrix" {
+        return Err(SparseError::MatrixMarket(format!("bad header line: {header}")));
+    }
+    let coordinate = match tokens[2] {
+        "coordinate" => true,
+        "array" => false,
+        other => {
+            return Err(SparseError::MatrixMarket(format!("unsupported format '{other}'")));
+        }
+    };
+    let field = match tokens[3] {
+        "real" | "double" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::MatrixMarket(format!("unsupported field '{other}'")));
+        }
+    };
+    let symmetry = match tokens[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::MatrixMarket(format!("unsupported symmetry '{other}'")));
+        }
+    };
+    if !coordinate && field == Field::Pattern {
+        return Err(SparseError::MatrixMarket("array format cannot be 'pattern'".into()));
+    }
+
+    // --- Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(SparseError::MatrixMarket("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|_| bad_num(t)))
+        .collect::<Result<_>>()?;
+
+    if coordinate {
+        if dims.len() != 3 {
+            return Err(SparseError::MatrixMarket(format!("bad coordinate size line: {size_line}")));
+        }
+        let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+        let mut read_entries = 0usize;
+        for line in lines {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let r: usize = parse_tok(it.next(), "row index")?;
+            let c: usize = parse_tok(it.next(), "column index")?;
+            if r == 0 || c == 0 || r > nrows || c > ncols {
+                return Err(SparseError::MatrixMarket(format!(
+                    "entry ({r}, {c}) outside 1-based {nrows}x{ncols} bounds"
+                )));
+            }
+            let v = match field {
+                Field::Pattern => 1.0,
+                Field::Real | Field::Integer => {
+                    let tok = it
+                        .next()
+                        .ok_or_else(|| SparseError::MatrixMarket("missing value".into()))?;
+                    tok.parse::<f64>().map_err(|_| bad_num(tok))?
+                }
+            };
+            let (r0, c0) = (r - 1, c - 1);
+            match symmetry {
+                Symmetry::General => coo.push(r0, c0, v),
+                Symmetry::Symmetric => {
+                    coo.push(r0, c0, v);
+                    if r0 != c0 {
+                        coo.push(c0, r0, v);
+                    }
+                }
+                Symmetry::SkewSymmetric => {
+                    coo.push(r0, c0, v);
+                    if r0 != c0 {
+                        coo.push(c0, r0, -v);
+                    }
+                }
+            }
+            read_entries += 1;
+        }
+        if read_entries != nnz {
+            return Err(SparseError::MatrixMarket(format!(
+                "expected {nnz} entries, found {read_entries}"
+            )));
+        }
+        Ok(coo)
+    } else {
+        // Dense array format: column-major values.
+        if dims.len() != 2 {
+            return Err(SparseError::MatrixMarket(format!("bad array size line: {size_line}")));
+        }
+        let (nrows, ncols) = (dims[0], dims[1]);
+        let mut values = Vec::with_capacity(nrows * ncols);
+        for line in lines {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            for tok in t.split_whitespace() {
+                values.push(tok.parse::<f64>().map_err(|_| bad_num(tok))?);
+            }
+        }
+        let expected = match symmetry {
+            Symmetry::General => nrows * ncols,
+            // Lower triangle including diagonal.
+            Symmetry::Symmetric | Symmetry::SkewSymmetric => {
+                if nrows != ncols {
+                    return Err(SparseError::MatrixMarket(
+                        "symmetric array matrix must be square".into(),
+                    ));
+                }
+                nrows * (nrows + 1) / 2
+            }
+        };
+        if values.len() != expected {
+            return Err(SparseError::MatrixMarket(format!(
+                "expected {expected} array values, found {}",
+                values.len()
+            )));
+        }
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, values.len());
+        match symmetry {
+            Symmetry::General => {
+                let mut k = 0;
+                for c in 0..ncols {
+                    for r in 0..nrows {
+                        coo.push(r, c, values[k]);
+                        k += 1;
+                    }
+                }
+            }
+            Symmetry::Symmetric | Symmetry::SkewSymmetric => {
+                let skew = symmetry == Symmetry::SkewSymmetric;
+                let mut k = 0;
+                for c in 0..ncols {
+                    for r in c..nrows {
+                        let v = values[k];
+                        coo.push(r, c, v);
+                        if r != c {
+                            coo.push(c, r, if skew { -v } else { v });
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+        Ok(coo)
+    }
+}
+
+fn bad_num(tok: &str) -> SparseError {
+    SparseError::MatrixMarket(format!("could not parse number '{tok}'"))
+}
+
+fn parse_tok(tok: Option<&str>, what: &str) -> Result<usize> {
+    let tok = tok.ok_or_else(|| SparseError::MatrixMarket(format!("missing {what}")))?;
+    tok.parse::<usize>().map_err(|_| bad_num(tok))
+}
+
+/// Writes a [`CooMatrix`] as a `coordinate real general` Matrix Market file.
+pub fn write_coo<P: AsRef<Path>>(path: P, a: &CooMatrix, comment: &str) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_coo_to_writer(&mut w, a, comment)
+}
+
+/// Writes a [`CooMatrix`] in Matrix Market format to any writer.
+pub fn write_coo_to_writer<W: Write>(w: &mut W, a: &CooMatrix, comment: &str) -> Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    for line in comment.lines() {
+        writeln!(w, "% {line}")?;
+    }
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_coordinate_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 2 3.5\n\
+                    3 1 -1.0\n\
+                    3 3 1e-3\n";
+        let a = read_coo_from_str(text).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 4);
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(2, 0), -1.0);
+        assert_eq!(csr.get(2, 2), 1e-3);
+    }
+
+    #[test]
+    fn parses_symmetric_and_mirrors_offdiagonals() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n\
+                    3 3 2.0\n";
+        let a = read_coo_from_str(text).unwrap();
+        assert_eq!(a.nnz(), 4); // the (2,1) entry is mirrored to (1,2)
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert!(csr.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parses_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let a = read_coo_from_str(text).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(1, 0), 3.0);
+        assert_eq!(csr.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn parses_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let a = read_coo_from_str(text).unwrap();
+        assert_eq!(a.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn parses_dense_array_general() {
+        let text = "%%MatrixMarket matrix array real general\n\
+                    2 2\n\
+                    1.0\n3.0\n2.0\n4.0\n";
+        let a = read_coo_from_str(text).unwrap();
+        let csr = a.to_csr();
+        // Column-major: [[1, 2], [3, 4]]
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(1, 0), 3.0);
+        assert_eq!(csr.get(0, 1), 2.0);
+        assert_eq!(csr.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn parses_dense_array_symmetric() {
+        let text = "%%MatrixMarket matrix array real symmetric\n\
+                    2 2\n\
+                    1.0\n5.0\n2.0\n";
+        let a = read_coo_from_str(text).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(1, 0), 5.0);
+        assert_eq!(csr.get(0, 1), 5.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(read_coo_from_str("").is_err());
+        assert!(read_coo_from_str("%%MatrixMarket matrix coordinate real general\n").is_err());
+        assert!(read_coo_from_str(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3.0\n"
+        )
+        .is_err());
+        assert!(read_coo_from_str(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.0\n"
+        )
+        .is_err());
+        assert!(read_coo_from_str(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = CooMatrix::new(4, 3);
+        a.push(0, 0, 1.25);
+        a.push(3, 2, -7.5e-11);
+        a.push(1, 1, 3.0);
+        let mut buf = Vec::new();
+        write_coo_to_writer(&mut buf, &a, "roundtrip test").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let b = read_coo_from_str(&text).unwrap();
+        assert_eq!(a.to_csr(), b.to_csr());
+    }
+}

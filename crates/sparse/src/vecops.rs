@@ -1,0 +1,176 @@
+//! Dense vector kernels used by the iterative solvers.
+//!
+//! The Krylov solvers in `refloat-solvers` (CG, BiCGSTAB — Code 1 of the paper) spend
+//! their non-SpMV time in level-1 BLAS style operations.  These are deliberately written
+//! over plain slices so they impose no container choice on callers, avoid allocation, and
+//! let the compiler auto-vectorize the loops.
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `‖x‖_∞` (0 for an empty slice).
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// `y ← a·x + y` (the classic axpy).
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (the "xpby" update used by CG's direction update `p ← r + β p`).
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// `z ← x - y`, element-wise, writing into `z`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sub_into(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "sub_into: length mismatch (x vs y)");
+    assert_eq!(x.len(), z.len(), "sub_into: length mismatch (x vs z)");
+    for ((zi, xi), yi) in z.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *zi = xi - yi;
+    }
+}
+
+/// Copies `x` into `y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Sets every element of `x` to zero.
+pub fn zero(x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi = 0.0;
+    }
+}
+
+/// Relative difference `‖x − y‖₂ / max(‖y‖₂, ε)`, a convenience for tests and
+/// experiment harnesses comparing a reduced-precision result against a reference.
+pub fn rel_err(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "rel_err: length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    num.sqrt() / den.sqrt().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_manual_sum() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&x, &y), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn norm2_of_three_four_is_five() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_inf_picks_largest_magnitude() {
+        assert_eq!(norm_inf(&[1.0, -7.5, 3.0]), 7.5);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn xpby_matches_cg_direction_update() {
+        // p <- r + beta * p
+        let r = [1.0, 1.0];
+        let mut p = [3.0, -2.0];
+        xpby(&r, 0.5, &mut p);
+        assert_eq!(p, [2.5, 0.0]);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut x = [1.0, -2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [0.5, -1.0, 2.0]);
+        zero(&mut x);
+        assert_eq!(x, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_into_computes_difference() {
+        let x = [5.0, 7.0];
+        let y = [2.0, 10.0];
+        let mut z = [0.0; 2];
+        sub_into(&x, &y, &mut z);
+        assert_eq!(z, [3.0, -3.0]);
+    }
+
+    #[test]
+    fn rel_err_is_zero_for_identical_vectors_and_scales() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(rel_err(&x, &x), 0.0);
+        let y = [1.1, 2.0, 3.0];
+        let e = rel_err(&y, &x);
+        assert!(e > 0.0 && e < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_length_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Domain scenario: map a Table V workload onto the ReFloat accelerator and the
+//! Feinberg baseline, and walk through the §VI.B capacity arithmetic — clusters
+//! required, clusters available, write/invoke rounds, per-SpMV and per-solve time.
+//!
+//! Run with: `cargo run --release --example accelerator_mapping [workload-name]`
+//! (default workload: crystm03)
+
+use refloat::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crystm03".to_string());
+    let workload = Workload::from_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}', using crystm03 (try e.g. wathen100, thermomech_TC)");
+        Workload::Crystm03
+    });
+    let spec = workload.spec();
+    println!("workload {} (id {}), paper: {} rows / {} nnz\n", spec.name, spec.id, spec.nrows, spec.nnz);
+
+    // Generate and block at the crossbar size.
+    let a = workload.generate_csr(2023);
+    let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
+    println!(
+        "generated analogue: {} rows, {} nnz, {} non-empty 128x128 blocks ({:.1} nnz/block)\n",
+        a.nrows(),
+        a.nnz(),
+        blocked.num_blocks(),
+        blocked.avg_nnz_per_block()
+    );
+
+    // Solve once in FP64 and once in ReFloat to get the iteration counts.
+    let b = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8);
+    let double = cg(&mut a.clone(), &b, &cfg);
+    let format = refloat::core::formats::table_vii(7, spec.refloat_fv == 16);
+    let mut rf = ReFloatMatrix::from_csr(&a, format);
+    let refloat = cg(&mut rf, &b, &cfg);
+    println!(
+        "iterations to 1e-8: double {} | refloat {}\n",
+        double.iterations_label(),
+        refloat.iterations_label()
+    );
+
+    // Capacity arithmetic and timing for both accelerators plus the GPU model.
+    let blocks = blocked.num_blocks() as u64;
+    for (label, hw, iters) in [
+        ("ReFloat accelerator", AcceleratorConfig::refloat(&format), refloat.iterations as u64),
+        ("Feinberg [ISCA'18] (fc)", AcceleratorConfig::feinberg(), double.iterations as u64),
+    ] {
+        let t = hw.solver_time(blocks, iters, SolverKind::Cg);
+        println!("{label}:");
+        println!(
+            "  crossbars/cluster {:>4}   clusters available {:>6}   rounds per SpMV {:>4}",
+            hw.crossbars_per_cluster,
+            t.clusters_available,
+            t.rounds_per_spmv
+        );
+        println!(
+            "  SpMV {:>10.3} us (compute {:.3} us + writes {:.3} us)   solve {:>10.3} ms",
+            t.spmv_total_s * 1e6,
+            t.spmv_compute_s * 1e6,
+            t.spmv_write_s * 1e6,
+            t.solver_total_s * 1e3
+        );
+    }
+    let gpu = GpuModel::v100();
+    let gpu_t =
+        gpu.solver_time_s(a.nnz() as u64, a.nrows() as u64, double.iterations as u64, SolverKind::Cg);
+    println!("GPU (modelled V100): solve {:.3} ms", gpu_t * 1e3);
+
+    let rf_t = AcceleratorConfig::refloat(&format)
+        .solver_time(blocks, refloat.iterations as u64, SolverKind::Cg)
+        .solver_total_s;
+    let fc_t = AcceleratorConfig::feinberg()
+        .solver_time(blocks, double.iterations as u64, SolverKind::Cg)
+        .solver_total_s;
+    println!(
+        "\nspeedups: ReFloat vs GPU {:.2}x, ReFloat vs Feinberg-fc {:.2}x",
+        gpu_t / rf_t,
+        fc_t / rf_t
+    );
+}

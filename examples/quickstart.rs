@@ -1,0 +1,80 @@
+//! Quickstart: solve one linear system three ways and compare.
+//!
+//! Builds a small shifted-Poisson system, solves it with (1) exact FP64 CG, (2) CG over
+//! the ReFloat-quantized operator with the paper's default bit budget, and (3) CG over
+//! the Feinberg exponent-truncation baseline, then reports iterations, residuals,
+//! storage footprint and the modelled accelerator time.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use refloat::core::feinberg::FeinbergOperator;
+use refloat::core::memory;
+use refloat::prelude::*;
+
+fn main() {
+    // --- Problem setup: 64x64 grid Poisson with a small shift (SPD, kappa ~ 1e2).
+    let a = refloat::matgen::generators::laplacian_2d(64, 64, 0.05).to_csr();
+    let b = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8);
+    println!("system: {} rows, {} non-zeros\n", a.nrows(), a.nnz());
+
+    // --- (1) Exact double precision.
+    let exact = cg(&mut a.clone(), &b, &cfg);
+    println!(
+        "FP64      CG: {:>5} iterations, final residual {:.2e}",
+        exact.iterations_label(),
+        exact.final_residual
+    );
+
+    // --- (2) ReFloat(5, 3, 3)(3, 8): 32x32 blocks, 3-bit exponent offsets, 3-bit
+    //         matrix fractions, 8-bit vector fractions.
+    let format = ReFloatConfig::new(5, 3, 3, 3, 8);
+    let mut refloat_op = ReFloatMatrix::from_csr(&a, format);
+    let refloat = cg(&mut refloat_op, &b, &cfg);
+    println!(
+        "ReFloat   CG: {:>5} iterations, final residual {:.2e}   [{}]",
+        refloat.iterations_label(),
+        refloat.final_residual,
+        format
+    );
+
+    // --- (3) The Feinberg baseline (exact fractions, fixed 6-bit exponent window).
+    let mut feinberg_op = FeinbergOperator::new(a.clone());
+    let feinberg = cg(&mut feinberg_op, &b, &cfg.clone().with_max_iterations(2_000));
+    println!(
+        "Feinberg  CG: {:>5} iterations, final residual {:.2e}\n",
+        feinberg.iterations_label(),
+        feinberg.final_residual
+    );
+
+    // --- Storage: ReFloat block storage vs 32+32+64-bit COO (Fig. 4 / Table VIII).
+    let blocked = BlockedMatrix::from_csr(&a, format.b).unwrap();
+    let ratio = memory::memory_overhead_ratio(&blocked, &format);
+    println!(
+        "matrix storage: {:.1} KiB in refloat vs {:.1} KiB in double ({}x reduction)",
+        memory::refloat_storage_bits(&blocked, &format) as f64 / 8.0 / 1024.0,
+        memory::double_storage_bits(blocked.nnz()) as f64 / 8.0 / 1024.0,
+        (1.0 / ratio).round() as u64
+    );
+
+    // --- Modelled accelerator time versus the GPU baseline.
+    let hw = AcceleratorConfig::refloat(&ReFloatConfig::new(7, 3, 3, 3, 8));
+    let blocked128 = BlockedMatrix::from_csr(&a, 7).unwrap();
+    let accel = hw.solver_time(
+        blocked128.num_blocks() as u64,
+        refloat.iterations as u64,
+        SolverKind::Cg,
+    );
+    let gpu = GpuModel::v100().solver_time_s(
+        a.nnz() as u64,
+        a.nrows() as u64,
+        exact.iterations as u64,
+        SolverKind::Cg,
+    );
+    println!(
+        "modelled solver time: GPU {:.3} ms, ReFloat accelerator {:.3} ms ({:.1}x speedup)",
+        gpu * 1e3,
+        accel.solver_total_s * 1e3,
+        gpu / accel.solver_total_s
+    );
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: workload generation → blocking → quantization → solvers →
+//! hardware timing, exercising the same pipeline the Fig. 8 experiment uses but on
+//! small problem sizes so it stays fast in debug builds.
+
+use refloat::core::feinberg::FeinbergOperator;
+use refloat::prelude::*;
+
+/// A small crystm-like workload (tiny values, mass-matrix structure).
+fn crystm_small() -> CsrMatrix {
+    refloat::matgen::generators::mass_matrix_3d(8, 8, 8, 1e-12, 0.8, 42).to_csr()
+}
+
+/// A small unit-scale workload (Poisson).
+fn poisson_small() -> CsrMatrix {
+    refloat::matgen::generators::laplacian_2d(24, 24, 0.2).to_csr()
+}
+
+#[test]
+fn refloat_converges_where_feinberg_fails_and_fp64_is_the_reference() {
+    let a = crystm_small();
+    let b = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8).with_max_iterations(3_000);
+
+    let exact = cg(&mut a.clone(), &b, &cfg);
+    assert!(exact.converged(), "FP64 must converge: {:?}", exact.stop);
+
+    let format = ReFloatConfig::new(5, 3, 3, 3, 8);
+    let mut rf = ReFloatMatrix::from_csr(&a, format);
+    let quant = cg(&mut rf, &b, &cfg);
+    assert!(quant.converged(), "ReFloat must converge: {:?}", quant.stop);
+    assert!(
+        quant.iterations as f64 <= 2.5 * exact.iterations as f64 + 10.0,
+        "ReFloat iteration overhead too large: {} vs {}",
+        quant.iterations,
+        exact.iterations
+    );
+
+    let mut fb = FeinbergOperator::new(a.clone());
+    let feinberg = cg(&mut fb, &b, &SolverConfig::relative(1e-8).with_max_iterations(500));
+    assert!(
+        !feinberg.converged(),
+        "the Feinberg fixed-window baseline must fail on tiny-valued matrices"
+    );
+}
+
+#[test]
+fn feinberg_succeeds_on_unit_scale_matrices_and_matches_fp64_iterations() {
+    let a = poisson_small();
+    let b = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8);
+    let exact = cg(&mut a.clone(), &b, &cfg);
+    let mut fb = FeinbergOperator::new(a.clone());
+    let feinberg = cg(&mut fb, &b, &cfg);
+    assert!(exact.converged() && feinberg.converged());
+    assert_eq!(exact.iterations, feinberg.iterations);
+}
+
+#[test]
+fn bicgstab_and_cg_agree_on_the_solution_under_refloat() {
+    let a = poisson_small();
+    let x_star: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) / 7.0 + 0.5).collect();
+    let b = a.spmv(&x_star);
+    let cfg = SolverConfig::relative(1e-9);
+    let format = ReFloatConfig::new(5, 3, 8, 3, 10);
+
+    let mut op1 = ReFloatMatrix::from_csr(&a, format);
+    let r_cg = cg(&mut op1, &b, &cfg);
+    let mut op2 = ReFloatMatrix::from_csr(&a, format);
+    let r_bi = bicgstab(&mut op2, &b, &cfg);
+    assert!(r_cg.converged() && r_bi.converged());
+    // Both solve a (slightly different, vector-quantization-dependent) perturbation of
+    // the same quantized system, so the solutions agree to roughly the vector fraction
+    // error amplified by the condition number — a few percent here.
+    let diff = refloat::sparse::vecops::rel_err(&r_cg.x, &r_bi.x);
+    assert!(diff < 5e-2, "CG and BiCGSTAB should find (nearly) the same solution: {diff}");
+    assert!(refloat::sparse::vecops::rel_err(&r_cg.x, &x_star) < 5e-2);
+}
+
+#[test]
+fn timing_model_orders_platforms_the_way_fig8_does() {
+    let a = crystm_small();
+    let b = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8).with_max_iterations(3_000);
+    let exact = cg(&mut a.clone(), &b, &cfg);
+    let format = ReFloatConfig::new(7, 3, 3, 3, 8);
+    let mut rf = ReFloatMatrix::from_csr(&a, format);
+    let quant = cg(&mut rf, &b, &cfg);
+    assert!(exact.converged() && quant.converged());
+
+    let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
+    let blocks = blocked.num_blocks() as u64;
+    let gpu = GpuModel::v100().solver_time_s(
+        a.nnz() as u64,
+        a.nrows() as u64,
+        exact.iterations as u64,
+        SolverKind::Cg,
+    );
+    let refloat_t = AcceleratorConfig::refloat(&format)
+        .solver_time(blocks, quant.iterations as u64, SolverKind::Cg)
+        .solver_total_s;
+    let feinberg_fc_t = AcceleratorConfig::feinberg()
+        .solver_time(blocks, exact.iterations as u64, SolverKind::Cg)
+        .solver_total_s;
+
+    // The Fig. 8 ordering on small/medium matrices: ReFloat fastest, Feinberg-fc in
+    // between or near the GPU, GPU slowest among the three normalized baselines.
+    assert!(refloat_t < feinberg_fc_t, "ReFloat must beat Feinberg-fc");
+    assert!(refloat_t < gpu, "ReFloat must beat the GPU model");
+}
+
+#[test]
+fn solver_trace_supports_fig9_style_comparison() {
+    let a = poisson_small();
+    let b = vec![1.0; a.nrows()];
+    let cfg = SolverConfig::relative(1e-8);
+    let exact = cg(&mut a.clone(), &b, &cfg);
+    let mut rf = ReFloatMatrix::from_csr(&a, ReFloatConfig::new(5, 3, 3, 3, 8));
+    let quant = cg(&mut rf, &b, &cfg);
+
+    // Both traces start at the same initial residual (‖b‖) and end below the threshold.
+    assert!((exact.trace[0] - quant.trace[0]).abs() < 1e-9);
+    let threshold = 1e-8 * refloat::sparse::vecops::norm2(&b);
+    assert!(*exact.trace.last().unwrap() < threshold);
+    assert!(*quant.trace.last().unwrap() < threshold);
+}

@@ -1,0 +1,96 @@
+//! Workspace-level property tests: invariants of the ReFloat conversion and of the
+//! solvers that must hold for *any* well-scaled SPD input, not just the paper workloads.
+
+use proptest::prelude::*;
+use refloat::prelude::*;
+use refloat::sparse::vecops;
+
+/// Builds a random SPD matrix: a banded diagonally-dominant matrix with the given
+/// off-diagonal density and value scale.
+fn random_spd(n: usize, scale: f64, seed: u64) -> CsrMatrix {
+    refloat::matgen::generators::random_spd_graph(n, 4, 1.5, scale, seed).to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn refloat_cg_converges_on_random_spd_systems(
+        seed in 0u64..1000,
+        scale_exp in -40i32..20,
+    ) {
+        // Any diagonally dominant SPD system, at any value scale (the per-block exponent
+        // base absorbs the scale), must converge under the paper's default bits.
+        let scale = 2.0f64.powi(scale_exp);
+        let a = random_spd(300, scale, seed);
+        let b = vec![1.0; a.nrows()];
+        let cfg = SolverConfig::relative(1e-8).with_max_iterations(2_000).with_trace(false);
+        let mut op = ReFloatMatrix::from_csr(&a, ReFloatConfig::new(5, 3, 3, 3, 8));
+        let result = cg(&mut op, &b, &cfg);
+        prop_assert!(result.converged(), "stop = {:?}", result.stop);
+    }
+
+    #[test]
+    fn quantized_matrix_error_is_scale_invariant(
+        seed in 0u64..1000,
+        scale_exp in -100i32..100,
+    ) {
+        // Scaling a matrix by a power of two must not change the *relative* quantization
+        // error at all (the exponent base shifts, fractions are untouched).
+        let a = random_spd(200, 1.0, seed);
+        let format = ReFloatConfig::new(5, 3, 3, 3, 8);
+        let q_base = ReFloatMatrix::from_csr(&a, format).to_quantized_csr();
+
+        let mut scaled = a.clone();
+        let factor = 2.0f64.powi(scale_exp);
+        for v in scaled.values_mut() {
+            *v *= factor;
+        }
+        let q_scaled = ReFloatMatrix::from_csr(&scaled, format).to_quantized_csr();
+
+        for ((r, c, v), (_, _, w)) in q_base.iter().zip(q_scaled.iter()) {
+            let expected = v * factor;
+            prop_assert!(
+                (w - expected).abs() <= 1e-12 * expected.abs(),
+                "({r},{c}): scaled quantization {w} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_spmv_error_is_relative_to_input_magnitude(
+        seed in 0u64..1000,
+        magnitude_exp in -20i32..20,
+    ) {
+        // The SpMV error of the quantized operator must scale down with the input vector
+        // — the property that lets the iterative solvers keep making progress as the
+        // residual shrinks (§III.D's error argument).
+        let a = random_spd(256, 1.0, seed);
+        let format = ReFloatConfig::new(5, 3, 8, 3, 8);
+        let mut op = ReFloatMatrix::from_csr(&a, format);
+        let magnitude = 2.0f64.powi(magnitude_exp);
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| magnitude * (((i * 37 + seed as usize) % 19) as f64 / 19.0 + 0.05))
+            .collect();
+        let exact = a.spmv(&x);
+        let mut approx = vec![0.0; a.nrows()];
+        op.apply(&x, &mut approx);
+        let err = vecops::rel_err(&approx, &exact);
+        prop_assert!(err < 0.05, "relative SpMV error {err} too large at scale 2^{magnitude_exp}");
+    }
+
+    #[test]
+    fn cg_and_bicgstab_solve_the_same_random_system(
+        seed in 0u64..500,
+    ) {
+        let a = random_spd(200, 1.0, seed);
+        let x_star: Vec<f64> = (0..a.nrows()).map(|i| ((i % 11) as f64) / 11.0 + 0.1).collect();
+        let b = a.spmv(&x_star);
+        let cfg = SolverConfig::relative(1e-10).with_trace(false);
+        let r_cg = cg(&mut a.clone(), &b, &cfg);
+        let r_bi = bicgstab(&mut a.clone(), &b, &cfg);
+        prop_assert!(r_cg.converged() && r_bi.converged());
+        prop_assert!(vecops::rel_err(&r_cg.x, &x_star) < 1e-6);
+        prop_assert!(vecops::rel_err(&r_bi.x, &x_star) < 1e-6);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests on the sparse substrate: format conversions and SpMV kernels must
+//! agree with each other for arbitrary sparse matrices, and the block-major layout must
+//! preserve the matrix exactly.
+
+use proptest::prelude::*;
+use refloat::prelude::*;
+use refloat::sparse::mm;
+
+/// Strategy: an arbitrary small sparse matrix given as dimension + triplets.
+fn arb_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..40).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(
+            (0..n, 0..n, prop_oneof![-1e6f64..1e6, -1e-6f64..1e-6]),
+            1..200,
+        );
+        (Just(n), entries)
+    })
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        if v != 0.0 {
+            coo.push(r, c, v);
+        }
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_coo_and_blocked_spmv_agree((n, entries) in arb_matrix(), bexp in 1u32..5) {
+        let csr = build(n, &entries);
+        let coo = csr.to_coo();
+        let blocked = BlockedMatrix::from_csr(&csr, bexp).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) / 13.0 - 0.4).collect();
+        let mut y_csr = vec![0.0; n];
+        let mut y_coo = vec![0.0; n];
+        let mut y_blk = vec![0.0; n];
+        csr.spmv_into(&x, &mut y_csr);
+        coo.spmv_into(&x, &mut y_coo);
+        blocked.spmv_into(&x, &mut y_blk);
+        for i in 0..n {
+            prop_assert!((y_csr[i] - y_coo[i]).abs() <= 1e-9 * y_csr[i].abs().max(1e-12));
+            prop_assert!((y_csr[i] - y_blk[i]).abs() <= 1e-9 * y_csr[i].abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn blocking_round_trips_exactly((n, entries) in arb_matrix(), bexp in 1u32..6) {
+        let csr = build(n, &entries);
+        let blocked = BlockedMatrix::from_csr(&csr, bexp).unwrap();
+        prop_assert_eq!(blocked.nnz(), csr.nnz());
+        prop_assert_eq!(blocked.to_csr(), csr);
+    }
+
+    #[test]
+    fn matrix_market_round_trips_exactly((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        let mut text = Vec::new();
+        mm::write_coo_to_writer(&mut text, &csr.to_coo(), "property test").unwrap();
+        let parsed = mm::read_coo_from_str(std::str::from_utf8(&text).unwrap()).unwrap();
+        prop_assert_eq!(parsed.to_csr(), csr);
+    }
+
+    #[test]
+    fn transpose_preserves_spmv_duality((n, entries) in arb_matrix()) {
+        // (A x)ᵀ y == xᵀ (Aᵀ y) for all x, y — a classic duality check.
+        let a = build(n, &entries);
+        let at = a.transpose();
+        let x: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) + 0.5).collect();
+        let ax = a.spmv(&x);
+        let aty = at.spmv(&y);
+        let lhs = refloat::sparse::vecops::dot(&ax, &y);
+        let rhs = refloat::sparse::vecops::dot(&x, &aty);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1e-9));
+    }
+}
