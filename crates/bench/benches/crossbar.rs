@@ -28,9 +28,11 @@ fn bench_crossbar(c: &mut Criterion) {
     let block = Block {
         block_row: 0,
         block_col: 0,
-        rows: (0..32u16).flat_map(|r| std::iter::repeat(r).take(8)).collect(),
+        rows: (0..32u16).flat_map(|r| std::iter::repeat_n(r, 8)).collect(),
         cols: (0..32u16).flat_map(|_| (0..8u16).map(|k| k * 4)).collect(),
-        vals: (0..256).map(|i| ((i % 17) as f64 - 8.0) * 1e-3 + 0.5).collect(),
+        vals: (0..256)
+            .map(|i| ((i % 17) as f64 - 8.0) * 1e-3 + 0.5)
+            .collect(),
     };
     let encoded = ReFloatBlock::encode(&block, &config);
     let pe = ProcessingEngine::new(config);

@@ -9,7 +9,9 @@ use refloat_solvers::LinearOperator;
 
 fn bench_quantized_spmv(c: &mut Criterion) {
     let a = generators::laplacian_2d(256, 256, 0.2).to_csr();
-    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.001).cos() + 1.5).collect();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| (i as f64 * 0.001).cos() + 1.5)
+        .collect();
     let mut y = vec![0.0; a.nrows()];
 
     let mut csr = a.clone();
@@ -18,7 +20,9 @@ fn bench_quantized_spmv(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("quantized_spmv");
     group.throughput(Throughput::Elements(a.nnz() as u64));
-    group.bench_function("fp64_csr", |b| b.iter(|| LinearOperator::apply(&mut csr, &x, &mut y)));
+    group.bench_function("fp64_csr", |b| {
+        b.iter(|| LinearOperator::apply(&mut csr, &x, &mut y))
+    });
     group.bench_function("refloat", |b| b.iter(|| refloat.apply(&x, &mut y)));
     group.bench_function("feinberg", |b| b.iter(|| feinberg.apply(&x, &mut y)));
     group.finish();

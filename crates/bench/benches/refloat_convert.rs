@@ -19,7 +19,9 @@ fn bench_convert(c: &mut Criterion) {
     });
     group.finish();
 
-    let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 97) as f64 - 48.0) * 1e-3 + 1.0).collect();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| ((i % 97) as f64 - 48.0) * 1e-3 + 1.0)
+        .collect();
     let mut converter = VectorConverter::new(config);
     let mut out = vec![0.0; x.len()];
     let mut group = c.benchmark_group("vector_converter");

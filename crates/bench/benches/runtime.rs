@@ -1,0 +1,81 @@
+//! Overhead of the runtime's serving layer itself: encoded-matrix cache lookups
+//! (hit path), bounded-queue transfer, matrix fingerprinting, and the full per-job
+//! overhead of a batch whose solves are trivial (1-iteration cap on a hot cached
+//! matrix) — everything except the solver is runtime tax.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use refloat_core::ReFloatConfig;
+use refloat_matgen::generators;
+use refloat_runtime::{
+    fingerprint_csr, BoundedQueue, EncodedMatrixCache, MatrixHandle, RuntimeConfig, SolveJob,
+    SolveRuntime,
+};
+use refloat_solvers::SolverConfig;
+
+fn bench_runtime_overhead(c: &mut Criterion) {
+    let a = generators::laplacian_2d(16, 16, 0.3).to_csr();
+    let handle = MatrixHandle::new("poisson-16", a.clone());
+    let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+
+    let mut group = c.benchmark_group("runtime");
+
+    // Cache hot path: every lookup after the first is a hit.
+    let cache = EncodedMatrixCache::new(8);
+    let key = (handle.fingerprint(), format);
+    cache.get_or_encode(key, || refloat_core::ReFloatMatrix::from_csr(&a, format));
+    group.bench_function("cache_hit_lookup", |b| {
+        b.iter(|| cache.get_or_encode(key, || unreachable!("entry is cached")))
+    });
+
+    // Queue transfer (uncontended single-thread push + pop).
+    let queue: BoundedQueue<u64> = BoundedQueue::new(64);
+    group.bench_function("queue_push_pop", |b| {
+        b.iter(|| {
+            queue.push(1).unwrap();
+            queue.pop()
+        })
+    });
+
+    // Content fingerprinting, the per-handle one-time cost.
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    group.bench_function("fingerprint_poisson_16x16", |b| {
+        b.iter(|| fingerprint_csr(&a))
+    });
+    group.finish();
+
+    // Whole-service overhead per job: 16 jobs, hot cache, 1-iteration solves.
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 8,
+    });
+    let one_iter = SolverConfig::relative(1e-8)
+        .with_max_iterations(1)
+        .with_trace(false);
+    // Warm the cache so the measured batches never encode.
+    runtime.run_batch(vec![
+        SolveJob::new("warm", handle.clone(), format).with_solver_config(one_iter.clone())
+    ]);
+    let mut group = c.benchmark_group("runtime_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("overhead_16_trivial_jobs_4_workers", |b| {
+        b.iter(|| {
+            let jobs: Vec<SolveJob> = (0..16)
+                .map(|i| {
+                    SolveJob::new(format!("t{i}"), handle.clone(), format)
+                        .with_solver_config(one_iter.clone())
+                })
+                .collect();
+            runtime.run_batch(jobs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_runtime_overhead
+}
+criterion_main!(benches);

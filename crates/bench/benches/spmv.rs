@@ -9,7 +9,9 @@ use refloat_sparse::BlockedMatrix;
 fn bench_spmv(c: &mut Criterion) {
     let a = generators::wathen(40, 40, 7).to_csr();
     let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
-    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.013).sin() + 1.0).collect();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| (i as f64 * 0.013).sin() + 1.0)
+        .collect();
     let mut y = vec![0.0; a.nrows()];
 
     let mut group = c.benchmark_group("spmv");

@@ -30,11 +30,8 @@ fn with_base_policy(
 ) -> ReFloatMatrix {
     // Re-encode every block with the alternative base, then splice the blocks into a
     // ReFloatMatrix by round-tripping through a quantized CSR.
-    let mut quantized = refloat_sparse::CooMatrix::with_capacity(
-        blocked.nrows(),
-        blocked.ncols(),
-        blocked.nnz(),
-    );
+    let mut quantized =
+        refloat_sparse::CooMatrix::with_capacity(blocked.nrows(), blocked.ncols(), blocked.nnz());
     let bs = blocked.block_size();
     for block in blocked.blocks() {
         let base = policy(&block.vals);
@@ -72,10 +69,16 @@ fn max_exponent_base(vals: &[f64]) -> i32 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = has_flag(&args, "--quick");
-    let workload = if quick { Workload::Crystm01 } else { Workload::Crystm03 };
+    let workload = if quick {
+        Workload::Crystm01
+    } else {
+        Workload::Crystm03
+    };
     let a = workload.generate_csr(2023);
     let b = rhs::ones(a.nrows());
-    let cfg = SolverConfig::relative(1e-8).with_max_iterations(5_000).with_trace(false);
+    let cfg = SolverConfig::relative(1e-8)
+        .with_max_iterations(5_000)
+        .with_trace(false);
     let format = ReFloatConfig::paper_default();
     let blocked = BlockedMatrix::from_csr(&a, format.b).expect("b = 7 is valid");
 

@@ -24,7 +24,11 @@ struct NoiseRecord {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = has_flag(&args, "--quick");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
 
     let workload = Workload::Crystm03;
     let prepared = PreparedWorkload::prepare(workload, &config);
@@ -47,7 +51,9 @@ fn main() {
     let sigmas = if quick {
         vec![0.0, 0.001, 0.01, 0.10, 0.25]
     } else {
-        vec![0.0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25]
+        vec![
+            0.0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25,
+        ]
     };
 
     println!(
@@ -69,14 +75,20 @@ fn main() {
         };
         let iterations = result.converged().then_some(result.iterations);
         let sp = iterations.map(|it| {
-            gpu_s / hw.solver_time(prepared.num_blocks(), it as u64, SolverKind::Cg).solver_total_s
+            gpu_s
+                / hw.solver_time(prepared.num_blocks(), it as u64, SolverKind::Cg)
+                    .solver_total_s
         });
         t.row([
             format!("{:.1}%", sigma * 100.0),
             result.iterations_label(),
             sp.map_or("NC".to_string(), speedup),
         ]);
-        records.push(NoiseRecord { sigma_percent: sigma * 100.0, iterations, speedup_vs_gpu: sp });
+        records.push(NoiseRecord {
+            sigma_percent: sigma * 100.0,
+            iterations,
+            speedup_vs_gpu: sp,
+        });
     }
     println!("{}", t.render());
     println!(

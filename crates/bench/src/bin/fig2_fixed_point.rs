@@ -34,7 +34,11 @@ fn main() {
         engine.num_crossbars(),
         engine.cycles(4)
     );
-    assert_eq!(y, vec![368, 354, 207, 387], "the Fig. 2 example must reproduce exactly");
+    assert_eq!(
+        y,
+        vec![368, 354, 207, 387],
+        "the Fig. 2 example must reproduce exactly"
+    );
 
     // A larger randomized cross-check: 64x64, 8-bit matrix, 12-bit vector.
     let mut rng = ChaCha8Rng::seed_from_u64(2023);

@@ -21,7 +21,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = has_flag(&args, "--quick");
     let details = has_flag(&args, "--details");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
 
     let workloads: Vec<Workload> = Workload::ALL
         .into_iter()
@@ -36,7 +40,13 @@ fn main() {
         };
         println!("== Fig. 8 ({solver_name}): performance normalized to the GPU ==\n");
         let mut t = TextTable::new([
-            "id", "matrix", "GPU", "Feinberg", "Feinberg-fc", "ReFloat", "ReFloat vs F-fc",
+            "id",
+            "matrix",
+            "GPU",
+            "Feinberg",
+            "Feinberg-fc",
+            "ReFloat",
+            "ReFloat vs F-fc",
         ]);
         let mut refloat_speedups = Vec::new();
         let mut feinberg_fc_speedups = Vec::new();
@@ -45,7 +55,8 @@ fn main() {
         for &workload in &workloads {
             let prepared = PreparedWorkload::prepare(workload, &config);
             let (double, refloat, feinberg) = solve_all_platforms(&prepared, solver, &config);
-            let row = PerformanceRow::build(&prepared, solver, &double, &refloat, &feinberg, &config);
+            let row =
+                PerformanceRow::build(&prepared, solver, &double, &refloat, &feinberg, &config);
 
             refloat_speedups.push(row.speedup_refloat());
             feinberg_fc_speedups.push(row.speedup_feinberg_fc());
@@ -62,8 +73,7 @@ fn main() {
             ]);
 
             if details {
-                let hw_refloat =
-                    AcceleratorConfig::refloat(&config.refloat_config_for(workload));
+                let hw_refloat = AcceleratorConfig::refloat(&config.refloat_config_for(workload));
                 let hw_feinberg = AcceleratorConfig::feinberg();
                 println!(
                     "  [{}] clusters required {} | available: ReFloat {} (rounds {}), Feinberg {} (rounds {})",
@@ -95,7 +105,8 @@ fn main() {
     );
 
     if let Some(path) = json_path_from_args(&args) {
-        let records: Vec<PerformanceRecord> = all_rows.iter().map(PerformanceRecord::from).collect();
+        let records: Vec<PerformanceRecord> =
+            all_rows.iter().map(PerformanceRecord::from).collect();
         write_json(&path, &records).expect("write JSON results");
         println!("\nwrote {path}");
     }

@@ -20,7 +20,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "fig9_traces".to_string());
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     let workloads: Vec<Workload> = Workload::ALL
@@ -33,9 +37,17 @@ fn main() {
             SolverKind::Cg => "cg",
             SolverKind::BiCgStab => "bicgstab",
         };
-        println!("== Fig. 9 ({}): residual traces (subsampled) ==\n", solver_name.to_uppercase());
+        println!(
+            "== Fig. 9 ({}): residual traces (subsampled) ==\n",
+            solver_name.to_uppercase()
+        );
         let mut t = TextTable::new([
-            "id", "matrix", "double iters", "refloat iters", "double final res", "refloat final res",
+            "id",
+            "matrix",
+            "double iters",
+            "refloat iters",
+            "double final res",
+            "refloat final res",
         ]);
         for &workload in &workloads {
             let prepared = PreparedWorkload::prepare(workload, &config);
@@ -48,8 +60,16 @@ fn main() {
             writeln!(file, "iteration,residual_double,residual_refloat").unwrap();
             let len = double.result.trace.len().max(refloat.result.trace.len());
             for i in 0..len {
-                let d = double.result.trace.get(i).map_or(String::new(), |v| format!("{v:e}"));
-                let r = refloat.result.trace.get(i).map_or(String::new(), |v| format!("{v:e}"));
+                let d = double
+                    .result
+                    .trace
+                    .get(i)
+                    .map_or(String::new(), |v| format!("{v:e}"));
+                let r = refloat
+                    .result
+                    .trace
+                    .get(i)
+                    .map_or(String::new(), |v| format!("{v:e}"));
                 writeln!(file, "{i},{d},{r}").unwrap();
             }
 

@@ -1,0 +1,274 @@
+//! `serve_traffic` — replays a synthetic multi-tenant trace through the
+//! `refloat-runtime` solve service: mixed Table V-style workloads, mixed ReFloat
+//! formats, skewed matrix popularity (a few hot matrices take most of the traffic),
+//! CG and BiCGSTAB jobs interleaved across a pool of simulated accelerators.
+//!
+//! Prints the runtime report (throughput, p50/p99 latency, cache hit rate, simulated
+//! chip time) plus a determinism digest over the numeric results: at a fixed `--seed`
+//! the digest is identical across runs and worker counts, because every job's numerics
+//! are independent of scheduling.
+//!
+//! ```text
+//! serve_traffic [--jobs N] [--workers N] [--seed S] [--cache N] [--quick] [--json PATH]
+//! ```
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use refloat_bench::json::{has_flag, json_path_from_args, write_json};
+use refloat_core::ReFloatConfig;
+use refloat_matgen::generators;
+use refloat_runtime::fingerprint::fnv1a_u64;
+use refloat_runtime::{CacheOutcomeKind, MatrixHandle, RuntimeConfig, SolveJob, SolveRuntime};
+use refloat_solvers::SolverConfig;
+use reram_sim::SolverKind;
+
+/// One entry of the tenant-visible matrix catalog.
+struct CatalogEntry {
+    handle: MatrixHandle,
+    format: ReFloatConfig,
+    solver: SolverKind,
+    /// Zipf-style popularity weight (rank-skewed).
+    weight: f64,
+}
+
+/// Small synthetic analogues of the Table V workload classes (full-size Table V
+/// matrices take minutes to generate; the trace wants mixed *shapes*, not size).
+fn catalog(seed: u64, quick: bool) -> Vec<CatalogEntry> {
+    let scale = if quick { 24 } else { 48 };
+    let fmt = ReFloatConfig::new;
+    let raw: Vec<(&str, refloat_sparse::CooMatrix, ReFloatConfig, SolverKind)> = vec![
+        // Hot grid stencil (minsurfo-like), paper-default bits.
+        (
+            "minsurfo-s",
+            generators::laplacian_2d(scale, scale, 0.1),
+            fmt(7, 3, 3, 3, 8),
+            SolverKind::Cg,
+        ),
+        // FEM mass matrix with ~1e-12 entries (crystm-like), f = 8 (see EXPERIMENTS E10).
+        (
+            "crystm-s",
+            generators::mass_matrix_3d(scale / 4, scale / 4, scale / 4, 1e-12, 0.8, seed ^ 0x353),
+            fmt(7, 3, 8, 3, 8),
+            SolverKind::Cg,
+        ),
+        // Wathen FEM matrix: random per-element densities spread exponents well beyond
+        // the e = 3 window at this small scale, so this tenant buys wider offsets and
+        // the fv = 16 vector fraction (the Table VII wide-vector class).
+        (
+            "wathen-s",
+            generators::wathen(scale / 3, scale / 3, seed ^ 0x1288),
+            fmt(7, 5, 8, 5, 16),
+            SolverKind::Cg,
+        ),
+        // Sphere ring with huge physical constants (shallow_water-like).
+        (
+            "shallow-s",
+            generators::sphere_ring_3regular(64 * scale, 1e12, 0.18),
+            fmt(7, 3, 3, 3, 8),
+            SolverKind::Cg,
+        ),
+        // Anisotropic stencil (gridgena-like), smaller blocks.
+        (
+            "gridgena-s",
+            generators::anisotropic_9pt(scale, scale, 1.0, 0.05, 1e-3),
+            fmt(6, 3, 3, 3, 16),
+            SolverKind::Cg,
+        ),
+        // Scattered graph, O(1) entries (thermomech_TC-like).
+        (
+            "thermomech-s",
+            generators::random_spd_graph(60 * scale, 6, 1.4, 1.0, seed ^ 0x2257),
+            fmt(7, 3, 3, 3, 8),
+            SolverKind::Cg,
+        ),
+        // Scattered graph with tiny entries (thermomech_dM-like).
+        (
+            "thermomech-dm-s",
+            generators::random_spd_graph(60 * scale, 6, 1.4, 1e-10, seed ^ 0x2259),
+            fmt(6, 3, 3, 3, 8),
+            SolverKind::Cg,
+        ),
+        // Non-symmetric convection–diffusion: the BiCGSTAB lane.  BiCGSTAB amplifies
+        // saturation error on this operator, so this tenant runs near-double bits.
+        (
+            "convdiff-s",
+            generators::convection_diffusion_2d(scale, scale, 8.0),
+            fmt(7, 5, 16, 5, 16),
+            SolverKind::BiCgStab,
+        ),
+    ];
+    raw.into_iter()
+        .enumerate()
+        .map(|(rank, (name, coo, format, solver))| CatalogEntry {
+            handle: MatrixHandle::new(name, coo.to_csr()),
+            format,
+            solver,
+            // Zipf-like skew: rank 0 is ~9x more popular than rank 7.
+            weight: 1.0 / (rank as f64 + 1.0),
+        })
+        .collect()
+}
+
+/// Draws a catalog index with probability proportional to the entries' weights.
+fn pick(weights: &[f64], rng: &mut ChaCha8Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut ticket = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        ticket -= w;
+        if ticket <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[derive(Serialize)]
+struct TraceRecord {
+    job_id: u64,
+    tenant: String,
+    matrix: String,
+    solver: String,
+    cache: String,
+    iterations: u64,
+    converged: bool,
+    queue_wait_ms: f64,
+    encode_ms: f64,
+    solve_ms: f64,
+    latency_ms: f64,
+    simulated_cycles: u64,
+    simulated_s: f64,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_flag(&args, "--quick");
+    let jobs = arg_value(&args, "--jobs").unwrap_or(240) as usize;
+    let workers = arg_value(&args, "--workers").unwrap_or(4) as usize;
+    let seed = arg_value(&args, "--seed").unwrap_or(2023);
+    let cache_capacity = arg_value(&args, "--cache").unwrap_or(32) as usize;
+
+    println!("serve_traffic: {jobs} jobs, {workers} workers, seed {seed}, cache {cache_capacity}");
+    let catalog = catalog(seed, quick);
+    let weights: Vec<f64> = catalog.iter().map(|e| e.weight).collect();
+    println!("catalog: {} matrices", catalog.len());
+    for entry in &catalog {
+        println!(
+            "  {:<16} {:>7} rows {:>9} nnz  {}  {:?}",
+            entry.handle.name(),
+            entry.handle.csr().nrows(),
+            entry.handle.csr().nnz(),
+            entry.format,
+            entry.solver,
+        );
+    }
+
+    // Build the trace up front (deterministic in the seed), then stream it through the
+    // runtime with backpressure.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let picks: Vec<usize> = (0..jobs).map(|_| pick(&weights, &mut rng)).collect();
+    let solver_config = SolverConfig::relative(1e-8)
+        .with_max_iterations(if quick { 2_000 } else { 5_000 })
+        .with_trace(false);
+
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers,
+        queue_capacity: 2 * workers.max(1),
+        cache_capacity,
+    });
+    let outcome = runtime.run_with(|submitter| {
+        for (i, &which) in picks.iter().enumerate() {
+            let entry = &catalog[which];
+            let job = SolveJob::new(
+                format!("tenant-{}", i % 16),
+                entry.handle.clone(),
+                entry.format,
+            )
+            .with_solver(entry.solver)
+            .with_solver_config(solver_config.clone());
+            submitter.submit(job);
+        }
+    });
+
+    // Per-matrix traffic summary.
+    let mut counts = vec![0usize; catalog.len()];
+    for &which in &picks {
+        counts[which] += 1;
+    }
+    println!("\ntraffic (skewed popularity):");
+    for (entry, count) in catalog.iter().zip(counts.iter()) {
+        println!("  {:<16} {:>5} jobs", entry.handle.name(), count);
+    }
+
+    println!("\n{}", outcome.report.render());
+
+    // Determinism digest: numeric results only (iterations + solution checksums),
+    // independent of scheduling and wall-clock.
+    let mut digest = refloat_runtime::fingerprint::FNV_OFFSET;
+    for job in &outcome.jobs {
+        digest = fnv1a_u64(digest, job.job_id);
+        digest = fnv1a_u64(digest, job.result.iterations as u64);
+        let checksum: f64 = job.result.x.iter().sum();
+        digest = fnv1a_u64(digest, checksum.to_bits());
+    }
+    println!("determinism digest: {digest:016x}");
+
+    if let Some(path) = json_path_from_args(&args) {
+        let records: Vec<TraceRecord> = outcome
+            .jobs
+            .iter()
+            .map(|job| TraceRecord {
+                job_id: job.job_id,
+                tenant: job.telemetry.tenant.clone(),
+                matrix: job.telemetry.matrix.clone(),
+                solver: match job.telemetry.solver {
+                    SolverKind::Cg => "CG".to_string(),
+                    SolverKind::BiCgStab => "BiCGSTAB".to_string(),
+                },
+                cache: match job.telemetry.cache {
+                    CacheOutcomeKind::Hit => "hit".to_string(),
+                    CacheOutcomeKind::Miss => "miss".to_string(),
+                    CacheOutcomeKind::Coalesced => "coalesced".to_string(),
+                },
+                iterations: job.telemetry.iterations as u64,
+                converged: job.telemetry.converged,
+                queue_wait_ms: job.telemetry.queue_wait_s * 1e3,
+                encode_ms: job.telemetry.encode_s * 1e3,
+                solve_ms: job.telemetry.solve_s * 1e3,
+                latency_ms: job.telemetry.latency_s * 1e3,
+                simulated_cycles: job.telemetry.simulated.cycles,
+                simulated_s: job.telemetry.simulated.total_s,
+            })
+            .collect();
+        write_json(&path, &records).expect("write --json output");
+        println!("wrote {path}");
+    }
+
+    // The acceptance bar for the skewed trace; fail loudly if the service regresses.
+    // Only meaningful when there is traffic and the cache can hold the working set —
+    // deliberately starving the cache (--cache 1) is a legitimate experiment, not a
+    // regression.
+    let hit_rate = outcome.report.hit_rate();
+    if !outcome.jobs.is_empty() && cache_capacity >= catalog.len() {
+        assert!(
+            hit_rate > 0.5,
+            "skewed trace should be cache-friendly: hit rate {:.1}% <= 50%",
+            hit_rate * 100.0
+        );
+    }
+    let unconverged = outcome
+        .jobs
+        .iter()
+        .filter(|j| !j.result.converged())
+        .count();
+    assert_eq!(unconverged, 0, "{unconverged} jobs failed to converge");
+}

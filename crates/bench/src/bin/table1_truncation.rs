@@ -28,7 +28,9 @@ fn main() {
     let a = workload.generate_csr(2023);
     let b = rhs::ones(a.nrows());
     let max_iterations = if quick { 2_000 } else { 10_000 };
-    let cfg = SolverConfig::relative(1e-8).with_max_iterations(max_iterations).with_trace(false);
+    let cfg = SolverConfig::relative(1e-8)
+        .with_max_iterations(max_iterations)
+        .with_trace(false);
 
     println!(
         "== Table I: CG iterations on {} (synthetic analogue, {} rows, {} nnz) ==\n",
@@ -39,16 +41,29 @@ fn main() {
 
     let mut records = Vec::new();
     let mut run = |exp: u32, frac: u32| -> String {
-        let mut op = TruncatedOperator::new(&a, TruncationConfig { exponent_bits: exp, fraction_bits: frac });
+        let mut op = TruncatedOperator::new(
+            &a,
+            TruncationConfig {
+                exponent_bits: exp,
+                fraction_bits: frac,
+            },
+        );
         let result = cg(&mut op, &b, &cfg);
         let iterations = result.converged().then_some(result.iterations);
-        records.push(TruncationRecord { exponent_bits: exp, fraction_bits: frac, iterations });
+        records.push(TruncationRecord {
+            exponent_bits: exp,
+            fraction_bits: frac,
+            iterations,
+        });
         result.iterations_label()
     };
 
     // --- Fraction sweep at full exponent (first two row blocks of Table I).
-    let frac_sweep: Vec<u32> =
-        if quick { vec![52, 30, 26, 22, 20, 8, 3] } else { vec![52, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 12, 8, 3] };
+    let frac_sweep: Vec<u32> = if quick {
+        vec![52, 30, 26, 22, 20, 8, 3]
+    } else {
+        vec![52, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 12, 8, 3]
+    };
     let mut t = TextTable::new(["exp bits", "frac bits", "#iterations"]);
     for &frac in &frac_sweep {
         let label = run(11, frac);

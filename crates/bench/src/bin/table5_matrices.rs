@@ -34,8 +34,17 @@ fn main() {
 
     println!("== Table V: evaluation matrices (paper values vs synthetic analogues) ==\n");
     let mut t = TextTable::new([
-        "id", "name", "rows (paper)", "rows (gen)", "nnz (paper)", "nnz (gen)", "nnz/row (paper)",
-        "nnz/row (gen)", "kappa (paper)", "kappa (est)", "max |a_ij|",
+        "id",
+        "name",
+        "rows (paper)",
+        "rows (gen)",
+        "nnz (paper)",
+        "nnz (gen)",
+        "nnz/row (paper)",
+        "nnz/row (gen)",
+        "kappa (paper)",
+        "kappa (est)",
+        "max |a_ij|",
     ]);
     let mut records = Vec::new();
     for workload in Workload::ALL {

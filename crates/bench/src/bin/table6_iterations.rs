@@ -39,7 +39,11 @@ fn delta(double: Option<usize>, refloat: Option<usize>) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = has_flag(&args, "--quick");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
 
     let workloads: Vec<Workload> = Workload::ALL
         .into_iter()
@@ -48,8 +52,16 @@ fn main() {
 
     println!("== Table VI: iterations to convergence (measured | paper in brackets) ==\n");
     let mut t = TextTable::new([
-        "id", "matrix", "CG double", "CG refloat", "CG +/-", "CG feinberg", "BiCG double",
-        "BiCG refloat", "BiCG +/-", "BiCG feinberg",
+        "id",
+        "matrix",
+        "CG double",
+        "CG refloat",
+        "CG +/-",
+        "CG feinberg",
+        "BiCG double",
+        "BiCG refloat",
+        "BiCG +/-",
+        "BiCG feinberg",
     ]);
     let mut records = Vec::new();
     for &workload in &workloads {

@@ -47,7 +47,12 @@ fn main() {
 
     println!("== Table VIII: matrix memory overhead, refloat vs double ==\n");
     let mut t = TextTable::new([
-        "id", "matrix", "nnz", "blocks", "ratio (measured)", "ratio (paper)",
+        "id",
+        "matrix",
+        "nnz",
+        "blocks",
+        "ratio (measured)",
+        "ratio (paper)",
     ]);
     let mut records = Vec::new();
     let mut sum = 0.0;

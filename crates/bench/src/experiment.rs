@@ -40,7 +40,11 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// A reduced-cost configuration for smoke tests and `--quick` runs.
     pub fn quick() -> Self {
-        ExperimentConfig { max_iterations: 3_000, feinberg_max_iterations: 500, ..Self::default() }
+        ExperimentConfig {
+            max_iterations: 3_000,
+            feinberg_max_iterations: 500,
+            ..Self::default()
+        }
     }
 
     /// The solver configuration used for FP64 / ReFloat runs.
@@ -80,10 +84,15 @@ impl PreparedWorkload {
     /// Generates and blocks a workload.
     pub fn prepare(workload: Workload, config: &ExperimentConfig) -> Self {
         let csr = workload.generate_csr(config.seed);
-        let blocked = BlockedMatrix::from_csr(&csr, config.block_exponent)
-            .expect("valid block exponent");
+        let blocked =
+            BlockedMatrix::from_csr(&csr, config.block_exponent).expect("valid block exponent");
         let b = rhs::ones(csr.nrows());
-        PreparedWorkload { workload, csr, blocked, b }
+        PreparedWorkload {
+            workload,
+            csr,
+            blocked,
+            b,
+        }
     }
 
     /// Number of non-empty blocks = crossbar clusters one SpMV needs.
@@ -124,13 +133,22 @@ pub fn solve_all_platforms(
     };
 
     let mut fp64 = prepared.csr.clone();
-    let double = PlatformSolve { platform: "double", result: run(&mut fp64, &solver_cfg) };
+    let double = PlatformSolve {
+        platform: "double",
+        result: run(&mut fp64, &solver_cfg),
+    };
 
     let mut rf = ReFloatMatrix::from_blocked(&prepared.blocked, refloat_format);
-    let refloat = PlatformSolve { platform: "refloat", result: run(&mut rf, &solver_cfg) };
+    let refloat = PlatformSolve {
+        platform: "refloat",
+        result: run(&mut rf, &solver_cfg),
+    };
 
     let mut fb = FeinbergOperator::new(prepared.csr.clone());
-    let feinberg = PlatformSolve { platform: "feinberg", result: run(&mut fb, &feinberg_cfg) };
+    let feinberg = PlatformSolve {
+        platform: "feinberg",
+        result: run(&mut fb, &feinberg_cfg),
+    };
 
     (double, refloat, feinberg)
 }
@@ -199,10 +217,17 @@ impl PerformanceRow {
             iterations_refloat: iters_refloat,
             iterations_feinberg: iters_feinberg,
             gpu_s: gpu.solver_time_s(nnz, nrows, d_iters, solver),
-            feinberg_s: iters_feinberg
-                .map(|it| feinberg_hw.solver_time(blocks, it as u64, solver).solver_total_s),
-            feinberg_fc_s: feinberg_hw.solver_time(blocks, d_iters, solver).solver_total_s,
-            refloat_s: refloat_hw.solver_time(blocks, r_iters, solver).solver_total_s,
+            feinberg_s: iters_feinberg.map(|it| {
+                feinberg_hw
+                    .solver_time(blocks, it as u64, solver)
+                    .solver_total_s
+            }),
+            feinberg_fc_s: feinberg_hw
+                .solver_time(blocks, d_iters, solver)
+                .solver_total_s,
+            refloat_s: refloat_hw
+                .solver_time(blocks, r_iters, solver)
+                .solver_total_s,
         }
     }
 
@@ -243,8 +268,14 @@ mod tests {
 
     fn small_workload() -> (PreparedWorkload, ExperimentConfig) {
         // crystm01 is the smallest Table V matrix; use a quick config for tests.
-        let config = ExperimentConfig { block_exponent: 7, ..ExperimentConfig::quick() };
-        (PreparedWorkload::prepare(Workload::Crystm01, &config), config)
+        let config = ExperimentConfig {
+            block_exponent: 7,
+            ..ExperimentConfig::quick()
+        };
+        (
+            PreparedWorkload::prepare(Workload::Crystm01, &config),
+            config,
+        )
     }
 
     #[test]
@@ -262,9 +293,20 @@ mod tests {
         let (double, refloat, feinberg) = solve_all_platforms(&w, SolverKind::Cg, &config);
         // FP64 and ReFloat converge; Feinberg does not (crystm01 is in the paper's
         // failing set because its entries are ~1e-12).
-        assert!(double.result.converged(), "double: {:?}", double.result.stop);
-        assert!(refloat.result.converged(), "refloat: {:?}", refloat.result.stop);
-        assert!(!feinberg.result.converged(), "feinberg should fail on crystm01");
+        assert!(
+            double.result.converged(),
+            "double: {:?}",
+            double.result.stop
+        );
+        assert!(
+            refloat.result.converged(),
+            "refloat: {:?}",
+            refloat.result.stop
+        );
+        assert!(
+            !feinberg.result.converged(),
+            "feinberg should fail on crystm01"
+        );
         // ReFloat costs at most a modest iteration overhead (Table VI shows +17 on 68).
         let d = double.result.iterations as f64;
         let r = refloat.result.iterations as f64;
@@ -278,7 +320,11 @@ mod tests {
         let row = PerformanceRow::build(&w, SolverKind::Cg, &double, &refloat, &feinberg, &config);
         // ReFloat beats the GPU by an order of magnitude on this small matrix, and
         // beats Feinberg-fc by the 5–85x range the abstract quotes.
-        assert!(row.speedup_refloat() > 3.0, "refloat vs gpu: {}", row.speedup_refloat());
+        assert!(
+            row.speedup_refloat() > 3.0,
+            "refloat vs gpu: {}",
+            row.speedup_refloat()
+        );
         assert!(
             row.speedup_refloat_over_feinberg_fc() > 3.0,
             "refloat vs feinberg-fc: {}",

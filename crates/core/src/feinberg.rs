@@ -13,9 +13,9 @@
 //! Elements above the window wrap modulo the window width (the catastrophic "mod 64"
 //! failure); elements below it are too small for the fixed-point grid and flush to zero.
 
+use refloat_solvers::LinearOperator;
 use refloat_sparse::stats::exponent_of;
 use refloat_sparse::CsrMatrix;
-use refloat_solvers::LinearOperator;
 
 use crate::block::optimal_exponent_base;
 use crate::scalar::{decompose, pow2};
@@ -32,7 +32,10 @@ pub struct FeinbergConfig {
 
 impl Default for FeinbergConfig {
     fn default() -> Self {
-        FeinbergConfig { exponent_bits: 6, fraction_bits: 52 }
+        FeinbergConfig {
+            exponent_bits: 6,
+            fraction_bits: 52,
+        }
     }
 }
 
@@ -120,8 +123,7 @@ impl FeinbergOperator {
             // behaviour that corrupts the value.
             self.stats.wrapped += 1;
             let width = self.config.window_width();
-            let wrapped =
-                self.window_lo + (d.exponent - self.window_lo).rem_euclid(width);
+            let wrapped = self.window_lo + (d.exponent - self.window_lo).rem_euclid(width);
             let mag = d.fraction * pow2(wrapped);
             if d.negative {
                 -mag
@@ -189,7 +191,10 @@ mod tests {
         assert_eq!(hi - lo + 1, 64);
         let center = optimal_exponent_base(a.values().iter());
         assert!(lo <= center && center <= hi);
-        assert!(center < -30, "crystm-like matrices have tiny entries, center = {center}");
+        assert!(
+            center < -30,
+            "crystm-like matrices have tiny entries, center = {center}"
+        );
     }
 
     #[test]
@@ -265,7 +270,10 @@ mod tests {
         let mut op = FeinbergOperator::new(a);
         let r = cg(&mut op, &b, &cfg);
         assert!(!r.converged());
-        assert!(matches!(r.stop, StopReason::Breakdown(_) | StopReason::MaxIterations));
+        assert!(matches!(
+            r.stop,
+            StopReason::Breakdown(_) | StopReason::MaxIterations
+        ));
     }
 
     #[test]
@@ -277,7 +285,10 @@ mod tests {
         let cfg = SolverConfig::relative(1e-8).with_max_iterations(2000);
         let mut op = FeinbergOperator::with_config(
             a,
-            FeinbergConfig { exponent_bits: 11, fraction_bits: 52 },
+            FeinbergConfig {
+                exponent_bits: 11,
+                fraction_bits: 52,
+            },
         );
         let r = cg(&mut op, &b, &cfg);
         assert!(r.converged());

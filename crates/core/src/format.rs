@@ -7,7 +7,7 @@ use std::fmt;
 /// The paper keeps "the leading `f` bits from the original fraction bits and removes the
 /// rest" (§IV.B), i.e. truncation toward zero; round-to-nearest is provided as an
 /// ablation knob because it halves the worst-case fraction error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RoundingMode {
     /// Drop the trailing fraction bits (the paper's conversion; default).
     #[default]
@@ -22,7 +22,7 @@ pub enum RoundingMode {
 /// provided as an ablation: it trades a large *relative* error on tiny elements for a
 /// much smaller *absolute* error, which can matter for extremely wide-dynamic-range
 /// vector segments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum UnderflowMode {
     /// Clamp the offset to the smallest representable value (the paper's rule; default).
     #[default]
@@ -36,7 +36,7 @@ pub enum UnderflowMode {
 /// * `b` — the block-size exponent; blocks (and crossbars) are `2^b × 2^b`,
 /// * `e`, `f` — exponent-offset and fraction bits for **matrix** elements,
 /// * `ev`, `fv` — exponent-offset and fraction bits for **vector** elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReFloatConfig {
     /// Block-size exponent `b` (blocks are `2^b × 2^b`); 7 for the 128×128 crossbars of
     /// Table IV.
@@ -65,8 +65,14 @@ impl ReFloatConfig {
     /// `fv > 52` (wider than the double fraction).
     pub fn new(b: u32, e: u32, f: u32, ev: u32, fv: u32) -> Self {
         assert!(b <= 15, "ReFloat: block exponent b must be ≤ 15, got {b}");
-        assert!(e <= 11 && ev <= 11, "ReFloat: exponent bits must be ≤ 11 (got e={e}, ev={ev})");
-        assert!(f <= 52 && fv <= 52, "ReFloat: fraction bits must be ≤ 52 (got f={f}, fv={fv})");
+        assert!(
+            e <= 11 && ev <= 11,
+            "ReFloat: exponent bits must be ≤ 11 (got e={e}, ev={ev})"
+        );
+        assert!(
+            f <= 52 && fv <= 52,
+            "ReFloat: fraction bits must be ≤ 52 (got f={f}, fv={fv})"
+        );
         ReFloatConfig {
             b,
             e,
@@ -214,7 +220,8 @@ mod tests {
         assert_eq!(c.matrix_value_bits(), 6);
         assert_eq!(c.block_metadata_bits(), 2 * 30 + 11);
         // Eight scalars: 8·(4 + 6) + 71 = 151 bits, versus 8·(32+32+64) = 1024 bits.
-        let refloat_bits = 8 * (c.local_index_bits() + c.matrix_value_bits()) + c.block_metadata_bits();
+        let refloat_bits =
+            8 * (c.local_index_bits() + c.matrix_value_bits()) + c.block_metadata_bits();
         assert_eq!(refloat_bits, 151);
     }
 

@@ -65,12 +65,30 @@ mod tests {
         // FP32 = ReFloat(0, 8, 23); TF32 = ReFloat(0, 8, 10); FP64 = ReFloat(0, 11, 52);
         // BFP64 = ReFloat(6, 0, 52).
         assert_eq!((find("Int8").config.e, find("Int8").config.f), (0, 7));
-        assert_eq!((find("bfloat16").config.e, find("bfloat16").config.f), (8, 7));
+        assert_eq!(
+            (find("bfloat16").config.e, find("bfloat16").config.f),
+            (8, 7)
+        );
         assert_eq!((find("Int16").config.e, find("Int16").config.f), (0, 15));
         assert_eq!((find("ms-fp9").config.e, find("ms-fp9").config.f), (5, 3));
-        assert_eq!((find("FP32 (float)").config.e, find("FP32 (float)").config.f), (8, 23));
-        assert_eq!((find("TensorFloat32").config.e, find("TensorFloat32").config.f), (8, 10));
-        assert_eq!((find("FP64 (double)").config.e, find("FP64 (double)").config.f), (11, 52));
+        assert_eq!(
+            (find("FP32 (float)").config.e, find("FP32 (float)").config.f),
+            (8, 23)
+        );
+        assert_eq!(
+            (
+                find("TensorFloat32").config.e,
+                find("TensorFloat32").config.f
+            ),
+            (8, 10)
+        );
+        assert_eq!(
+            (
+                find("FP64 (double)").config.e,
+                find("FP64 (double)").config.f
+            ),
+            (11, 52)
+        );
         let bfp = find("BFP64");
         assert_eq!((bfp.config.b, bfp.config.e, bfp.config.f), (6, 0, 52));
     }

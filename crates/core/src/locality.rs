@@ -121,7 +121,11 @@ mod tests {
         let blocked = BlockedMatrix::from_csr(&coo.to_csr(), 6).unwrap();
         let report = exponent_locality(&blocked);
         assert_eq!(report.fp64_bits, 11);
-        assert!(report.matrix_bits >= 5, "matrix bits {}", report.matrix_bits);
+        assert!(
+            report.matrix_bits >= 5,
+            "matrix bits {}",
+            report.matrix_bits
+        );
         assert!(
             report.max_block_bits <= 4,
             "per-block bits should be small, got {}",
@@ -141,7 +145,11 @@ mod tests {
         let a = generators::mass_matrix_3d(10, 10, 10, 1e-12, 0.8, 5).to_csr();
         let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
         let report = exponent_locality(&blocked);
-        assert!(report.max_block_bits <= 4, "block bits = {}", report.max_block_bits);
+        assert!(
+            report.max_block_bits <= 4,
+            "block bits = {}",
+            report.max_block_bits
+        );
     }
 
     #[test]

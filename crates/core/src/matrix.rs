@@ -14,8 +14,8 @@
 use crate::block::ReFloatBlock;
 use crate::format::ReFloatConfig;
 use crate::vector::VectorConverter;
-use refloat_sparse::{BlockedMatrix, CsrMatrix};
 use refloat_solvers::LinearOperator;
+use refloat_sparse::{BlockedMatrix, CsrMatrix};
 
 /// A sparse matrix encoded block-by-block in ReFloat format, usable as a solver operator.
 #[derive(Debug, Clone)]
@@ -42,8 +42,11 @@ impl ReFloatMatrix {
             blocked.b(),
             config.b
         );
-        let blocks: Vec<ReFloatBlock> =
-            blocked.blocks().iter().map(|blk| ReFloatBlock::encode(blk, &config)).collect();
+        let blocks: Vec<ReFloatBlock> = blocked
+            .blocks()
+            .iter()
+            .map(|blk| ReFloatBlock::encode(blk, &config))
+            .collect();
         ReFloatMatrix {
             nrows: blocked.nrows(),
             ncols: blocked.ncols(),
@@ -97,8 +100,7 @@ impl ReFloatMatrix {
     /// Reconstructs the quantized matrix `Ã` as a CSR matrix (what the accelerator
     /// effectively multiplies by); useful for analysis and tests.
     pub fn to_quantized_csr(&self) -> CsrMatrix {
-        let mut coo =
-            refloat_sparse::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        let mut coo = refloat_sparse::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         let bs = self.config.block_size();
         for blk in &self.blocks {
             let row0 = blk.block_row * bs;
@@ -114,7 +116,10 @@ impl ReFloatMatrix {
 
     /// Total storage bits of the encoded matrix under the Fig. 4 accounting.
     pub fn storage_bits(&self) -> u64 {
-        self.blocks.iter().map(|b| b.storage_bits(&self.config)).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.storage_bits(&self.config))
+            .sum()
     }
 
     /// The blocked SpMV of Eq. 8–9 on the already-quantized input held in
@@ -144,8 +149,16 @@ impl LinearOperator for ReFloatMatrix {
     }
 
     fn apply(&mut self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "ReFloatMatrix apply: x length mismatch");
-        assert_eq!(y.len(), self.nrows, "ReFloatMatrix apply: y length mismatch");
+        assert_eq!(
+            x.len(),
+            self.ncols,
+            "ReFloatMatrix apply: x length mismatch"
+        );
+        assert_eq!(
+            y.len(),
+            self.nrows,
+            "ReFloatMatrix apply: y length mismatch"
+        );
         if self.quantize_vectors {
             // Re-encode the input vector with per-segment bases (the vector converter),
             // then multiply by the quantized blocks.
@@ -183,7 +196,9 @@ mod tests {
     fn quantized_spmv_is_close_to_exact_for_well_scaled_matrices() {
         let a = generators::laplacian_2d(20, 20, 0.3).to_csr();
         let mut rf = ReFloatMatrix::from_csr(&a, test_config(4));
-        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.1).collect();
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.1)
+            .collect();
         let exact = a.spmv(&x);
         let mut approx = vec![0.0; a.nrows()];
         rf.apply(&x, &mut approx);
@@ -216,7 +231,9 @@ mod tests {
     #[test]
     fn cg_converges_with_refloat_operator_and_matches_fp64_solution() {
         let a = generators::laplacian_2d(24, 24, 0.5).to_csr();
-        let x_star: Vec<f64> = (0..a.nrows()).map(|i| ((i % 13) as f64) / 13.0 + 0.2).collect();
+        let x_star: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i % 13) as f64) / 13.0 + 0.2)
+            .collect();
         let b = a.spmv(&x_star);
         let cfg = SolverConfig::relative(1e-8);
 
@@ -254,13 +271,20 @@ mod tests {
         let cfg = SolverConfig::relative(1e-8).with_max_iterations(2000);
         let mut rf = ReFloatMatrix::from_csr(&a, ReFloatConfig::new(5, 3, 3, 3, 8));
         let r = cg(&mut rf, &b, &cfg);
-        assert!(r.converged(), "stop = {:?} after {} iters", r.stop, r.iterations);
+        assert!(
+            r.converged(),
+            "stop = {:?} after {} iters",
+            r.stop,
+            r.iterations
+        );
     }
 
     #[test]
     fn disabling_vector_quantization_reduces_error() {
         let a = generators::laplacian_2d(12, 12, 0.3).to_csr();
-        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.05).cos() + 2.0).collect();
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| (i as f64 * 0.05).cos() + 2.0)
+            .collect();
         let exact = a.spmv(&x);
 
         let cfg = ReFloatConfig::new(4, 3, 20, 3, 4); // coarse vectors, fine matrix

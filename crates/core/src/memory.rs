@@ -74,10 +74,13 @@ mod tests {
     fn scattered_matrices_pay_more_block_metadata_like_table_viii() {
         // Table VIII: thermomech_TC/dM (scattered, few nnz per block) have a higher
         // ratio (≈0.3) than the banded matrices (≈0.17).
-        let banded = BlockedMatrix::from_csr(&generators::laplacian_2d(64, 64, 0.1).to_csr(), 7).unwrap();
-        let scattered =
-            BlockedMatrix::from_csr(&generators::random_spd_graph(4096, 6, 1.4, 1.0, 3).to_csr(), 7)
-                .unwrap();
+        let banded =
+            BlockedMatrix::from_csr(&generators::laplacian_2d(64, 64, 0.1).to_csr(), 7).unwrap();
+        let scattered = BlockedMatrix::from_csr(
+            &generators::random_spd_graph(4096, 6, 1.4, 1.0, 3).to_csr(),
+            7,
+        )
+        .unwrap();
         let config = ReFloatConfig::paper_default();
         let r_banded = memory_overhead_ratio(&banded, &config);
         let r_scattered = memory_overhead_ratio(&scattered, &config);
@@ -85,7 +88,10 @@ mod tests {
             r_scattered > r_banded,
             "scattered {r_scattered} should exceed banded {r_banded}"
         );
-        assert!(r_scattered < 1.0, "ReFloat must still be smaller than double");
+        assert!(
+            r_scattered < 1.0,
+            "ReFloat must still be smaller than double"
+        );
     }
 
     #[test]
@@ -101,6 +107,9 @@ mod tests {
     fn empty_matrix_ratio_is_zero() {
         let a = refloat_sparse::CooMatrix::new(256, 256).to_csr();
         let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
-        assert_eq!(memory_overhead_ratio(&blocked, &ReFloatConfig::paper_default()), 0.0);
+        assert_eq!(
+            memory_overhead_ratio(&blocked, &ReFloatConfig::paper_default()),
+            0.0
+        );
     }
 }

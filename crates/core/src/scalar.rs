@@ -27,7 +27,11 @@ pub fn decompose(v: f64) -> Option<Decomposed> {
     }
     let exponent = refloat_sparse::stats::exponent_of(v);
     let fraction = v.abs() / pow2(exponent);
-    Some(Decomposed { negative: v < 0.0, exponent, fraction })
+    Some(Decomposed {
+        negative: v < 0.0,
+        exponent,
+        fraction,
+    })
 }
 
 /// `2^e` as an f64, valid for the full double-precision exponent range (including
@@ -48,7 +52,10 @@ pub fn pow2(e: i32) -> f64 {
 /// to exactly 2.0, in which case the caller is responsible for renormalizing (the block
 /// encoder folds that case into the exponent offset).
 pub fn quantize_fraction(fraction: f64, f_bits: u32, mode: RoundingMode) -> f64 {
-    debug_assert!((1.0..2.0).contains(&fraction), "fraction {fraction} must be in [1, 2)");
+    debug_assert!(
+        (1.0..2.0).contains(&fraction),
+        "fraction {fraction} must be in [1, 2)"
+    );
     let scale = (1u64 << f_bits) as f64;
     match mode {
         RoundingMode::Truncate => ((fraction - 1.0) * scale).floor() / scale + 1.0,
@@ -143,7 +150,10 @@ mod tests {
         // 1.6875 = 1.1011₂; with 2 fraction bits truncation gives 1.10₂ = 1.5,
         // rounding gives 1.11₂ = 1.75.
         assert_eq!(quantize_fraction(1.6875, 2, RoundingMode::Truncate), 1.5);
-        assert_eq!(quantize_fraction(1.6875, 2, RoundingMode::RoundNearest), 1.75);
+        assert_eq!(
+            quantize_fraction(1.6875, 2, RoundingMode::RoundNearest),
+            1.75
+        );
         // With 0 bits everything becomes 1.0 under truncation.
         assert_eq!(quantize_fraction(1.999, 0, RoundingMode::Truncate), 1.0);
         // Already representable values are unchanged.
@@ -156,38 +166,136 @@ mod tests {
         //   -1.1111·2^7 -> -1.11·2^-1·2^8 = -224.0     336.0 -> 320.0
         //   -1.0000·2^9 -> -512.0                       136.0 -> 128.0
         let eb = 8;
-        assert_eq!(requantize(-248.0, eb, 2, 2, RoundingMode::Truncate, UnderflowMode::Saturate), -224.0);
-        assert_eq!(requantize(336.0, eb, 2, 2, RoundingMode::Truncate, UnderflowMode::Saturate), 320.0);
-        assert_eq!(requantize(-512.0, eb, 2, 2, RoundingMode::Truncate, UnderflowMode::Saturate), -512.0);
-        assert_eq!(requantize(136.0, eb, 2, 2, RoundingMode::Truncate, UnderflowMode::Saturate), 128.0);
+        assert_eq!(
+            requantize(
+                -248.0,
+                eb,
+                2,
+                2,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            -224.0
+        );
+        assert_eq!(
+            requantize(
+                336.0,
+                eb,
+                2,
+                2,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            320.0
+        );
+        assert_eq!(
+            requantize(
+                -512.0,
+                eb,
+                2,
+                2,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            -512.0
+        );
+        assert_eq!(
+            requantize(
+                136.0,
+                eb,
+                2,
+                2,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            128.0
+        );
     }
 
     #[test]
     fn requantize_saturates_and_flushes_out_of_window_values() {
         // eb = 0, 3 offset bits -> representable exponents [-3, 3].
         let huge = 1024.0; // exponent 10, above the window
-        let sat = requantize(huge, 0, 3, 4, RoundingMode::Truncate, UnderflowMode::Saturate);
+        let sat = requantize(
+            huge,
+            0,
+            3,
+            4,
+            RoundingMode::Truncate,
+            UnderflowMode::Saturate,
+        );
         assert_eq!(sat, 8.0); // clamped to 2^3 with fraction 1.0
         let tiny = 2.0f64.powi(-20) * 1.5;
-        let sat_lo = requantize(tiny, 0, 3, 4, RoundingMode::Truncate, UnderflowMode::Saturate);
+        let sat_lo = requantize(
+            tiny,
+            0,
+            3,
+            4,
+            RoundingMode::Truncate,
+            UnderflowMode::Saturate,
+        );
         assert_eq!(sat_lo, 1.5 * 2.0f64.powi(-3));
-        let flushed = requantize(tiny, 0, 3, 4, RoundingMode::Truncate, UnderflowMode::FlushToZero);
+        let flushed = requantize(
+            tiny,
+            0,
+            3,
+            4,
+            RoundingMode::Truncate,
+            UnderflowMode::FlushToZero,
+        );
         assert_eq!(flushed, 0.0);
     }
 
     #[test]
     fn requantize_zero_and_exact_values() {
-        assert_eq!(requantize(0.0, 5, 3, 3, RoundingMode::Truncate, UnderflowMode::Saturate), 0.0);
+        assert_eq!(
+            requantize(
+                0.0,
+                5,
+                3,
+                3,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            0.0
+        );
         // A value exactly representable in the window survives untouched.
-        assert_eq!(requantize(1.5, 0, 3, 4, RoundingMode::Truncate, UnderflowMode::Saturate), 1.5);
-        assert_eq!(requantize(-3.0, 0, 3, 4, RoundingMode::Truncate, UnderflowMode::Saturate), -3.0);
+        assert_eq!(
+            requantize(
+                1.5,
+                0,
+                3,
+                4,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            1.5
+        );
+        assert_eq!(
+            requantize(
+                -3.0,
+                0,
+                3,
+                4,
+                RoundingMode::Truncate,
+                UnderflowMode::Saturate
+            ),
+            -3.0
+        );
     }
 
     #[test]
     fn round_nearest_carry_renormalizes() {
         // 1.96875 with 2 round-to-nearest fraction bits rounds up to 2.0 -> 1.0·2^(e+1).
         let v = 1.96875 * 4.0; // exponent 2
-        let q = requantize(v, 2, 3, 2, RoundingMode::RoundNearest, UnderflowMode::Saturate);
+        let q = requantize(
+            v,
+            2,
+            3,
+            2,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
         assert_eq!(q, 8.0);
     }
 

@@ -15,8 +15,8 @@
 //! through a fixed window of `2^exponent_bits` binades anchored at the matrix's mean
 //! exponent.
 
-use refloat_sparse::CsrMatrix;
 use refloat_solvers::LinearOperator;
+use refloat_sparse::CsrMatrix;
 
 use crate::block::optimal_exponent_base;
 use crate::format::{RoundingMode, UnderflowMode};
@@ -34,17 +34,26 @@ pub struct TruncationConfig {
 impl TruncationConfig {
     /// Full double precision — the reference configuration of Table I.
     pub fn full() -> Self {
-        TruncationConfig { exponent_bits: 11, fraction_bits: 52 }
+        TruncationConfig {
+            exponent_bits: 11,
+            fraction_bits: 52,
+        }
     }
 
     /// Truncate only the fraction (the first row block of Table I).
     pub fn fraction_only(fraction_bits: u32) -> Self {
-        TruncationConfig { exponent_bits: 11, fraction_bits }
+        TruncationConfig {
+            exponent_bits: 11,
+            fraction_bits,
+        }
     }
 
     /// Truncate only the exponent (the second row block of Table I).
     pub fn exponent_only(exponent_bits: u32) -> Self {
-        TruncationConfig { exponent_bits, fraction_bits: 52 }
+        TruncationConfig {
+            exponent_bits,
+            fraction_bits: 52,
+        }
     }
 }
 
@@ -86,7 +95,13 @@ impl TruncatedOperator {
             (center - half, center + half - 1)
         };
         let scratch = vec![0.0; a.ncols()];
-        TruncatedOperator { truncated, config, window_lo, window_hi, scratch }
+        TruncatedOperator {
+            truncated,
+            config,
+            window_lo,
+            window_hi,
+            scratch,
+        }
     }
 
     /// The truncation configuration.
@@ -106,14 +121,21 @@ impl TruncatedOperator {
         // Exponent window first (wrap above, flush below), then fraction truncation.
         let (exp, frac) = if d.exponent > self.window_hi {
             let width = 1i32 << self.config.exponent_bits;
-            (self.window_lo + (d.exponent - self.window_lo).rem_euclid(width), d.fraction)
+            (
+                self.window_lo + (d.exponent - self.window_lo).rem_euclid(width),
+                d.fraction,
+            )
         } else if d.exponent < self.window_lo {
             return 0.0;
         } else {
             (d.exponent, d.fraction)
         };
         let q = if self.config.fraction_bits < 52 {
-            crate::scalar::quantize_fraction(frac, self.config.fraction_bits, RoundingMode::Truncate)
+            crate::scalar::quantize_fraction(
+                frac,
+                self.config.fraction_bits,
+                RoundingMode::Truncate,
+            )
         } else {
             frac
         };
@@ -166,7 +188,9 @@ mod tests {
     #[test]
     fn full_config_is_numerically_identical_to_fp64() {
         let a = crystm_like();
-        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).sin() + 1.2).collect();
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| (i as f64 * 0.1).sin() + 1.2)
+            .collect();
         let mut op = TruncatedOperator::new(&a, TruncationConfig::full());
         let mut y = vec![0.0; a.nrows()];
         op.apply(&x, &mut y);
@@ -245,7 +269,13 @@ mod tests {
     #[test]
     fn vector_conversion_respects_window_and_fraction() {
         let a = crystm_like();
-        let op = TruncatedOperator::new(&a, TruncationConfig { exponent_bits: 6, fraction_bits: 8 });
+        let op = TruncatedOperator::new(
+            &a,
+            TruncationConfig {
+                exponent_bits: 6,
+                fraction_bits: 8,
+            },
+        );
         // Within-window value: only fraction truncation.
         let center = optimal_exponent_base(a.values().iter());
         let v = 1.375 * pow2(center);

@@ -37,7 +37,11 @@ pub struct VectorConverter {
 impl VectorConverter {
     /// Creates a converter for the given format configuration.
     pub fn new(config: ReFloatConfig) -> Self {
-        VectorConverter { config, last_bases: Vec::new(), last_stats: ConversionStats::default() }
+        VectorConverter {
+            config,
+            last_bases: Vec::new(),
+            last_stats: ConversionStats::default(),
+        }
     }
 
     /// The format configuration in use.
@@ -61,7 +65,11 @@ impl VectorConverter {
     /// # Panics
     /// Panics if `out.len() != x.len()`.
     pub fn convert_into(&mut self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), out.len(), "vector converter: output length mismatch");
+        assert_eq!(
+            x.len(),
+            out.len(),
+            "vector converter: output length mismatch"
+        );
         let seg = self.config.block_size();
         let nseg = x.len().div_ceil(seg);
         self.last_bases.clear();

@@ -115,8 +115,7 @@ pub fn mass_matrix_3d(
                 for di in -1i64..=1 {
                     for dj in -1i64..=1 {
                         for dk in -1i64..=1 {
-                            let (ii, jj, kk) =
-                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let (ii, jj, kk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
                             if ii < 0
                                 || jj < 0
                                 || kk < 0
@@ -135,9 +134,8 @@ pub fn mass_matrix_3d(
                             // Scale by the geometric mean of the nodal densities so the
                             // result is D^{1/2} M D^{1/2} with M the SPD tensor-product
                             // mass matrix — a congruence transform, hence still SPD.
-                            let w = w1(di) * w1(dj) * w1(dk)
-                                * (density[r] * density[c]).sqrt()
-                                * scale;
+                            let w =
+                                w1(di) * w1(dj) * w1(dk) * (density[r] * density[c]).sqrt() * scale;
                             if c == r {
                                 a.push(r, r, w);
                             } else {
@@ -219,7 +217,10 @@ pub fn random_spd_graph(
     value_scale: f64,
     seed: u64,
 ) -> CooMatrix {
-    assert!(dominance > 1.0, "dominance must exceed 1 for positive definiteness");
+    assert!(
+        dominance > 1.0,
+        "dominance must exceed 1 for positive definiteness"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let col_dist = Uniform::new(0usize, n);
     // Collect symmetric off-diagonal edges (i, j, v) with i < j.
@@ -261,7 +262,10 @@ pub fn random_spd_graph(
 /// constants far from 1.0); `offdiag_ratio ∈ (0, 1/3)` controls the condition number
 /// `κ ≈ (1 + 3·ratio) / (1 − 3·ratio)`.
 pub fn sphere_ring_3regular(n: usize, diag_scale: f64, offdiag_ratio: f64) -> CooMatrix {
-    assert!(n >= 4 && n % 2 == 0, "sphere_ring_3regular needs an even n ≥ 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "sphere_ring_3regular needs an even n ≥ 4"
+    );
     assert!(
         offdiag_ratio > 0.0 && offdiag_ratio < 1.0 / 3.0,
         "offdiag_ratio must lie in (0, 1/3) for positive definiteness"
@@ -314,7 +318,11 @@ pub fn logspace_diagonal(n: usize, min: f64, max: f64) -> CooMatrix {
     assert!(n >= 1 && min > 0.0 && max >= min);
     let mut a = CooMatrix::with_capacity(n, n, n);
     for i in 0..n {
-        let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+        let t = if n == 1 {
+            0.0
+        } else {
+            i as f64 / (n - 1) as f64
+        };
         a.push(i, i, min * (max / min).powf(t));
     }
     a
@@ -434,7 +442,11 @@ mod tests {
         assert!(a.is_symmetric(1e-12));
         assert!(is_spd_by_gershgorin(&a));
         let s = MatrixStats::compute(&a);
-        assert!(s.nnz_per_row > 3.0 && s.nnz_per_row < 12.0, "nnz/row = {}", s.nnz_per_row);
+        assert!(
+            s.nnz_per_row > 3.0 && s.nnz_per_row < 12.0,
+            "nnz/row = {}",
+            s.nnz_per_row
+        );
         // Scattered structure: bandwidth close to n.
         assert!(s.bandwidth > 1000);
     }

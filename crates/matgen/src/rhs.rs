@@ -25,7 +25,9 @@ pub fn random_uniform(n: usize, seed: u64) -> Vec<f64> {
 /// A smooth deterministic vector (`sin` profile), representative of the discretized PDE
 /// solutions the workloads come from.
 pub fn smooth(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (i as f64 * std::f64::consts::PI / n.max(1) as f64).sin() + 0.5).collect()
+    (0..n)
+        .map(|i| (i as f64 * std::f64::consts::PI / n.max(1) as f64).sin() + 0.5)
+        .collect()
 }
 
 /// Builds `b = A·x⋆` for a known solution `x⋆`, returning `(b, x⋆)`.
@@ -33,7 +35,11 @@ pub fn smooth(n: usize) -> Vec<f64> {
 /// Solving with this right-hand side lets experiments report both the residual norm and
 /// the true error `‖x − x⋆‖`.
 pub fn from_known_solution(a: &CsrMatrix, x_star: Vec<f64>) -> (Vec<f64>, Vec<f64>) {
-    assert_eq!(a.ncols(), x_star.len(), "rhs: solution length must match matrix");
+    assert_eq!(
+        a.ncols(),
+        x_star.len(),
+        "rhs: solution length must match matrix"
+    );
     let b = a.spmv(&x_star);
     (b, x_star)
 }

@@ -231,7 +231,10 @@ impl Workload {
 
     /// Looks a workload up by its SuiteSparse name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Workload> {
-        Workload::ALL.iter().copied().find(|w| w.spec().name.eq_ignore_ascii_case(name))
+        Workload::ALL
+            .iter()
+            .copied()
+            .find(|w| w.spec().name.eq_ignore_ascii_case(name))
     }
 
     /// Generates the synthetic analogue of this workload.
@@ -387,7 +390,11 @@ mod tests {
     fn crystm_analogue_has_tiny_entries_and_minsurfo_has_unit_entries() {
         let crystm = Workload::Crystm01.generate_csr(1);
         let s = MatrixStats::compute(&crystm);
-        assert!(s.max_abs < 1e-9, "crystm01 entries should be ≈1e-12, got {}", s.max_abs);
+        assert!(
+            s.max_abs < 1e-9,
+            "crystm01 entries should be ≈1e-12, got {}",
+            s.max_abs
+        );
 
         let minsurf = generators::laplacian_2d(32, 32, 0.1).to_csr();
         let s2 = MatrixStats::compute(&minsurf);

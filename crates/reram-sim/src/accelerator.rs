@@ -140,7 +140,11 @@ impl AcceleratorConfig {
     pub fn spmv_time_s(&self, num_blocks: u64) -> (f64, f64) {
         let rounds = self.rounds_per_spmv(num_blocks);
         let compute = rounds as f64 * self.block_mvm_time_s();
-        let write = if rounds > 1 { rounds as f64 * self.cluster_write_time_s() } else { 0.0 };
+        let write = if rounds > 1 {
+            rounds as f64 * self.cluster_write_time_s()
+        } else {
+            0.0
+        };
         (compute, write)
     }
 
@@ -249,8 +253,12 @@ mod tests {
         let feinberg = AcceleratorConfig::feinberg();
         let refloat = AcceleratorConfig::refloat(&ReFloatConfig::paper_default());
         for blocks in [1_000u64, 10_000, 100_000, 400_000] {
-            let tf = feinberg.solver_time(blocks, 80, SolverKind::Cg).solver_total_s;
-            let tr = refloat.solver_time(blocks, 95, SolverKind::Cg).solver_total_s;
+            let tf = feinberg
+                .solver_time(blocks, 80, SolverKind::Cg)
+                .solver_total_s;
+            let tr = refloat
+                .solver_time(blocks, 95, SolverKind::Cg)
+                .solver_total_s;
             assert!(
                 tr < tf,
                 "ReFloat ({tr:.3e}s) should beat Feinberg ({tf:.3e}s) at {blocks} blocks"

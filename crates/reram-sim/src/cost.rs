@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn crossbar_count_grows_exponentially_in_exponent_and_linearly_in_fraction() {
         let base = crossbar_count_eq2(4, 20);
-        assert_eq!(crossbar_count_eq2(5, 20) - crossbar_count_eq2(4, 20), 4 * 16);
+        assert_eq!(
+            crossbar_count_eq2(5, 20) - crossbar_count_eq2(4, 20),
+            4 * 16
+        );
         assert_eq!(crossbar_count_eq2(4, 21) - base, 4);
     }
 

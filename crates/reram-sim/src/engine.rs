@@ -130,7 +130,12 @@ impl ProcessingEngine {
         EngineOutput {
             segment,
             crossbars_used: 2 * cost::crossbars_per_cluster(self.config.e, self.config.f),
-            cycles: cost::cycle_count_eq3(self.config.e, self.config.f, self.config.ev, self.config.fv),
+            cycles: cost::cycle_count_eq3(
+                self.config.e,
+                self.config.f,
+                self.config.ev,
+                self.config.fv,
+            ),
         }
     }
 
@@ -184,7 +189,10 @@ mod tests {
         let hw = engine.block_mvm(&block, &x);
         let reference = engine.reference_block_mvm(&block, &x);
         for (h, r) in hw.segment.iter().zip(reference.iter()) {
-            assert!((h - r).abs() <= 1e-12 * r.abs().max(1e-30), "hw {h} vs ref {r}");
+            assert!(
+                (h - r).abs() <= 1e-12 * r.abs().max(1e-30),
+                "hw {h} vs ref {r}"
+            );
         }
         assert_eq!(hw.crossbars_used, 2 * (8 + 3 + 1));
         assert_eq!(hw.cycles, (8 + 8 + 1) + (8 + 3 + 1) - 1);
@@ -195,15 +203,22 @@ mod tests {
         // crystm-like magnitudes: the integer pipeline never sees the 2^-40 scale, it is
         // carried entirely by eb/ebv.
         let config = ReFloatConfig::new(2, 3, 3, 3, 8);
-        let entries =
-            vec![(0u16, 0u16, 3.0e-12), (1, 1, -1.2e-12), (2, 3, 5.0e-13), (3, 0, 2.2e-12)];
+        let entries = vec![
+            (0u16, 0u16, 3.0e-12),
+            (1, 1, -1.2e-12),
+            (2, 3, 5.0e-13),
+            (3, 0, 2.2e-12),
+        ];
         let block = encode_block(&entries, &config);
         let engine = ProcessingEngine::new(config);
         let x = vec![1.0, -2.0, 0.5, 4.0];
         let hw = engine.block_mvm(&block, &x);
         let reference = engine.reference_block_mvm(&block, &x);
         for (h, r) in hw.segment.iter().zip(reference.iter()) {
-            assert!((h - r).abs() <= 1e-12 * r.abs().max(1e-300), "hw {h} vs ref {r}");
+            assert!(
+                (h - r).abs() <= 1e-12 * r.abs().max(1e-300),
+                "hw {h} vs ref {r}"
+            );
         }
     }
 

@@ -139,7 +139,10 @@ mod tests {
             *err = vecops::rel_err(&y, &y_clean);
         }
         assert!(err_small < err_large);
-        assert!(err_small < 0.01, "0.1% noise should barely perturb: {err_small}");
+        assert!(
+            err_small < 0.01,
+            "0.1% noise should barely perturb: {err_small}"
+        );
         assert!(err_large < 0.5, "10% noise stays bounded: {err_large}");
     }
 
@@ -181,6 +184,8 @@ mod tests {
         let variance =
             samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!((variance - 1.0).abs() < 0.2, "variance {variance}");
-        assert!(samples.iter().all(|s| s.abs() <= 2.0 * 3.0f64.sqrt() + 1e-12));
+        assert!(samples
+            .iter()
+            .all(|s| s.abs() <= 2.0 * 3.0f64.sqrt() + 1e-12));
     }
 }

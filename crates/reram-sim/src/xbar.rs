@@ -19,7 +19,10 @@ pub struct BitCrossbar {
 impl BitCrossbar {
     /// Creates an empty (all-zero) crossbar.
     pub fn new(size: usize) -> Self {
-        BitCrossbar { size, cells: vec![false; size * size] }
+        BitCrossbar {
+            size,
+            cells: vec![false; size * size],
+        }
     }
 
     /// Builds the crossbar holding bit `bit` of every entry of a row-major unsigned
@@ -62,7 +65,11 @@ impl BitCrossbar {
     /// # Panics
     /// Panics if `input.len() != size`.
     pub fn dot_columns(&self, input: &[bool]) -> Vec<u32> {
-        assert_eq!(input.len(), self.size, "crossbar input must have one bit per wordline");
+        assert_eq!(
+            input.len(),
+            self.size,
+            "crossbar input must have one bit per wordline"
+        );
         let mut out = vec![0u32; self.size];
         for (row, &active) in input.iter().enumerate() {
             if !active {
@@ -80,7 +87,11 @@ impl BitCrossbar {
     /// `1 + ε` instead of exactly 1, with `ε` drawn by the caller-provided closure (the
     /// RTN model of §VI.D); the result is digitized by rounding (the ADC).
     pub fn dot_columns_noisy<F: FnMut() -> f64>(&self, input: &[bool], mut noise: F) -> Vec<u32> {
-        assert_eq!(input.len(), self.size, "crossbar input must have one bit per wordline");
+        assert_eq!(
+            input.len(),
+            self.size,
+            "crossbar input must have one bit per wordline"
+        );
         let mut analog = vec![0.0f64; self.size];
         for (row, &active) in input.iter().enumerate() {
             if !active {
@@ -119,7 +130,10 @@ impl FixedPointMvm {
     /// # Panics
     /// Panics if any entry needs more than `matrix_bits` bits.
     pub fn new(matrix: &[u64], size: usize, matrix_bits: u32) -> Self {
-        assert!(matrix_bits >= 1 && matrix_bits <= 63, "matrix bits must be in 1..=63");
+        assert!(
+            (1..=63).contains(&matrix_bits),
+            "matrix bits must be in 1..=63"
+        );
         assert_eq!(matrix.len(), size * size, "matrix must be size²");
         for &m in matrix {
             assert!(
@@ -137,7 +151,11 @@ impl FixedPointMvm {
         let crossbars = (0..matrix_bits)
             .map(|bit| BitCrossbar::from_bit_slice(&transposed, size, bit))
             .collect();
-        FixedPointMvm { size, matrix_bits, crossbars }
+        FixedPointMvm {
+            size,
+            matrix_bits,
+            crossbars,
+        }
     }
 
     /// Crossbars used by this engine (= number of matrix bit-slices).
@@ -292,7 +310,7 @@ mod tests {
         let m = vec![1u64; 16];
         let engine = FixedPointMvm::new(&m, 4, 1);
         assert_eq!(engine.cycles(1), 1);
-        let engine = FixedPointMvm::new(&vec![255u64; 16], 4, 8);
+        let engine = FixedPointMvm::new(&[255u64; 16], 4, 8);
         assert_eq!(engine.cycles(16), 16 + 8 - 1);
     }
 

@@ -1,0 +1,159 @@
+//! The per-worker simulated accelerator: translates each completed solve into the
+//! chip-time it would have cost on the Table IV ReFloat accelerator, and accounts
+//! crossbar re-programming when a worker switches to a different matrix.
+
+use refloat_core::ReFloatConfig;
+use reram_sim::{AcceleratorConfig, SolverKind};
+
+use crate::cache::CacheKey;
+
+/// What one job cost on the simulated chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedRun {
+    /// Crossbar pipeline cycles across the whole solve (Eq. 3 cycles × rounds × SpMVs).
+    pub cycles: u64,
+    /// Seconds of crossbar compute.
+    pub compute_s: f64,
+    /// Seconds of mid-solve cell re-writes (streaming rounds of oversized matrices).
+    pub stream_write_s: f64,
+    /// Seconds re-programming the chip because it held a different matrix (or nothing).
+    pub program_s: f64,
+    /// Total simulated seconds for the job (compute + writes + programming + the
+    /// per-iteration digital overhead folded into the solver-time model).
+    pub total_s: f64,
+    /// Whether this job had to re-program the chip.
+    pub remapped: bool,
+}
+
+/// Lifetime counters for one simulated accelerator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AcceleratorUsage {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Total simulated pipeline cycles.
+    pub cycles: u64,
+    /// Total simulated busy seconds (sum of [`SimulatedRun::total_s`]).
+    pub busy_s: f64,
+    /// Times the chip was re-programmed for a different matrix.
+    pub remaps: u64,
+}
+
+/// One simulated chip, owned by one worker thread.
+///
+/// The chip remembers which (matrix, format) its crossbars currently hold: consecutive
+/// jobs on the same matrix skip the programming phase, which is what makes tenant
+/// locality visible in the simulated numbers even though the functional solve runs on
+/// the CPU.
+#[derive(Debug, Clone)]
+pub struct SimulatedAccelerator {
+    worker_id: usize,
+    programmed: Option<CacheKey>,
+    usage: AcceleratorUsage,
+}
+
+impl SimulatedAccelerator {
+    /// A freshly powered-on chip (nothing programmed).
+    pub fn new(worker_id: usize) -> Self {
+        SimulatedAccelerator {
+            worker_id,
+            programmed: None,
+            usage: AcceleratorUsage::default(),
+        }
+    }
+
+    /// The owning worker's id.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// Lifetime usage counters.
+    pub fn usage(&self) -> AcceleratorUsage {
+        self.usage
+    }
+
+    /// Accounts one completed solve (`iterations` iterations of `solver` over a matrix
+    /// with `num_blocks` non-empty blocks, encoded as `format`) and returns its
+    /// simulated cost.
+    pub fn execute(
+        &mut self,
+        key: CacheKey,
+        format: &ReFloatConfig,
+        num_blocks: u64,
+        iterations: u64,
+        solver: SolverKind,
+    ) -> SimulatedRun {
+        let hw = AcceleratorConfig::refloat(format);
+        let breakdown = hw.solver_time(num_blocks, iterations, solver);
+        let remapped = self.programmed != Some(key);
+        let program_s = if remapped {
+            hw.cluster_write_time_s()
+        } else {
+            0.0
+        };
+        let spmv_count = iterations * solver.spmv_per_iteration();
+        let cycles = spmv_count * breakdown.rounds_per_spmv * hw.cycles_per_block_mvm;
+        let stream_write_s = spmv_count as f64 * breakdown.spmv_write_s;
+        let run = SimulatedRun {
+            cycles,
+            compute_s: spmv_count as f64 * breakdown.spmv_compute_s,
+            stream_write_s,
+            program_s,
+            total_s: breakdown.solver_total_s + program_s,
+            remapped,
+        };
+        self.programmed = Some(key);
+        self.usage.jobs += 1;
+        self.usage.cycles += cycles;
+        self.usage.busy_s += run.total_s;
+        self.usage.remaps += u64::from(remapped);
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u64) -> CacheKey {
+        (tag, ReFloatConfig::paper_default())
+    }
+
+    #[test]
+    fn repeat_jobs_on_one_matrix_skip_reprogramming() {
+        let format = ReFloatConfig::paper_default();
+        let mut chip = SimulatedAccelerator::new(0);
+        let first = chip.execute(key(1), &format, 2_000, 100, SolverKind::Cg);
+        assert!(first.remapped);
+        assert!(first.program_s > 0.0);
+        let second = chip.execute(key(1), &format, 2_000, 100, SolverKind::Cg);
+        assert!(!second.remapped);
+        assert_eq!(second.program_s, 0.0);
+        let third = chip.execute(key(2), &format, 2_000, 100, SolverKind::Cg);
+        assert!(third.remapped);
+        assert_eq!(chip.usage().remaps, 2);
+        assert_eq!(chip.usage().jobs, 3);
+    }
+
+    #[test]
+    fn cycles_follow_the_eq3_model() {
+        // paper_default: 28 cycles per block MVM; a fitting matrix is 1 round per SpMV,
+        // CG is 1 SpMV per iteration.
+        let format = ReFloatConfig::paper_default();
+        let mut chip = SimulatedAccelerator::new(0);
+        let run = chip.execute(key(1), &format, 2_000, 100, SolverKind::Cg);
+        assert_eq!(run.cycles, 100 * 28);
+        assert_eq!(run.stream_write_s, 0.0);
+        let bicg = chip.execute(key(1), &format, 2_000, 100, SolverKind::BiCgStab);
+        assert_eq!(bicg.cycles, 2 * 100 * 28);
+    }
+
+    #[test]
+    fn oversized_matrices_pay_streaming_writes() {
+        let format = ReFloatConfig::paper_default();
+        let mut chip = SimulatedAccelerator::new(0);
+        // 21845 clusters fit; ask for 10x that.
+        let run = chip.execute(key(1), &format, 218_450, 10, SolverKind::Cg);
+        assert!(run.stream_write_s > 0.0);
+        assert!(run.total_s > run.compute_s);
+    }
+}

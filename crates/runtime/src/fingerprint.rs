@@ -1,0 +1,91 @@
+//! Content fingerprinting for matrices (the cache key's matrix half).
+
+use refloat_sparse::CsrMatrix;
+
+/// The FNV-1a 64-bit offset basis (the hash accumulator's initial value).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds one 64-bit word (little-endian bytes) into an FNV-1a hash accumulator.
+/// Shared by the matrix fingerprint here and the result digests of the trace drivers,
+/// so the two hashing conventions cannot drift apart.
+#[inline]
+pub fn fnv1a_u64(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A 64-bit FNV-1a fingerprint over a CSR matrix's dimensions, structure and value
+/// bits.  One linear pass; equal matrices (same structure, bit-equal values) hash
+/// equal, and any structural or value change — including `0.0` vs `-0.0` — changes the
+/// fingerprint with overwhelming probability.
+pub fn fingerprint_csr(a: &CsrMatrix) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a_u64(h, a.nrows() as u64);
+    h = fnv1a_u64(h, a.ncols() as u64);
+    h = fnv1a_u64(h, a.nnz() as u64);
+    for &p in a.row_ptr() {
+        h = fnv1a_u64(h, p as u64);
+    }
+    for &c in a.col_idx() {
+        h = fnv1a_u64(h, c as u64);
+    }
+    for &v in a.values() {
+        h = fnv1a_u64(h, v.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_matgen::generators;
+
+    #[test]
+    fn fingerprint_is_stable_and_value_sensitive() {
+        let a = generators::wathen(4, 4, 9).to_csr();
+        let b = generators::wathen(4, 4, 9).to_csr();
+        assert_eq!(fingerprint_csr(&a), fingerprint_csr(&b));
+
+        let mut c = a.clone();
+        let mid = c.values().len() / 2;
+        c.values_mut()[mid] *= 1.0 + 1e-15;
+        assert_ne!(fingerprint_csr(&a), fingerprint_csr(&c));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_at_equal_nnz() {
+        // Same dimensions and nnz, different positions.
+        let a = generators::sphere_ring_3regular(16, 1.0, 0.2).to_csr();
+        let mut coo = a.to_coo();
+        // Shift one off-diagonal entry to a different column by rebuilding triplets.
+        let rows = coo.row_indices().to_vec();
+        let mut cols = coo.col_indices().to_vec();
+        let vals = coo.values().to_vec();
+        let swap = rows
+            .iter()
+            .zip(cols.iter())
+            .position(|(&r, &c)| r != c)
+            .unwrap();
+        cols[swap] = (cols[swap] + 1) % 16;
+        coo = refloat_sparse::CooMatrix::from_triplets(16, 16, rows, cols, vals).unwrap();
+        let b = coo.to_csr();
+        assert_eq!(a.nnz(), b.nnz());
+        assert_ne!(fingerprint_csr(&a), fingerprint_csr(&b));
+    }
+
+    #[test]
+    fn signed_zero_changes_the_fingerprint() {
+        let a = generators::logspace_diagonal(4, 1.0, 2.0).to_csr();
+        let mut b = a.clone();
+        b.values_mut()[0] = 0.0;
+        let mut c = a.clone();
+        c.values_mut()[0] = -0.0;
+        assert_ne!(fingerprint_csr(&b), fingerprint_csr(&c));
+    }
+}

@@ -1,0 +1,175 @@
+//! The job-submission API: shared matrix handles and solve requests.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use refloat_core::ReFloatConfig;
+use refloat_solvers::{SolveResult, SolverConfig};
+use refloat_sparse::CsrMatrix;
+use reram_sim::SolverKind;
+
+use crate::fingerprint::fingerprint_csr;
+use crate::telemetry::JobTelemetry;
+
+/// A cheaply-cloneable reference to a matrix a tenant wants solves against.
+///
+/// The fingerprint (content hash of structure + values) is computed once at
+/// construction; together with the per-job [`ReFloatConfig`] it keys the
+/// encoded-matrix cache, so two handles wrapping equal matrices share cache entries.
+#[derive(Debug, Clone)]
+pub struct MatrixHandle {
+    name: Arc<str>,
+    csr: Arc<CsrMatrix>,
+    fingerprint: u64,
+}
+
+impl MatrixHandle {
+    /// Wraps a matrix, computing its fingerprint (one pass over the CSR arrays).
+    pub fn new(name: impl Into<String>, csr: CsrMatrix) -> Self {
+        Self::from_arc(name, Arc::new(csr))
+    }
+
+    /// Wraps an already-shared matrix.
+    pub fn from_arc(name: impl Into<String>, csr: Arc<CsrMatrix>) -> Self {
+        let fingerprint = fingerprint_csr(&csr);
+        MatrixHandle {
+            name: name.into().into(),
+            csr,
+            fingerprint,
+        }
+    }
+
+    /// Human-readable matrix name (used in telemetry).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying matrix.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// The content fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// One solve request: matrix handle + right-hand side + format + solver + tolerance.
+#[derive(Debug, Clone)]
+pub struct SolveJob {
+    /// Who submitted the job (telemetry/reporting label).
+    pub tenant: Arc<str>,
+    /// The matrix to solve against.
+    pub matrix: MatrixHandle,
+    /// The right-hand side; `None` means the all-ones vector (the experiment-harness
+    /// convention).
+    pub rhs: Option<Arc<Vec<f64>>>,
+    /// The ReFloat format to encode (or fetch) the matrix in.
+    pub format: ReFloatConfig,
+    /// Which Krylov solver to run.
+    pub solver: SolverKind,
+    /// Tolerance / iteration cap for the solve.
+    pub solver_config: SolverConfig,
+}
+
+impl SolveJob {
+    /// A CG job with the harness defaults: all-ones right-hand side, relative `1e-8`
+    /// tolerance, no residual trace (traces are per-iteration allocations the serving
+    /// path does not need).
+    pub fn new(tenant: impl Into<String>, matrix: MatrixHandle, format: ReFloatConfig) -> Self {
+        SolveJob {
+            tenant: tenant.into().into(),
+            matrix,
+            rhs: None,
+            format,
+            solver: SolverKind::Cg,
+            solver_config: SolverConfig::relative(1e-8).with_trace(false),
+        }
+    }
+
+    /// Builder: use BiCGSTAB (or switch back to CG).
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Builder: use an explicit right-hand side.
+    pub fn with_rhs(mut self, rhs: Arc<Vec<f64>>) -> Self {
+        assert_eq!(
+            rhs.len(),
+            self.matrix.csr().nrows(),
+            "SolveJob: rhs length must match the matrix"
+        );
+        self.rhs = Some(rhs);
+        self
+    }
+
+    /// Builder: override the solver configuration.
+    pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
+        self.solver_config = config;
+        self
+    }
+
+    /// The cache key this job resolves to.
+    pub fn cache_key(&self) -> crate::cache::CacheKey {
+        (self.matrix.fingerprint(), self.format)
+    }
+}
+
+/// A job with its submission envelope, as carried by the queue.
+#[derive(Debug)]
+pub(crate) struct QueuedJob {
+    pub id: u64,
+    pub job: SolveJob,
+    pub submitted_at: Instant,
+}
+
+/// The result of one job: the raw solver outcome plus its telemetry.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Submission-order id.
+    pub job_id: u64,
+    /// The solver's result (solution iterate, iterations, stop reason).
+    pub result: SolveResult,
+    /// Per-job measurements.
+    pub telemetry: JobTelemetry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_matrices_share_a_fingerprint_distinct_ones_do_not() {
+        let a = refloat_matgen::generators::laplacian_2d(6, 6, 0.1).to_csr();
+        let b = refloat_matgen::generators::laplacian_2d(6, 6, 0.1).to_csr();
+        let c = refloat_matgen::generators::laplacian_2d(6, 6, 0.2).to_csr();
+        let (ha, hb, hc) = (
+            MatrixHandle::new("a", a),
+            MatrixHandle::new("b", b),
+            MatrixHandle::new("c", c),
+        );
+        assert_eq!(ha.fingerprint(), hb.fingerprint());
+        assert_ne!(ha.fingerprint(), hc.fingerprint());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_formats() {
+        let a = refloat_matgen::generators::laplacian_2d(6, 6, 0.1).to_csr();
+        let handle = MatrixHandle::new("a", a);
+        let j1 = SolveJob::new("t", handle.clone(), ReFloatConfig::new(4, 3, 3, 3, 8));
+        let j2 = SolveJob::new("t", handle, ReFloatConfig::new(4, 3, 8, 3, 8));
+        assert_ne!(j1.cache_key(), j2.cache_key());
+        assert_eq!(j1.cache_key().0, j2.cache_key().0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn mismatched_rhs_is_rejected() {
+        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
+        let handle = MatrixHandle::new("a", a);
+        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
+            .with_rhs(Arc::new(vec![1.0; 3]));
+    }
+}

@@ -1,0 +1,297 @@
+//! `refloat-runtime` — a batched, multi-tenant solve service over a pool of simulated
+//! ReFloat accelerators.
+//!
+//! The rest of the workspace drives *one* matrix through *one* solver on *one*
+//! simulated chip at a time.  This crate adds the serving layer the ROADMAP's
+//! production north-star asks for, in the spirit of the distributed in-memory-computing
+//! line of work (Vo et al.) and the mixed-precision offload model of Le Gallo et al.:
+//! many independent solves, scheduled across a worker pool where **each worker owns one
+//! simulated accelerator**, with per-job precision (the `ReFloatConfig`) chosen by the
+//! tenant.
+//!
+//! The moving parts:
+//!
+//! * [`SolveJob`] / [`MatrixHandle`] (`job`) — the submission API: a shared matrix
+//!   handle, a right-hand side, a ReFloat format, a solver kind and a tolerance;
+//! * [`BoundedQueue`] (`queue`) — a blocking bounded MPMC queue providing submission
+//!   backpressure, built on `Mutex` + `Condvar` (no async runtime, matching the
+//!   scoped-thread idioms of `refloat_sparse::parallel`);
+//! * [`EncodedMatrixCache`] (`cache`) — an LRU cache of encoded [`ReFloatMatrix`]
+//!   operators keyed by (matrix fingerprint, format), with in-flight deduplication so
+//!   concurrent jobs on the same matrix encode it once;
+//! * [`SimulatedAccelerator`] (`accel`) — the per-worker chip model accounting
+//!   simulated cycles/seconds (Eq. 2/3 via `reram-sim`) next to wall-clock time,
+//!   including crossbar re-programming when a worker switches matrices;
+//! * [`JobTelemetry`] / [`RuntimeReport`] (`telemetry`) — per-job measurements (queue
+//!   wait, encode time, solve time, iterations, simulated cycles, cache outcome) and
+//!   their aggregation (throughput, p50/p99 latency, cache hit rate);
+//! * [`SolveRuntime`] (here) — the service itself: spawns the worker pool on scoped
+//!   threads, feeds it from a producer closure, and collects deterministic,
+//!   submission-ordered results.
+//!
+//! # Determinism
+//!
+//! Every job is a pure function of its matrix, right-hand side and configuration: the
+//! encoded operator a worker solves with is (a clone of) the same `ReFloatMatrix` the
+//! serial path would build, so **numeric results are bit-identical to serial execution
+//! regardless of worker count, scheduling, or cache state**.  Only wall-clock telemetry
+//! varies between runs.
+//!
+//! # Example
+//!
+//! ```
+//! use refloat_core::ReFloatConfig;
+//! use refloat_runtime::{MatrixHandle, RuntimeConfig, SolveJob, SolveRuntime};
+//!
+//! let a = refloat_matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
+//! let handle = MatrixHandle::new("poisson-16", a);
+//! let jobs: Vec<SolveJob> = (0..8)
+//!     .map(|t| {
+//!         SolveJob::new(format!("tenant-{t}"), handle.clone(), ReFloatConfig::paper_default())
+//!     })
+//!     .collect();
+//!
+//! let runtime = SolveRuntime::new(RuntimeConfig { workers: 4, ..RuntimeConfig::default() });
+//! let outcome = runtime.run_batch(jobs);
+//! assert_eq!(outcome.jobs.len(), 8);
+//! assert!(outcome.jobs.iter().all(|j| j.result.converged()));
+//! // 8 jobs on one matrix+format: a single encode, 7 cache hits.
+//! assert!(outcome.report.cache.hits + outcome.report.cache.coalesced >= 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod cache;
+pub mod fingerprint;
+pub mod job;
+pub mod queue;
+pub mod telemetry;
+mod worker;
+
+pub use accel::{AcceleratorUsage, SimulatedAccelerator, SimulatedRun};
+pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache};
+pub use fingerprint::fingerprint_csr;
+pub use job::{JobOutcome, MatrixHandle, SolveJob};
+pub use queue::BoundedQueue;
+pub use telemetry::{CacheOutcomeKind, JobTelemetry, RuntimeReport};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use job::QueuedJob;
+
+/// Sizing knobs for a [`SolveRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads; each owns one simulated accelerator.
+    pub workers: usize,
+    /// Bounded job-queue capacity (submission blocks when full — backpressure).
+    pub queue_capacity: usize,
+    /// Encoded-matrix cache capacity, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// Everything a finished batch reports: per-job outcomes (in submission order) and the
+/// aggregated [`RuntimeReport`].
+#[derive(Debug)]
+pub struct RuntimeOutcome {
+    /// One outcome per submitted job, sorted by submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Aggregated batch statistics.
+    pub report: RuntimeReport,
+}
+
+/// Handed to the producer closure of [`SolveRuntime::run_with`]; submits jobs into the
+/// bounded queue (blocking when the queue is full).
+pub struct JobSubmitter<'a> {
+    queue: &'a BoundedQueue<QueuedJob>,
+    next_id: AtomicU64,
+}
+
+impl JobSubmitter<'_> {
+    /// Enqueues a job, blocking while the queue is at capacity.  Returns the job id
+    /// (its position in submission order).
+    pub fn submit(&self, job: SolveJob) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let queued = QueuedJob {
+            id,
+            job,
+            submitted_at: Instant::now(),
+        };
+        if self.queue.push(queued).is_err() {
+            unreachable!("runtime queue closes only after the producer returns");
+        }
+        id
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+}
+
+/// The batched multi-tenant solve service.
+///
+/// The encoded-matrix cache lives on the runtime and persists across batches, so a
+/// tenant resubmitting the same matrix + format later skips quantization entirely.
+pub struct SolveRuntime {
+    config: RuntimeConfig,
+    cache: Arc<EncodedMatrixCache>,
+}
+
+impl SolveRuntime {
+    /// Creates a runtime; workers are spawned per batch (scoped threads), the cache is
+    /// created once here.
+    pub fn new(config: RuntimeConfig) -> Self {
+        assert!(config.workers >= 1, "runtime needs at least one worker");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue capacity must be at least 1"
+        );
+        let cache = Arc::new(EncodedMatrixCache::new(config.cache_capacity));
+        SolveRuntime { config, cache }
+    }
+
+    /// The runtime's sizing configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The shared encoded-matrix cache.
+    pub fn cache(&self) -> &EncodedMatrixCache {
+        &self.cache
+    }
+
+    /// Convenience: submit a pre-built batch and wait for all results.
+    pub fn run_batch(&self, jobs: Vec<SolveJob>) -> RuntimeOutcome {
+        self.run_with(|submitter| {
+            for job in jobs {
+                submitter.submit(job);
+            }
+        })
+    }
+
+    /// Runs a streaming batch: spawns the worker pool, calls `produce` with a
+    /// [`JobSubmitter`] (on the calling thread, so submission observes queue
+    /// backpressure), and returns once every submitted job has completed.
+    pub fn run_with<F>(&self, produce: F) -> RuntimeOutcome
+    where
+        F: FnOnce(&JobSubmitter<'_>),
+    {
+        let queue = BoundedQueue::new(self.config.queue_capacity);
+        let (results_tx, results_rx) = mpsc::channel::<JobOutcome>();
+        let started = Instant::now();
+        let cache_before = self.cache.stats();
+
+        std::thread::scope(|scope| {
+            for worker_id in 0..self.config.workers {
+                let queue = &queue;
+                let cache = Arc::clone(&self.cache);
+                let results = results_tx.clone();
+                scope.spawn(move || worker::worker_loop(worker_id, queue, &cache, results));
+            }
+            let submitter = JobSubmitter {
+                queue: &queue,
+                next_id: AtomicU64::new(0),
+            };
+            produce(&submitter);
+            queue.close();
+        });
+        drop(results_tx);
+
+        let mut jobs: Vec<JobOutcome> = results_rx.into_iter().collect();
+        jobs.sort_by_key(|j| j.job_id);
+        let wall_s = started.elapsed().as_secs_f64();
+        let cache_stats = self.cache.stats().delta_since(&cache_before);
+        let report = RuntimeReport::aggregate(&jobs, wall_s, cache_stats, self.config.workers);
+        RuntimeOutcome { jobs, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_core::ReFloatConfig;
+
+    fn poisson_handle(n: usize, name: &str) -> MatrixHandle {
+        MatrixHandle::new(
+            name,
+            refloat_matgen::generators::laplacian_2d(n, n, 0.3).to_csr(),
+        )
+    }
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let handle = poisson_handle(8, "p8");
+        let jobs: Vec<SolveJob> = (0..10)
+            .map(|i| {
+                SolveJob::new(
+                    format!("t{i}"),
+                    handle.clone(),
+                    ReFloatConfig::new(4, 3, 8, 3, 8),
+                )
+            })
+            .collect();
+        let runtime = SolveRuntime::new(RuntimeConfig {
+            workers: 3,
+            ..Default::default()
+        });
+        let outcome = runtime.run_batch(jobs);
+        let ids: Vec<u64> = outcome.jobs.iter().map(|j| j.job_id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        for (i, job) in outcome.jobs.iter().enumerate() {
+            assert_eq!(job.telemetry.tenant, format!("t{i}"));
+            assert!(job.result.converged());
+        }
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let handle = poisson_handle(8, "p8");
+        let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+        let runtime = SolveRuntime::new(RuntimeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+
+        let first = runtime.run_batch(vec![SolveJob::new("a", handle.clone(), format)]);
+        assert_eq!(first.report.cache.misses, 1);
+
+        let second = runtime.run_batch(vec![SolveJob::new("b", handle, format)]);
+        assert_eq!(second.report.cache.misses, 0);
+        assert_eq!(second.report.cache.hits, 1);
+        assert_eq!(second.jobs[0].telemetry.encode_s, 0.0);
+    }
+
+    #[test]
+    fn streaming_submission_observes_backpressure_and_completes() {
+        let handle = poisson_handle(6, "p6");
+        let format = ReFloatConfig::new(3, 3, 8, 3, 8);
+        let runtime = SolveRuntime::new(RuntimeConfig {
+            workers: 2,
+            queue_capacity: 2,
+            cache_capacity: 4,
+        });
+        let outcome = runtime.run_with(|submitter| {
+            for i in 0..24 {
+                submitter.submit(SolveJob::new(format!("t{i}"), handle.clone(), format));
+            }
+            assert_eq!(submitter.submitted(), 24);
+        });
+        assert_eq!(outcome.jobs.len(), 24);
+        assert!(outcome.report.throughput_jobs_per_s > 0.0);
+    }
+}

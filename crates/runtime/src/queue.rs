@@ -1,0 +1,169 @@
+//! A blocking bounded MPMC queue (`Mutex` + `Condvar`, no async runtime).
+//!
+//! Producers block while the queue is at capacity — this is the service's
+//! backpressure; consumers block while it is empty.  [`BoundedQueue::close`] wakes
+//! everyone: pending items are still drained, further pushes fail.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues an item, blocking while the queue is full.  Returns the item back if
+    /// the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues an item, blocking while the queue is empty and open.  Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: consumers drain what is left, producers fail fast.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_within_a_single_consumer() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_after_close_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        q.close();
+        assert_eq!(q.push(7), Err(7));
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let q = BoundedQueue::new(2);
+        let produced = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..100 {
+                    q.push(i).unwrap();
+                    produced.fetch_add(1, Ordering::SeqCst);
+                    // The producer can never be more than capacity + 1 ahead (one item
+                    // may be in-flight at the consumer).
+                    let ahead = produced.load(Ordering::SeqCst) as i64
+                        - consumed.load(Ordering::SeqCst) as i64;
+                    assert!(
+                        ahead <= 3,
+                        "producer ran {ahead} ahead of a capacity-2 queue"
+                    );
+                }
+                q.close();
+            });
+            scope.spawn(|| {
+                while let Some(_item) = q.pop() {
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn multiple_consumers_drain_everything_exactly_once() {
+        let q = BoundedQueue::new(4);
+        let total = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(item) = q.pop() {
+                        total.fetch_add(item, Ordering::SeqCst);
+                        count.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 1..=64 {
+                q.push(i).unwrap();
+            }
+            q.close();
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+        assert_eq!(total.load(Ordering::SeqCst), 64 * 65 / 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-job telemetry and batch-level aggregation.
+
+use reram_sim::SolverKind;
+
+use crate::accel::SimulatedRun;
+use crate::cache::{CacheOutcome, CacheStats};
+
+/// The cache outcome without the embedded timing (telemetry keeps timing separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcomeKind {
+    /// Encoded matrix found in the cache.
+    Hit,
+    /// This job encoded the matrix.
+    Miss,
+    /// This job waited for a concurrent encode of the same key.
+    Coalesced,
+}
+
+impl From<CacheOutcome> for CacheOutcomeKind {
+    fn from(outcome: CacheOutcome) -> Self {
+        match outcome {
+            CacheOutcome::Hit => CacheOutcomeKind::Hit,
+            CacheOutcome::Miss { .. } => CacheOutcomeKind::Miss,
+            CacheOutcome::Coalesced => CacheOutcomeKind::Coalesced,
+        }
+    }
+}
+
+/// Everything measured about one job.
+#[derive(Debug, Clone)]
+pub struct JobTelemetry {
+    /// Submission-order id.
+    pub job_id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Matrix name (from the handle).
+    pub matrix: String,
+    /// Worker that executed the job.
+    pub worker: usize,
+    /// Solver kind.
+    pub solver: SolverKind,
+    /// How the encoded matrix was obtained.
+    pub cache: CacheOutcomeKind,
+    /// Seconds between submission and a worker dequeuing the job.
+    pub queue_wait_s: f64,
+    /// Seconds spent quantizing the matrix (0 unless `cache` is `Miss`).
+    pub encode_s: f64,
+    /// Seconds in the solver itself (functional simulation wall-clock).
+    pub solve_s: f64,
+    /// Seconds from submission to completion.
+    pub latency_s: f64,
+    /// Solver iterations executed.
+    pub iterations: usize,
+    /// Whether the solve met its residual criterion.
+    pub converged: bool,
+    /// The simulated-chip cost of the job.
+    pub simulated: SimulatedRun,
+}
+
+/// Aggregated statistics for one batch.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Jobs that converged.
+    pub converged: usize,
+    /// Worker threads that served the batch.
+    pub workers: usize,
+    /// Batch wall-clock seconds (submission of the first job to completion of the
+    /// last).
+    pub wall_s: f64,
+    /// Jobs per wall-clock second.
+    pub throughput_jobs_per_s: f64,
+    /// Median job latency (submit → done), seconds.
+    pub latency_p50_s: f64,
+    /// 99th-percentile job latency, seconds.
+    pub latency_p99_s: f64,
+    /// Mean job latency, seconds.
+    pub latency_mean_s: f64,
+    /// Worst job latency, seconds.
+    pub latency_max_s: f64,
+    /// Median queue wait, seconds.
+    pub queue_wait_p50_s: f64,
+    /// Cache counter increments during the batch.
+    pub cache: CacheStats,
+    /// Total seconds spent encoding matrices (paid by cache misses).
+    pub encode_total_s: f64,
+    /// Total seconds spent inside solvers.
+    pub solve_total_s: f64,
+    /// Total simulated accelerator cycles.
+    pub simulated_cycles: u64,
+    /// Total simulated accelerator seconds.
+    pub simulated_total_s: f64,
+    /// Chip re-programming events across the pool.
+    pub remaps: u64,
+    /// Jobs per worker (index = worker id).
+    pub per_worker_jobs: Vec<u64>,
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) of an unsorted sample using the nearest-rank method.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl RuntimeReport {
+    /// Aggregates a finished batch.
+    pub fn aggregate(
+        jobs: &[crate::job::JobOutcome],
+        wall_s: f64,
+        cache: CacheStats,
+        workers: usize,
+    ) -> Self {
+        let latencies: Vec<f64> = jobs.iter().map(|j| j.telemetry.latency_s).collect();
+        let queue_waits: Vec<f64> = jobs.iter().map(|j| j.telemetry.queue_wait_s).collect();
+        let mut per_worker_jobs = vec![0u64; workers];
+        for job in jobs {
+            if let Some(slot) = per_worker_jobs.get_mut(job.telemetry.worker) {
+                *slot += 1;
+            }
+        }
+        RuntimeReport {
+            jobs: jobs.len(),
+            converged: jobs.iter().filter(|j| j.telemetry.converged).count(),
+            workers,
+            wall_s,
+            throughput_jobs_per_s: if wall_s > 0.0 {
+                jobs.len() as f64 / wall_s
+            } else {
+                0.0
+            },
+            latency_p50_s: percentile(&latencies, 0.50),
+            latency_p99_s: percentile(&latencies, 0.99),
+            latency_mean_s: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            latency_max_s: latencies.iter().cloned().fold(0.0, f64::max),
+            queue_wait_p50_s: percentile(&queue_waits, 0.50),
+            cache,
+            // `Sum<f64>` over an empty iterator yields -0.0, which renders as
+            // "-0.000000"; fold from +0.0 instead.
+            encode_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.telemetry.encode_s),
+            solve_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.telemetry.solve_s),
+            simulated_cycles: jobs.iter().map(|j| j.telemetry.simulated.cycles).sum(),
+            simulated_total_s: jobs
+                .iter()
+                .fold(0.0, |acc, j| acc + j.telemetry.simulated.total_s),
+            remaps: jobs
+                .iter()
+                .filter(|j| j.telemetry.simulated.remapped)
+                .count() as u64,
+            per_worker_jobs,
+        }
+    }
+
+    /// The batch cache hit rate (hits + coalesced over lookups).
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "jobs            {} ({} converged) on {} workers\n",
+            self.jobs, self.converged, self.workers
+        ));
+        out.push_str(&format!(
+            "throughput      {:.1} jobs/s over {:.3} s wall\n",
+            self.throughput_jobs_per_s, self.wall_s
+        ));
+        out.push_str(&format!(
+            "latency         p50 {:.2} ms   p99 {:.2} ms   mean {:.2} ms   max {:.2} ms\n",
+            self.latency_p50_s * 1e3,
+            self.latency_p99_s * 1e3,
+            self.latency_mean_s * 1e3,
+            self.latency_max_s * 1e3,
+        ));
+        out.push_str(&format!(
+            "queue wait      p50 {:.2} ms\n",
+            self.queue_wait_p50_s * 1e3
+        ));
+        out.push_str(&format!(
+            "encode cache    {:.1}% hit rate ({} hits, {} coalesced, {} misses, {} evictions), {:.3} s encoding\n",
+            self.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.coalesced,
+            self.cache.misses,
+            self.cache.evictions,
+            self.encode_total_s,
+        ));
+        out.push_str(&format!(
+            "simulated chip  {:.3e} cycles, {:.6} s total, {} remaps\n",
+            self.simulated_cycles as f64, self.simulated_total_s, self.remaps
+        ));
+        out.push_str(&format!("worker load     {:?}\n", self.per_worker_jobs));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The worker loop: drain the queue, resolve the encoded matrix through the cache,
+//! solve, and account the simulated-chip cost.
+
+use std::sync::mpsc::Sender;
+use std::time::Instant;
+
+use refloat_core::ReFloatMatrix;
+use refloat_solvers::{bicgstab, cg};
+use reram_sim::SolverKind;
+
+use crate::accel::SimulatedAccelerator;
+use crate::cache::{CacheOutcome, EncodedMatrixCache};
+use crate::job::{JobOutcome, QueuedJob};
+use crate::queue::BoundedQueue;
+use crate::telemetry::JobTelemetry;
+
+/// Runs until the queue closes and drains; one simulated accelerator per worker.
+pub(crate) fn worker_loop(
+    worker_id: usize,
+    queue: &BoundedQueue<QueuedJob>,
+    cache: &EncodedMatrixCache,
+    results: Sender<JobOutcome>,
+) {
+    let mut accelerator = SimulatedAccelerator::new(worker_id);
+    // The worker's "programmed" operator, mirroring the simulated chip state: reused
+    // across consecutive jobs on the same (matrix, format) so hot traffic skips even
+    // the O(nnz) clone of the cached encoding.
+    let mut programmed: Option<(crate::cache::CacheKey, ReFloatMatrix)> = None;
+    while let Some(queued) = queue.pop() {
+        let outcome = execute_job(queued, cache, &mut accelerator, &mut programmed);
+        if results.send(outcome).is_err() {
+            // The collector went away; nothing left to do.
+            break;
+        }
+    }
+}
+
+fn execute_job(
+    queued: QueuedJob,
+    cache: &EncodedMatrixCache,
+    accelerator: &mut SimulatedAccelerator,
+    programmed: &mut Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+) -> JobOutcome {
+    let QueuedJob {
+        id,
+        job,
+        submitted_at,
+    } = queued;
+    let dequeued_at = Instant::now();
+    let queue_wait_s = dequeued_at.duration_since(submitted_at).as_secs_f64();
+
+    let key = job.cache_key();
+    let (encoded, cache_outcome) = cache.get_or_encode(key, || {
+        ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
+    });
+    let encode_s = match cache_outcome {
+        CacheOutcome::Miss { encode_seconds } => encode_seconds,
+        CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
+    };
+
+    // The worker needs a mutable operator (applying it mutates the converter scratch),
+    // while the cache entry is shared and immutable.  Reuse the worker's programmed
+    // operator when the key matches — the encode is a pure function of the key, so the
+    // content is the same — and otherwise clone the cached encoding (memcpy cost, not
+    // re-encode cost).  Either way the numerics are bit-identical to the serial path:
+    // same `ReFloatMatrix`, same block order.
+    let mut operator = match programmed.take() {
+        Some((held_key, op)) if held_key == key => op,
+        _ => (*encoded).clone(),
+    };
+    let ones;
+    let rhs: &[f64] = match &job.rhs {
+        Some(b) => b,
+        None => {
+            ones = vec![1.0; job.matrix.csr().nrows()];
+            &ones
+        }
+    };
+
+    let solve_started = Instant::now();
+    let result = match job.solver {
+        SolverKind::Cg => cg(&mut operator, rhs, &job.solver_config),
+        SolverKind::BiCgStab => bicgstab(&mut operator, rhs, &job.solver_config),
+    };
+    let solve_s = solve_started.elapsed().as_secs_f64();
+
+    let simulated = accelerator.execute(
+        key,
+        &job.format,
+        operator.num_blocks() as u64,
+        result.iterations as u64,
+        job.solver,
+    );
+    *programmed = Some((key, operator));
+
+    let telemetry = JobTelemetry {
+        job_id: id,
+        tenant: job.tenant.to_string(),
+        matrix: job.matrix.name().to_string(),
+        worker: accelerator.worker_id(),
+        solver: job.solver,
+        cache: cache_outcome.into(),
+        queue_wait_s,
+        encode_s,
+        solve_s,
+        latency_s: submitted_at.elapsed().as_secs_f64(),
+        iterations: result.iterations,
+        converged: result.converged(),
+        simulated,
+    };
+    JobOutcome {
+        job_id: id,
+        result,
+        telemetry,
+    }
+}

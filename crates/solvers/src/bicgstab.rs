@@ -19,7 +19,11 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
     config: &SolverConfig,
 ) -> SolveResult {
     let n = b.len();
-    assert_eq!(a.nrows(), n, "bicgstab: operator rows must match rhs length");
+    assert_eq!(
+        a.nrows(),
+        n,
+        "bicgstab: operator rows must match rhs length"
+    );
     assert_eq!(a.ncols(), n, "bicgstab: operator must be square");
 
     let threshold = config.threshold(vecops::norm2(b));
@@ -70,7 +74,14 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
     for k in 1..=config.max_iterations {
         let rho_new = vecops::dot(&r_hat, &r);
         if rho_new == 0.0 || !rho_new.is_finite() {
-            return breakdown(format!("rho = {rho_new}"), x, k, spmv_count, res_norm, trace);
+            return breakdown(
+                format!("rho = {rho_new}"),
+                x,
+                k,
+                spmv_count,
+                res_norm,
+                trace,
+            );
         }
         let beta = (rho_new / rho) * (alpha / omega);
         if !beta.is_finite() {
@@ -85,7 +96,14 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
 
         let r_hat_v = vecops::dot(&r_hat, &v);
         if r_hat_v == 0.0 || !r_hat_v.is_finite() {
-            return breakdown(format!("r̂ᵀv = {r_hat_v}"), x, k, spmv_count, res_norm, trace);
+            return breakdown(
+                format!("r̂ᵀv = {r_hat_v}"),
+                x,
+                k,
+                spmv_count,
+                res_norm,
+                trace,
+            );
         }
         alpha = rho_new / r_hat_v;
         // s = r - alpha v
@@ -117,7 +135,14 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         }
         omega = vecops::dot(&t, &s) / t_t;
         if omega == 0.0 || !omega.is_finite() {
-            return breakdown(format!("omega = {omega}"), x, k, spmv_count, res_norm, trace);
+            return breakdown(
+                format!("omega = {omega}"),
+                x,
+                k,
+                spmv_count,
+                res_norm,
+                trace,
+            );
         }
         // x = x + alpha p + omega s
         for i in 0..n {
@@ -134,7 +159,14 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
             trace.push(res_norm);
         }
         if !res_norm.is_finite() {
-            return breakdown("residual is not finite".into(), x, k, spmv_count, res_norm, trace);
+            return breakdown(
+                "residual is not finite".into(),
+                x,
+                k,
+                spmv_count,
+                res_norm,
+                trace,
+            );
         }
         if res_norm < threshold {
             return SolveResult {
@@ -172,7 +204,9 @@ mod tests {
     #[test]
     fn solves_spd_laplacian() {
         let a = generators::laplacian_2d(16, 16, 0.2).to_csr();
-        let x_star: Vec<f64> = (0..a.nrows()).map(|i| ((i * 7 % 13) as f64) / 13.0).collect();
+        let x_star: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 7 % 13) as f64) / 13.0)
+            .collect();
         let b = a.spmv(&x_star);
         let r = solve(&a, &b, &SolverConfig::relative(1e-10));
         assert!(r.converged(), "stop = {:?}", r.stop);
@@ -185,7 +219,11 @@ mod tests {
         assert!(!a.is_symmetric(1e-12));
         let x_star: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.01).cos()).collect();
         let b = a.spmv(&x_star);
-        let r = solve(&a, &b, &SolverConfig::relative(1e-10).with_max_iterations(2000));
+        let r = solve(
+            &a,
+            &b,
+            &SolverConfig::relative(1e-10).with_max_iterations(2000),
+        );
         assert!(r.converged(), "stop = {:?}", r.stop);
         assert!(vecops::rel_err(&r.x, &x_star) < 1e-6);
     }
@@ -218,7 +256,7 @@ mod tests {
     #[test]
     fn zero_rhs_converges_immediately() {
         let a = generators::laplacian_2d(5, 5, 0.1).to_csr();
-        let r = solve(&a, &vec![0.0; 25], &SolverConfig::default());
+        let r = solve(&a, &[0.0; 25], &SolverConfig::default());
         assert!(r.converged());
         assert_eq!(r.iterations, 0);
         assert_eq!(r.spmv_count, 0);
@@ -228,7 +266,11 @@ mod tests {
     fn reports_nc_when_iteration_budget_is_too_small() {
         let a = generators::logspace_diagonal(300, 1.0, 1e9).to_csr();
         let b = vec![1.0; 300];
-        let r = solve(&a, &b, &SolverConfig::relative(1e-12).with_max_iterations(2));
+        let r = solve(
+            &a,
+            &b,
+            &SolverConfig::relative(1e-12).with_max_iterations(2),
+        );
         assert!(!r.converged());
         assert_eq!(r.stop, StopReason::MaxIterations);
     }

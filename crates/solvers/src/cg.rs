@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn solves_laplacian_to_requested_tolerance() {
         let a = generators::laplacian_2d(20, 20, 0.2).to_csr();
-        let x_star: Vec<f64> = (0..a.nrows()).map(|i| ((i % 17) as f64 - 8.0) / 8.0).collect();
+        let x_star: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i % 17) as f64 - 8.0) / 8.0)
+            .collect();
         let b = a.spmv(&x_star);
         let cfg = SolverConfig::relative(1e-10);
         let r = solve_reference(&a, &b, &cfg);
@@ -263,7 +265,7 @@ mod tests {
     #[test]
     fn zero_rhs_converges_immediately() {
         let a = generators::laplacian_2d(5, 5, 0.1).to_csr();
-        let r = solve_reference(&a, &vec![0.0; 25], &SolverConfig::default());
+        let r = solve_reference(&a, &[0.0; 25], &SolverConfig::default());
         assert!(r.converged());
         assert_eq!(r.iterations, 0);
         assert!(r.x.iter().all(|&v| v == 0.0));

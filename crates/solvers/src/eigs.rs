@@ -27,16 +27,14 @@ impl EigenEstimate {
 }
 
 /// Estimates the largest eigenvalue of an SPD operator by power iteration.
-pub fn power_iteration<A: LinearOperator + ?Sized>(
-    a: &mut A,
-    iterations: usize,
-    seed: u64,
-) -> f64 {
+pub fn power_iteration<A: LinearOperator + ?Sized>(a: &mut A, iterations: usize, seed: u64) -> f64 {
     let n = a.nrows();
     let mut x: Vec<f64> = (0..n)
         .map(|i| {
             // Deterministic pseudo-random start vector (splitmix-style hash).
-            let mut z = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut z = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
             ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
@@ -66,12 +64,16 @@ pub fn inverse_power_iteration<A: LinearOperator + ?Sized>(
     let n = a.nrows();
     let mut x: Vec<f64> = (0..n)
         .map(|i| {
-            let mut z = (i as u64).wrapping_add(seed ^ 0xABCD).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut z = (i as u64)
+                .wrapping_add(seed ^ 0xABCD)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             ((z >> 11) as f64 / (1u64 << 53) as f64) + 0.25
         })
         .collect();
-    let cfg = SolverConfig::relative(1e-6).with_max_iterations(2_000).with_trace(false);
+    let cfg = SolverConfig::relative(1e-6)
+        .with_max_iterations(2_000)
+        .with_trace(false);
     let mut mu = 0.0;
     for _ in 0..outer_iterations {
         let norm = vecops::norm2(&x);
@@ -95,7 +97,10 @@ pub fn inverse_power_iteration<A: LinearOperator + ?Sized>(
 pub fn estimate_extremes<A: LinearOperator + ?Sized>(a: &mut A, seed: u64) -> EigenEstimate {
     let lambda_max = power_iteration(a, 60, seed);
     let lambda_min = inverse_power_iteration(a, 8, seed);
-    EigenEstimate { lambda_max, lambda_min }
+    EigenEstimate {
+        lambda_max,
+        lambda_min,
+    }
 }
 
 #[cfg(test)]
@@ -107,8 +112,16 @@ mod tests {
     fn diagonal_matrix_extremes_are_recovered() {
         let mut a = generators::logspace_diagonal(200, 0.5, 128.0).to_csr();
         let est = estimate_extremes(&mut a, 1);
-        assert!((est.lambda_max - 128.0).abs() / 128.0 < 0.05, "λmax = {}", est.lambda_max);
-        assert!((est.lambda_min - 0.5).abs() / 0.5 < 0.1, "λmin = {}", est.lambda_min);
+        assert!(
+            (est.lambda_max - 128.0).abs() / 128.0 < 0.05,
+            "λmax = {}",
+            est.lambda_max
+        );
+        assert!(
+            (est.lambda_min - 0.5).abs() / 0.5 < 0.1,
+            "λmin = {}",
+            est.lambda_min
+        );
         let kappa = est.condition_number();
         assert!((kappa - 256.0).abs() / 256.0 < 0.15, "κ = {kappa}");
     }

@@ -15,7 +15,13 @@ use refloat_sparse::CsrMatrix;
 pub fn inverse_diagonal(a: &CsrMatrix) -> Vec<f64> {
     a.diagonal()
         .iter()
-        .map(|&d| if d != 0.0 && d.is_finite() { 1.0 / d } else { 1.0 })
+        .map(|&d| {
+            if d != 0.0 && d.is_finite() {
+                1.0 / d
+            } else {
+                1.0
+            }
+        })
         .collect()
 }
 
@@ -37,8 +43,10 @@ pub fn scale_rhs(b: &[f64], diag: &[f64]) -> Vec<f64> {
 pub fn symmetric_diagonal_scaling(a: &CsrMatrix) -> CsrMatrix {
     let diag = a.diagonal();
     let mut coo = a.to_coo();
-    let scale: Vec<f64> =
-        diag.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 }).collect();
+    let scale: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 })
+        .collect();
     let rows = coo.row_indices().to_vec();
     let cols = coo.col_indices().to_vec();
     let vals: Vec<f64> = coo

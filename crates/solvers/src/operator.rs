@@ -39,7 +39,12 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn name(&self) -> String {
-        format!("csr-fp64 ({}x{}, nnz {})", CsrMatrix::nrows(self), CsrMatrix::ncols(self), self.nnz())
+        format!(
+            "csr-fp64 ({}x{}, nnz {})",
+            CsrMatrix::nrows(self),
+            CsrMatrix::ncols(self),
+            self.nnz()
+        )
     }
 }
 

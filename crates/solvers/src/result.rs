@@ -54,7 +54,11 @@ impl SolverConfig {
     /// experiment harness so that workloads whose right-hand sides are far from unit
     /// norm remain meaningful.
     pub fn relative(tol: f64) -> Self {
-        SolverConfig { tolerance: tol, relative: true, ..SolverConfig::default() }
+        SolverConfig {
+            tolerance: tol,
+            relative: true,
+            ..SolverConfig::default()
+        }
     }
 
     /// Builder-style setter for the iteration limit.
@@ -135,7 +139,9 @@ mod tests {
 
     #[test]
     fn builders_update_fields() {
-        let c = SolverConfig::default().with_max_iterations(7).with_trace(false);
+        let c = SolverConfig::default()
+            .with_max_iterations(7)
+            .with_trace(false);
         assert_eq!(c.max_iterations, 7);
         assert!(!c.record_trace);
     }
@@ -155,7 +161,10 @@ mod tests {
             stop: StopReason::Converged,
         };
         assert_eq!(ok.iterations_label(), "42");
-        let nc = SolveResult { stop: StopReason::MaxIterations, ..ok };
+        let nc = SolveResult {
+            stop: StopReason::MaxIterations,
+            ..ok
+        };
         assert_eq!(nc.iterations_label(), "NC");
     }
 }

@@ -135,7 +135,13 @@ impl BlockedMatrix {
             block_row_ptr.push(blocks.len());
         }
 
-        Ok(BlockedMatrix { nrows, ncols, b, blocks, block_row_ptr })
+        Ok(BlockedMatrix {
+            nrows,
+            ncols,
+            b,
+            blocks,
+            block_row_ptr,
+        })
     }
 
     /// Partitions a COO matrix (duplicates are summed via CSR first).
@@ -357,8 +363,11 @@ mod tests {
     fn blocks_are_sorted_block_row_major() {
         let a = banded(200);
         let blocked = BlockedMatrix::from_csr(&a, 5).unwrap();
-        let keys: Vec<(usize, usize)> =
-            blocked.blocks().iter().map(|b| (b.block_row, b.block_col)).collect();
+        let keys: Vec<(usize, usize)> = blocked
+            .blocks()
+            .iter()
+            .map(|b| (b.block_row, b.block_col))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
@@ -420,7 +429,7 @@ mod tests {
         let blocked = BlockedMatrix::from_coo(&coo, 2).unwrap();
         assert_eq!(blocked.num_blocks(), 1);
         let dense = blocked.blocks()[0].to_dense(4);
-        assert_eq!(dense[0 * 4 + 1], 2.0);
+        assert_eq!(dense[1], 2.0);
         assert_eq!(dense[3 * 4 + 2], -1.0);
         assert_eq!(dense.iter().filter(|v| **v != 0.0).count(), 2);
     }

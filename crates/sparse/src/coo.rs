@@ -25,7 +25,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix with reserved capacity for `nnz` entries.
@@ -65,10 +71,21 @@ impl CooMatrix {
         }
         for (&r, &c) in rows.iter().zip(cols.iter()) {
             if r >= nrows || c >= ncols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
             }
         }
-        Ok(CooMatrix { nrows, ncols, rows, cols, vals })
+        Ok(CooMatrix {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        })
     }
 
     /// Appends one entry. Entries with value exactly `0.0` are silently dropped.
@@ -326,6 +343,9 @@ mod tests {
     fn scale_multiplies_all_values() {
         let mut a = example();
         a.scale(2.0);
-        assert_eq!(a.values().iter().sum::<f64>(), 2.0 * (1.0 + 2.0 + 3.0 + 4.0 + 5.0));
+        assert_eq!(
+            a.values().iter().sum::<f64>(),
+            2.0 * (1.0 + 2.0 + 3.0 + 4.0 + 5.0)
+        );
     }
 }

@@ -55,14 +55,27 @@ impl CsrMatrix {
             ));
         }
         if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(SparseError::InvalidParameter("CSR row_ptr must be non-decreasing".into()));
+            return Err(SparseError::InvalidParameter(
+                "CSR row_ptr must be non-decreasing".into(),
+            ));
         }
         for &c in &col_idx {
             if c >= ncols {
-                return Err(SparseError::IndexOutOfBounds { row: 0, col: c, nrows, ncols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: 0,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
             }
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, vals })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
     }
 
     /// Builds a CSR matrix from a COO matrix, summing duplicate entries.
@@ -83,8 +96,11 @@ impl CsrMatrix {
         let mut order_vals = vec![0.0f64; nnz_in];
         {
             let mut cursor = counts.clone();
-            for ((&r, &c), &v) in
-                coo.row_indices().iter().zip(coo.col_indices().iter()).zip(coo.values().iter())
+            for ((&r, &c), &v) in coo
+                .row_indices()
+                .iter()
+                .zip(coo.col_indices().iter())
+                .zip(coo.values().iter())
             {
                 let k = cursor[r];
                 order_cols[k] = c;
@@ -102,7 +118,12 @@ impl CsrMatrix {
         for r in 0..nrows {
             let (lo, hi) = (counts[r], counts[r + 1]);
             scratch.clear();
-            scratch.extend(order_cols[lo..hi].iter().copied().zip(order_vals[lo..hi].iter().copied()));
+            scratch.extend(
+                order_cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(order_vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
                 if let Some(&last_c) = col_idx.last() {
@@ -117,7 +138,13 @@ impl CsrMatrix {
             row_ptr.push(col_idx.len());
         }
 
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -180,7 +207,9 @@ impl CsrMatrix {
 
     /// Extracts the main diagonal (missing diagonal entries are returned as 0.0).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Serial SpMV: `y ← A x`.
@@ -190,13 +219,13 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "CSR spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "CSR spmv: y length mismatch");
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.vals[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -259,7 +288,13 @@ impl CsrMatrix {
                 cursor[c] += 1;
             }
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr: counts, col_idx, vals }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: counts,
+            col_idx,
+            vals,
+        }
     }
 
     /// Checks numerical symmetry within an absolute tolerance.
@@ -270,10 +305,15 @@ impl CsrMatrix {
         let t = self.transpose();
         if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
             // Structurally different; fall back to element-wise comparison.
-            return self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+            return self
+                .iter()
+                .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
                 && t.iter().all(|(r, c, v)| (self.get(r, c) - v).abs() <= tol);
         }
-        self.vals.iter().zip(t.vals.iter()).all(|(a, b)| (a - b).abs() <= tol)
+        self.vals
+            .iter()
+            .zip(t.vals.iter())
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Frobenius norm of the matrix.

@@ -45,14 +45,27 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
             ),
-            SparseError::LengthMismatch { what, expected, actual } => {
+            SparseError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what}: expected length {expected}, got {actual}")
             }
-            SparseError::DimensionMismatch { what, expected, actual } => {
+            SparseError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what}: expected dimension {expected}, got {actual}")
             }
             SparseError::MatrixMarket(msg) => write!(f, "Matrix Market parse error: {msg}"),
@@ -83,14 +96,27 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 4,
+            ncols: 4,
+        };
         assert!(e.to_string().contains("(5, 7)"));
         assert!(e.to_string().contains("4x4"));
 
-        let e = SparseError::LengthMismatch { what: "values", expected: 3, actual: 2 };
+        let e = SparseError::LengthMismatch {
+            what: "values",
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("values"));
 
-        let e = SparseError::DimensionMismatch { what: "spmv input", expected: 10, actual: 9 };
+        let e = SparseError::DimensionMismatch {
+            what: "spmv input",
+            expected: 10,
+            actual: 9,
+        };
         assert!(e.to_string().contains("spmv input"));
 
         let e = SparseError::MatrixMarket("bad header".into());

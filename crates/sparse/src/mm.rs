@@ -64,13 +64,17 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
     let header_lc = header.to_ascii_lowercase();
     let tokens: Vec<&str> = header_lc.split_whitespace().collect();
     if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") || tokens[1] != "matrix" {
-        return Err(SparseError::MatrixMarket(format!("bad header line: {header}")));
+        return Err(SparseError::MatrixMarket(format!(
+            "bad header line: {header}"
+        )));
     }
     let coordinate = match tokens[2] {
         "coordinate" => true,
         "array" => false,
         other => {
-            return Err(SparseError::MatrixMarket(format!("unsupported format '{other}'")));
+            return Err(SparseError::MatrixMarket(format!(
+                "unsupported format '{other}'"
+            )));
         }
     };
     let field = match tokens[3] {
@@ -78,7 +82,9 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
         "integer" => Field::Integer,
         "pattern" => Field::Pattern,
         other => {
-            return Err(SparseError::MatrixMarket(format!("unsupported field '{other}'")));
+            return Err(SparseError::MatrixMarket(format!(
+                "unsupported field '{other}'"
+            )));
         }
     };
     let symmetry = match tokens[4] {
@@ -86,11 +92,15 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
         other => {
-            return Err(SparseError::MatrixMarket(format!("unsupported symmetry '{other}'")));
+            return Err(SparseError::MatrixMarket(format!(
+                "unsupported symmetry '{other}'"
+            )));
         }
     };
     if !coordinate && field == Field::Pattern {
-        return Err(SparseError::MatrixMarket("array format cannot be 'pattern'".into()));
+        return Err(SparseError::MatrixMarket(
+            "array format cannot be 'pattern'".into(),
+        ));
     }
 
     // --- Size line (skipping comments).
@@ -114,7 +124,9 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
 
     if coordinate {
         if dims.len() != 3 {
-            return Err(SparseError::MatrixMarket(format!("bad coordinate size line: {size_line}")));
+            return Err(SparseError::MatrixMarket(format!(
+                "bad coordinate size line: {size_line}"
+            )));
         }
         let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
         let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
@@ -169,7 +181,9 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
     } else {
         // Dense array format: column-major values.
         if dims.len() != 2 {
-            return Err(SparseError::MatrixMarket(format!("bad array size line: {size_line}")));
+            return Err(SparseError::MatrixMarket(format!(
+                "bad array size line: {size_line}"
+            )));
         }
         let (nrows, ncols) = (dims[0], dims[1]);
         let mut values = Vec::with_capacity(nrows * ncols);

@@ -43,7 +43,10 @@ pub fn even_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
 /// # Panics
 /// Panics if `prefix` is empty.
 pub fn balance_by_weight(prefix: &[usize], chunks: usize) -> Vec<Range<usize>> {
-    assert!(!prefix.is_empty(), "balance_by_weight: prefix-sum array must be non-empty");
+    assert!(
+        !prefix.is_empty(),
+        "balance_by_weight: prefix-sum array must be non-empty"
+    );
     let n = prefix.len() - 1;
     if n == 0 {
         return Vec::new();
@@ -92,7 +95,10 @@ where
     F: Fn(usize, Range<usize>, &mut [T]) + Sync,
 {
     if bounds.is_empty() {
-        assert!(out.is_empty(), "scoped_chunks: no ranges but non-empty output");
+        assert!(
+            out.is_empty(),
+            "scoped_chunks: no ranges but non-empty output"
+        );
         return;
     }
     assert_eq!(bounds[0].start, 0, "scoped_chunks: ranges must start at 0");
@@ -102,7 +108,10 @@ where
         "scoped_chunks: ranges must cover the output"
     );
     for w in bounds.windows(2) {
-        assert_eq!(w[0].end, w[1].start, "scoped_chunks: ranges must be contiguous");
+        assert_eq!(
+            w[0].end, w[1].start,
+            "scoped_chunks: ranges must be contiguous"
+        );
     }
 
     // Split `out` into disjoint mutable slices matching `bounds`.
@@ -118,7 +127,7 @@ where
 
     std::thread::scope(|scope| {
         let f = &f;
-        let mut iter = bounds.iter().cloned().zip(slices.into_iter()).enumerate();
+        let mut iter = bounds.iter().cloned().zip(slices).enumerate();
         // Keep the last chunk for the current thread.
         let last = iter.next_back();
         for (idx, (range, slice)) in iter {
@@ -143,10 +152,17 @@ where
     let ranges = even_ranges(n, chunks);
     let mut results: Vec<Option<R>> = Vec::new();
     results.resize_with(ranges.len(), || None);
-    scoped_chunks(&mut results, &even_ranges(ranges.len(), ranges.len()), |idx, _r, out| {
-        out[0] = Some(f(ranges[idx].clone()));
-    });
-    results.into_iter().map(|r| r.expect("all chunks produce a result")).collect()
+    scoped_chunks(
+        &mut results,
+        &even_ranges(ranges.len(), ranges.len()),
+        |idx, _r, out| {
+            out[0] = Some(f(ranges[idx].clone()));
+        },
+    );
+    results
+        .into_iter()
+        .map(|r| r.expect("all chunks produce a result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -208,6 +224,6 @@ mod tests {
     #[should_panic(expected = "cover the output")]
     fn scoped_chunks_rejects_incomplete_tiling() {
         let mut out = vec![0; 10];
-        scoped_chunks(&mut out, &[0..5], |_, _, _| {});
+        scoped_chunks(&mut out, std::slice::from_ref(&(0..5)), |_, _, _| {});
     }
 }

@@ -53,7 +53,11 @@ impl MatrixStats {
             nrows,
             ncols,
             nnz,
-            nnz_per_row: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            nnz_per_row: if nrows == 0 {
+                0.0
+            } else {
+                nnz as f64 / nrows as f64
+            },
             max_row_nnz,
             bandwidth,
             symmetric,

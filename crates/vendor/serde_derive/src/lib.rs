@@ -1,0 +1,127 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for plain structs with named fields (the only shape this workspace derives).
+//!
+//! Implemented without `syn`/`quote` — the input is walked as raw token trees to
+//! extract the struct name and field names, and the impl is emitted as a string.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(struct_name, [field names])` from the derive input.
+///
+/// Panics (compile error) on enums, tuple structs, and generic structs — the shim only
+/// supports the named-field structs the workspace actually derives on.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes (`#[...]` shows up as Punct('#') + bracket Group).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            // `pub`, `pub(crate)` etc. — ignore.
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim derive: input is not a struct");
+
+    // Find the brace group holding the fields; anything before it that is a `<` means
+    // generics, which the shim does not support.
+    let mut fields_group = None;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic structs are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields_group = Some(g);
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported")
+            }
+            _ => {}
+        }
+    }
+    let group = fields_group.expect("serde shim derive: struct has no named-field body");
+
+    // Walk the field list: a field name is the ident immediately before a `:` at
+    // angle-bracket depth 0 while we are *expecting* a field (i.e. not inside a type).
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut in_type = false;
+    let mut last_ident = None;
+    for tt in group.stream() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !in_type => {
+                    if let Some(id) = last_ident.take() {
+                        fields.push(id);
+                        in_type = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    (name, fields)
+}
+
+/// Derives the shim `serde::Serialize` (a `to_value` producing an ordered object).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` (field-by-field `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -8,13 +8,18 @@
 use refloat::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "crystm03".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crystm03".to_string());
     let workload = Workload::from_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload '{name}', using crystm03 (try e.g. wathen100, thermomech_TC)");
         Workload::Crystm03
     });
     let spec = workload.spec();
-    println!("workload {} (id {}), paper: {} rows / {} nnz\n", spec.name, spec.id, spec.nrows, spec.nnz);
+    println!(
+        "workload {} (id {}), paper: {} rows / {} nnz\n",
+        spec.name, spec.id, spec.nrows, spec.nnz
+    );
 
     // Generate and block at the crossbar size.
     let a = workload.generate_csr(2023);
@@ -43,16 +48,22 @@ fn main() {
     // Capacity arithmetic and timing for both accelerators plus the GPU model.
     let blocks = blocked.num_blocks() as u64;
     for (label, hw, iters) in [
-        ("ReFloat accelerator", AcceleratorConfig::refloat(&format), refloat.iterations as u64),
-        ("Feinberg [ISCA'18] (fc)", AcceleratorConfig::feinberg(), double.iterations as u64),
+        (
+            "ReFloat accelerator",
+            AcceleratorConfig::refloat(&format),
+            refloat.iterations as u64,
+        ),
+        (
+            "Feinberg [ISCA'18] (fc)",
+            AcceleratorConfig::feinberg(),
+            double.iterations as u64,
+        ),
     ] {
         let t = hw.solver_time(blocks, iters, SolverKind::Cg);
         println!("{label}:");
         println!(
             "  crossbars/cluster {:>4}   clusters available {:>6}   rounds per SpMV {:>4}",
-            hw.crossbars_per_cluster,
-            t.clusters_available,
-            t.rounds_per_spmv
+            hw.crossbars_per_cluster, t.clusters_available, t.rounds_per_spmv
         );
         println!(
             "  SpMV {:>10.3} us (compute {:.3} us + writes {:.3} us)   solve {:>10.3} ms",
@@ -63,8 +74,12 @@ fn main() {
         );
     }
     let gpu = GpuModel::v100();
-    let gpu_t =
-        gpu.solver_time_s(a.nnz() as u64, a.nrows() as u64, double.iterations as u64, SolverKind::Cg);
+    let gpu_t = gpu.solver_time_s(
+        a.nnz() as u64,
+        a.nrows() as u64,
+        double.iterations as u64,
+        SolverKind::Cg,
+    );
     println!("GPU (modelled V100): solve {:.3} ms", gpu_t * 1e3);
 
     let rf_t = AcceleratorConfig::refloat(&format)

@@ -11,7 +11,9 @@ fn main() {
     // A crystm-like mass matrix: tiny entries, strong block exponent locality.
     let a = refloat::matgen::generators::mass_matrix_3d(12, 12, 12, 1e-12, 0.8, 7).to_csr();
     let b = vec![1.0; a.nrows()];
-    let cfg = SolverConfig::relative(1e-8).with_max_iterations(5_000).with_trace(false);
+    let cfg = SolverConfig::relative(1e-8)
+        .with_max_iterations(5_000)
+        .with_trace(false);
     let reference = cg(&mut a.clone(), &b, &cfg);
     println!(
         "workload: {} rows, {} nnz; FP64 CG converges in {} iterations\n",

@@ -22,7 +22,10 @@ fn main() {
             let demo = refloat::matgen::generators::wathen(12, 12, 7);
             let path = std::env::temp_dir().join("refloat_demo_wathen12.mtx");
             mm::write_coo(&path, &demo, "demo matrix written by matrix_market_solve").unwrap();
-            println!("no input file given; wrote and using demo matrix {}\n", path.display());
+            println!(
+                "no input file given; wrote and using demo matrix {}\n",
+                path.display()
+            );
             path
         }
     };
@@ -78,6 +81,9 @@ fn main() {
             quant.iterations as i64 - exact.iterations as i64
         );
     } else {
-        println!("\none of the solves did not converge — try more fraction bits (e.g. `-- {} 8 3 16`)", path.display());
+        println!(
+            "\none of the solves did not converge — try more fraction bits (e.g. `-- {} 8 3 16`)",
+            path.display()
+        );
     }
 }

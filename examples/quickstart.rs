@@ -40,7 +40,11 @@ fn main() {
 
     // --- (3) The Feinberg baseline (exact fractions, fixed 6-bit exponent window).
     let mut feinberg_op = FeinbergOperator::new(a.clone());
-    let feinberg = cg(&mut feinberg_op, &b, &cfg.clone().with_max_iterations(2_000));
+    let feinberg = cg(
+        &mut feinberg_op,
+        &b,
+        &cfg.clone().with_max_iterations(2_000),
+    );
     println!(
         "Feinberg  CG: {:>5} iterations, final residual {:.2e}\n",
         feinberg.iterations_label(),

@@ -11,6 +11,7 @@
 //! | [`solvers`] (`refloat-solvers`) | CG and BiCGSTAB over a pluggable [`solvers::LinearOperator`] |
 //! | [`core`](mod@core) (`refloat-core`) | the ReFloat format, per-block exponent bases, quantized operators, baselines |
 //! | [`sim`] (`reram-sim`) | crossbar pipeline, Eq. 2/Eq. 3 cost models, accelerator + GPU timing, RTN noise |
+//! | [`runtime`] (`refloat-runtime`) | batched multi-tenant solve service: job queue, worker pool of simulated accelerators, encoded-matrix cache, telemetry |
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@
 
 pub use refloat_core as core;
 pub use refloat_matgen as matgen;
+pub use refloat_runtime as runtime;
 pub use refloat_solvers as solvers;
 pub use refloat_sparse as sparse;
 pub use reram_sim as sim;
@@ -47,6 +49,7 @@ pub use reram_sim as sim;
 pub mod prelude {
     pub use refloat_core::{ReFloatConfig, ReFloatMatrix, RoundingMode, UnderflowMode};
     pub use refloat_matgen::{Workload, WorkloadSpec};
+    pub use refloat_runtime::{MatrixHandle, RuntimeConfig, RuntimeReport, SolveJob, SolveRuntime};
     pub use refloat_solvers::{bicgstab, cg, LinearOperator, SolveResult, SolverConfig};
     pub use refloat_sparse::{BlockedMatrix, CooMatrix, CsrMatrix};
     pub use reram_sim::{AcceleratorConfig, GpuModel, SolverKind};
@@ -76,8 +79,12 @@ mod tests {
     fn umbrella_reexports_work_together() {
         let a = crate::matgen::generators::laplacian_2d(12, 12, 0.4).to_csr();
         let b = vec![1.0; a.nrows()];
-        let (result, op) =
-            crate::solve_cg_refloat(&a, &b, ReFloatConfig::new(4, 3, 8, 3, 8), &SolverConfig::relative(1e-8));
+        let (result, op) = crate::solve_cg_refloat(
+            &a,
+            &b,
+            ReFloatConfig::new(4, 3, 8, 3, 8),
+            &SolverConfig::relative(1e-8),
+        );
         assert!(result.converged());
         assert!(op.num_blocks() > 0);
     }

@@ -15,7 +15,9 @@ fn hardware_pipeline_and_functional_operator_agree_on_real_workload_blocks() {
     let format = ReFloatConfig::new(4, 3, 3, 3, 8);
     let blocked = BlockedMatrix::from_csr(&a, format.b).unwrap();
     let engine = ProcessingEngine::new(format);
-    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.17).sin() + 1.1).collect();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| (i as f64 * 0.17).sin() + 1.1)
+        .collect();
     let bs = format.block_size();
 
     let mut checked = 0;
@@ -43,7 +45,10 @@ fn storage_model_matches_the_encoded_matrix_bit_count() {
     let blocked = BlockedMatrix::from_csr(&a, format.b).unwrap();
     let encoded = ReFloatMatrix::from_blocked(&blocked, format);
     // Two independent accountings of the same storage.
-    assert_eq!(encoded.storage_bits(), memory::refloat_storage_bits(&blocked, &format));
+    assert_eq!(
+        encoded.storage_bits(),
+        memory::refloat_storage_bits(&blocked, &format)
+    );
     let ratio = memory::memory_overhead_ratio(&blocked, &format);
     assert!(ratio > 0.0 && ratio < 0.5);
 }
@@ -56,7 +61,11 @@ fn exponent_locality_explains_why_three_offset_bits_suffice() {
     let a = refloat::matgen::generators::mass_matrix_3d(8, 8, 8, 1e-12, 0.8, 5).to_csr();
     let blocked = BlockedMatrix::from_csr(&a, 7).unwrap();
     let report = exponent_locality(&blocked);
-    assert!(report.max_block_bits <= 4, "block locality = {}", report.max_block_bits);
+    assert!(
+        report.max_block_bits <= 4,
+        "block locality = {}",
+        report.max_block_bits
+    );
 
     // Give the format one offset bit more than the locality analysis reports (the
     // per-block base is the rounded *mean*, not the midpoint, so the worst offset can

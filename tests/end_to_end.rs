@@ -36,7 +36,11 @@ fn refloat_converges_where_feinberg_fails_and_fp64_is_the_reference() {
     );
 
     let mut fb = FeinbergOperator::new(a.clone());
-    let feinberg = cg(&mut fb, &b, &SolverConfig::relative(1e-8).with_max_iterations(500));
+    let feinberg = cg(
+        &mut fb,
+        &b,
+        &SolverConfig::relative(1e-8).with_max_iterations(500),
+    );
     assert!(
         !feinberg.converged(),
         "the Feinberg fixed-window baseline must fail on tiny-valued matrices"
@@ -58,7 +62,9 @@ fn feinberg_succeeds_on_unit_scale_matrices_and_matches_fp64_iterations() {
 #[test]
 fn bicgstab_and_cg_agree_on_the_solution_under_refloat() {
     let a = poisson_small();
-    let x_star: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) / 7.0 + 0.5).collect();
+    let x_star: Vec<f64> = (0..a.nrows())
+        .map(|i| ((i % 7) as f64) / 7.0 + 0.5)
+        .collect();
     let b = a.spmv(&x_star);
     let cfg = SolverConfig::relative(1e-9);
     let format = ReFloatConfig::new(5, 3, 8, 3, 10);
@@ -72,7 +78,10 @@ fn bicgstab_and_cg_agree_on_the_solution_under_refloat() {
     // the same quantized system, so the solutions agree to roughly the vector fraction
     // error amplified by the condition number — a few percent here.
     let diff = refloat::sparse::vecops::rel_err(&r_cg.x, &r_bi.x);
-    assert!(diff < 5e-2, "CG and BiCGSTAB should find (nearly) the same solution: {diff}");
+    assert!(
+        diff < 5e-2,
+        "CG and BiCGSTAB should find (nearly) the same solution: {diff}"
+    );
     assert!(refloat::sparse::vecops::rel_err(&r_cg.x, &x_star) < 5e-2);
 }
 

@@ -1,0 +1,199 @@
+//! Workspace-level tests of the `refloat-runtime` solve service: concurrent execution
+//! must be bit-identical to serial execution, the encoded-matrix cache must actually
+//! skip re-encoding, and reports must reflect the batch.
+
+use std::sync::Arc;
+
+use refloat::prelude::*;
+use refloat::runtime::CacheOutcomeKind;
+
+/// A mixed-workload, mixed-format catalog of small matrices.
+fn catalog() -> Vec<(MatrixHandle, ReFloatConfig, SolverKind)> {
+    let gen = &refloat::matgen::generators::laplacian_2d;
+    vec![
+        (
+            MatrixHandle::new("poisson-16", gen(16, 16, 0.3).to_csr()),
+            ReFloatConfig::new(4, 3, 8, 3, 8),
+            SolverKind::Cg,
+        ),
+        (
+            MatrixHandle::new(
+                "mass-6",
+                refloat::matgen::generators::mass_matrix_3d(6, 6, 6, 1e-12, 0.5, 7).to_csr(),
+            ),
+            ReFloatConfig::new(4, 3, 8, 3, 8),
+            SolverKind::Cg,
+        ),
+        (
+            MatrixHandle::new("poisson-12", gen(12, 12, 0.4).to_csr()),
+            ReFloatConfig::new(5, 3, 3, 3, 8),
+            SolverKind::Cg,
+        ),
+        (
+            MatrixHandle::new(
+                "convdiff-10",
+                refloat::matgen::generators::convection_diffusion_2d(10, 10, 6.0).to_csr(),
+            ),
+            ReFloatConfig::new(4, 3, 8, 3, 8),
+            SolverKind::BiCgStab,
+        ),
+    ]
+}
+
+fn trace_jobs(count: usize) -> Vec<SolveJob> {
+    let catalog = catalog();
+    (0..count)
+        .map(|i| {
+            // Deterministic skew: two thirds of the traffic goes to the first matrix.
+            let which = if i % 3 != 2 {
+                0
+            } else {
+                1 + (i / 3) % (catalog.len() - 1)
+            };
+            let (handle, format, solver) = &catalog[which];
+            SolveJob::new(format!("tenant-{}", i % 7), handle.clone(), *format)
+                .with_solver(*solver)
+                .with_solver_config(
+                    SolverConfig::relative(1e-8)
+                        .with_max_iterations(2_000)
+                        .with_trace(false),
+                )
+        })
+        .collect()
+}
+
+/// Serial reference execution of a job: exactly what a downstream user would run by
+/// hand with the umbrella crate.
+fn solve_serial(job: &SolveJob) -> SolveResult {
+    let mut op = ReFloatMatrix::from_csr(job.matrix.csr(), job.format);
+    let ones = vec![1.0; job.matrix.csr().nrows()];
+    let rhs: &[f64] = match &job.rhs {
+        Some(b) => b,
+        None => &ones,
+    };
+    match job.solver {
+        SolverKind::Cg => cg(&mut op, rhs, &job.solver_config),
+        SolverKind::BiCgStab => bicgstab(&mut op, rhs, &job.solver_config),
+    }
+}
+
+#[test]
+fn concurrent_results_are_bit_identical_to_serial_execution() {
+    let jobs = trace_jobs(72); // >= 64 jobs, mixed matrices/formats/solvers
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 6, // >= 4 workers
+        queue_capacity: 8,
+        cache_capacity: 8,
+    });
+    let outcome = runtime.run_batch(jobs.clone());
+    assert_eq!(outcome.jobs.len(), 72);
+
+    for (job, out) in jobs.iter().zip(outcome.jobs.iter()) {
+        let serial = solve_serial(job);
+        assert_eq!(
+            serial.iterations, out.result.iterations,
+            "job {}",
+            out.job_id
+        );
+        assert_eq!(serial.stop, out.result.stop, "job {}", out.job_id);
+        // Bit-identical solution vectors: same operator, same order of operations.
+        assert_eq!(serial.x.len(), out.result.x.len());
+        for (a, b) in serial.x.iter().zip(out.result.x.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "job {}", out.job_id);
+        }
+    }
+
+    // Every worker should have participated in a 72-job batch.
+    assert_eq!(outcome.report.per_worker_jobs.iter().sum::<u64>(), 72);
+    assert_eq!(outcome.report.per_worker_jobs.len(), 6);
+}
+
+#[test]
+fn two_runs_of_the_same_batch_agree_bitwise() {
+    let runtime_a = SolveRuntime::new(RuntimeConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let runtime_b = SolveRuntime::new(RuntimeConfig {
+        workers: 7,
+        ..Default::default()
+    });
+    let a = runtime_a.run_batch(trace_jobs(30));
+    let b = runtime_b.run_batch(trace_jobs(30));
+    for (ja, jb) in a.jobs.iter().zip(b.jobs.iter()) {
+        assert_eq!(ja.result.iterations, jb.result.iterations);
+        let bits_a: Vec<u64> = ja.result.x.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = jb.result.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b);
+    }
+}
+
+#[test]
+fn resubmitting_a_matrix_hits_the_cache_and_skips_encoding() {
+    let (handle, format, _) = catalog().remove(0);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+
+    let first = runtime.run_batch(vec![SolveJob::new("t0", handle.clone(), format)]);
+    assert_eq!(first.jobs[0].telemetry.cache, CacheOutcomeKind::Miss);
+    assert!(
+        first.jobs[0].telemetry.encode_s > 0.0,
+        "the miss pays the encode"
+    );
+
+    // Second submission of the same matrix + format: a hit, zero encode time.
+    let second = runtime.run_batch(vec![SolveJob::new("t1", handle.clone(), format)]);
+    assert_eq!(second.jobs[0].telemetry.cache, CacheOutcomeKind::Hit);
+    assert_eq!(second.jobs[0].telemetry.encode_s, 0.0);
+    assert_eq!(second.report.cache.misses, 0);
+
+    // A *different* format on the same matrix is its own entry (and a miss).
+    let wide = ReFloatConfig::new(format.b, format.e, format.f, format.ev, 16);
+    let third = runtime.run_batch(vec![SolveJob::new("t2", handle, wide)]);
+    assert_eq!(third.jobs[0].telemetry.cache, CacheOutcomeKind::Miss);
+}
+
+#[test]
+fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 8,
+    });
+    let outcome = runtime.run_batch(trace_jobs(64));
+    let report = &outcome.report;
+    assert_eq!(report.jobs, 64);
+    assert_eq!(report.converged, 64);
+    // 4 distinct (matrix, format) keys for 64 jobs: at least 60/64 skip the encode.
+    assert!(report.hit_rate() > 0.9, "hit rate {:.2}", report.hit_rate());
+    assert!(report.throughput_jobs_per_s > 0.0);
+    assert!(report.latency_p50_s <= report.latency_p99_s);
+    assert!(report.latency_p99_s <= report.latency_max_s + 1e-12);
+    assert!(report.simulated_cycles > 0);
+    assert!(report.simulated_total_s > 0.0);
+    let rendered = report.render();
+    assert!(rendered.contains("hit rate"));
+    assert!(rendered.contains("jobs/s"));
+}
+
+#[test]
+fn explicit_rhs_and_custom_tolerance_are_honoured() {
+    let (handle, format, _) = catalog().remove(0);
+    let n = handle.csr().nrows();
+    let rhs = Arc::new(refloat::matgen::rhs::smooth(n));
+    let runtime = SolveRuntime::new(RuntimeConfig::default());
+    let outcome = runtime.run_batch(vec![
+        SolveJob::new("t", handle.clone(), format)
+            .with_rhs(Arc::clone(&rhs))
+            .with_solver_config(SolverConfig::relative(1e-4).with_max_iterations(500)),
+        SolveJob::new("t", handle, format)
+            .with_rhs(rhs)
+            .with_solver_config(SolverConfig::relative(1e-10).with_max_iterations(500)),
+    ]);
+    let loose = &outcome.jobs[0].result;
+    let tight = &outcome.jobs[1].result;
+    assert!(loose.converged() && tight.converged());
+    assert!(loose.iterations < tight.iterations);
+}
