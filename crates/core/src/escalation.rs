@@ -1,0 +1,155 @@
+//! Precision-escalation policies: how a stalled refinement solve widens its format.
+//!
+//! The mixed-precision refinement loop (`refloat_solvers::refinement`) escalates to
+//! the next rung of a precision ladder when an inner format stops contracting the
+//! outer residual.  This module builds that ladder *of formats*: starting from a base
+//! [`ReFloatConfig`], each step widens the fraction and/or exponent-offset bits
+//! (capped at the IEEE-754 double widths the format supports), optionally ending in a
+//! full-fp64 fallback rung that consumers realize with the exact operator.
+//!
+//! Widening only grows `f`/`fv` and `e`/`ev`; the block exponent `b` and the
+//! rounding/underflow modes are preserved, so every rung of a ladder maps onto the
+//! same crossbar geometry and shares blocking with the base format.
+
+use crate::format::ReFloatConfig;
+
+/// How a stalled solve widens its ReFloat format, rung by rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EscalationPolicy {
+    /// Widened rungs generated after the base format (0 = no quantized escalation).
+    pub max_steps: u32,
+    /// Fraction bits added to `f` and `fv` per step.
+    pub f_step: u32,
+    /// Exponent-offset bits added to `e` and `ev` per step.
+    pub e_step: u32,
+    /// Whether the ladder ends in a full-fp64 rung (the exact operator).
+    pub fp64_fallback: bool,
+}
+
+impl EscalationPolicy {
+    /// The default policy: two widening steps of `+8` fraction bits and `+1`
+    /// exponent-offset bit each, then fp64.  From the paper default
+    /// `ReFloat(b, 3, 3)(3, 8)` this yields `(4, 11)(4, 16)`, `(5, 19)(5, 24)`, fp64.
+    pub fn widen_then_fp64() -> Self {
+        EscalationPolicy {
+            max_steps: 2,
+            f_step: 8,
+            e_step: 1,
+            fp64_fallback: true,
+        }
+    }
+
+    /// No quantized escalation at all: retry once at fp64 when the base format stalls.
+    pub fn fp64_only() -> Self {
+        EscalationPolicy {
+            max_steps: 0,
+            f_step: 0,
+            e_step: 0,
+            fp64_fallback: true,
+        }
+    }
+
+    /// Pure widening without an fp64 rung (the solve stays on simulated hardware; a
+    /// stall at the widest format is reported instead of being papered over).
+    pub fn widen_only(max_steps: u32, f_step: u32, e_step: u32) -> Self {
+        EscalationPolicy {
+            max_steps,
+            f_step,
+            e_step,
+            fp64_fallback: false,
+        }
+    }
+
+    /// The quantized rungs of the ladder: the base format followed by up to
+    /// `max_steps` widened formats.  Steps that no longer change the format (all
+    /// fields at their caps) are dropped, so the ladder never contains duplicate
+    /// rungs; the fp64 fallback (if any) is *not* included — consumers append the
+    /// exact operator themselves.
+    pub fn ladder(&self, base: ReFloatConfig) -> Vec<ReFloatConfig> {
+        let mut rungs = vec![base];
+        let mut current = base;
+        for _ in 0..self.max_steps {
+            let widened = ReFloatConfig {
+                e: (current.e + self.e_step).min(11),
+                ev: (current.ev + self.e_step).min(11),
+                f: (current.f + self.f_step).min(52),
+                fv: (current.fv + self.f_step).min(52),
+                ..current
+            };
+            if widened == current {
+                break;
+            }
+            rungs.push(widened);
+            current = widened;
+        }
+        rungs
+    }
+
+    /// Total rungs a consumer will realize: quantized rungs plus the fp64 fallback.
+    pub fn total_levels(&self, base: ReFloatConfig) -> usize {
+        self.ladder(base).len() + usize::from(self.fp64_fallback)
+    }
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        EscalationPolicy::widen_then_fp64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_widens_twice_from_the_paper_format() {
+        let policy = EscalationPolicy::widen_then_fp64();
+        let rungs = policy.ladder(ReFloatConfig::paper_default());
+        assert_eq!(rungs.len(), 3);
+        assert_eq!(
+            (rungs[0].e, rungs[0].f, rungs[0].ev, rungs[0].fv),
+            (3, 3, 3, 8)
+        );
+        assert_eq!(
+            (rungs[1].e, rungs[1].f, rungs[1].ev, rungs[1].fv),
+            (4, 11, 4, 16)
+        );
+        assert_eq!(
+            (rungs[2].e, rungs[2].f, rungs[2].ev, rungs[2].fv),
+            (5, 19, 5, 24)
+        );
+        assert_eq!(policy.total_levels(ReFloatConfig::paper_default()), 4);
+        // Blocking and conversion modes are preserved on every rung.
+        for rung in &rungs {
+            assert_eq!(rung.b, 7);
+            assert_eq!(rung.rounding, rungs[0].rounding);
+            assert_eq!(rung.underflow, rungs[0].underflow);
+        }
+    }
+
+    #[test]
+    fn capped_steps_do_not_produce_duplicate_rungs() {
+        let policy = EscalationPolicy {
+            max_steps: 10,
+            f_step: 30,
+            e_step: 6,
+            fp64_fallback: true,
+        };
+        let rungs = policy.ladder(ReFloatConfig::new(5, 3, 3, 3, 8));
+        // 3+30 = 33, then 52 (capped); e: 3+6 = 9, then 11 (capped); further steps
+        // change nothing and are dropped.
+        assert_eq!(rungs.len(), 3);
+        assert_eq!((rungs[2].e, rungs[2].f), (11, 52));
+        let unique: std::collections::HashSet<_> = rungs.iter().collect();
+        assert_eq!(unique.len(), rungs.len());
+    }
+
+    #[test]
+    fn fp64_only_keeps_just_the_base_rung() {
+        let policy = EscalationPolicy::fp64_only();
+        let base = ReFloatConfig::new(4, 3, 3, 3, 8);
+        assert_eq!(policy.ladder(base), vec![base]);
+        assert_eq!(policy.total_levels(base), 2);
+        assert_eq!(EscalationPolicy::widen_only(1, 4, 0).total_levels(base), 2);
+    }
+}

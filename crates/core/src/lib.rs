@@ -30,11 +30,14 @@
 //! * [`truncate`] — the plain fraction/exponent truncation formats of the Table I study,
 //! * [`memory`] — the storage model behind Fig. 4 and Table VIII,
 //! * [`locality`] — the exponent-locality analysis behind Fig. 3(d),
-//! * [`formats`] — the classical formats of Table III expressed as ReFloat instances.
+//! * [`formats`] — the classical formats of Table III expressed as ReFloat instances,
+//! * [`escalation`] — precision-escalation ladders ([`EscalationPolicy`]) for the
+//!   mixed-precision refinement loop of `refloat_solvers::refinement`.
 
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod escalation;
 pub mod feinberg;
 pub mod format;
 pub mod formats;
@@ -46,5 +49,6 @@ pub mod truncate;
 pub mod vector;
 
 pub use block::ReFloatBlock;
+pub use escalation::EscalationPolicy;
 pub use format::{ReFloatConfig, RoundingMode, UnderflowMode};
 pub use matrix::ReFloatMatrix;

@@ -95,9 +95,17 @@ pub fn requantize(
     let mut exp = eb + clamped;
     if frac >= 2.0 {
         // Round-to-nearest can carry into the exponent; renormalize (and re-clamp).
-        frac /= 2.0;
-        if clamped < max_off {
+        if offset == clamped && clamped < max_off {
+            frac /= 2.0;
             exp += 1;
+        } else {
+            // The exponent offset is saturated (at either end of the window), so the
+            // carry cannot be absorbed: clamp to the largest representable fraction
+            // at the pinned offset, `2 − 2^(−f)`.  At the top, halving the fraction
+            // without incrementing the exponent would silently return ~half the true
+            // magnitude; at the bottom, renormalizing *upward* would overshoot a
+            // value that is already below the saturation floor.
+            frac = 2.0 - pow2(-(f_bits as i32));
         }
     }
     let magnitude = frac * pow2(exp);
@@ -282,6 +290,111 @@ mod tests {
             ),
             -3.0
         );
+    }
+
+    #[test]
+    fn round_nearest_carry_at_saturated_offset_clamps_to_max_fraction() {
+        // Regression: with eb = 0, e = 3 (max offset 3) and f = 8, the value
+        // (2 − 2^−9)·2^3 rounds its fraction up to 2.0 while the offset is already
+        // saturated.  The carry cannot go into the exponent, so the result must clamp
+        // to the max representable fraction (2 − 2^−8)·2^3 — not halve to 1.0·2^3.
+        let v = (2.0 - pow2(-9)) * 8.0;
+        let q = requantize(
+            v,
+            0,
+            3,
+            8,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert_eq!(q, (2.0 - pow2(-8)) * 8.0);
+        let ratio = q / v;
+        assert!(
+            ratio >= 1.0 - pow2(-8),
+            "saturated carry must not halve the value: ratio = {ratio}"
+        );
+
+        // Same mechanism when the value saturates from *above* the window and its
+        // fraction rounds up to 2.0.
+        let v = (2.0 - pow2(-9)) * 2.0f64.powi(6); // offset 6 > max_off 3
+        let q = requantize(
+            v,
+            0,
+            3,
+            8,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert_eq!(q, (2.0 - pow2(-8)) * 8.0);
+
+        // f = 0 degenerates gracefully: the only representable fraction is 1.0.
+        let q0 = requantize(
+            1.75 * 8.0,
+            0,
+            3,
+            0,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert_eq!(q0, 8.0);
+    }
+
+    #[test]
+    fn round_nearest_carry_below_the_window_clamps_at_the_saturation_floor() {
+        // A value *below* the window whose fraction rounds up to 2.0 must not
+        // renormalize out of the saturation floor: with eb = 0, e = 2 (window
+        // [-1, 1]) and f = 0, the value 1.6·2^−3 saturates to offset −1 and its
+        // fraction rounds to 2.0 — the result must clamp to (2 − 2^0)·2^−1 = 0.5,
+        // not renormalize to 1.0·2^0 (double the floor cap).
+        let q = requantize(
+            1.6 * pow2(-3),
+            0,
+            2,
+            0,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert_eq!(q, 0.5);
+
+        // With fraction bits: 1.99·2^−12 under e = 3, f = 3 saturates to offset −3
+        // and rounds its fraction to 2.0 -> clamp to (2 − 2^−3)·2^−3 = 0.234375.
+        let q = requantize(
+            1.99 * pow2(-12),
+            0,
+            3,
+            3,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert_eq!(q, (2.0 - pow2(-3)) * pow2(-3));
+        // The below-window result never exceeds the saturation-floor cap.
+        assert!(q <= (2.0 - pow2(-3)) * pow2(-3));
+    }
+
+    #[test]
+    fn saturated_requantize_is_idempotent_and_monotone_near_the_top() {
+        // The clamped maximum is itself representable, so re-encoding is a fixed point.
+        let top = (2.0 - pow2(-8)) * 8.0;
+        let q = requantize(
+            top,
+            0,
+            3,
+            8,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert_eq!(q, top);
+        // Magnitudes just below the carry threshold must not map above the clamped max.
+        let below = (2.0 - pow2(-7)) * 8.0;
+        let qb = requantize(
+            below,
+            0,
+            3,
+            8,
+            RoundingMode::RoundNearest,
+            UnderflowMode::Saturate,
+        );
+        assert!(qb <= q);
     }
 
     #[test]

@@ -13,24 +13,9 @@ use refloat_core::format::ReFloatConfig;
 
 use crate::cost;
 
-/// Which solver the time model is asked about (they differ in SpMVs per iteration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SolverKind {
-    /// Conjugate Gradient: 1 SpMV per iteration.
-    Cg,
-    /// BiCGSTAB: 2 SpMVs per iteration.
-    BiCgStab,
-}
-
-impl SolverKind {
-    /// SpMVs executed per solver iteration.
-    pub fn spmv_per_iteration(&self) -> u64 {
-        match self {
-            SolverKind::Cg => 1,
-            SolverKind::BiCgStab => 2,
-        }
-    }
-}
+// `SolverKind` moved down into `refloat-solvers` (the refinement ladder dispatches on
+// it); re-exported here so `reram_sim::accelerator::SolverKind` keeps working.
+pub use refloat_solvers::SolverKind;
 
 /// An accelerator configuration (one column of Table IV plus derived quantities).
 #[derive(Debug, Clone, PartialEq)]

@@ -3,7 +3,7 @@
 //! crossbar re-programming when a worker switches to a different matrix.
 
 use refloat_core::ReFloatConfig;
-use reram_sim::{AcceleratorConfig, SolverKind};
+use reram_sim::{AcceleratorConfig, GpuModel, SolverKind};
 
 use crate::cache::CacheKey;
 
@@ -18,11 +18,36 @@ pub struct SimulatedRun {
     pub stream_write_s: f64,
     /// Seconds re-programming the chip because it held a different matrix (or nothing).
     pub program_s: f64,
-    /// Total simulated seconds for the job (compute + writes + programming + the
-    /// per-iteration digital overhead folded into the solver-time model).
+    /// Seconds of host-side fp64 work (the GPU model): the outer-loop residual
+    /// evaluations and any fp64-fallback inner solves of a refined job.  Zero for
+    /// plain jobs.
+    pub host_fp64_s: f64,
+    /// Total simulated seconds for the job (compute + writes + programming + host
+    /// fp64 + the per-iteration digital overhead folded into the solver-time model).
     pub total_s: f64,
     /// Whether this job had to re-program the chip.
     pub remapped: bool,
+}
+
+/// One inner pass of a refined job, as the accelerator model accounts it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefinedPassCost {
+    /// A correction solve on the simulated chip in some quantized format.
+    Quantized {
+        /// Cache key of the encoded matrix this pass programmed.
+        key: CacheKey,
+        /// The rung's format (determines cycles and crossbars per cluster).
+        format: ReFloatConfig,
+        /// Non-empty blocks of the encoded matrix (= clusters per SpMV).
+        num_blocks: u64,
+        /// Inner solver iterations of the pass.
+        iterations: u64,
+    },
+    /// A fall-back correction solve in fp64 on the host (the GPU model).
+    HostFp64 {
+        /// Inner solver iterations of the pass.
+        iterations: u64,
+    },
 }
 
 /// Lifetime counters for one simulated accelerator.
@@ -49,16 +74,26 @@ pub struct SimulatedAccelerator {
     worker_id: usize,
     programmed: Option<CacheKey>,
     usage: AcceleratorUsage,
+    /// The host platform that prices fp64 offload work of refined jobs.
+    host: GpuModel,
 }
 
 impl SimulatedAccelerator {
-    /// A freshly powered-on chip (nothing programmed).
+    /// A freshly powered-on chip (nothing programmed), with the Table IV V100 as the
+    /// fp64 host.
     pub fn new(worker_id: usize) -> Self {
         SimulatedAccelerator {
             worker_id,
             programmed: None,
             usage: AcceleratorUsage::default(),
+            host: GpuModel::v100(),
         }
+    }
+
+    /// Builder: price host-side fp64 work (refined jobs) on a different GPU model.
+    pub fn with_host_gpu(mut self, host: GpuModel) -> Self {
+        self.host = host;
+        self
     }
 
     /// The owning worker's id.
@@ -98,6 +133,7 @@ impl SimulatedAccelerator {
             compute_s: spmv_count as f64 * breakdown.spmv_compute_s,
             stream_write_s,
             program_s,
+            host_fp64_s: 0.0,
             total_s: breakdown.solver_total_s + program_s,
             remapped,
         };
@@ -106,6 +142,68 @@ impl SimulatedAccelerator {
         self.usage.cycles += cycles;
         self.usage.busy_s += run.total_s;
         self.usage.remaps += u64::from(remapped);
+        run
+    }
+
+    /// Accounts one completed *refined* solve: a sequence of inner correction passes
+    /// (each on its own format, possibly the fp64 host fallback), plus
+    /// `fp64_residual_spmvs` exact residual evaluations on the host.
+    ///
+    /// Every switch to a differently-keyed quantized rung re-programs the chip (the
+    /// per-pass re-encode the refinement loop pays in hardware), exactly like
+    /// consecutive plain jobs on different matrices would; host-side fp64 work is
+    /// charged through the [`GpuModel`] — the offload split of the mixed-precision
+    /// in-memory-computing model.
+    pub fn execute_refined(
+        &mut self,
+        passes: &[RefinedPassCost],
+        fp64_residual_spmvs: u64,
+        nnz: u64,
+        nrows: u64,
+        solver: SolverKind,
+    ) -> SimulatedRun {
+        let host = self.host.clone();
+        let mut run = SimulatedRun {
+            cycles: 0,
+            compute_s: 0.0,
+            stream_write_s: 0.0,
+            program_s: 0.0,
+            host_fp64_s: 0.0,
+            total_s: 0.0,
+            remapped: false,
+        };
+        for pass in passes {
+            match *pass {
+                RefinedPassCost::Quantized {
+                    key,
+                    format,
+                    num_blocks,
+                    iterations,
+                } => {
+                    let hw = AcceleratorConfig::refloat(&format);
+                    if self.programmed != Some(key) {
+                        run.program_s += hw.cluster_write_time_s();
+                        run.remapped = true;
+                        self.usage.remaps += 1;
+                        self.programmed = Some(key);
+                    }
+                    let breakdown = hw.solver_time(num_blocks, iterations, solver);
+                    let spmv_count = iterations * solver.spmv_per_iteration();
+                    run.cycles += spmv_count * breakdown.rounds_per_spmv * hw.cycles_per_block_mvm;
+                    run.compute_s += spmv_count as f64 * breakdown.spmv_compute_s;
+                    run.stream_write_s += spmv_count as f64 * breakdown.spmv_write_s;
+                    run.total_s += breakdown.solver_total_s;
+                }
+                RefinedPassCost::HostFp64 { iterations } => {
+                    run.host_fp64_s += host.solver_time_s(nnz, nrows, iterations, solver);
+                }
+            }
+        }
+        run.host_fp64_s += fp64_residual_spmvs as f64 * host.spmv_time_s(nnz, nrows);
+        run.total_s += run.program_s + run.host_fp64_s;
+        self.usage.jobs += 1;
+        self.usage.cycles += run.cycles;
+        self.usage.busy_s += run.total_s;
         run
     }
 }
@@ -145,6 +243,66 @@ mod tests {
         assert_eq!(run.stream_write_s, 0.0);
         let bicg = chip.execute(key(1), &format, 2_000, 100, SolverKind::BiCgStab);
         assert_eq!(bicg.cycles, 2 * 100 * 28);
+    }
+
+    #[test]
+    fn refined_runs_charge_reprogramming_per_format_switch_and_host_fp64() {
+        let base = ReFloatConfig::new(7, 3, 3, 3, 8);
+        let wide = ReFloatConfig::new(7, 4, 11, 4, 16);
+        let fp = 42u64;
+        let mut chip = SimulatedAccelerator::new(0);
+        let passes = [
+            // Two passes on the base rung: one remap, then the chip is warm.
+            RefinedPassCost::Quantized {
+                key: (fp, base),
+                format: base,
+                num_blocks: 2_000,
+                iterations: 50,
+            },
+            RefinedPassCost::Quantized {
+                key: (fp, base),
+                format: base,
+                num_blocks: 2_000,
+                iterations: 50,
+            },
+            // Escalation to the widened rung: a second remap (the per-pass re-encode
+            // charged in hardware).
+            RefinedPassCost::Quantized {
+                key: (fp, wide),
+                format: wide,
+                num_blocks: 2_000,
+                iterations: 30,
+            },
+            // fp64 fallback pass runs on the host.
+            RefinedPassCost::HostFp64 { iterations: 10 },
+        ];
+        let run = chip.execute_refined(&passes, 4, 50_000, 5_000, SolverKind::Cg);
+        assert!(run.remapped);
+        assert_eq!(chip.usage().remaps, 2);
+        let one_remap = AcceleratorConfig::refloat(&base).cluster_write_time_s();
+        assert!((run.program_s - 2.0 * one_remap).abs() < 1e-15);
+        // Cycles follow Eq. 3 per rung: base is 28 cycles/MVM, wide is
+        // (2^4+16+1) + (2^4+11+1) − 1 = 60.
+        assert_eq!(run.cycles, 100 * 28 + 30 * 60);
+        // Host fp64 work: 10 fallback CG iterations + 4 residual SpMVs.
+        let host = GpuModel::v100();
+        let expected_host = host.solver_time_s(50_000, 5_000, 10, SolverKind::Cg)
+            + 4.0 * host.spmv_time_s(50_000, 5_000);
+        assert!((run.host_fp64_s - expected_host).abs() < 1e-12);
+        assert!(run.total_s >= run.compute_s + run.program_s + run.host_fp64_s - 1e-15);
+
+        // A follow-up plain job on the widened rung finds the chip already programmed.
+        let follow = chip.execute((fp, wide), &wide, 2_000, 10, SolverKind::Cg);
+        assert!(!follow.remapped);
+    }
+
+    #[test]
+    fn refined_run_with_no_passes_costs_only_the_residual_checks() {
+        let mut chip = SimulatedAccelerator::new(1);
+        let run = chip.execute_refined(&[], 0, 1_000, 100, SolverKind::Cg);
+        assert_eq!(run.cycles, 0);
+        assert_eq!(run.total_s, 0.0);
+        assert!(!run.remapped);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use refloat_core::ReFloatConfig;
-use refloat_solvers::{SolveResult, SolverConfig};
+use refloat_core::{EscalationPolicy, ReFloatConfig};
+use refloat_solvers::{RefinementConfig, SolveResult, SolverConfig};
 use refloat_sparse::CsrMatrix;
 use reram_sim::SolverKind;
 
@@ -55,6 +55,56 @@ impl MatrixHandle {
     }
 }
 
+/// Mixed-precision refinement settings for a [`SolveJob`].
+///
+/// A refined job wraps its inner solver (CG/BiCGSTAB at the job's base format) in the
+/// outer fp64 defect-correction loop of `refloat_solvers::refinement`: exact residuals
+/// on the host, low-precision correction solves on the simulated chip, and a
+/// format-escalation ladder for inner formats that stall.  All the encoded rungs flow
+/// through the runtime's encoded-matrix cache, so escalation re-uses encodings across
+/// jobs and tenants.
+#[derive(Debug, Clone, Default)]
+pub struct RefinementSpec {
+    /// The outer-loop knobs (target, pass cap, inner solve settings, stall
+    /// threshold), shared verbatim with `refloat_solvers::refinement`.
+    pub config: RefinementConfig,
+    /// How stalled formats widen (and whether fp64 is the final rung).
+    pub escalation: EscalationPolicy,
+}
+
+impl RefinementSpec {
+    /// A spec targeting the given outer relative residual, with the default
+    /// escalation policy.
+    pub fn to_target(target: f64) -> Self {
+        RefinementSpec {
+            config: RefinementConfig::to_target(target),
+            ..RefinementSpec::default()
+        }
+    }
+
+    /// Builder: override the escalation policy.
+    pub fn with_escalation(mut self, escalation: EscalationPolicy) -> Self {
+        self.escalation = escalation;
+        self
+    }
+
+    /// Builder: override the inner solve settings.
+    pub fn with_inner(mut self, inner: SolverConfig) -> Self {
+        self.config.inner = inner;
+        self
+    }
+
+    /// The solver-side [`RefinementConfig`] this spec drives.  Pass recording is
+    /// forced on: the worker prices each pass on the simulated chip from the pass
+    /// log, so a spec must not be able to turn it off.
+    pub fn refinement_config(&self) -> RefinementConfig {
+        RefinementConfig {
+            record_passes: true,
+            ..self.config.clone()
+        }
+    }
+}
+
 /// One solve request: matrix handle + right-hand side + format + solver + tolerance.
 #[derive(Debug, Clone)]
 pub struct SolveJob {
@@ -65,12 +115,16 @@ pub struct SolveJob {
     /// The right-hand side; `None` means the all-ones vector (the experiment-harness
     /// convention).
     pub rhs: Option<Arc<Vec<f64>>>,
-    /// The ReFloat format to encode (or fetch) the matrix in.
+    /// The ReFloat format to encode (or fetch) the matrix in.  For refined jobs this
+    /// is the *base* rung of the escalation ladder.
     pub format: ReFloatConfig,
     /// Which Krylov solver to run.
     pub solver: SolverKind,
-    /// Tolerance / iteration cap for the solve.
+    /// Tolerance / iteration cap for the solve (plain jobs) or for nothing at all
+    /// (refined jobs override it with [`RefinementSpec::inner`]).
     pub solver_config: SolverConfig,
+    /// When set, run the job in mixed-precision refinement mode.
+    pub refinement: Option<RefinementSpec>,
 }
 
 impl SolveJob {
@@ -85,6 +139,7 @@ impl SolveJob {
             format,
             solver: SolverKind::Cg,
             solver_config: SolverConfig::relative(1e-8).with_trace(false),
+            refinement: None,
         }
     }
 
@@ -108,6 +163,12 @@ impl SolveJob {
     /// Builder: override the solver configuration.
     pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
         self.solver_config = config;
+        self
+    }
+
+    /// Builder: run this job in mixed-precision refinement mode.
+    pub fn with_refinement(mut self, spec: RefinementSpec) -> Self {
+        self.refinement = Some(spec);
         self
     }
 

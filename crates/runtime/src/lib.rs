@@ -25,6 +25,12 @@
 //! * [`JobTelemetry`] / [`RuntimeReport`] (`telemetry`) — per-job measurements (queue
 //!   wait, encode time, solve time, iterations, simulated cycles, cache outcome) and
 //!   their aggregation (throughput, p50/p99 latency, cache hit rate);
+//! * [`RefinementSpec`] (`job`) — opt-in **mixed-precision refinement**: the job runs
+//!   the outer fp64 defect-correction loop of `refloat_solvers::refinement`, drawing
+//!   inner correction solves from a precision ladder whose quantized rungs resolve
+//!   through the same encoded-matrix cache (so escalation re-uses encodings), with
+//!   per-pass chip re-programming and host-side fp64 work charged by the accelerator
+//!   model;
 //! * [`SolveRuntime`] (here) — the service itself: spawns the worker pool on scoped
 //!   threads, feeds it from a producer closure, and collects deterministic,
 //!   submission-ordered results.
@@ -69,12 +75,12 @@ pub mod queue;
 pub mod telemetry;
 mod worker;
 
-pub use accel::{AcceleratorUsage, SimulatedAccelerator, SimulatedRun};
+pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache};
 pub use fingerprint::fingerprint_csr;
-pub use job::{JobOutcome, MatrixHandle, SolveJob};
+pub use job::{JobOutcome, MatrixHandle, RefinementSpec, SolveJob};
 pub use queue::BoundedQueue;
-pub use telemetry::{CacheOutcomeKind, JobTelemetry, RuntimeReport};
+pub use telemetry::{CacheOutcomeKind, JobTelemetry, RefinementTelemetry, RuntimeReport};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;

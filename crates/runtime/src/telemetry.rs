@@ -26,6 +26,25 @@ impl From<CacheOutcome> for CacheOutcomeKind {
     }
 }
 
+/// What the outer refinement loop of a refined job did (absent for plain jobs).
+#[derive(Debug, Clone)]
+pub struct RefinementTelemetry {
+    /// Outer defect-correction passes executed.
+    pub outer_iterations: usize,
+    /// Total inner solver iterations across all passes.
+    pub inner_iterations: usize,
+    /// Format escalations (rungs climbed because a pass stalled).
+    pub escalations: usize,
+    /// Name of the rung the solve finished on.
+    pub final_level: String,
+    /// Exact fp64 operator applications (one per outer residual evaluation).
+    pub fp64_spmvs: usize,
+    /// Final outer relative residual `‖b − A·x‖₂/‖b‖₂`.
+    pub final_relative_residual: f64,
+    /// `true` when the top rung stopped contracting before the target was met.
+    pub stalled: bool,
+}
+
 /// Everything measured about one job.
 #[derive(Debug, Clone)]
 pub struct JobTelemetry {
@@ -55,6 +74,8 @@ pub struct JobTelemetry {
     pub converged: bool,
     /// The simulated-chip cost of the job.
     pub simulated: SimulatedRun,
+    /// Outer-loop details when the job ran in mixed-precision refinement mode.
+    pub refinement: Option<RefinementTelemetry>,
 }
 
 /// Aggregated statistics for one batch.
@@ -95,14 +116,35 @@ pub struct RuntimeReport {
     pub remaps: u64,
     /// Jobs per worker (index = worker id).
     pub per_worker_jobs: Vec<u64>,
+    /// Jobs whose telemetry named a worker outside the pool (should be 0; counted so
+    /// `per_worker_jobs` totals plus this always sum to `jobs`).
+    pub unattributed_jobs: u64,
+    /// Jobs that ran in mixed-precision refinement mode.
+    pub refined_jobs: usize,
+    /// Format escalations across all refined jobs.
+    pub escalations: u64,
+    /// Total host-side fp64 seconds (residual evaluations + fp64 fallback solves) of
+    /// refined jobs, under the GPU model.
+    pub host_fp64_total_s: f64,
 }
 
-/// `q`-quantile (0 ≤ q ≤ 1) of an unsorted sample using the nearest-rank method.
+/// `q`-quantile of an unsorted sample using the nearest-rank method.
+///
+/// Robust by construction: `q` is clamped into `[0, 1]` (a debug assertion flags
+/// out-of-range or NaN quantiles) and non-finite samples are ignored rather than
+/// poisoning the sort.  Returns 0.0 when no finite sample remains.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
+    debug_assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile: quantile {q} outside [0, 1]"
+    );
+    // In release, out-of-range quantiles clamp; a NaN quantile falls through the
+    // saturating cast below to rank 1 (the minimum) instead of panicking.
+    let q = q.clamp(0.0, 1.0);
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
@@ -119,9 +161,21 @@ impl RuntimeReport {
         let latencies: Vec<f64> = jobs.iter().map(|j| j.telemetry.latency_s).collect();
         let queue_waits: Vec<f64> = jobs.iter().map(|j| j.telemetry.queue_wait_s).collect();
         let mut per_worker_jobs = vec![0u64; workers];
+        let mut unattributed_jobs = 0u64;
         for job in jobs {
-            if let Some(slot) = per_worker_jobs.get_mut(job.telemetry.worker) {
-                *slot += 1;
+            match per_worker_jobs.get_mut(job.telemetry.worker) {
+                Some(slot) => *slot += 1,
+                None => {
+                    // A worker index outside the pool means the telemetry and the
+                    // runtime configuration disagree — never drop the job silently,
+                    // or per-worker totals stop summing to `jobs`.
+                    debug_assert!(
+                        false,
+                        "job {} attributed to worker {} of a {}-worker pool",
+                        job.job_id, job.telemetry.worker, workers
+                    );
+                    unattributed_jobs += 1;
+                }
             }
         }
         RuntimeReport {
@@ -157,6 +211,19 @@ impl RuntimeReport {
                 .filter(|j| j.telemetry.simulated.remapped)
                 .count() as u64,
             per_worker_jobs,
+            unattributed_jobs,
+            refined_jobs: jobs
+                .iter()
+                .filter(|j| j.telemetry.refinement.is_some())
+                .count(),
+            escalations: jobs
+                .iter()
+                .filter_map(|j| j.telemetry.refinement.as_ref())
+                .map(|r| r.escalations as u64)
+                .sum(),
+            host_fp64_total_s: jobs
+                .iter()
+                .fold(0.0, |acc, j| acc + j.telemetry.simulated.host_fp64_s),
         }
     }
 
@@ -200,7 +267,19 @@ impl RuntimeReport {
             "simulated chip  {:.3e} cycles, {:.6} s total, {} remaps\n",
             self.simulated_cycles as f64, self.simulated_total_s, self.remaps
         ));
+        if self.refined_jobs > 0 {
+            out.push_str(&format!(
+                "refinement      {} refined jobs, {} escalations, {:.6} s host fp64\n",
+                self.refined_jobs, self.escalations, self.host_fp64_total_s
+            ));
+        }
         out.push_str(&format!("worker load     {:?}\n", self.per_worker_jobs));
+        if self.unattributed_jobs > 0 {
+            out.push_str(&format!(
+                "WARNING         {} jobs attributed to workers outside the pool\n",
+                self.unattributed_jobs
+            ));
+        }
         out
     }
 }
@@ -208,6 +287,8 @@ impl RuntimeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobOutcome;
+    use refloat_solvers::{SolveResult, StopReason};
 
     #[test]
     fn percentile_uses_nearest_rank() {
@@ -218,5 +299,119 @@ mod tests {
         assert_eq!(percentile(&samples, 0.0), 1.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_robust() {
+        // Empty and single-sample inputs.
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+        assert_eq!(percentile(&[3.5], 0.0), 3.5);
+        assert_eq!(percentile(&[3.5], 0.5), 3.5);
+        assert_eq!(percentile(&[3.5], 1.0), 3.5);
+        // Non-finite samples are filtered instead of panicking the sort.
+        assert_eq!(percentile(&[f64::NAN, 2.0, 1.0], 1.0), 2.0);
+        assert_eq!(percentile(&[f64::INFINITY, 2.0, 1.0], 0.0), 1.0);
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 0.5), 0.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn percentile_clamps_out_of_range_quantiles_in_release() {
+        let samples = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&samples, -0.5), 1.0);
+        assert_eq!(percentile(&samples, 7.0), 3.0);
+        assert_eq!(percentile(&samples, f64::NAN), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_flags_out_of_range_quantiles_in_debug() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    fn outcome(job_id: u64, worker: usize, refined: bool) -> JobOutcome {
+        let simulated = SimulatedRun {
+            cycles: 100,
+            compute_s: 1e-6,
+            stream_write_s: 0.0,
+            program_s: 0.0,
+            host_fp64_s: if refined { 2e-6 } else { 0.0 },
+            total_s: 3e-6,
+            remapped: false,
+        };
+        let refinement = refined.then(|| RefinementTelemetry {
+            outer_iterations: 3,
+            inner_iterations: 30,
+            escalations: 1,
+            final_level: "fp64 (exact)".to_string(),
+            fp64_spmvs: 3,
+            final_relative_residual: 1e-13,
+            stalled: false,
+        });
+        JobOutcome {
+            job_id,
+            result: SolveResult {
+                x: vec![1.0],
+                iterations: 10,
+                spmv_count: 10,
+                final_residual: 1e-9,
+                trace: vec![],
+                stop: StopReason::Converged,
+            },
+            telemetry: JobTelemetry {
+                job_id,
+                tenant: "t".to_string(),
+                matrix: "m".to_string(),
+                worker,
+                solver: SolverKind::Cg,
+                cache: CacheOutcomeKind::Hit,
+                queue_wait_s: 0.0,
+                encode_s: 0.0,
+                solve_s: 1e-3,
+                latency_s: 2e-3,
+                iterations: 10,
+                converged: true,
+                simulated,
+                refinement,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregate_worker_attribution_sums_to_jobs() {
+        let jobs = vec![
+            outcome(0, 0, false),
+            outcome(1, 1, true),
+            outcome(2, 1, false),
+        ];
+        let report = RuntimeReport::aggregate(&jobs, 0.1, CacheStats::default(), 2);
+        let attributed: u64 = report.per_worker_jobs.iter().sum();
+        assert_eq!(attributed + report.unattributed_jobs, report.jobs as u64);
+        assert_eq!(report.unattributed_jobs, 0);
+        assert_eq!(report.refined_jobs, 1);
+        assert_eq!(report.escalations, 1);
+        assert!((report.host_fp64_total_s - 2e-6).abs() < 1e-18);
+        assert!(report.render().contains("1 refined jobs"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "attributed to worker")]
+    fn aggregate_flags_out_of_range_worker_indices_in_debug() {
+        let jobs = vec![outcome(0, 5, false)];
+        let _ = RuntimeReport::aggregate(&jobs, 0.1, CacheStats::default(), 2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn aggregate_counts_unattributed_jobs_in_release() {
+        let jobs = vec![outcome(0, 5, false), outcome(1, 0, false)];
+        let report = RuntimeReport::aggregate(&jobs, 0.1, CacheStats::default(), 2);
+        assert_eq!(report.unattributed_jobs, 1);
+        let attributed: u64 = report.per_worker_jobs.iter().sum();
+        assert_eq!(attributed + report.unattributed_jobs, report.jobs as u64);
+        assert!(report.render().contains("WARNING"));
     }
 }

@@ -1,18 +1,18 @@
 //! The worker loop: drain the queue, resolve the encoded matrix through the cache,
-//! solve, and account the simulated-chip cost.
+//! solve (plain or mixed-precision refined), and account the simulated-chip cost.
 
 use std::sync::mpsc::Sender;
 use std::time::Instant;
 
-use refloat_core::ReFloatMatrix;
-use refloat_solvers::{bicgstab, cg};
-use reram_sim::SolverKind;
+use refloat_core::{ReFloatConfig, ReFloatMatrix};
+use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
+use refloat_sparse::CsrMatrix;
 
-use crate::accel::SimulatedAccelerator;
+use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheOutcome, EncodedMatrixCache};
-use crate::job::{JobOutcome, QueuedJob};
+use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
 use crate::queue::BoundedQueue;
-use crate::telemetry::JobTelemetry;
+use crate::telemetry::{CacheOutcomeKind, JobTelemetry, RefinementTelemetry};
 
 /// Runs until the queue closes and drains; one simulated accelerator per worker.
 pub(crate) fn worker_loop(
@@ -35,6 +35,235 @@ pub(crate) fn worker_loop(
     }
 }
 
+/// A by-reference fp64 operator over the shared CSR matrix (the exact ground truth the
+/// refinement loop measures residuals against) — avoids cloning O(nnz) arrays per job.
+struct CsrRef<'a>(&'a CsrMatrix);
+
+impl LinearOperator for CsrRef<'_> {
+    fn nrows(&self) -> usize {
+        self.0.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.0.ncols()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.0.spmv_into(x, y);
+    }
+
+    fn name(&self) -> String {
+        "fp64 (exact)".to_string()
+    }
+}
+
+/// The runtime's [`PrecisionLadder`]: quantized rungs resolved lazily through the
+/// shared encoded-matrix cache (so escalation re-uses encodings across jobs and
+/// tenants, and concurrent first touches coalesce), with the exact CSR matrix as the
+/// optional final fp64 rung.
+struct CachedLadder<'a> {
+    cache: &'a EncodedMatrixCache,
+    csr: &'a CsrMatrix,
+    fingerprint: u64,
+    formats: Vec<ReFloatConfig>,
+    fp64_fallback: bool,
+    solver: refloat_solvers::SolverKind,
+    /// Programmed operators per quantized rung, fetched on first use.
+    ops: Vec<Option<ReFloatMatrix>>,
+    /// The worker's held operator from the previous job; adopted (no clone) by the
+    /// rung whose key matches, exactly like the plain path's programmed-operator
+    /// reuse.
+    seed: Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+    /// Seconds this job spent encoding (cache misses only).
+    encode_s: f64,
+    /// Seconds spent obtaining rung operators in total: encoding, waiting on a
+    /// concurrent encode, and cloning the cached entry.  Subtracted from `solve_s` so
+    /// solver time stays solver time.
+    fetch_s: f64,
+    /// How the *base* rung was resolved (the job-level cache outcome).
+    base_outcome: Option<CacheOutcomeKind>,
+}
+
+impl<'a> CachedLadder<'a> {
+    fn new(
+        cache: &'a EncodedMatrixCache,
+        csr: &'a CsrMatrix,
+        fingerprint: u64,
+        spec: &RefinementSpec,
+        base_format: ReFloatConfig,
+        solver: refloat_solvers::SolverKind,
+        seed: Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+    ) -> Self {
+        let formats = spec.escalation.ladder(base_format);
+        let ops = formats.iter().map(|_| None).collect();
+        CachedLadder {
+            cache,
+            csr,
+            fingerprint,
+            formats,
+            fp64_fallback: spec.escalation.fp64_fallback,
+            solver,
+            ops,
+            seed,
+            encode_s: 0.0,
+            fetch_s: 0.0,
+            base_outcome: None,
+        }
+    }
+
+    /// Non-empty blocks of a fetched rung (0 for the fp64 rung or an unused rung).
+    fn num_blocks(&self, level: usize) -> u64 {
+        self.ops
+            .get(level)
+            .and_then(|op| op.as_ref())
+            .map(|op| op.num_blocks() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Hands the base-rung operator (the one identical follow-up jobs will ask for
+    /// first) back to the worker's programmed slot; falls back to the unused seed.
+    fn into_programmed(mut self) -> Option<(crate::cache::CacheKey, ReFloatMatrix)> {
+        if let Some(op) = self.ops.get_mut(0).and_then(Option::take) {
+            return Some(((self.fingerprint, self.formats[0]), op));
+        }
+        self.seed
+    }
+}
+
+impl PrecisionLadder for CachedLadder<'_> {
+    fn levels(&self) -> usize {
+        self.formats.len() + usize::from(self.fp64_fallback)
+    }
+
+    fn level_name(&self, level: usize) -> String {
+        if level < self.formats.len() {
+            self.formats[level].to_string()
+        } else {
+            "fp64 (exact)".to_string()
+        }
+    }
+
+    fn solve(&mut self, level: usize, rhs: &[f64], config: &SolverConfig) -> SolveResult {
+        if level < self.formats.len() {
+            if self.ops[level].is_none() {
+                let fetch_started = Instant::now();
+                let format = self.formats[level];
+                let key = (self.fingerprint, format);
+                let (encoded, outcome) = self
+                    .cache
+                    .get_or_encode(key, || ReFloatMatrix::from_csr(self.csr, format));
+                if let CacheOutcome::Miss { encode_seconds } = outcome {
+                    self.encode_s += encode_seconds;
+                }
+                if level == 0 {
+                    self.base_outcome = Some(outcome.into());
+                }
+                // Adopt the worker's held operator when it is this very rung (the
+                // cache lookup above still records the hit); clone otherwise.
+                let op = match self.seed.take() {
+                    Some((held_key, op)) if held_key == key => op,
+                    other => {
+                        self.seed = other;
+                        (*encoded).clone()
+                    }
+                };
+                self.ops[level] = Some(op);
+                self.fetch_s += fetch_started.elapsed().as_secs_f64();
+            }
+            let op = self.ops[level].as_mut().expect("rung fetched above");
+            self.solver.solve(op, rhs, config)
+        } else {
+            self.solver.solve(&mut CsrRef(self.csr), rhs, config)
+        }
+    }
+}
+
+/// What one refined job reports back to `execute_job`.
+struct RefinedOutcome {
+    result: SolveResult,
+    simulated: SimulatedRun,
+    encode_s: f64,
+    solve_s: f64,
+    cache: CacheOutcomeKind,
+    telemetry: RefinementTelemetry,
+}
+
+/// Runs one refined job: the outer fp64 defect-correction loop over the cache-backed
+/// ladder, then charges every inner pass (and the host-side fp64 work) to the chip.
+fn run_refined(
+    job: &SolveJob,
+    spec: &RefinementSpec,
+    rhs: &[f64],
+    cache: &EncodedMatrixCache,
+    accelerator: &mut SimulatedAccelerator,
+    programmed: &mut Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+) -> RefinedOutcome {
+    let csr = job.matrix.csr();
+    let mut ladder = CachedLadder::new(
+        cache,
+        csr,
+        job.matrix.fingerprint(),
+        spec,
+        job.format,
+        job.solver,
+        programmed.take(),
+    );
+    let config = spec.refinement_config();
+    let solve_started = Instant::now();
+    let refined = refine(&mut CsrRef(csr), rhs, &mut ladder, &config);
+    // Rung fetches (encode / coalesced wait / clone) interleave with the solve; keep
+    // solver time clean of them.
+    let solve_s = solve_started.elapsed().as_secs_f64() - ladder.fetch_s;
+
+    let pass_costs: Vec<RefinedPassCost> = refined
+        .passes
+        .iter()
+        .map(|pass| {
+            if pass.level < ladder.formats.len() {
+                let format = ladder.formats[pass.level];
+                RefinedPassCost::Quantized {
+                    key: (ladder.fingerprint, format),
+                    format,
+                    num_blocks: ladder.num_blocks(pass.level),
+                    iterations: pass.inner_iterations as u64,
+                }
+            } else {
+                RefinedPassCost::HostFp64 {
+                    iterations: pass.inner_iterations as u64,
+                }
+            }
+        })
+        .collect();
+    let simulated = accelerator.execute_refined(
+        &pass_costs,
+        refined.fp64_spmvs as u64,
+        csr.nnz() as u64,
+        csr.nrows() as u64,
+        job.solver,
+    );
+
+    let telemetry = RefinementTelemetry {
+        outer_iterations: refined.outer_iterations,
+        inner_iterations: refined.inner_iterations,
+        escalations: refined.escalations,
+        final_level: ladder.level_name(refined.final_level),
+        fp64_spmvs: refined.fp64_spmvs,
+        final_relative_residual: refined.final_relative_residual,
+        stalled: refined.stop == refloat_solvers::RefinementStop::Stalled,
+    };
+    let encode_s = ladder.encode_s;
+    let cache = ladder.base_outcome.unwrap_or(CacheOutcomeKind::Hit);
+    *programmed = ladder.into_programmed();
+    RefinedOutcome {
+        result: refined.into_solve_result(),
+        simulated,
+        encode_s,
+        solve_s,
+        cache,
+        telemetry,
+    }
+}
+
 fn execute_job(
     queued: QueuedJob,
     cache: &EncodedMatrixCache,
@@ -49,25 +278,6 @@ fn execute_job(
     let dequeued_at = Instant::now();
     let queue_wait_s = dequeued_at.duration_since(submitted_at).as_secs_f64();
 
-    let key = job.cache_key();
-    let (encoded, cache_outcome) = cache.get_or_encode(key, || {
-        ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
-    });
-    let encode_s = match cache_outcome {
-        CacheOutcome::Miss { encode_seconds } => encode_seconds,
-        CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
-    };
-
-    // The worker needs a mutable operator (applying it mutates the converter scratch),
-    // while the cache entry is shared and immutable.  Reuse the worker's programmed
-    // operator when the key matches — the encode is a pure function of the key, so the
-    // content is the same — and otherwise clone the cached encoding (memcpy cost, not
-    // re-encode cost).  Either way the numerics are bit-identical to the serial path:
-    // same `ReFloatMatrix`, same block order.
-    let mut operator = match programmed.take() {
-        Some((held_key, op)) if held_key == key => op,
-        _ => (*encoded).clone(),
-    };
     let ones;
     let rhs: &[f64] = match &job.rhs {
         Some(b) => b,
@@ -77,21 +287,58 @@ fn execute_job(
         }
     };
 
-    let solve_started = Instant::now();
-    let result = match job.solver {
-        SolverKind::Cg => cg(&mut operator, rhs, &job.solver_config),
-        SolverKind::BiCgStab => bicgstab(&mut operator, rhs, &job.solver_config),
-    };
-    let solve_s = solve_started.elapsed().as_secs_f64();
+    let (result, simulated, encode_s, solve_s, cache_outcome_kind, refinement) =
+        if let Some(spec) = job.refinement.clone() {
+            let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed);
+            (
+                refined.result,
+                refined.simulated,
+                refined.encode_s,
+                refined.solve_s,
+                refined.cache,
+                Some(refined.telemetry),
+            )
+        } else {
+            let key = job.cache_key();
+            let (encoded, cache_outcome) = cache.get_or_encode(key, || {
+                ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
+            });
+            let encode_s = match cache_outcome {
+                CacheOutcome::Miss { encode_seconds } => encode_seconds,
+                CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
+            };
 
-    let simulated = accelerator.execute(
-        key,
-        &job.format,
-        operator.num_blocks() as u64,
-        result.iterations as u64,
-        job.solver,
-    );
-    *programmed = Some((key, operator));
+            // The worker needs a mutable operator (applying it mutates the converter
+            // scratch), while the cache entry is shared and immutable.  Reuse the
+            // worker's programmed operator when the key matches — the encode is a pure
+            // function of the key, so the content is the same — and otherwise clone the
+            // cached encoding (memcpy cost, not re-encode cost).  Either way the
+            // numerics are bit-identical to the serial path: same `ReFloatMatrix`, same
+            // block order.
+            let mut operator = match programmed.take() {
+                Some((held_key, op)) if held_key == key => op,
+                _ => (*encoded).clone(),
+            };
+            let solve_started = Instant::now();
+            let result = job.solver.solve(&mut operator, rhs, &job.solver_config);
+            let solve_s = solve_started.elapsed().as_secs_f64();
+            let simulated = accelerator.execute(
+                key,
+                &job.format,
+                operator.num_blocks() as u64,
+                result.iterations as u64,
+                job.solver,
+            );
+            *programmed = Some((key, operator));
+            (
+                result,
+                simulated,
+                encode_s,
+                solve_s,
+                cache_outcome.into(),
+                None,
+            )
+        };
 
     let telemetry = JobTelemetry {
         job_id: id,
@@ -99,7 +346,7 @@ fn execute_job(
         matrix: job.matrix.name().to_string(),
         worker: accelerator.worker_id(),
         solver: job.solver,
-        cache: cache_outcome.into(),
+        cache: cache_outcome_kind,
         queue_wait_s,
         encode_s,
         solve_s,
@@ -107,6 +354,7 @@ fn execute_job(
         iterations: result.iterations,
         converged: result.converged(),
         simulated,
+        refinement,
     };
     JobOutcome {
         job_id: id,

@@ -14,6 +14,14 @@
 //! Each solve records a residual trace (for the convergence plots of Fig. 9), the number
 //! of iterations and SpMV applications (the quantities the accelerator timing model
 //! consumes), and the reason it stopped.
+//!
+//! On top of the plain solvers, [`refinement`] implements **mixed-precision iterative
+//! refinement** (defect correction): an outer fp64 loop computes exact residuals
+//! `r = b − A·x` and accumulates corrections solved at low precision on a
+//! [`PrecisionLadder`], escalating to wider formats (or fp64) when a rung stops
+//! contracting the residual.  This recovers full fp64 accuracy from inner solves that
+//! on their own stall at the quantization floor — the Le Gallo et al. mixed-precision
+//! in-memory-computing recipe, expressed over the same [`LinearOperator`] abstraction.
 
 #![warn(missing_docs)]
 
@@ -22,9 +30,50 @@ pub mod cg;
 pub mod eigs;
 pub mod jacobi;
 pub mod operator;
+pub mod refinement;
 pub mod result;
 
 pub use bicgstab::bicgstab;
 pub use cg::{cg, pcg};
 pub use operator::{LinearOperator, OperatorStats};
+pub use refinement::{
+    refine, OperatorLadder, PrecisionLadder, RefinementConfig, RefinementPass, RefinementResult,
+    RefinementStop,
+};
 pub use result::{SolveResult, SolverConfig, StopReason};
+
+/// Which Krylov solver to run (they differ in SpMVs per iteration).
+///
+/// This lives in the solver crate so that both the hardware time model (`reram-sim`,
+/// which re-exports it) and the precision-ladder dispatch of [`refinement`] can name a
+/// solver without depending on each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Conjugate Gradient: 1 SpMV per iteration.
+    Cg,
+    /// BiCGSTAB: 2 SpMVs per iteration.
+    BiCgStab,
+}
+
+impl SolverKind {
+    /// SpMVs executed per solver iteration.
+    pub fn spmv_per_iteration(&self) -> u64 {
+        match self {
+            SolverKind::Cg => 1,
+            SolverKind::BiCgStab => 2,
+        }
+    }
+
+    /// Runs the chosen solver on `a` against `rhs` (starting from `x₀ = 0`).
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &mut A,
+        rhs: &[f64],
+        config: &SolverConfig,
+    ) -> SolveResult {
+        match self {
+            SolverKind::Cg => cg(a, rhs, config),
+            SolverKind::BiCgStab => bicgstab(a, rhs, config),
+        }
+    }
+}

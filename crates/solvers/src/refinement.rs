@@ -1,0 +1,555 @@
+//! Mixed-precision iterative refinement (defect correction) around a low-precision
+//! inner solver.
+//!
+//! The paper's premise is that low-bit ReFloat operators keep Krylov solvers
+//! converging; Le Gallo et al.'s *Mixed-Precision In-Memory Computing* shows the
+//! production-grade form of that idea: run the cheap low-precision operator in the
+//! inner loop and recover full fp64 accuracy with an outer refinement loop.  This
+//! module implements that outer loop over any inner solver:
+//!
+//! ```text
+//! x ← 0
+//! repeat
+//!     r ← b − A·x            (exact, fp64)
+//!     solve  Ã·d ≈ r         (low precision: CG/BiCGSTAB on a quantized operator)
+//!     x ← x + d              (fp64 accumulation)
+//! until ‖r‖ ≤ target·‖b‖
+//! ```
+//!
+//! Because the residual and the solution accumulate in fp64, the attainable accuracy
+//! is set by fp64 — not by the inner format — as long as each outer pass contracts the
+//! residual at all.  When an inner format is *too* coarse to contract (the pass
+//! "stalls"), the driver escalates to the next rung of a [`PrecisionLadder`] —
+//! typically a widened `ReFloat(b, e, f)` format, with full fp64 as the final rung —
+//! so every solve either converges to the fp64 target or honestly reports
+//! [`RefinementStop::Stalled`] at the top of the ladder.
+//!
+//! The driver is deliberately generic: it only needs an exact [`LinearOperator`] for
+//! the fp64 residual and a [`PrecisionLadder`] for the inner solves, so the quantized
+//! operators of `refloat-core`, the cache-backed ladders of `refloat-runtime`, and
+//! plain test operators all plug in unchanged.
+
+use crate::operator::LinearOperator;
+use crate::result::{SolveResult, SolverConfig, StopReason};
+use crate::SolverKind;
+use refloat_sparse::vecops;
+
+/// A ladder of inner solvers at increasing precision.
+///
+/// Level 0 is the cheapest (coarsest) rung; the refinement driver walks upward only
+/// when a rung stops contracting the outer residual.  Implementations own whatever
+/// operator state each rung needs (encoded matrices, caches, scratch buffers).
+pub trait PrecisionLadder {
+    /// Number of rungs; must be at least 1.
+    fn levels(&self) -> usize;
+
+    /// Human-readable name of a rung (used in reports and telemetry).
+    fn level_name(&self, level: usize) -> String;
+
+    /// Runs the inner solver at `level` on `rhs` (from `x₀ = 0`), returning the
+    /// correction-solve result.
+    fn solve(&mut self, level: usize, rhs: &[f64], config: &SolverConfig) -> SolveResult;
+}
+
+/// The simplest [`PrecisionLadder`]: a vector of ready-made operators (coarsest
+/// first), all solved with the same Krylov method.
+///
+/// Heterogeneous rungs are the point — e.g. two quantized operators at widening bit
+/// widths followed by the exact fp64 matrix — hence the boxed trait objects.
+pub struct OperatorLadder {
+    rungs: Vec<Box<dyn LinearOperator + Send>>,
+    solver: SolverKind,
+}
+
+impl OperatorLadder {
+    /// An empty ladder solving every rung with `solver`.
+    pub fn new(solver: SolverKind) -> Self {
+        OperatorLadder {
+            rungs: Vec::new(),
+            solver,
+        }
+    }
+
+    /// Builder: append the next-finer rung.
+    pub fn with_rung(mut self, op: Box<dyn LinearOperator + Send>) -> Self {
+        self.rungs.push(op);
+        self
+    }
+
+    /// Appends the next-finer rung.
+    pub fn push(&mut self, op: Box<dyn LinearOperator + Send>) {
+        self.rungs.push(op);
+    }
+}
+
+impl PrecisionLadder for OperatorLadder {
+    fn levels(&self) -> usize {
+        self.rungs.len()
+    }
+
+    fn level_name(&self, level: usize) -> String {
+        self.rungs[level].name()
+    }
+
+    fn solve(&mut self, level: usize, rhs: &[f64], config: &SolverConfig) -> SolveResult {
+        self.solver.solve(&mut *self.rungs[level], rhs, config)
+    }
+}
+
+/// Knobs of the outer refinement loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementConfig {
+    /// Target relative residual `‖b − A·x‖₂ / ‖b‖₂` of the *outer* (fp64) loop.
+    pub target: f64,
+    /// Maximum outer passes before declaring non-convergence.
+    pub max_outer: usize,
+    /// Configuration of each inner correction solve.  Its tolerance is interpreted
+    /// relative to the pass residual (the driver forces `relative = true`), so inner
+    /// solves need far fewer digits than `target` — that is the entire economy of
+    /// mixed precision.
+    pub inner: SolverConfig,
+    /// A pass must shrink the outer residual by at least this factor
+    /// (`after < min_reduction · before`), otherwise it counts as a stall and the
+    /// driver escalates to the next rung.
+    pub min_reduction: f64,
+    /// Record per-pass details in [`RefinementResult::passes`].
+    pub record_passes: bool,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        RefinementConfig {
+            target: 1e-12,
+            max_outer: 40,
+            inner: SolverConfig::relative(1e-6)
+                .with_max_iterations(5_000)
+                .with_trace(false),
+            min_reduction: 0.5,
+            record_passes: true,
+        }
+    }
+}
+
+impl RefinementConfig {
+    /// A config targeting the given outer relative residual.
+    pub fn to_target(target: f64) -> Self {
+        RefinementConfig {
+            target,
+            ..RefinementConfig::default()
+        }
+    }
+
+    /// Builder-style setter for the outer pass cap.
+    pub fn with_max_outer(mut self, max_outer: usize) -> Self {
+        self.max_outer = max_outer;
+        self
+    }
+
+    /// Builder-style setter for the inner solve configuration.
+    pub fn with_inner(mut self, inner: SolverConfig) -> Self {
+        self.inner = inner;
+        self
+    }
+
+    /// Builder-style setter for the stall threshold.
+    pub fn with_min_reduction(mut self, min_reduction: f64) -> Self {
+        self.min_reduction = min_reduction;
+        self
+    }
+}
+
+/// Why the refinement loop terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefinementStop {
+    /// The outer residual criterion was met.
+    Converged,
+    /// The top rung of the ladder stopped contracting the residual.
+    Stalled,
+    /// The outer pass limit was reached first.
+    MaxOuter,
+}
+
+impl RefinementStop {
+    /// `true` when the outer residual criterion was met.
+    pub fn converged(&self) -> bool {
+        matches!(self, RefinementStop::Converged)
+    }
+}
+
+/// One outer pass: which rung ran, what it cost, what it achieved.
+#[derive(Debug, Clone)]
+pub struct RefinementPass {
+    /// Rung the correction was solved on.
+    pub level: usize,
+    /// The rung's name.
+    pub level_name: String,
+    /// Inner solver iterations of this pass.
+    pub inner_iterations: usize,
+    /// Inner operator applications of this pass.
+    pub inner_spmvs: usize,
+    /// Why the inner solve stopped.
+    pub inner_stop: StopReason,
+    /// Outer relative residual before the pass.
+    pub residual_before: f64,
+    /// Outer relative residual after the pass (after a rejected pass this equals
+    /// `residual_before`: the correction was rolled back).
+    pub residual_after: f64,
+    /// Whether the correction was rolled back (it grew the residual or produced
+    /// non-finite values).
+    pub rejected: bool,
+    /// Whether the driver escalated to the next rung after this pass.
+    pub escalated: bool,
+}
+
+/// The outcome of a refinement solve.
+#[derive(Debug, Clone)]
+pub struct RefinementResult {
+    /// The final (fp64-accumulated) solution iterate.
+    pub x: Vec<f64>,
+    /// Outer passes executed.
+    pub outer_iterations: usize,
+    /// Total inner solver iterations across all passes.
+    pub inner_iterations: usize,
+    /// Total inner operator applications across all passes.
+    pub inner_spmvs: usize,
+    /// Exact fp64 operator applications (one per outer residual evaluation).
+    pub fp64_spmvs: usize,
+    /// Rungs skipped due to stalls (0 = the base format was enough).
+    pub escalations: usize,
+    /// The rung the loop ended on.
+    pub final_level: usize,
+    /// Final outer relative residual `‖b − A·x‖₂ / ‖b‖₂`.
+    pub final_relative_residual: f64,
+    /// Final outer absolute residual `‖b − A·x‖₂`.
+    pub final_residual: f64,
+    /// Per-pass details (empty unless [`RefinementConfig::record_passes`]).
+    pub passes: Vec<RefinementPass>,
+    /// Why the loop stopped.
+    pub stop: RefinementStop,
+}
+
+impl RefinementResult {
+    /// `true` when the outer residual criterion was met.
+    pub fn converged(&self) -> bool {
+        self.stop.converged()
+    }
+
+    /// Collapses the refined solve into the [`SolveResult`] shape the rest of the
+    /// stack (runtime telemetry, experiment tables) consumes: iterations are the total
+    /// inner iterations, the trace is the outer residual history, and the stop reason
+    /// maps `Stalled` to a labelled breakdown.
+    pub fn into_solve_result(self) -> SolveResult {
+        let stop = match self.stop {
+            RefinementStop::Converged => StopReason::Converged,
+            RefinementStop::MaxOuter => StopReason::MaxIterations,
+            RefinementStop::Stalled => StopReason::Breakdown(format!(
+                "refinement stalled at rung {} with relative residual {:.3e}",
+                self.final_level, self.final_relative_residual
+            )),
+        };
+        let mut trace: Vec<f64> = Vec::with_capacity(self.passes.len() + 1);
+        if let Some(first) = self.passes.first() {
+            trace.push(first.residual_before);
+        }
+        trace.extend(self.passes.iter().map(|p| p.residual_after));
+        SolveResult {
+            x: self.x,
+            iterations: self.inner_iterations,
+            spmv_count: self.inner_spmvs + self.fp64_spmvs,
+            final_residual: self.final_residual,
+            trace,
+            stop,
+        }
+    }
+}
+
+/// Solves `A x = b` to fp64 accuracy by defect correction: exact fp64 residuals
+/// around low-precision correction solves drawn from `ladder`, escalating rungs when
+/// passes stall.  See the module docs for the loop and its guarantees.
+///
+/// `a_fp64` must be the *exact* operator (the fp64 ground truth the quantized rungs
+/// approximate); it is applied once per outer pass.
+///
+/// # Panics
+/// Panics if the ladder is empty, if dimensions disagree, or if the configuration is
+/// degenerate (`target <= 0`, `min_reduction` outside `(0, 1]`).
+pub fn refine<A, L>(
+    a_fp64: &mut A,
+    b: &[f64],
+    ladder: &mut L,
+    config: &RefinementConfig,
+) -> RefinementResult
+where
+    A: LinearOperator + ?Sized,
+    L: PrecisionLadder + ?Sized,
+{
+    let n = b.len();
+    assert_eq!(a_fp64.nrows(), n, "refine: operator rows must match rhs");
+    assert_eq!(a_fp64.ncols(), n, "refine: operator must be square");
+    assert!(ladder.levels() >= 1, "refine: ladder must have a rung");
+    assert!(
+        config.target > 0.0 && config.target.is_finite(),
+        "refine: target must be a positive finite tolerance"
+    );
+    assert!(
+        config.min_reduction > 0.0 && config.min_reduction <= 1.0,
+        "refine: min_reduction must be in (0, 1]"
+    );
+
+    let b_norm = vecops::norm2(b);
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut r_new = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    let mut passes = Vec::new();
+    let mut level = 0usize;
+    let mut outer = 0usize;
+    let mut escalations = 0usize;
+    let mut inner_iterations = 0usize;
+    let mut inner_spmvs = 0usize;
+    let mut fp64_spmvs = 0usize;
+
+    // x₀ = 0, so the initial residual is b itself — no fp64 apply needed yet.
+    let mut rel = if b_norm > 0.0 { 1.0 } else { 0.0 };
+    let mut abs = b_norm;
+
+    // The inner tolerance is relative to each pass's rhs (the current residual);
+    // absolute inner tolerances would become unreachable as the residual shrinks.
+    let mut inner_config = config.inner.clone();
+    inner_config.relative = true;
+
+    let mut stop = RefinementStop::MaxOuter;
+    if rel <= config.target {
+        stop = RefinementStop::Converged; // zero rhs (or trivially tight target)
+    } else {
+        for _ in 0..config.max_outer {
+            outer += 1;
+            let correction = ladder.solve(level, &r, &inner_config);
+            inner_iterations += correction.iterations;
+            inner_spmvs += correction.spmv_count;
+
+            // Tentatively accept: x' = x + d, then measure the *exact* residual.
+            vecops::axpy(1.0, &correction.x, &mut x);
+            a_fp64.apply(&x, &mut ax);
+            fp64_spmvs += 1;
+            vecops::sub_into(b, &ax, &mut r_new);
+            let new_abs = vecops::norm2(&r_new);
+            let new_rel = if b_norm > 0.0 { new_abs / b_norm } else { 0.0 };
+
+            // A pass that grows the residual (or corrupts it) is rolled back — the
+            // previous residual buffer is still intact — so the loop never ends worse
+            // than its best iterate.
+            let rejected = !new_rel.is_finite() || new_rel > rel;
+            if rejected {
+                vecops::axpy(-1.0, &correction.x, &mut x);
+            } else {
+                std::mem::swap(&mut r, &mut r_new);
+                abs = new_abs;
+            }
+            let after = if rejected { rel } else { new_rel };
+            let stalled = rejected || after > config.min_reduction * rel;
+            let can_escalate = level + 1 < ladder.levels();
+            let escalate = stalled && after > config.target && can_escalate;
+
+            if config.record_passes {
+                passes.push(RefinementPass {
+                    level,
+                    level_name: ladder.level_name(level),
+                    inner_iterations: correction.iterations,
+                    inner_spmvs: correction.spmv_count,
+                    inner_stop: correction.stop,
+                    residual_before: rel,
+                    residual_after: after,
+                    rejected,
+                    escalated: escalate,
+                });
+            }
+
+            rel = after;
+            if rel <= config.target {
+                stop = RefinementStop::Converged;
+                break;
+            }
+            if escalate {
+                level += 1;
+                escalations += 1;
+            } else if stalled {
+                // Already at the top rung and still not contracting: give up honestly
+                // rather than burning the remaining outer passes.
+                stop = RefinementStop::Stalled;
+                break;
+            }
+        }
+    }
+
+    RefinementResult {
+        x,
+        outer_iterations: outer,
+        inner_iterations,
+        inner_spmvs,
+        fp64_spmvs,
+        escalations,
+        final_level: level,
+        final_relative_residual: rel,
+        final_residual: abs,
+        passes,
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::DiagonalOperator;
+    use refloat_matgen::generators;
+    use refloat_sparse::CsrMatrix;
+
+    /// An operator that perturbs a CSR matrix's action by a fixed relative amount —
+    /// a stand-in for a quantized operator with controllable "precision".
+    struct PerturbedOperator {
+        csr: CsrMatrix,
+        rel_error: f64,
+    }
+
+    impl LinearOperator for PerturbedOperator {
+        fn nrows(&self) -> usize {
+            self.csr.nrows()
+        }
+        fn ncols(&self) -> usize {
+            self.csr.ncols()
+        }
+        fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+            self.csr.spmv_into(x, y);
+            for (i, yi) in y.iter_mut().enumerate() {
+                // Deterministic sign-alternating perturbation proportional to |y|.
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                *yi *= 1.0 + sign * self.rel_error;
+            }
+        }
+        fn name(&self) -> String {
+            format!("perturbed (rel {:.1e})", self.rel_error)
+        }
+    }
+
+    fn poisson(n: usize) -> CsrMatrix {
+        generators::laplacian_2d(n, n, 0.4).to_csr()
+    }
+
+    #[test]
+    fn refinement_reaches_fp64_accuracy_with_a_coarse_inner_operator() {
+        let a = poisson(16);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut ladder =
+            OperatorLadder::new(SolverKind::Cg).with_rung(Box::new(PerturbedOperator {
+                csr: a.clone(),
+                rel_error: 1e-3,
+            }));
+        let config = RefinementConfig::to_target(1e-12);
+        let result = refine(&mut a.clone(), &b, &mut ladder, &config);
+        assert!(result.converged(), "stop = {:?}", result.stop);
+        assert!(result.final_relative_residual <= 1e-12);
+        assert!(result.outer_iterations >= 2, "one pass cannot be enough");
+        assert_eq!(result.escalations, 0);
+    }
+
+    #[test]
+    fn stalling_rung_escalates_and_then_converges() {
+        let a = poisson(12);
+        let b = vec![1.0; a.nrows()];
+        // Rung 0 is far too coarse to contract; rung 1 is fine; rung 2 is exact.
+        let mut ladder = OperatorLadder::new(SolverKind::Cg)
+            .with_rung(Box::new(PerturbedOperator {
+                csr: a.clone(),
+                rel_error: 0.9,
+            }))
+            .with_rung(Box::new(PerturbedOperator {
+                csr: a.clone(),
+                rel_error: 1e-4,
+            }))
+            .with_rung(Box::new(a.clone()));
+        let config = RefinementConfig::to_target(1e-12).with_max_outer(60);
+        let result = refine(&mut a.clone(), &b, &mut ladder, &config);
+        assert!(result.converged(), "stop = {:?}", result.stop);
+        assert!(result.escalations >= 1, "coarse rung should stall");
+        assert!(result.final_level >= 1);
+        // The pass log names the stalling rung and marks the escalation.
+        assert!(result.passes.iter().any(|p| p.escalated && p.level == 0));
+    }
+
+    #[test]
+    fn top_rung_stall_reports_stalled_not_maxouter() {
+        let a = poisson(10);
+        let b = vec![1.0; a.nrows()];
+        // A single hopeless rung: the driver must give up via Stalled, quickly.
+        let mut ladder =
+            OperatorLadder::new(SolverKind::Cg).with_rung(Box::new(PerturbedOperator {
+                csr: a.clone(),
+                rel_error: 0.95,
+            }));
+        let config = RefinementConfig::to_target(1e-14).with_max_outer(50);
+        let result = refine(&mut a.clone(), &b, &mut ladder, &config);
+        assert_eq!(result.stop, RefinementStop::Stalled);
+        assert!(result.outer_iterations < 50, "stall must short-circuit");
+        // Rolled-back or stalled passes never leave the iterate worse than before.
+        for pair in result.passes.windows(2) {
+            assert!(pair[1].residual_after <= pair[0].residual_after * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = poisson(6);
+        let mut ladder = OperatorLadder::new(SolverKind::Cg).with_rung(Box::new(a.clone()));
+        let result = refine(
+            &mut a.clone(),
+            &vec![0.0; 36],
+            &mut ladder,
+            &RefinementConfig::default(),
+        );
+        assert!(result.converged());
+        assert_eq!(result.outer_iterations, 0);
+        assert_eq!(result.fp64_spmvs, 0);
+        assert!(result.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn into_solve_result_preserves_the_outer_story() {
+        let a = poisson(8);
+        let b = vec![1.0; a.nrows()];
+        let mut ladder =
+            OperatorLadder::new(SolverKind::Cg).with_rung(Box::new(PerturbedOperator {
+                csr: a.clone(),
+                rel_error: 1e-2,
+            }));
+        let config = RefinementConfig::to_target(1e-12);
+        let result = refine(&mut a.clone(), &b, &mut ladder, &config);
+        assert!(result.converged());
+        let outer = result.outer_iterations;
+        let solve = result.into_solve_result();
+        assert_eq!(solve.stop, StopReason::Converged);
+        assert_eq!(solve.trace.len(), outer + 1);
+        assert!(solve.iterations > 0);
+        assert!(solve.final_residual <= 1e-12 * vecops::norm2(&b));
+    }
+
+    #[test]
+    fn diagonal_ladder_with_bicgstab_also_refines() {
+        let n = 40;
+        let diag: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.25).collect();
+        let coarse: Vec<f64> = diag.iter().map(|d| d * 1.001).collect();
+        let mut ladder = OperatorLadder::new(SolverKind::BiCgStab)
+            .with_rung(Box::new(DiagonalOperator::new(coarse)));
+        let b = vec![3.0; n];
+        let mut exact = DiagonalOperator::new(diag.clone());
+        let result = refine(
+            &mut exact,
+            &b,
+            &mut ladder,
+            &RefinementConfig::to_target(1e-13),
+        );
+        assert!(result.converged(), "stop = {:?}", result.stop);
+        for (xi, di) in result.x.iter().zip(diag.iter()) {
+            assert!((xi - 3.0 / di).abs() < 1e-10);
+        }
+    }
+}

@@ -2,8 +2,24 @@
 //! solvers that must hold for *any* well-scaled SPD input, not just the paper workloads.
 
 use proptest::prelude::*;
+use refloat::core::format::max_offset_for_bits;
+use refloat::core::scalar::{fraction_truncation_error_bound, pow2, requantize};
 use refloat::prelude::*;
 use refloat::sparse::vecops;
+
+fn modes(selector: usize) -> (RoundingMode, UnderflowMode) {
+    let rounding = if selector.is_multiple_of(2) {
+        RoundingMode::Truncate
+    } else {
+        RoundingMode::RoundNearest
+    };
+    let underflow = if (selector / 2).is_multiple_of(2) {
+        UnderflowMode::Saturate
+    } else {
+        UnderflowMode::FlushToZero
+    };
+    (rounding, underflow)
+}
 
 /// Builds a random SPD matrix: a banded diagonally-dominant matrix with the given
 /// off-diagonal density and value scale.
@@ -77,6 +93,81 @@ proptest! {
         op.apply(&x, &mut approx);
         let err = vecops::rel_err(&approx, &exact);
         prop_assert!(err < 0.05, "relative SpMV error {err} too large at scale 2^{magnitude_exp}");
+    }
+
+    #[test]
+    fn requantize_is_monotone_in_magnitude_within_the_exponent_window(
+        frac_a in 1.0f64..2.0,
+        frac_b in 1.0f64..2.0,
+        exp_a in -3i32..4,
+        exp_b in -3i32..4,
+        f_bits in 0u32..12,
+        mode_sel in 0usize..4,
+    ) {
+        // With eb = 0 and e = 3 the representable exponent window is [-3, 3]; inside
+        // it, requantize must preserve magnitude ordering under every rounding and
+        // underflow mode.  (The saturation-carry fix is what makes this hold at the
+        // top of the window: pre-fix, a fraction that rounded to 2.0 at the max offset
+        // was halved below its just-smaller neighbours.)
+        let (rounding, underflow) = modes(mode_sel);
+        let u = frac_a * pow2(exp_a);
+        let v = frac_b * pow2(exp_b);
+        let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+        let q_lo = requantize(lo, 0, 3, f_bits, rounding, underflow);
+        let q_hi = requantize(hi, 0, 3, f_bits, rounding, underflow);
+        prop_assert!(
+            q_lo <= q_hi,
+            "monotonicity violated: {lo} -> {q_lo} but {hi} -> {q_hi} \
+             (f = {f_bits}, {rounding:?}, {underflow:?})"
+        );
+    }
+
+    #[test]
+    fn requantize_error_stays_within_the_fraction_and_saturation_bounds(
+        frac in 1.0f64..2.0,
+        exp in -12i32..13,
+        f_bits in 0u32..11,
+        e_bits in 0u32..5,
+        mode_sel in 0usize..4,
+    ) {
+        let (rounding, underflow) = modes(mode_sel);
+        let v = frac * pow2(exp);
+        let q = requantize(v, 0, e_bits, f_bits, rounding, underflow);
+        let max_off = max_offset_for_bits(e_bits);
+        let f_err = fraction_truncation_error_bound(f_bits);
+        let max_representable = (2.0 - f_err) * pow2(max_off);
+        let eps = 1e-12;
+
+        // Nothing ever exceeds the largest representable magnitude (this is the
+        // saturation-carry fix: a carry at the saturated offset clamps there).
+        prop_assert!(q <= max_representable * (1.0 + eps), "q = {q} above the format maximum");
+        prop_assert!(q >= 0.0);
+
+        if exp > max_off {
+            // Saturated from above: the result keeps its own quantized fraction at
+            // the max offset — never more than the input, never below 2^max_off.
+            prop_assert!(q <= v);
+            prop_assert!(q >= pow2(max_off) * (1.0 - eps));
+        } else if exp >= -max_off {
+            // In the window the only loss is fraction quantization: 2^(−f) relative.
+            let rel = ((q - v) / v).abs();
+            prop_assert!(
+                rel <= f_err + eps,
+                "in-window relative error {rel} above 2^-{f_bits}"
+            );
+            // And quantization never grows the magnitude beyond the rounding bound.
+            prop_assert!(q <= v * (1.0 + f_err + eps));
+        } else {
+            // Below the window: flushed to exactly zero, or saturated to the smallest
+            // representable offset (a magnitude *increase*, bounded by the format).
+            match underflow {
+                UnderflowMode::FlushToZero => prop_assert_eq!(q, 0.0),
+                UnderflowMode::Saturate => {
+                    prop_assert!(q >= v * (1.0 - f_err - eps));
+                    prop_assert!(q <= (2.0 - f_err) * pow2(-max_off) * (1.0 + eps));
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use refloat::prelude::*;
-use refloat::runtime::CacheOutcomeKind;
+use refloat::runtime::{CacheOutcomeKind, RefinementSpec};
+use refloat::sparse::vecops;
 
 /// A mixed-workload, mixed-format catalog of small matrices.
 fn catalog() -> Vec<(MatrixHandle, ReFloatConfig, SolverKind)> {
@@ -176,6 +177,120 @@ fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
     let rendered = report.render();
     assert!(rendered.contains("hit rate"));
     assert!(rendered.contains("jobs/s"));
+}
+
+/// The true fp64 relative residual `‖b − A·x‖₂/‖b‖₂` — the accuracy yardstick the
+/// refinement loop is judged on (solver-internal residuals are measured against the
+/// *quantized* operator and can be arbitrarily optimistic).
+fn true_relative_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let ax = a.spmv(x);
+    let mut r = vec![0.0; b.len()];
+    vecops::sub_into(b, &ax, &mut r);
+    vecops::norm2(&r) / vecops::norm2(b)
+}
+
+#[test]
+fn refined_jobs_reach_fp64_accuracy_where_plain_low_precision_stalls() {
+    let a = refloat::matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
+    let handle = MatrixHandle::new("poisson-16", a.clone());
+    let b = vec![1.0; a.nrows()];
+    // 3 fraction bits: far too coarse for 1e-12, stalls well above 1e-6.
+    let format = ReFloatConfig::new(4, 3, 3, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 3,
+        ..Default::default()
+    });
+    let outcome = runtime.run_batch(vec![
+        SolveJob::new("plain", handle.clone(), format),
+        SolveJob::new("refined", handle.clone(), format)
+            .with_refinement(RefinementSpec::to_target(1e-12)),
+    ]);
+
+    let plain_rel = true_relative_residual(&a, &b, &outcome.jobs[0].result.x);
+    assert!(
+        plain_rel > 1e-6,
+        "plain low-precision solve should stall above 1e-6, got {plain_rel:.3e}"
+    );
+    let refined_rel = true_relative_residual(&a, &b, &outcome.jobs[1].result.x);
+    assert!(
+        refined_rel <= 1e-12,
+        "refined solve should reach fp64 accuracy, got {refined_rel:.3e}"
+    );
+
+    let tele = outcome.jobs[1]
+        .telemetry
+        .refinement
+        .as_ref()
+        .expect("refined job carries refinement telemetry");
+    assert!(tele.final_relative_residual <= 1e-12);
+    assert!(tele.outer_iterations >= 2);
+    assert!(!tele.stalled);
+    // The outer loop's fp64 residual work is charged to the host model.
+    assert!(outcome.jobs[1].telemetry.simulated.host_fp64_s > 0.0);
+    assert!(outcome.jobs[0].telemetry.refinement.is_none());
+    assert_eq!(outcome.report.refined_jobs, 1);
+}
+
+#[test]
+fn refined_jobs_are_deterministic_and_share_rung_encodings_via_the_cache() {
+    let jobs = || {
+        let handle = MatrixHandle::new(
+            "poisson-12",
+            refloat::matgen::generators::laplacian_2d(12, 12, 0.4).to_csr(),
+        );
+        (0..6)
+            .map(|i| {
+                SolveJob::new(
+                    format!("tenant-{i}"),
+                    handle.clone(),
+                    ReFloatConfig::new(4, 3, 3, 3, 8),
+                )
+                .with_refinement(RefinementSpec::to_target(1e-12))
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let a = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .run_batch(jobs());
+    let b = SolveRuntime::new(RuntimeConfig {
+        workers: 5,
+        ..Default::default()
+    })
+    .run_batch(jobs());
+
+    for (ja, jb) in a.jobs.iter().zip(b.jobs.iter()) {
+        let bits_a: Vec<u64> = ja.result.x.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = jb.result.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "refined job {} numerics differ", ja.job_id);
+        assert_eq!(
+            ja.telemetry
+                .refinement
+                .as_ref()
+                .map(|r| (r.outer_iterations, r.escalations)),
+            jb.telemetry
+                .refinement
+                .as_ref()
+                .map(|r| (r.outer_iterations, r.escalations)),
+        );
+    }
+
+    // Six identical refined jobs share one encode per rung actually used: the miss
+    // count is bounded by the ladder depth, not by the job count.
+    let spec = RefinementSpec::default();
+    let rungs = spec
+        .escalation
+        .ladder(ReFloatConfig::new(4, 3, 3, 3, 8))
+        .len() as u64;
+    assert!(
+        a.report.cache.misses <= rungs,
+        "{} misses for {} quantized rungs",
+        a.report.cache.misses,
+        rungs
+    );
+    assert!(a.report.cache.hits + a.report.cache.coalesced > 0);
 }
 
 #[test]
