@@ -21,7 +21,7 @@ fn bench_runtime_overhead(c: &mut Criterion) {
 
     // Cache hot path: every lookup after the first is a hit.
     let cache = EncodedMatrixCache::new(8);
-    let key = (handle.fingerprint(), format);
+    let key = refloat_runtime::CacheKey::whole(handle.fingerprint(), format);
     cache.get_or_encode(key, || refloat_core::ReFloatMatrix::from_csr(&a, format));
     group.bench_function("cache_hit_lookup", |b| {
         b.iter(|| cache.get_or_encode(key, || unreachable!("entry is cached")))
@@ -48,6 +48,7 @@ fn bench_runtime_overhead(c: &mut Criterion) {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 8,
+        chip_crossbars: None,
     });
     let one_iter = SolverConfig::relative(1e-8)
         .with_max_iterations(1)

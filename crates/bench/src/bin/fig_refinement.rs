@@ -87,6 +87,7 @@ fn main() {
         workers: 2,
         queue_capacity: 8,
         cache_capacity: 32,
+        chip_crossbars: None,
     });
     let jobs: Vec<SolveJob> = formats
         .iter()

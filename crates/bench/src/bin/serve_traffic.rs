@@ -184,6 +184,7 @@ fn main() {
         workers,
         queue_capacity: 2 * workers.max(1),
         cache_capacity,
+        chip_crossbars: None,
     });
     let outcome = runtime.run_with(|submitter| {
         for (i, &which) in picks.iter().enumerate() {

@@ -25,6 +25,9 @@
 //! * [`block`] — per-block base selection and encoding ([`ReFloatBlock`]),
 //! * [`vector`] — the vector converter ([`vector::VectorConverter`]),
 //! * [`matrix`] — [`ReFloatMatrix`], the quantized operator that plugs into the solvers,
+//! * [`sharded`] — [`ShardedReFloatMatrix`], the operator partitioned into block-row
+//!   shards (one per chip of a multi-chip accelerator), bitwise identical to the
+//!   unsharded operator for every shard count,
 //! * [`feinberg`] — the exponent-truncation baseline of Feinberg et al. [ISCA'18] as
 //!   described in §III.C of the paper (correct matrix, fixed-window vectors),
 //! * [`truncate`] — the plain fraction/exponent truncation formats of the Table I study,
@@ -45,6 +48,7 @@ pub mod locality;
 pub mod matrix;
 pub mod memory;
 pub mod scalar;
+pub mod sharded;
 pub mod truncate;
 pub mod vector;
 
@@ -52,3 +56,4 @@ pub use block::ReFloatBlock;
 pub use escalation::EscalationPolicy;
 pub use format::{ReFloatConfig, RoundingMode, UnderflowMode};
 pub use matrix::ReFloatMatrix;
+pub use sharded::{OperatorShard, ShardedReFloatMatrix};

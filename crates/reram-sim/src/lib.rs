@@ -11,6 +11,9 @@
 //! * [`accelerator`] — the chip-level organization (banks / clusters / crossbars of
 //!   Table IV), the cluster-requirement arithmetic of §VI.B and the SpMV / solver-time
 //!   model used to regenerate Fig. 8,
+//! * [`multichip`] — a pool of chips executing block-row shards in parallel
+//!   (makespan = slowest shard) with a fixed-order host gather per SpMV — the
+//!   scale-out path for matrices exceeding one chip's crossbar budget,
 //! * [`gpu`] — a roofline + kernel-launch latency model standing in for the V100 +
 //!   cuSPARSE baseline (see DESIGN.md §3 for the substitution argument),
 //! * [`noise`] — the random-telegraph-noise model of the Fig. 10 robustness study.
@@ -21,10 +24,14 @@ pub mod accelerator;
 pub mod cost;
 pub mod engine;
 pub mod gpu;
+pub mod multichip;
 pub mod noise;
 pub mod xbar;
 
 pub use accelerator::{AcceleratorConfig, SolverKind, SolverTimeBreakdown};
 pub use cost::{crossbar_count_eq2, crossbars_per_cluster, cycle_count_eq3};
 pub use gpu::GpuModel;
+pub use multichip::{
+    MultiChipAccelerator, MultiChipConfig, MultiChipSolveBreakdown, ShardedSpmvBreakdown,
+};
 pub use noise::NoisyReFloatOperator;

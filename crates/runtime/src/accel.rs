@@ -3,14 +3,15 @@
 //! crossbar re-programming when a worker switches to a different matrix.
 
 use refloat_core::ReFloatConfig;
-use reram_sim::{AcceleratorConfig, GpuModel, SolverKind};
+use reram_sim::{AcceleratorConfig, GpuModel, MultiChipAccelerator, MultiChipConfig, SolverKind};
 
 use crate::cache::CacheKey;
 
-/// What one job cost on the simulated chip.
+/// What one job cost on the simulated chip (or chip pool).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulatedRun {
-    /// Crossbar pipeline cycles across the whole solve (Eq. 3 cycles × rounds × SpMVs).
+    /// Crossbar pipeline cycles across the whole solve (Eq. 3 cycles × rounds × SpMVs;
+    /// for sharded jobs, the makespan chip's cycles).
     pub cycles: u64,
     /// Seconds of crossbar compute.
     pub compute_s: f64,
@@ -18,15 +19,34 @@ pub struct SimulatedRun {
     pub stream_write_s: f64,
     /// Seconds re-programming the chip because it held a different matrix (or nothing).
     pub program_s: f64,
+    /// Seconds gathering per-chip output bands to the host (sharded jobs only; the
+    /// fixed-order inter-chip reduction of each SpMV).
+    pub reduction_s: f64,
     /// Seconds of host-side fp64 work (the GPU model): the outer-loop residual
     /// evaluations and any fp64-fallback inner solves of a refined job.  Zero for
     /// plain jobs.
     pub host_fp64_s: f64,
-    /// Total simulated seconds for the job (compute + writes + programming + host
-    /// fp64 + the per-iteration digital overhead folded into the solver-time model).
+    /// Total simulated seconds for the job (compute + writes + programming + gather +
+    /// host fp64 + the per-iteration digital overhead folded into the solver-time
+    /// model).
     pub total_s: f64,
     /// Whether this job had to re-program the chip.
     pub remapped: bool,
+}
+
+impl SimulatedRun {
+    fn zero() -> Self {
+        SimulatedRun {
+            cycles: 0,
+            compute_s: 0.0,
+            stream_write_s: 0.0,
+            program_s: 0.0,
+            reduction_s: 0.0,
+            host_fp64_s: 0.0,
+            total_s: 0.0,
+            remapped: false,
+        }
+    }
 }
 
 /// One inner pass of a refined job, as the accelerator model accounts it.
@@ -76,6 +96,10 @@ pub struct SimulatedAccelerator {
     usage: AcceleratorUsage,
     /// The host platform that prices fp64 offload work of refined jobs.
     host: GpuModel,
+    /// Override of each chip's crossbar pool size (None = the Table IV 2^18).  Smaller
+    /// chips force oversized matrices into streaming rounds — the regime where
+    /// sharding across a pool pays off.
+    chip_crossbars: Option<u64>,
 }
 
 impl SimulatedAccelerator {
@@ -87,6 +111,7 @@ impl SimulatedAccelerator {
             programmed: None,
             usage: AcceleratorUsage::default(),
             host: GpuModel::v100(),
+            chip_crossbars: None,
         }
     }
 
@@ -94,6 +119,22 @@ impl SimulatedAccelerator {
     pub fn with_host_gpu(mut self, host: GpuModel) -> Self {
         self.host = host;
         self
+    }
+
+    /// Builder: simulate chips with a smaller (or larger) crossbar pool than Table IV.
+    pub fn with_chip_crossbars(mut self, crossbars: Option<u64>) -> Self {
+        self.chip_crossbars = crossbars;
+        self
+    }
+
+    /// The per-chip hardware model for a format, with the crossbar-pool override
+    /// applied.
+    fn chip(&self, format: &ReFloatConfig) -> AcceleratorConfig {
+        let mut hw = AcceleratorConfig::refloat(format);
+        if let Some(crossbars) = self.chip_crossbars {
+            hw.total_crossbars = crossbars;
+        }
+        hw
     }
 
     /// The owning worker's id.
@@ -117,29 +158,97 @@ impl SimulatedAccelerator {
         iterations: u64,
         solver: SolverKind,
     ) -> SimulatedRun {
-        let hw = AcceleratorConfig::refloat(format);
-        let breakdown = hw.solver_time(num_blocks, iterations, solver);
+        self.execute_batch(key, format, num_blocks, &[iterations], solver)
+    }
+
+    /// Accounts one completed *batched* solve: one solve per right-hand side
+    /// (`iterations[k]` iterations for RHS `k`), all against the same programmed
+    /// operator, so the chip is programmed at most once for the whole batch.
+    pub fn execute_batch(
+        &mut self,
+        key: CacheKey,
+        format: &ReFloatConfig,
+        num_blocks: u64,
+        iterations: &[u64],
+        solver: SolverKind,
+    ) -> SimulatedRun {
+        assert!(!iterations.is_empty(), "a batch needs at least one RHS");
+        let hw = self.chip(format);
         let remapped = self.programmed != Some(key);
         let program_s = if remapped {
             hw.cluster_write_time_s()
         } else {
             0.0
         };
-        let spmv_count = iterations * solver.spmv_per_iteration();
-        let cycles = spmv_count * breakdown.rounds_per_spmv * hw.cycles_per_block_mvm;
-        let stream_write_s = spmv_count as f64 * breakdown.spmv_write_s;
-        let run = SimulatedRun {
-            cycles,
-            compute_s: spmv_count as f64 * breakdown.spmv_compute_s,
-            stream_write_s,
+        let mut run = SimulatedRun {
             program_s,
-            host_fp64_s: 0.0,
-            total_s: breakdown.solver_total_s + program_s,
             remapped,
+            total_s: program_s,
+            ..SimulatedRun::zero()
         };
+        for &iters in iterations {
+            let breakdown = hw.solver_time(num_blocks, iters, solver);
+            let spmv_count = iters * solver.spmv_per_iteration();
+            run.cycles += spmv_count * breakdown.rounds_per_spmv * hw.cycles_per_block_mvm;
+            run.compute_s += spmv_count as f64 * breakdown.spmv_compute_s;
+            run.stream_write_s += spmv_count as f64 * breakdown.spmv_write_s;
+            run.total_s += breakdown.solver_total_s;
+        }
         self.programmed = Some(key);
         self.usage.jobs += 1;
-        self.usage.cycles += cycles;
+        self.usage.cycles += run.cycles;
+        self.usage.busy_s += run.total_s;
+        self.usage.remaps += u64::from(remapped);
+        run
+    }
+
+    /// Accounts one completed *sharded* solve on a pool of `keys.len()` chips: shards
+    /// execute in parallel (each SpMV costs the slowest shard, the makespan), every
+    /// SpMV pays the fixed-order inter-chip gather, and the whole pool is programmed
+    /// at most once — also across all right-hand sides of a batched job.
+    ///
+    /// `keys[i]` / `shard_blocks[i]` / `shard_rows[i]` describe chip `i`'s shard; the
+    /// pool is considered programmed when it holds the first shard's key (the shard
+    /// set is a pure function of that key).
+    ///
+    /// # Panics
+    /// Panics if the per-shard slices disagree or `iterations` is empty.
+    pub fn execute_sharded(
+        &mut self,
+        keys: &[CacheKey],
+        format: &ReFloatConfig,
+        shard_blocks: &[u64],
+        shard_rows: &[u64],
+        iterations: &[u64],
+        solver: SolverKind,
+    ) -> SimulatedRun {
+        assert_eq!(keys.len(), shard_blocks.len(), "one key per shard");
+        assert!(!keys.is_empty(), "a sharded job needs at least one shard");
+        assert!(!iterations.is_empty(), "a batch needs at least one RHS");
+        let pool =
+            MultiChipAccelerator::new(MultiChipConfig::homogeneous(keys.len(), self.chip(format)));
+        let chip = &pool.config().chip;
+        let remapped = self.programmed != Some(keys[0]);
+        let program_s = if remapped { pool.program_time_s() } else { 0.0 };
+        let spmv = pool.spmv_time(shard_blocks, shard_rows);
+        let mut run = SimulatedRun {
+            program_s,
+            remapped,
+            total_s: program_s,
+            ..SimulatedRun::zero()
+        };
+        for &iters in iterations {
+            let spmv_count = iters * solver.spmv_per_iteration();
+            // The makespan chip's pipeline cycles: its streaming rounds × Eq. 3 cycles.
+            run.cycles += spmv_count * spmv.max_rounds * chip.cycles_per_block_mvm;
+            run.compute_s += spmv_count as f64 * spmv.makespan_s;
+            run.reduction_s += spmv_count as f64 * spmv.reduction_s;
+            run.total_s += spmv_count as f64 * spmv.spmv_total_s
+                + iters as f64 * chip.iteration_overhead_ns * 1e-9;
+        }
+        self.programmed = Some(keys[0]);
+        self.usage.jobs += 1;
+        self.usage.cycles += run.cycles;
         self.usage.busy_s += run.total_s;
         self.usage.remaps += u64::from(remapped);
         run
@@ -163,15 +272,7 @@ impl SimulatedAccelerator {
         solver: SolverKind,
     ) -> SimulatedRun {
         let host = self.host.clone();
-        let mut run = SimulatedRun {
-            cycles: 0,
-            compute_s: 0.0,
-            stream_write_s: 0.0,
-            program_s: 0.0,
-            host_fp64_s: 0.0,
-            total_s: 0.0,
-            remapped: false,
-        };
+        let mut run = SimulatedRun::zero();
         for pass in passes {
             match *pass {
                 RefinedPassCost::Quantized {
@@ -180,7 +281,7 @@ impl SimulatedAccelerator {
                     num_blocks,
                     iterations,
                 } => {
-                    let hw = AcceleratorConfig::refloat(&format);
+                    let hw = self.chip(&format);
                     if self.programmed != Some(key) {
                         run.program_s += hw.cluster_write_time_s();
                         run.remapped = true;
@@ -213,7 +314,7 @@ mod tests {
     use super::*;
 
     fn key(tag: u64) -> CacheKey {
-        (tag, ReFloatConfig::paper_default())
+        CacheKey::whole(tag, ReFloatConfig::paper_default())
     }
 
     #[test]
@@ -254,13 +355,13 @@ mod tests {
         let passes = [
             // Two passes on the base rung: one remap, then the chip is warm.
             RefinedPassCost::Quantized {
-                key: (fp, base),
+                key: CacheKey::whole(fp, base),
                 format: base,
                 num_blocks: 2_000,
                 iterations: 50,
             },
             RefinedPassCost::Quantized {
-                key: (fp, base),
+                key: CacheKey::whole(fp, base),
                 format: base,
                 num_blocks: 2_000,
                 iterations: 50,
@@ -268,7 +369,7 @@ mod tests {
             // Escalation to the widened rung: a second remap (the per-pass re-encode
             // charged in hardware).
             RefinedPassCost::Quantized {
-                key: (fp, wide),
+                key: CacheKey::whole(fp, wide),
                 format: wide,
                 num_blocks: 2_000,
                 iterations: 30,
@@ -292,7 +393,7 @@ mod tests {
         assert!(run.total_s >= run.compute_s + run.program_s + run.host_fp64_s - 1e-15);
 
         // A follow-up plain job on the widened rung finds the chip already programmed.
-        let follow = chip.execute((fp, wide), &wide, 2_000, 10, SolverKind::Cg);
+        let follow = chip.execute(CacheKey::whole(fp, wide), &wide, 2_000, 10, SolverKind::Cg);
         assert!(!follow.remapped);
     }
 
@@ -313,5 +414,60 @@ mod tests {
         let run = chip.execute(key(1), &format, 218_450, 10, SolverKind::Cg);
         assert!(run.stream_write_s > 0.0);
         assert!(run.total_s > run.compute_s);
+    }
+
+    #[test]
+    fn batched_rhs_amortize_programming_across_the_batch() {
+        let format = ReFloatConfig::paper_default();
+        let mut batched_chip = SimulatedAccelerator::new(0);
+        let batched =
+            batched_chip.execute_batch(key(1), &format, 2_000, &[100, 100, 100], SolverKind::Cg);
+        // Three separate single-RHS jobs on a *cold* chip each pay programming.
+        let mut serial_chip = SimulatedAccelerator::new(1);
+        let mut serial_total = 0.0;
+        for _ in 0..3 {
+            serial_total += serial_chip
+                .execute(key(2), &format, 2_000, 100, SolverKind::Cg)
+                .total_s;
+            serial_chip.programmed = None; // force a cold chip per job
+        }
+        assert!(batched.remapped);
+        assert_eq!(batched.cycles, 3 * 100 * 28);
+        let one_program = AcceleratorConfig::refloat(&format).cluster_write_time_s();
+        assert!((serial_total - batched.total_s - 2.0 * one_program).abs() < 1e-12);
+        assert_eq!(batched_chip.usage().remaps, 1);
+    }
+
+    #[test]
+    fn sharded_jobs_charge_makespan_and_reduction() {
+        let format = ReFloatConfig::paper_default();
+        // Small chips: 2^10 crossbars -> 1024/12 = 85 clusters per chip.
+        let mut chip = SimulatedAccelerator::new(0).with_chip_crossbars(Some(1 << 10));
+        let keys: Vec<CacheKey> = (0..4)
+            .map(|i| CacheKey::sharded(9, crate::cache::ShardId::of(i, 4), format))
+            .collect();
+        // 170 blocks per shard = 2 streaming rounds per chip per SpMV.
+        let run =
+            chip.execute_sharded(&keys, &format, &[170; 4], &[2048; 4], &[50], SolverKind::Cg);
+        assert!(run.remapped);
+        assert!(run.reduction_s > 0.0);
+        assert_eq!(run.cycles, 50 * 2 * 28);
+        assert!(run.total_s >= run.compute_s + run.reduction_s + run.program_s - 1e-15);
+
+        // Same shard set again: the pool stays programmed.
+        let again =
+            chip.execute_sharded(&keys, &format, &[170; 4], &[2048; 4], &[50], SolverKind::Cg);
+        assert!(!again.remapped);
+        assert_eq!(again.program_s, 0.0);
+
+        // The sharded pool beats one equally-small chip streaming all 680 blocks.
+        let mut single = SimulatedAccelerator::new(1).with_chip_crossbars(Some(1 << 10));
+        let whole = single.execute(key(9), &format, 680, 50, SolverKind::Cg);
+        assert!(
+            whole.total_s > 1.5 * run.total_s,
+            "sharding should win: single {:.3e}s vs sharded {:.3e}s",
+            whole.total_s,
+            run.total_s
+        );
     }
 }

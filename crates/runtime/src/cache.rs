@@ -1,5 +1,5 @@
 //! The encoded-matrix cache: an LRU of quantized [`ReFloatMatrix`] operators keyed by
-//! (matrix fingerprint, format), with in-flight deduplication.
+//! (matrix fingerprint, shard, format), with in-flight deduplication.
 //!
 //! Quantizing a matrix (`ReFloatMatrix::from_csr`) walks every non-zero through
 //! exponent-base selection and fraction encoding — by far the most expensive step of a
@@ -16,8 +16,66 @@ use std::time::Instant;
 
 use refloat_core::{ReFloatConfig, ReFloatMatrix};
 
-/// Cache key: (matrix content fingerprint, ReFloat format).
-pub type CacheKey = (u64, ReFloatConfig);
+/// Which slice of a matrix an encoding covers: shard `index` of a `count`-way
+/// block-row partition.  The unsharded operator is shard 0 of 1.
+///
+/// Shard identity (not the row range) is what keys the cache: the partitioner is a
+/// pure function of `(matrix, b, count)`, so `(fingerprint, index, count)` pins the
+/// row band exactly, while keys stay `Copy` and hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardId {
+    /// Shard index within the partition (`< count`).
+    pub index: u32,
+    /// Number of shards in the partition.
+    pub count: u32,
+}
+
+impl ShardId {
+    /// The whole (unsharded) matrix: shard 0 of 1.
+    pub const WHOLE: ShardId = ShardId { index: 0, count: 1 };
+
+    /// Shard `index` of a `count`-way partition.
+    pub fn of(index: u32, count: u32) -> Self {
+        assert!(count >= 1 && index < count, "shard {index} of {count}");
+        ShardId { index, count }
+    }
+
+    /// Whether this is the unsharded whole-matrix encoding.
+    pub fn is_whole(&self) -> bool {
+        self.count == 1
+    }
+}
+
+/// Cache key: (matrix content fingerprint, shard, ReFloat format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content hash of the matrix (structure + values).
+    pub fingerprint: u64,
+    /// Which block-row shard of the matrix the encoding covers.
+    pub shard: ShardId,
+    /// The ReFloat format of the encoding.
+    pub format: ReFloatConfig,
+}
+
+impl CacheKey {
+    /// Key of the unsharded encoding of a matrix in a format.
+    pub fn whole(fingerprint: u64, format: ReFloatConfig) -> Self {
+        CacheKey {
+            fingerprint,
+            shard: ShardId::WHOLE,
+            format,
+        }
+    }
+
+    /// Key of one shard's encoding.
+    pub fn sharded(fingerprint: u64, shard: ShardId, format: ReFloatConfig) -> Self {
+        CacheKey {
+            fingerprint,
+            shard,
+            format,
+        }
+    }
+}
 
 /// How one lookup was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -258,7 +316,7 @@ mod tests {
     }
 
     fn key(tag: u64) -> CacheKey {
-        (tag, ReFloatConfig::new(3, 3, 8, 3, 8))
+        CacheKey::whole(tag, ReFloatConfig::new(3, 3, 8, 3, 8))
     }
 
     fn encoded(n: usize) -> ReFloatMatrix {
@@ -323,9 +381,37 @@ mod tests {
     fn distinct_formats_are_distinct_entries() {
         let cache = EncodedMatrixCache::new(4);
         let fp = 99u64;
-        cache.get_or_encode((fp, ReFloatConfig::new(3, 3, 3, 3, 8)), || encoded(4));
-        cache.get_or_encode((fp, ReFloatConfig::new(3, 3, 8, 3, 8)), || encoded(4));
+        cache.get_or_encode(
+            CacheKey::whole(fp, ReFloatConfig::new(3, 3, 3, 3, 8)),
+            || encoded(4),
+        );
+        cache.get_or_encode(
+            CacheKey::whole(fp, ReFloatConfig::new(3, 3, 8, 3, 8)),
+            || encoded(4),
+        );
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn distinct_shards_are_distinct_entries() {
+        let cache = EncodedMatrixCache::new(8);
+        let fp = 7u64;
+        let format = ReFloatConfig::new(3, 3, 8, 3, 8);
+        cache.get_or_encode(CacheKey::whole(fp, format), || encoded(4));
+        cache.get_or_encode(CacheKey::sharded(fp, ShardId::of(0, 2), format), || {
+            encoded(4)
+        });
+        cache.get_or_encode(CacheKey::sharded(fp, ShardId::of(1, 2), format), || {
+            encoded(4)
+        });
+        // The same shard again is a hit.
+        let (_, outcome) = cache
+            .get_or_encode(CacheKey::sharded(fp, ShardId::of(1, 2), format), || {
+                encoded(4)
+            });
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(cache.len(), 3);
+        assert!(ShardId::WHOLE.is_whole() && !ShardId::of(1, 2).is_whole());
     }
 }

@@ -105,7 +105,7 @@ impl RefinementSpec {
     }
 }
 
-/// One solve request: matrix handle + right-hand side + format + solver + tolerance.
+/// One solve request: matrix handle + right-hand side(s) + format + solver + tolerance.
 #[derive(Debug, Clone)]
 pub struct SolveJob {
     /// Who submitted the job (telemetry/reporting label).
@@ -115,13 +115,23 @@ pub struct SolveJob {
     /// The right-hand side; `None` means the all-ones vector (the experiment-harness
     /// convention).
     pub rhs: Option<Arc<Vec<f64>>>,
+    /// Additional right-hand sides of a batched multi-RHS job.  All RHS of one job
+    /// share the programmed operator: the chip is programmed once and the per-column
+    /// solves (each bitwise identical to a standalone job) amortize that cost.
+    pub extra_rhs: Vec<Arc<Vec<f64>>>,
     /// The ReFloat format to encode (or fetch) the matrix in.  For refined jobs this
     /// is the *base* rung of the escalation ladder.
     pub format: ReFloatConfig,
+    /// How many accelerator chips the job spans (1 = a single chip).  A sharded job
+    /// partitions the matrix into `shards` nnz-balanced block-row bands, encodes each
+    /// through the cache under its own [`ShardId`](crate::cache::ShardId), runs the
+    /// bands in parallel, and gathers the disjoint outputs — bitwise identical to the
+    /// unsharded solve for every shard count.
+    pub shards: usize,
     /// Which Krylov solver to run.
     pub solver: SolverKind,
     /// Tolerance / iteration cap for the solve (plain jobs) or for nothing at all
-    /// (refined jobs override it with [`RefinementSpec::inner`]).
+    /// (refined jobs override it with the inner settings of [`RefinementSpec`]).
     pub solver_config: SolverConfig,
     /// When set, run the job in mixed-precision refinement mode.
     pub refinement: Option<RefinementSpec>,
@@ -136,7 +146,9 @@ impl SolveJob {
             tenant: tenant.into().into(),
             matrix,
             rhs: None,
+            extra_rhs: Vec::new(),
             format,
+            shards: 1,
             solver: SolverKind::Cg,
             solver_config: SolverConfig::relative(1e-8).with_trace(false),
             refinement: None,
@@ -160,6 +172,45 @@ impl SolveJob {
         self
     }
 
+    /// Builder: solve against a batch of right-hand sides (the first becomes the
+    /// primary [`rhs`](Self::rhs), the rest ride along in
+    /// [`extra_rhs`](Self::extra_rhs)).  The chip is programmed once for the whole
+    /// batch.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty, any RHS length mismatches the matrix, or the job
+    /// is in refinement mode (refined jobs are single-RHS).
+    pub fn with_rhs_batch(mut self, batch: Vec<Arc<Vec<f64>>>) -> Self {
+        assert!(!batch.is_empty(), "SolveJob: rhs batch must be non-empty");
+        assert!(
+            self.refinement.is_none() || batch.len() == 1,
+            "SolveJob: refined jobs are single-RHS; split the batch into separate jobs"
+        );
+        let n = self.matrix.csr().nrows();
+        for rhs in &batch {
+            assert_eq!(rhs.len(), n, "SolveJob: rhs length must match the matrix");
+        }
+        let mut batch = batch.into_iter();
+        self.rhs = batch.next();
+        self.extra_rhs = batch.collect();
+        self
+    }
+
+    /// Builder: span the job across `shards` accelerator chips (block-row sharding).
+    ///
+    /// # Panics
+    /// Panics if `shards` is 0, or if `shards > 1` on a job in refinement mode
+    /// (refined jobs are single-chip).
+    pub fn with_sharding(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "SolveJob: shards must be at least 1");
+        assert!(
+            self.refinement.is_none() || shards == 1,
+            "SolveJob: refined jobs are single-chip; drop with_refinement or the sharding"
+        );
+        self.shards = shards;
+        self
+    }
+
     /// Builder: override the solver configuration.
     pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
         self.solver_config = config;
@@ -167,14 +218,30 @@ impl SolveJob {
     }
 
     /// Builder: run this job in mixed-precision refinement mode.
+    ///
+    /// # Panics
+    /// Panics if the job is sharded or carries a RHS batch — refined jobs are
+    /// single-RHS and single-chip (rejected here so the mistake surfaces on the
+    /// submitting thread, not as a worker-pool panic).
     pub fn with_refinement(mut self, spec: RefinementSpec) -> Self {
+        assert!(
+            self.shards == 1 && self.extra_rhs.is_empty(),
+            "SolveJob: refined jobs are single-RHS and single-chip; drop the sharding \
+             or RHS batch"
+        );
         self.refinement = Some(spec);
         self
     }
 
-    /// The cache key this job resolves to.
+    /// The cache key of this job's unsharded encoding (sharded jobs derive one key per
+    /// shard from the same fingerprint + format, see the worker).
     pub fn cache_key(&self) -> crate::cache::CacheKey {
-        (self.matrix.fingerprint(), self.format)
+        crate::cache::CacheKey::whole(self.matrix.fingerprint(), self.format)
+    }
+
+    /// Number of right-hand sides this job solves (primary + extras).
+    pub fn rhs_count(&self) -> usize {
+        1 + self.extra_rhs.len()
     }
 }
 
@@ -191,8 +258,12 @@ pub(crate) struct QueuedJob {
 pub struct JobOutcome {
     /// Submission-order id.
     pub job_id: u64,
-    /// The solver's result (solution iterate, iterations, stop reason).
+    /// The solver's result for the primary right-hand side (solution iterate,
+    /// iterations, stop reason).
     pub result: SolveResult,
+    /// Results for the extra right-hand sides of a batched job, in batch order
+    /// (empty for single-RHS jobs).
+    pub extra_results: Vec<SolveResult>,
     /// Per-job measurements.
     pub telemetry: JobTelemetry,
 }
@@ -222,7 +293,54 @@ mod tests {
         let j1 = SolveJob::new("t", handle.clone(), ReFloatConfig::new(4, 3, 3, 3, 8));
         let j2 = SolveJob::new("t", handle, ReFloatConfig::new(4, 3, 8, 3, 8));
         assert_ne!(j1.cache_key(), j2.cache_key());
-        assert_eq!(j1.cache_key().0, j2.cache_key().0);
+        assert_eq!(j1.cache_key().fingerprint, j2.cache_key().fingerprint);
+    }
+
+    #[test]
+    fn rhs_batch_splits_into_primary_and_extras() {
+        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
+        let n = a.nrows();
+        let handle = MatrixHandle::new("a", a);
+        let job = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
+            .with_rhs_batch(vec![
+                Arc::new(vec![1.0; n]),
+                Arc::new(vec![2.0; n]),
+                Arc::new(vec![3.0; n]),
+            ])
+            .with_sharding(4);
+        assert_eq!(job.rhs_count(), 3);
+        assert_eq!(job.extra_rhs.len(), 2);
+        assert_eq!(job.shards, 4);
+        assert_eq!(job.rhs.as_ref().unwrap()[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be at least 1")]
+    fn zero_shards_is_rejected() {
+        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
+        let handle = MatrixHandle::new("a", a);
+        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8)).with_sharding(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-chip")]
+    fn refinement_rejects_sharding_at_build_time() {
+        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
+        let handle = MatrixHandle::new("a", a);
+        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
+            .with_refinement(crate::RefinementSpec::to_target(1e-10))
+            .with_sharding(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-RHS")]
+    fn refinement_rejects_rhs_batches_at_build_time() {
+        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
+        let n = a.nrows();
+        let handle = MatrixHandle::new("a", a);
+        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
+            .with_rhs_batch(vec![Arc::new(vec![1.0; n]), Arc::new(vec![2.0; n])])
+            .with_refinement(crate::RefinementSpec::to_target(1e-10));
     }
 
     #[test]

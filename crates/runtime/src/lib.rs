@@ -16,9 +16,10 @@
 //! * [`BoundedQueue`] (`queue`) — a blocking bounded MPMC queue providing submission
 //!   backpressure, built on `Mutex` + `Condvar` (no async runtime, matching the
 //!   scoped-thread idioms of `refloat_sparse::parallel`);
-//! * [`EncodedMatrixCache`] (`cache`) — an LRU cache of encoded [`ReFloatMatrix`]
-//!   operators keyed by (matrix fingerprint, format), with in-flight deduplication so
-//!   concurrent jobs on the same matrix encode it once;
+//! * [`EncodedMatrixCache`] (`cache`) — an LRU cache of encoded
+//!   [`ReFloatMatrix`](refloat_core::ReFloatMatrix) operators keyed by
+//!   (matrix fingerprint, shard, format), with in-flight deduplication so concurrent
+//!   jobs on the same matrix encode it once;
 //! * [`SimulatedAccelerator`] (`accel`) — the per-worker chip model accounting
 //!   simulated cycles/seconds (Eq. 2/3 via `reram-sim`) next to wall-clock time,
 //!   including crossbar re-programming when a worker switches matrices;
@@ -35,13 +36,41 @@
 //!   threads, feeds it from a producer closure, and collects deterministic,
 //!   submission-ordered results.
 //!
+//! # The shard → chip → reduction pipeline
+//!
+//! A job built with [`SolveJob::with_sharding`]`(c)` spans `c` chips of a simulated
+//! multi-chip accelerator instead of streaming an oversized matrix through one chip:
+//!
+//! 1. **shard** — the matrix is partitioned into `c` nnz-balanced bands on `2^b`
+//!    block-row boundaries (`refloat_sparse::shard`, reusing `balance_by_weight`), so
+//!    every band re-blocks into exactly the blocks the unsharded matrix produces;
+//! 2. **chip** — each band is encoded through the shared LRU cache under its own
+//!    [`ShardId`] key `(fingerprint, shard, format)` and programmed onto its own chip;
+//!    per SpMV the chips run in parallel, so the simulated cost is the *makespan* (the
+//!    slowest shard), not the sum (`reram_sim::multichip`);
+//! 3. **reduction** — each SpMV ends with a fixed-order gather of the disjoint
+//!    per-chip output bands to the host, charged as link latency + bandwidth.
+//!
+//! Batched **multi-RHS** jobs ([`SolveJob::with_rhs_batch`]) push `k` right-hand sides
+//! through the same pipeline: the chips are programmed once and every column solve
+//! amortizes that programming (and the cache traffic) across the batch.
+//!
 //! # Determinism
 //!
-//! Every job is a pure function of its matrix, right-hand side and configuration: the
-//! encoded operator a worker solves with is (a clone of) the same `ReFloatMatrix` the
-//! serial path would build, so **numeric results are bit-identical to serial execution
-//! regardless of worker count, scheduling, or cache state**.  Only wall-clock telemetry
-//! varies between runs.
+//! Every job is a pure function of its matrix, right-hand side(s) and configuration:
+//! the encoded operator a worker solves with is (a clone of) the same `ReFloatMatrix`
+//! the serial path would build, so **numeric results are bit-identical to serial
+//! execution regardless of worker count, scheduling, or cache state**.  Only
+//! wall-clock telemetry varies between runs.
+//!
+//! The contract extends across **shard counts**: a sharded solve is bitwise identical
+//! to the unsharded solve for every `c`, because shard cuts never split a block, each
+//! shard's vector converter re-encodes the full input identically, every output row is
+//! accumulated by exactly one shard in the unsharded block order, and the inter-shard
+//! "reduction" is a gather of disjoint bands — no floating-point operation is
+//! reordered.  (The level-1 kernels underneath — `vecops::dot`/`norm2` — use pairwise
+//! summation whose split points depend only on vector length, so residual tests and
+//! stopping decisions are also independent of sharding and stable at large `n`.)
 //!
 //! # Example
 //!
@@ -76,7 +105,7 @@ pub mod telemetry;
 mod worker;
 
 pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
-pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache};
+pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache, ShardId};
 pub use fingerprint::fingerprint_csr;
 pub use job::{JobOutcome, MatrixHandle, RefinementSpec, SolveJob};
 pub use queue::BoundedQueue;
@@ -92,12 +121,16 @@ use job::QueuedJob;
 /// Sizing knobs for a [`SolveRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Worker threads; each owns one simulated accelerator.
+    /// Worker threads; each owns one simulated accelerator (pool).
     pub workers: usize,
     /// Bounded job-queue capacity (submission blocks when full — backpressure).
     pub queue_capacity: usize,
     /// Encoded-matrix cache capacity, in entries.
     pub cache_capacity: usize,
+    /// Crossbars per simulated chip (`None` = the Table IV 2^18).  Smaller chips push
+    /// matrices past the single-chip budget, the regime where sharded jobs
+    /// ([`SolveJob::with_sharding`]) pay off.
+    pub chip_crossbars: Option<u64>,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +139,7 @@ impl Default for RuntimeConfig {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 32,
+            chip_crossbars: None,
         }
     }
 }
@@ -207,7 +241,10 @@ impl SolveRuntime {
                 let queue = &queue;
                 let cache = Arc::clone(&self.cache);
                 let results = results_tx.clone();
-                scope.spawn(move || worker::worker_loop(worker_id, queue, &cache, results));
+                let chip_crossbars = self.config.chip_crossbars;
+                scope.spawn(move || {
+                    worker::worker_loop(worker_id, queue, &cache, chip_crossbars, results)
+                });
             }
             let submitter = JobSubmitter {
                 queue: &queue,
@@ -290,6 +327,7 @@ mod tests {
             workers: 2,
             queue_capacity: 2,
             cache_capacity: 4,
+            chip_crossbars: None,
         });
         let outcome = runtime.run_with(|submitter| {
             for i in 0..24 {

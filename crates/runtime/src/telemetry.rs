@@ -58,6 +58,10 @@ pub struct JobTelemetry {
     pub worker: usize,
     /// Solver kind.
     pub solver: SolverKind,
+    /// Chips the job spanned (1 = unsharded).
+    pub shards: usize,
+    /// Right-hand sides solved under the one chip programming (1 = single RHS).
+    pub rhs_count: usize,
     /// How the encoded matrix was obtained.
     pub cache: CacheOutcomeKind,
     /// Seconds between submission and a worker dequeuing the job.
@@ -114,6 +118,12 @@ pub struct RuntimeReport {
     pub simulated_total_s: f64,
     /// Chip re-programming events across the pool.
     pub remaps: u64,
+    /// Jobs that spanned more than one chip.
+    pub sharded_jobs: usize,
+    /// Total right-hand sides solved (≥ `jobs`; batched jobs contribute several).
+    pub rhs_total: usize,
+    /// Total simulated seconds spent in inter-chip gathers of sharded jobs.
+    pub reduction_total_s: f64,
     /// Jobs per worker (index = worker id).
     pub per_worker_jobs: Vec<u64>,
     /// Jobs whose telemetry named a worker outside the pool (should be 0; counted so
@@ -210,6 +220,11 @@ impl RuntimeReport {
                 .iter()
                 .filter(|j| j.telemetry.simulated.remapped)
                 .count() as u64,
+            sharded_jobs: jobs.iter().filter(|j| j.telemetry.shards > 1).count(),
+            rhs_total: jobs.iter().map(|j| j.telemetry.rhs_count).sum(),
+            reduction_total_s: jobs
+                .iter()
+                .fold(0.0, |acc, j| acc + j.telemetry.simulated.reduction_s),
             per_worker_jobs,
             unattributed_jobs,
             refined_jobs: jobs
@@ -271,6 +286,18 @@ impl RuntimeReport {
             out.push_str(&format!(
                 "refinement      {} refined jobs, {} escalations, {:.6} s host fp64\n",
                 self.refined_jobs, self.escalations, self.host_fp64_total_s
+            ));
+        }
+        if self.sharded_jobs > 0 {
+            out.push_str(&format!(
+                "sharding        {} sharded jobs, {:.6} s inter-chip reduction\n",
+                self.sharded_jobs, self.reduction_total_s
+            ));
+        }
+        if self.rhs_total > self.jobs {
+            out.push_str(&format!(
+                "multi-rhs       {} right-hand sides across {} jobs\n",
+                self.rhs_total, self.jobs
             ));
         }
         out.push_str(&format!("worker load     {:?}\n", self.per_worker_jobs));
@@ -337,6 +364,7 @@ mod tests {
             compute_s: 1e-6,
             stream_write_s: 0.0,
             program_s: 0.0,
+            reduction_s: 0.0,
             host_fp64_s: if refined { 2e-6 } else { 0.0 },
             total_s: 3e-6,
             remapped: false,
@@ -360,12 +388,15 @@ mod tests {
                 trace: vec![],
                 stop: StopReason::Converged,
             },
+            extra_results: Vec::new(),
             telemetry: JobTelemetry {
                 job_id,
                 tenant: "t".to_string(),
                 matrix: "m".to_string(),
                 worker,
                 solver: SolverKind::Cg,
+                shards: 1,
+                rhs_count: 1,
                 cache: CacheOutcomeKind::Hit,
                 queue_wait_s: 0.0,
                 encode_s: 0.0,

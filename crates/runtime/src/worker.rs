@@ -1,15 +1,16 @@
-//! The worker loop: drain the queue, resolve the encoded matrix through the cache,
-//! solve (plain or mixed-precision refined), and account the simulated-chip cost.
+//! The worker loop: drain the queue, resolve the encoded matrix (or its per-chip
+//! shards) through the cache, solve (plain, sharded, batched multi-RHS, or
+//! mixed-precision refined), and account the simulated-chip cost.
 
 use std::sync::mpsc::Sender;
 use std::time::Instant;
 
-use refloat_core::{ReFloatConfig, ReFloatMatrix};
+use refloat_core::{OperatorShard, ReFloatConfig, ReFloatMatrix, ShardedReFloatMatrix};
 use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
-use refloat_sparse::CsrMatrix;
+use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
-use crate::cache::{CacheOutcome, EncodedMatrixCache};
+use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
 use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
 use crate::queue::BoundedQueue;
 use crate::telemetry::{CacheOutcomeKind, JobTelemetry, RefinementTelemetry};
@@ -19,13 +20,14 @@ pub(crate) fn worker_loop(
     worker_id: usize,
     queue: &BoundedQueue<QueuedJob>,
     cache: &EncodedMatrixCache,
+    chip_crossbars: Option<u64>,
     results: Sender<JobOutcome>,
 ) {
-    let mut accelerator = SimulatedAccelerator::new(worker_id);
+    let mut accelerator = SimulatedAccelerator::new(worker_id).with_chip_crossbars(chip_crossbars);
     // The worker's "programmed" operator, mirroring the simulated chip state: reused
-    // across consecutive jobs on the same (matrix, format) so hot traffic skips even
-    // the O(nnz) clone of the cached encoding.
-    let mut programmed: Option<(crate::cache::CacheKey, ReFloatMatrix)> = None;
+    // across consecutive jobs on the same (matrix, format[, shard set]) so hot
+    // traffic skips even the O(nnz) clone of the cached encoding.
+    let mut programmed: Option<ProgrammedOp> = None;
     while let Some(queued) = queue.pop() {
         let outcome = execute_job(queued, cache, &mut accelerator, &mut programmed);
         if results.send(outcome).is_err() {
@@ -33,6 +35,18 @@ pub(crate) fn worker_loop(
             break;
         }
     }
+}
+
+/// What the worker holds "programmed" between jobs, mirroring the simulated chip
+/// state: either the whole-matrix operator of an unsharded job or the assembled
+/// multi-chip operator of a sharded job, keyed so only an exactly-matching follow-up
+/// job may adopt it (the encode is a pure function of the key, so the content is
+/// guaranteed identical).
+enum ProgrammedOp {
+    /// An unsharded operator and its cache key.
+    Whole(crate::cache::CacheKey, ReFloatMatrix),
+    /// A sharded operator and its per-shard key set, in shard order.
+    Sharded(Vec<crate::cache::CacheKey>, ShardedReFloatMatrix),
 }
 
 /// A by-reference fp64 operator over the shared CSR matrix (the exact ground truth the
@@ -124,7 +138,7 @@ impl<'a> CachedLadder<'a> {
     /// first) back to the worker's programmed slot; falls back to the unused seed.
     fn into_programmed(mut self) -> Option<(crate::cache::CacheKey, ReFloatMatrix)> {
         if let Some(op) = self.ops.get_mut(0).and_then(Option::take) {
-            return Some(((self.fingerprint, self.formats[0]), op));
+            return Some((CacheKey::whole(self.fingerprint, self.formats[0]), op));
         }
         self.seed
     }
@@ -148,7 +162,7 @@ impl PrecisionLadder for CachedLadder<'_> {
             if self.ops[level].is_none() {
                 let fetch_started = Instant::now();
                 let format = self.formats[level];
-                let key = (self.fingerprint, format);
+                let key = CacheKey::whole(self.fingerprint, format);
                 let (encoded, outcome) = self
                     .cache
                     .get_or_encode(key, || ReFloatMatrix::from_csr(self.csr, format));
@@ -196,9 +210,15 @@ fn run_refined(
     rhs: &[f64],
     cache: &EncodedMatrixCache,
     accelerator: &mut SimulatedAccelerator,
-    programmed: &mut Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+    programmed: &mut Option<ProgrammedOp>,
 ) -> RefinedOutcome {
     let csr = job.matrix.csr();
+    // The ladder can only adopt a whole-matrix operator; a held sharded operator is
+    // simply dropped (the chip is being re-programmed anyway).
+    let seed = match programmed.take() {
+        Some(ProgrammedOp::Whole(key, op)) => Some((key, op)),
+        _ => None,
+    };
     let mut ladder = CachedLadder::new(
         cache,
         csr,
@@ -206,7 +226,7 @@ fn run_refined(
         spec,
         job.format,
         job.solver,
-        programmed.take(),
+        seed,
     );
     let config = spec.refinement_config();
     let solve_started = Instant::now();
@@ -222,7 +242,7 @@ fn run_refined(
             if pass.level < ladder.formats.len() {
                 let format = ladder.formats[pass.level];
                 RefinedPassCost::Quantized {
-                    key: (ladder.fingerprint, format),
+                    key: CacheKey::whole(ladder.fingerprint, format),
                     format,
                     num_blocks: ladder.num_blocks(pass.level),
                     iterations: pass.inner_iterations as u64,
@@ -253,7 +273,9 @@ fn run_refined(
     };
     let encode_s = ladder.encode_s;
     let cache = ladder.base_outcome.unwrap_or(CacheOutcomeKind::Hit);
-    *programmed = ladder.into_programmed();
+    *programmed = ladder
+        .into_programmed()
+        .map(|(key, op)| ProgrammedOp::Whole(key, op));
     RefinedOutcome {
         result: refined.into_solve_result(),
         simulated,
@@ -264,11 +286,168 @@ fn run_refined(
     }
 }
 
+/// What the plain (non-refined) execution paths report back to `execute_job`.
+struct PlainOutcome {
+    results: Vec<SolveResult>,
+    simulated: SimulatedRun,
+    encode_s: f64,
+    solve_s: f64,
+    cache: CacheOutcomeKind,
+    /// Chips the job actually spanned (the partitioner may return fewer shards than
+    /// requested for small matrices).
+    shards: usize,
+}
+
+/// Runs one unsharded job: resolve the whole-matrix encoding through the cache, then
+/// solve every right-hand side of the batch against the same programmed operator.
+fn run_plain(
+    job: &SolveJob,
+    rhss: &[&[f64]],
+    cache: &EncodedMatrixCache,
+    accelerator: &mut SimulatedAccelerator,
+    programmed: &mut Option<ProgrammedOp>,
+) -> PlainOutcome {
+    let key = job.cache_key();
+    let (encoded, cache_outcome) = cache.get_or_encode(key, || {
+        ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
+    });
+    let encode_s = match cache_outcome {
+        CacheOutcome::Miss { encode_seconds } => encode_seconds,
+        CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
+    };
+
+    // The worker needs a mutable operator (applying it mutates the converter
+    // scratch), while the cache entry is shared and immutable.  Reuse the
+    // worker's programmed operator when the key matches — the encode is a pure
+    // function of the key, so the content is the same — and otherwise clone the
+    // cached encoding (memcpy cost, not re-encode cost).  Either way the
+    // numerics are bit-identical to the serial path: same `ReFloatMatrix`, same
+    // block order.
+    let mut operator = match programmed.take() {
+        Some(ProgrammedOp::Whole(held_key, op)) if held_key == key => op,
+        _ => (*encoded).clone(),
+    };
+    let solve_started = Instant::now();
+    let results = job
+        .solver
+        .solve_batch(&mut operator, rhss, &job.solver_config);
+    let solve_s = solve_started.elapsed().as_secs_f64();
+    let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
+    let simulated = accelerator.execute_batch(
+        key,
+        &job.format,
+        operator.num_blocks() as u64,
+        &iterations,
+        job.solver,
+    );
+    *programmed = Some(ProgrammedOp::Whole(key, operator));
+    PlainOutcome {
+        results,
+        simulated,
+        encode_s,
+        solve_s,
+        cache: cache_outcome.into(),
+        shards: 1,
+    }
+}
+
+/// Runs one sharded job: resolve each block-row shard's encoding through the cache
+/// (keyed by `(fingerprint, shard, format)`), assemble the multi-chip operator, solve
+/// every right-hand side, and charge the pool (makespan + inter-chip gather).
+fn run_sharded(
+    job: &SolveJob,
+    rhss: &[&[f64]],
+    cache: &EncodedMatrixCache,
+    accelerator: &mut SimulatedAccelerator,
+    programmed: &mut Option<ProgrammedOp>,
+) -> PlainOutcome {
+    let csr = job.matrix.csr();
+    let parts = block_row_shards(csr, job.format.b, job.shards)
+        .expect("valid blocking exponent from a validated ReFloatConfig");
+    let count = parts.len() as u32;
+    let mut keys = Vec::with_capacity(parts.len());
+    let mut cached = Vec::with_capacity(parts.len());
+    let mut encode_s = 0.0;
+    let mut any_miss = false;
+    let mut any_coalesced = false;
+    for part in &parts {
+        let key = CacheKey::sharded(
+            job.matrix.fingerprint(),
+            ShardId::of(part.index as u32, count),
+            job.format,
+        );
+        // The shard CSR is only materialized on a cache miss; hits skip both the row
+        // extraction and the encode.
+        let (encoded, outcome) = cache.get_or_encode(key, || {
+            ReFloatMatrix::from_csr(&extract_row_range(csr, part.rows.clone()), job.format)
+        });
+        match outcome {
+            CacheOutcome::Miss { encode_seconds } => {
+                encode_s += encode_seconds;
+                any_miss = true;
+            }
+            CacheOutcome::Coalesced => any_coalesced = true,
+            CacheOutcome::Hit => {}
+        }
+        keys.push(key);
+        cached.push(encoded);
+    }
+    // Adopt the worker's held multi-chip operator when it is exactly this shard set
+    // (the cache lookups above still record the hits); assemble from clones of the
+    // cached encodings otherwise.
+    let mut operator = match programmed.take() {
+        Some(ProgrammedOp::Sharded(held_keys, op)) if held_keys == keys => op,
+        _ => ShardedReFloatMatrix::from_parts(
+            csr.nrows(),
+            csr.ncols(),
+            parts
+                .iter()
+                .zip(cached)
+                .map(|(part, encoded)| OperatorShard {
+                    rows: part.rows.clone(),
+                    op: (*encoded).clone(),
+                })
+                .collect(),
+        ),
+    };
+
+    let solve_started = Instant::now();
+    let results = job
+        .solver
+        .solve_batch(&mut operator, rhss, &job.solver_config);
+    let solve_s = solve_started.elapsed().as_secs_f64();
+    let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
+    let simulated = accelerator.execute_sharded(
+        &keys,
+        &job.format,
+        &operator.shard_blocks(),
+        &operator.shard_rows(),
+        &iterations,
+        job.solver,
+    );
+    let shards = keys.len();
+    *programmed = Some(ProgrammedOp::Sharded(keys, operator));
+    PlainOutcome {
+        results,
+        simulated,
+        encode_s,
+        solve_s,
+        cache: if any_miss {
+            CacheOutcomeKind::Miss
+        } else if any_coalesced {
+            CacheOutcomeKind::Coalesced
+        } else {
+            CacheOutcomeKind::Hit
+        },
+        shards,
+    }
+}
+
 fn execute_job(
     queued: QueuedJob,
     cache: &EncodedMatrixCache,
     accelerator: &mut SimulatedAccelerator,
-    programmed: &mut Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+    programmed: &mut Option<ProgrammedOp>,
 ) -> JobOutcome {
     let QueuedJob {
         id,
@@ -286,59 +465,57 @@ fn execute_job(
             &ones
         }
     };
+    let rhss: Vec<&[f64]> = std::iter::once(rhs)
+        .chain(job.extra_rhs.iter().map(|b| b.as_slice()))
+        .collect();
 
-    let (result, simulated, encode_s, solve_s, cache_outcome_kind, refinement) =
-        if let Some(spec) = job.refinement.clone() {
-            let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed);
-            (
-                refined.result,
-                refined.simulated,
-                refined.encode_s,
-                refined.solve_s,
-                refined.cache,
-                Some(refined.telemetry),
-            )
+    let (
+        result,
+        extra_results,
+        simulated,
+        encode_s,
+        solve_s,
+        cache_outcome_kind,
+        refinement,
+        shards,
+    ) = if let Some(spec) = job.refinement.clone() {
+        // The builders reject these combinations on the submitting thread; this
+        // backstop only guards direct struct construction.
+        assert!(
+            job.extra_rhs.is_empty() && job.shards == 1,
+            "refined jobs are single-RHS and single-chip; split the batch or drop \
+                 with_refinement"
+        );
+        let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed);
+        (
+            refined.result,
+            Vec::new(),
+            refined.simulated,
+            refined.encode_s,
+            refined.solve_s,
+            refined.cache,
+            Some(refined.telemetry),
+            1,
+        )
+    } else {
+        let plain = if job.shards > 1 {
+            run_sharded(&job, &rhss, cache, accelerator, programmed)
         } else {
-            let key = job.cache_key();
-            let (encoded, cache_outcome) = cache.get_or_encode(key, || {
-                ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
-            });
-            let encode_s = match cache_outcome {
-                CacheOutcome::Miss { encode_seconds } => encode_seconds,
-                CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
-            };
-
-            // The worker needs a mutable operator (applying it mutates the converter
-            // scratch), while the cache entry is shared and immutable.  Reuse the
-            // worker's programmed operator when the key matches — the encode is a pure
-            // function of the key, so the content is the same — and otherwise clone the
-            // cached encoding (memcpy cost, not re-encode cost).  Either way the
-            // numerics are bit-identical to the serial path: same `ReFloatMatrix`, same
-            // block order.
-            let mut operator = match programmed.take() {
-                Some((held_key, op)) if held_key == key => op,
-                _ => (*encoded).clone(),
-            };
-            let solve_started = Instant::now();
-            let result = job.solver.solve(&mut operator, rhs, &job.solver_config);
-            let solve_s = solve_started.elapsed().as_secs_f64();
-            let simulated = accelerator.execute(
-                key,
-                &job.format,
-                operator.num_blocks() as u64,
-                result.iterations as u64,
-                job.solver,
-            );
-            *programmed = Some((key, operator));
-            (
-                result,
-                simulated,
-                encode_s,
-                solve_s,
-                cache_outcome.into(),
-                None,
-            )
+            run_plain(&job, &rhss, cache, accelerator, programmed)
         };
+        let mut results = plain.results.into_iter();
+        let result = results.next().expect("one result per RHS");
+        (
+            result,
+            results.collect(),
+            plain.simulated,
+            plain.encode_s,
+            plain.solve_s,
+            plain.cache,
+            None,
+            plain.shards,
+        )
+    };
 
     let telemetry = JobTelemetry {
         job_id: id,
@@ -346,19 +523,22 @@ fn execute_job(
         matrix: job.matrix.name().to_string(),
         worker: accelerator.worker_id(),
         solver: job.solver,
+        shards,
+        rhs_count: job.rhs_count(),
         cache: cache_outcome_kind,
         queue_wait_s,
         encode_s,
         solve_s,
         latency_s: submitted_at.elapsed().as_secs_f64(),
         iterations: result.iterations,
-        converged: result.converged(),
+        converged: result.converged() && extra_results.iter().all(|r| r.converged()),
         simulated,
         refinement,
     };
     JobOutcome {
         job_id: id,
         result,
+        extra_results,
         telemetry,
     }
 }

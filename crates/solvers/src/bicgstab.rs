@@ -9,10 +9,20 @@ use crate::operator::LinearOperator;
 use crate::result::{SolveResult, SolverConfig, StopReason};
 use refloat_sparse::vecops;
 
+/// Residual growth beyond this factor over the best iterate triggers a restart: the
+/// recurrence has left the region where its recursive residual tracks the true one.
+const DIVERGENCE_FACTOR: f64 = 1e4;
+
 /// Solves `A x = b` with BiCGSTAB starting from `x₀ = 0`.
 ///
 /// Unlike CG, BiCGSTAB does not require symmetry, so it also covers the non-symmetric
 /// convection–diffusion example workloads.
+///
+/// The recurrence is guarded against its two classic failure modes: when the shadow
+/// residual loses bi-orthogonality (`ρ = r̂ᵀr` collapses toward zero) or the recursive
+/// residual diverges from the best iterate, the solve *restarts* from the best iterate
+/// with a fresh shadow (`r̂ ← r`, a recomputed true residual) instead of silently
+/// blowing up; a restart that makes no progress ends the solve at the best iterate.
 pub fn bicgstab<A: LinearOperator + ?Sized>(
     a: &mut A,
     b: &[f64],
@@ -31,7 +41,7 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec(); // r0 = b - A·0 = b
-    let r_hat = r.clone(); // shadow residual, fixed
+    let mut r_hat = r.clone(); // shadow residual, fixed between restarts
     let mut p = vec![0.0; n];
     let mut v = vec![0.0; n];
     let mut s = vec![0.0; n];
@@ -43,6 +53,16 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
     let mut spmv_count = 0usize;
 
     let mut res_norm = vecops::norm2(&r);
+    // The best iterate seen so far by the *recursive* residual — what restarts resume
+    // from, so divergence can never lose an already-good trajectory point.
+    let mut best_x = x.clone();
+    let mut best_norm = res_norm;
+    // The last iterate whose residual was *measured* (`‖b − A·x‖`, recomputed at each
+    // restart): what a stalled solve returns.  Recursive norms can drift from the
+    // truth (e.g. on quantized operators, whose apply is weakly input-dependent), so
+    // only measured residuals are trusted for progress decisions and final answers.
+    let mut anchor_x = x.clone();
+    let mut anchor_norm = res_norm;
     if config.record_trace {
         trace.push(res_norm);
     }
@@ -71,9 +91,64 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         stop: StopReason::Breakdown(what),
     };
 
+    let mut r_hat_norm = res_norm;
+    let mut restart = false;
     for k in 1..=config.max_iterations {
+        if restart {
+            restart = false;
+            // Resume from the best trajectory point with its *measured* residual and
+            // a fresh shadow; the Krylov recurrence starts over.
+            x.copy_from_slice(&best_x);
+            a.apply(&x, &mut t);
+            spmv_count += 1;
+            for i in 0..n {
+                r[i] = b[i] - t[i];
+            }
+            res_norm = vecops::norm2(&r);
+            if config.record_trace {
+                trace.push(res_norm);
+            }
+            if res_norm < threshold {
+                return SolveResult {
+                    x,
+                    iterations: k,
+                    spmv_count,
+                    final_residual: res_norm,
+                    trace,
+                    stop: StopReason::Converged,
+                };
+            }
+            // A restart that cannot beat the previously *measured* residual would
+            // replay a known-bad trajectory: stop at the measured-best iterate.
+            // (NaN residuals land here too: `res_norm < anchor_norm` is then false.)
+            if !matches!(
+                res_norm.partial_cmp(&anchor_norm),
+                Some(std::cmp::Ordering::Less)
+            ) {
+                return breakdown(
+                    format!("restart made no progress (residual stalled at {anchor_norm:.3e})"),
+                    anchor_x,
+                    k,
+                    spmv_count,
+                    anchor_norm,
+                    trace,
+                );
+            }
+            anchor_norm = res_norm;
+            anchor_x.copy_from_slice(&x);
+            best_norm = res_norm;
+            best_x.copy_from_slice(&x);
+            r_hat.copy_from_slice(&r);
+            r_hat_norm = res_norm;
+            rho = 1.0;
+            alpha = 1.0;
+            omega = 1.0;
+            vecops::zero(&mut p);
+            vecops::zero(&mut v);
+        }
+
         let rho_new = vecops::dot(&r_hat, &r);
-        if rho_new == 0.0 || !rho_new.is_finite() {
+        if !rho_new.is_finite() {
             return breakdown(
                 format!("rho = {rho_new}"),
                 x,
@@ -82,6 +157,12 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
                 res_norm,
                 trace,
             );
+        }
+        // The shadow residual has (numerically) lost bi-orthogonality: the recurrence
+        // scalars are about to be dominated by rounding noise.  Restart.
+        if rho_new.abs() < f64::EPSILON * r_hat_norm * res_norm {
+            restart = true;
+            continue;
         }
         let beta = (rho_new / rho) * (alpha / omega);
         if !beta.is_finite() {
@@ -130,11 +211,15 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         spmv_count += 1;
 
         let t_t = vecops::dot(&t, &t);
-        if t_t == 0.0 || !t_t.is_finite() {
+        if !t_t.is_finite() {
             return breakdown(format!("tᵀt = {t_t}"), x, k, spmv_count, res_norm, trace);
         }
-        omega = vecops::dot(&t, &s) / t_t;
-        if omega == 0.0 || !omega.is_finite() {
+        omega = if t_t == 0.0 {
+            0.0
+        } else {
+            vecops::dot(&t, &s) / t_t
+        };
+        if !omega.is_finite() {
             return breakdown(
                 format!("omega = {omega}"),
                 x,
@@ -143,6 +228,11 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
                 res_norm,
                 trace,
             );
+        }
+        if omega == 0.0 {
+            // A stagnated stabilizer step; the next beta would divide by it.
+            restart = true;
+            continue;
         }
         // x = x + alpha p + omega s
         for i in 0..n {
@@ -158,15 +248,11 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         if config.record_trace {
             trace.push(res_norm);
         }
-        if !res_norm.is_finite() {
-            return breakdown(
-                "residual is not finite".into(),
-                x,
-                k,
-                spmv_count,
-                res_norm,
-                trace,
-            );
+        if !res_norm.is_finite() || res_norm > DIVERGENCE_FACTOR * best_norm {
+            // The recursive residual no longer tracks reality — resume from the best
+            // iterate rather than riding the blow-up (or returning garbage).
+            restart = true;
+            continue;
         }
         if res_norm < threshold {
             return SolveResult {
@@ -178,8 +264,18 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
                 stop: StopReason::Converged,
             };
         }
+        if res_norm < best_norm {
+            best_norm = res_norm;
+            best_x.copy_from_slice(&x);
+        }
     }
 
+    // Out of iterations: report the best iterate seen, not whatever state the
+    // recurrence happened to end in (a NaN final residual counts as worse-than-best).
+    if best_norm < res_norm || res_norm.is_nan() {
+        x = best_x;
+        res_norm = best_norm;
+    }
     SolveResult {
         x,
         iterations: config.max_iterations,

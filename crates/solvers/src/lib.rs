@@ -76,4 +76,19 @@ impl SolverKind {
             SolverKind::BiCgStab => bicgstab(a, rhs, config),
         }
     }
+
+    /// Solves one system per right-hand side against the *same* operator, in order.
+    ///
+    /// The Krylov iterations themselves are inherently single-vector, so each column is
+    /// bitwise identical to a standalone [`solve`](Self::solve); the point of batching
+    /// is upstream — the accelerator programs the operator onto its chips once and the
+    /// runtime amortizes that (plus encode-cache traffic) across the whole batch.
+    pub fn solve_batch<A: LinearOperator + ?Sized>(
+        &self,
+        a: &mut A,
+        rhss: &[&[f64]],
+        config: &SolverConfig,
+    ) -> Vec<SolveResult> {
+        rhss.iter().map(|rhs| self.solve(a, rhs, config)).collect()
+    }
 }

@@ -19,6 +19,23 @@ pub trait LinearOperator {
     /// Implementations must not assume anything about the prior contents of `y`.
     fn apply(&mut self, x: &[f64], y: &mut [f64]);
 
+    /// Batched multi-RHS SpMV: `Y ← A·X` column by column (`X` given as `k` vectors of
+    /// length `ncols`).
+    ///
+    /// The default loops [`apply`](Self::apply), so every operator gets the batched
+    /// entry point for free and each column is bitwise identical to a standalone
+    /// apply; operators with expensive per-apply setup (chip programming, sharded
+    /// thread pools) override it to amortize that setup across the batch.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `ys` have different lengths.
+    fn apply_batch(&mut self, xs: &[Vec<f64>], ys: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), ys.len(), "apply_batch: X/Y column count mismatch");
+        for (x, y) in xs.iter().zip(ys.iter_mut()) {
+            self.apply(x, y);
+        }
+    }
+
     /// A short human-readable description used in experiment logs.
     fn name(&self) -> String {
         "operator".to_string()

@@ -15,7 +15,10 @@
 //!   be used when available,
 //! * [`vecops`] — the dense vector kernels (dot, axpy, norms, …) used by the Krylov
 //!   solvers,
-//! * [`parallel`] — a small scoped-thread parallel-for used by the data-parallel kernels.
+//! * [`parallel`] — a small scoped-thread parallel-for used by the data-parallel kernels,
+//! * [`shard`] — block-row-aligned, nnz-balanced sharding of a matrix across multiple
+//!   accelerator chips (each shard re-blocks identically to the unsharded matrix, which
+//!   is what keeps sharded solves bitwise deterministic).
 //!
 //! All numeric storage is `f64`; reduced-precision behaviour is layered on top by the
 //! `refloat-core` crate, never baked into the substrate.
@@ -28,6 +31,7 @@ pub mod csr;
 pub mod error;
 pub mod mm;
 pub mod parallel;
+pub mod shard;
 pub mod stats;
 pub mod vecops;
 
@@ -35,6 +39,7 @@ pub use blocked::{Block, BlockedMatrix};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use shard::{block_row_shards, extract_row_range, ShardRange};
 pub use stats::MatrixStats;
 
 /// Result alias used across the crate.

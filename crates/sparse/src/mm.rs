@@ -20,18 +20,47 @@ use crate::Result;
 
 /// How values are stored in the file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Field {
+pub enum Field {
+    /// One floating-point value per entry.
     Real,
+    /// One integer value per entry (parsed into `f64`).
     Integer,
+    /// No value token: every stored entry is `1.0`.
     Pattern,
+}
+
+impl Field {
+    /// The keyword used in the `%%MatrixMarket` header line.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Field::Real => "real",
+            Field::Integer => "integer",
+            Field::Pattern => "pattern",
+        }
+    }
 }
 
 /// Symmetry annotation of the file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Symmetry {
+pub enum Symmetry {
+    /// All entries stored explicitly.
     General,
+    /// Lower triangle stored; `(c, r)` mirrors `(r, c)`.
     Symmetric,
+    /// Strictly-lower triangle stored; `(c, r)` mirrors `-(r, c)`.  Diagonal entries
+    /// are structurally zero and must not appear in the file.
     SkewSymmetric,
+}
+
+impl Symmetry {
+    /// The keyword used in the `%%MatrixMarket` header line.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Symmetry::General => "general",
+            Symmetry::Symmetric => "symmetric",
+            Symmetry::SkewSymmetric => "skew-symmetric",
+        }
+    }
 }
 
 /// Reads a Matrix Market file into a [`CooMatrix`].
@@ -129,7 +158,15 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
             )));
         }
         let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
-        let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+        // Symmetric entries mirror into two triplets.  The size line is untrusted
+        // input, and capacity is only an optimization: saturate the doubling (no
+        // arithmetic overflow) and cap the pre-allocation so an absurd declared nnz
+        // cannot abort the process with a huge allocation — real entries beyond the
+        // cap just grow the vectors amortized, and the entry-count check at the end
+        // rejects the lie.
+        const CAPACITY_CAP: usize = 1 << 22;
+        let mut coo =
+            CooMatrix::with_capacity(nrows, ncols, nnz.saturating_mul(2).min(CAPACITY_CAP));
         let mut read_entries = 0usize;
         for line in lines {
             let line = line?;
@@ -164,10 +201,18 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
                     }
                 }
                 Symmetry::SkewSymmetric => {
-                    coo.push(r0, c0, v);
-                    if r0 != c0 {
-                        coo.push(c0, r0, -v);
+                    // A = −Aᵀ forces a zero diagonal, so the Matrix Market format
+                    // forbids storing diagonal entries of skew-symmetric matrices.
+                    // Accepting one silently used to corrupt A (a nonzero diagonal
+                    // value has no mirrored negation, so A ≠ −Aᵀ afterwards).
+                    if r0 == c0 {
+                        return Err(SparseError::MatrixMarket(format!(
+                            "explicit diagonal entry ({r}, {c}) is illegal in a \
+                             skew-symmetric matrix"
+                        )));
                     }
+                    coo.push(r0, c0, v);
+                    coo.push(c0, r0, -v);
                 }
             }
             read_entries += 1;
@@ -199,14 +244,24 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
         }
         let expected = match symmetry {
             Symmetry::General => nrows * ncols,
-            // Lower triangle including diagonal.
-            Symmetry::Symmetric | Symmetry::SkewSymmetric => {
+            // Lower triangle including the diagonal.
+            Symmetry::Symmetric => {
                 if nrows != ncols {
                     return Err(SparseError::MatrixMarket(
                         "symmetric array matrix must be square".into(),
                     ));
                 }
                 nrows * (nrows + 1) / 2
+            }
+            // Strictly-lower triangle: the diagonal of a skew-symmetric matrix is
+            // structurally zero and is not stored.
+            Symmetry::SkewSymmetric => {
+                if nrows != ncols {
+                    return Err(SparseError::MatrixMarket(
+                        "skew-symmetric array matrix must be square".into(),
+                    ));
+                }
+                nrows * nrows.saturating_sub(1) / 2
             }
         };
         if values.len() != expected {
@@ -226,16 +281,26 @@ pub fn read_coo_from_reader<R: Read>(reader: BufReader<R>) -> Result<CooMatrix> 
                     }
                 }
             }
-            Symmetry::Symmetric | Symmetry::SkewSymmetric => {
-                let skew = symmetry == Symmetry::SkewSymmetric;
+            Symmetry::Symmetric => {
                 let mut k = 0;
                 for c in 0..ncols {
                     for r in c..nrows {
                         let v = values[k];
                         coo.push(r, c, v);
                         if r != c {
-                            coo.push(c, r, if skew { -v } else { v });
+                            coo.push(c, r, v);
                         }
+                        k += 1;
+                    }
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                let mut k = 0;
+                for c in 0..ncols {
+                    for r in (c + 1)..nrows {
+                        let v = values[k];
+                        coo.push(r, c, v);
+                        coo.push(c, r, -v);
                         k += 1;
                     }
                 }
@@ -263,13 +328,71 @@ pub fn write_coo<P: AsRef<Path>>(path: P, a: &CooMatrix, comment: &str) -> Resul
 
 /// Writes a [`CooMatrix`] in Matrix Market format to any writer.
 pub fn write_coo_to_writer<W: Write>(w: &mut W, a: &CooMatrix, comment: &str) -> Result<()> {
-    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    write_coo_as(w, a, Field::Real, Symmetry::General, comment)
+}
+
+/// Writes a [`CooMatrix`] in `coordinate` Matrix Market format with an explicit field
+/// and symmetry annotation.
+///
+/// For [`Symmetry::Symmetric`] only the lower triangle (`r ≥ c`) is stored; for
+/// [`Symmetry::SkewSymmetric`] only the strictly-lower triangle (`r > c`).  The caller
+/// is responsible for the matrix actually having the claimed symmetry — the writer
+/// keeps the lower triangle and drops the mirrored entries, exactly the inverse of what
+/// [`read_coo_from_reader`] reconstructs.  [`Field::Integer`] values are written
+/// rounded to the nearest integer; [`Field::Pattern`] entries carry no value token.
+///
+/// Returns an error when a symmetric/skew-symmetric annotation is requested for a
+/// non-square matrix, or when a skew-symmetric matrix stores a nonzero diagonal entry
+/// (illegal in the format, see the reader).
+pub fn write_coo_as<W: Write>(
+    w: &mut W,
+    a: &CooMatrix,
+    field: Field,
+    symmetry: Symmetry,
+    comment: &str,
+) -> Result<()> {
+    if symmetry != Symmetry::General && a.nrows() != a.ncols() {
+        return Err(SparseError::MatrixMarket(format!(
+            "{} matrices must be square, got {}x{}",
+            symmetry.keyword(),
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    let keep = |r: usize, c: usize| match symmetry {
+        Symmetry::General => true,
+        Symmetry::Symmetric => r >= c,
+        Symmetry::SkewSymmetric => r > c,
+    };
+    if symmetry == Symmetry::SkewSymmetric {
+        for (r, c, v) in a.iter() {
+            if r == c && v != 0.0 {
+                return Err(SparseError::MatrixMarket(format!(
+                    "skew-symmetric matrix has nonzero diagonal entry ({r}, {r})"
+                )));
+            }
+        }
+    }
+    writeln!(
+        w,
+        "%%MatrixMarket matrix coordinate {} {}",
+        field.keyword(),
+        symmetry.keyword()
+    )?;
     for line in comment.lines() {
         writeln!(w, "% {line}")?;
     }
-    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    let stored = a.iter().filter(|&(r, c, _)| keep(r, c)).count();
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), stored)?;
     for (r, c, v) in a.iter() {
-        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        if !keep(r, c) {
+            continue;
+        }
+        match field {
+            Field::Real => writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?,
+            Field::Integer => writeln!(w, "{} {} {}", r + 1, c + 1, v.round() as i64)?,
+            Field::Pattern => writeln!(w, "{} {}", r + 1, c + 1)?,
+        }
     }
     Ok(())
 }
@@ -375,6 +498,89 @@ mod tests {
             "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn absurd_declared_nnz_is_rejected_without_huge_preallocation() {
+        // The size line is untrusted: a declared quintillion entries must surface as
+        // a parse error (entry-count mismatch), not a process-aborting allocation.
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1000000000000000000\n\
+                    1 1 3.0\n";
+        let err = read_coo_from_str(text).unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn rejects_explicit_skew_symmetric_diagonal() {
+        // Illegal per the format; accepting it silently used to corrupt A ≠ −Aᵀ.
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 2\n\
+                    2 1 3.0\n\
+                    2 2 1.0\n";
+        let err = read_coo_from_str(text).unwrap_err();
+        assert!(err.to_string().contains("skew-symmetric"), "{err}");
+        // Even a zero-valued diagonal entry is structurally illegal.
+        let zero_diag = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                         2 2 1\n\
+                         1 1 0.0\n";
+        assert!(read_coo_from_str(zero_diag).is_err());
+    }
+
+    #[test]
+    fn parses_dense_array_skew_symmetric_without_diagonal() {
+        // Strictly-lower triangle only: 3 values for a 3x3 skew matrix.
+        let text = "%%MatrixMarket matrix array real skew-symmetric\n\
+                    3 3\n\
+                    1.0\n2.0\n3.0\n";
+        let a = read_coo_from_str(text).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(1, 0), 1.0);
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(2, 0), 2.0);
+        assert_eq!(csr.get(2, 1), 3.0);
+        assert_eq!(csr.get(1, 2), -3.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+        // The full lower triangle (4 values would include a diagonal slot) is malformed.
+        let with_diag = "%%MatrixMarket matrix array real skew-symmetric\n\
+                         3 3\n\
+                         0.0\n1.0\n2.0\n3.0\n";
+        assert!(read_coo_from_str(with_diag).is_err());
+    }
+
+    #[test]
+    fn writer_supports_symmetry_and_field_annotations() {
+        // A symmetric matrix: write lower triangle, read back the full matrix.
+        let mut sym = CooMatrix::new(3, 3);
+        sym.push(0, 0, 2.0);
+        sym.push(1, 0, -1.0);
+        sym.push(0, 1, -1.0);
+        sym.push(2, 2, 4.0);
+        let mut buf = Vec::new();
+        write_coo_as(&mut buf, &sym, Field::Real, Symmetry::Symmetric, "sym").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("coordinate real symmetric"));
+        assert_eq!(read_coo_from_str(&text).unwrap().to_csr(), sym.to_csr());
+
+        // Skew-symmetric: strictly-lower triangle only, nonzero diagonal rejected.
+        let mut skew = CooMatrix::new(2, 2);
+        skew.push(1, 0, 3.0);
+        skew.push(0, 1, -3.0);
+        let mut buf = Vec::new();
+        write_coo_as(&mut buf, &skew, Field::Integer, Symmetry::SkewSymmetric, "").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("coordinate integer skew-symmetric"));
+        assert_eq!(read_coo_from_str(&text).unwrap().to_csr(), skew.to_csr());
+
+        let mut bad = CooMatrix::new(2, 2);
+        bad.push(0, 0, 1.0);
+        let mut buf = Vec::new();
+        assert!(write_coo_as(&mut buf, &bad, Field::Real, Symmetry::SkewSymmetric, "").is_err());
+
+        // Non-square symmetric annotation is rejected.
+        let rect = CooMatrix::new(2, 3);
+        let mut buf = Vec::new();
+        assert!(write_coo_as(&mut buf, &rect, Field::Real, Symmetry::Symmetric, "").is_err());
     }
 
     #[test]

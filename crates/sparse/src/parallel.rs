@@ -64,11 +64,19 @@ pub fn balance_by_weight(prefix: &[usize], chunks: usize) -> Vec<Range<usize>> {
         }
         // Target cumulative weight at the end of chunk i.
         let target = prefix[0] + ((i as u128 + 1) * total as u128 / chunks as u128) as usize;
-        // Find the smallest end > start with prefix[end] >= target (binary search).
+        // Find an end > start with prefix[end] >= target (binary search).
         let mut end = match prefix.binary_search(&target) {
             Ok(k) => k,
             Err(k) => k,
         };
+        // A run of zero-weight items (empty rows) shows up as duplicate prefix values;
+        // `binary_search` may land anywhere inside the run.  Bias the cut to the *end*
+        // of the run: the trailing empties join this chunk (costing it nothing) instead
+        // of starving the next chunks into weight-0 slivers and letting the last chunk
+        // absorb the whole remainder.
+        while end < n && prefix[end + 1] == prefix[end] {
+            end += 1;
+        }
         end = end.clamp(start + 1, n);
         if i + 1 == chunks {
             end = n;
@@ -225,5 +233,70 @@ mod tests {
     fn scoped_chunks_rejects_incomplete_tiling() {
         let mut out = vec![0; 10];
         scoped_chunks(&mut out, std::slice::from_ref(&(0..5)), |_, _, _| {});
+    }
+
+    #[test]
+    fn balance_by_weight_biases_cuts_past_empty_row_runs() {
+        // Row weights [10, 0, 0, 0, 10]: the run of empties straddles the 2-chunk
+        // midpoint.  Cutting at the first duplicate used to produce a weight-0 middle
+        // chunk and dump both heavy rows on the edges; biasing to the end of the run
+        // yields two weight-10 chunks.
+        let prefix = [0usize, 10, 10, 10, 10, 20];
+        let r = balance_by_weight(&prefix, 4);
+        let weights: Vec<usize> = r.iter().map(|c| prefix[c.end] - prefix[c.start]).collect();
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "no chunk may be starved to weight 0: {weights:?}"
+        );
+        assert_eq!(weights.iter().sum::<usize>(), 20);
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            // Adversarial prefixes: unit-weight rows interleaved with arbitrary runs
+            // of empty rows.  With the cut biased past duplicate runs, chunk weights
+            // may differ by at most one unit, so max/min ≤ 2 whenever every chunk can
+            // get at least one unit of weight.
+            #[test]
+            fn chunk_weights_stay_balanced_for_empty_row_runs(
+                (flags, chunks) in (
+                    proptest::collection::vec(proptest::bool::ANY, 2..200),
+                    2usize..8,
+                ).prop_filter("need at least `chunks` nonzero rows", |(flags, chunks)| {
+                    flags.iter().filter(|&&f| f).count() >= *chunks
+                })
+            ) {
+                let mut prefix = vec![0usize];
+                for &f in &flags {
+                    prefix.push(prefix.last().unwrap() + usize::from(f));
+                }
+                let ranges = balance_by_weight(&prefix, chunks);
+
+                // The ranges tile 0..n in order.
+                prop_assert_eq!(ranges[0].start, 0);
+                prop_assert_eq!(ranges.last().unwrap().end, flags.len());
+                for w in ranges.windows(2) {
+                    prop_assert_eq!(w[0].end, w[1].start);
+                }
+
+                let weights: Vec<usize> = ranges
+                    .iter()
+                    .map(|r| prefix[r.end] - prefix[r.start])
+                    .collect();
+                let max = *weights.iter().max().unwrap();
+                let min = *weights.iter().min().unwrap();
+                prop_assert!(min > 0, "starved chunk in {:?}", weights);
+                prop_assert!(
+                    max <= 2 * min,
+                    "imbalance {}/{} from weights {:?} (prefix {:?}, {} chunks)",
+                    max, min, weights, prefix, chunks
+                );
+            }
+        }
     }
 }

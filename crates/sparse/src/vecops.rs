@@ -5,20 +5,62 @@
 //! over plain slices so they impose no container choice on callers, avoid allocation, and
 //! let the compiler auto-vectorize the loops.
 
-/// Dot product `xᵀ y`.
+/// Leaf size of the pairwise reductions: small enough that the worst-case error of the
+/// naive base-case loop stays negligible, large enough that the recursion overhead
+/// vanishes and the leaf loop still auto-vectorizes.
+const PAIRWISE_LEAF: usize = 64;
+
+/// Pairwise (cascade) reduction of `Σ xᵢ·yᵢ` over equal-length slices.
+///
+/// Naive left-to-right accumulation has an error bound that grows like `O(n·ε)`; the
+/// pairwise tree brings that down to `O(log n · ε)`, which keeps residual norms stable
+/// at `n ≥ 10⁶` and — because the split points depend only on the slice length — makes
+/// the result independent of how callers shard the surrounding computation.
+fn pairwise_dot(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() <= PAIRWISE_LEAF {
+        let mut acc = 0.0;
+        for (a, b) in x.iter().zip(y.iter()) {
+            acc += a * b;
+        }
+        return acc;
+    }
+    let mid = x.len() / 2;
+    let (xl, xr) = x.split_at(mid);
+    let (yl, yr) = y.split_at(mid);
+    pairwise_dot(xl, yl) + pairwise_dot(xr, yr)
+}
+
+/// Dot product `xᵀ y`, accumulated pairwise (error `O(log n · ε)` instead of the
+/// naive loop's `O(n · ε)`); the summation order is a pure function of the length, so
+/// results are bitwise reproducible and independent of caller-side sharding.
 ///
 /// # Panics
 /// Panics if the two slices have different lengths.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc += a * b;
-    }
-    acc
+    pairwise_dot(x, y)
 }
 
-/// Euclidean norm `‖x‖₂`.
+/// Dot product `xᵀ y` with Kahan (compensated) accumulation — the fp64 reference the
+/// accuracy tests compare [`dot`] against, and the right tool when a caller needs the
+/// tightest error bound regardless of cost.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn dot_kahan(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_kahan: length mismatch");
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let term = a * b - comp;
+        let next = sum + term;
+        comp = (next - sum) - term;
+        sum = next;
+    }
+    sum
+}
+
+/// Euclidean norm `‖x‖₂` (pairwise accumulation, see [`dot`]).
 pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
@@ -172,5 +214,78 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_panics_on_length_mismatch() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Naive left-to-right accumulation, kept only as the error yardstick for the
+    /// pairwise regression below.
+    fn naive_dot(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y.iter()).fold(0.0, |acc, (a, b)| acc + a * b)
+    }
+
+    #[test]
+    fn pairwise_dot_tracks_kahan_reference_at_a_million_elements() {
+        // A deterministic, poorly-conditioned sum: magnitudes spread over ~6 decades
+        // with sign flips, the regime where naive accumulation visibly drifts.
+        let n = 1_000_000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                sign * (1.0 + (i % 977) as f64 * 1e-3) * 10f64.powi((i % 7) - 3)
+            })
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 1.0 + ((i * 31) % 613) as f64 * 1e-4)
+            .collect();
+
+        let reference = dot_kahan(&x, &y);
+        let pairwise = dot(&x, &y);
+        let naive = naive_dot(&x, &y);
+
+        // Scale of the summands (not of the cancelled result) bounds the rounding.
+        let magnitude: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(a, b)| (a * b).abs())
+            .fold(0.0, |acc, t| acc + t);
+        let pairwise_err = (pairwise - reference).abs();
+        let naive_err = (naive - reference).abs();
+        // O(log n · ε) for the pairwise tree: comfortably under 64·ε·Σ|xᵢyᵢ|.
+        assert!(
+            pairwise_err <= 64.0 * f64::EPSILON * magnitude,
+            "pairwise err {pairwise_err:.3e} vs bound {:.3e}",
+            64.0 * f64::EPSILON * magnitude
+        );
+        // And never worse than the naive loop it replaced.
+        assert!(
+            pairwise_err <= naive_err.max(f64::EPSILON * magnitude),
+            "pairwise err {pairwise_err:.3e} should not exceed naive err {naive_err:.3e}"
+        );
+    }
+
+    #[test]
+    fn norm2_is_stable_at_large_n() {
+        // 10⁶ copies of the same value: ‖x‖₂ = |v|·√n exactly in real arithmetic.
+        let n = 1_000_000usize;
+        let v = 0.1_f64;
+        let x = vec![v; n];
+        let expected = v * (n as f64).sqrt();
+        let got = norm2(&x);
+        assert!(
+            ((got - expected) / expected).abs() < 1e-13,
+            "norm2 drifted: {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn dot_result_is_independent_of_leaf_alignment() {
+        // The pairwise split points depend only on the total length, so computing the
+        // same dot twice (and over an identical copy) must be bitwise identical.
+        let x: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 101) as f64 - 50.0)
+            .collect();
+        let y: Vec<f64> = (0..10_000).map(|i| ((i * 53) % 89) as f64 * 0.25).collect();
+        let a = dot(&x, &y);
+        let b = dot(&x.clone(), &y.clone());
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -35,6 +35,7 @@ fn main() {
         workers: 4,
         queue_capacity: 8,
         cache_capacity: 16,
+        chip_crossbars: None,
     });
     let outcome = runtime.run_batch(jobs);
 

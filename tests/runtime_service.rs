@@ -85,6 +85,7 @@ fn concurrent_results_are_bit_identical_to_serial_execution() {
         workers: 6, // >= 4 workers
         queue_capacity: 8,
         cache_capacity: 8,
+        chip_crossbars: None,
     });
     let outcome = runtime.run_batch(jobs.clone());
     assert_eq!(outcome.jobs.len(), 72);
@@ -162,6 +163,7 @@ fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 8,
+        chip_crossbars: None,
     });
     let outcome = runtime.run_batch(trace_jobs(64));
     let report = &outcome.report;
@@ -311,4 +313,187 @@ fn explicit_rhs_and_custom_tolerance_are_honoured() {
     let tight = &outcome.jobs[1].result;
     assert!(loose.converged() && tight.converged());
     assert!(loose.iterations < tight.iterations);
+}
+
+#[test]
+fn sharded_solves_are_bitwise_identical_across_chip_counts() {
+    // The determinism contract of the shard -> chip -> reduction pipeline: the same
+    // job solved on 1, 2, 4 and 8 chips produces bit-identical iterates, because shard
+    // cuts sit on block-row boundaries and the gather reorders nothing.
+    let a = refloat::matgen::generators::laplacian_2d(24, 24, 0.3).to_csr();
+    let handle = MatrixHandle::new("poisson-24", a);
+    let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        // Tiny chips (2^9 crossbars -> 42 clusters at e = f = 3 paddings): the matrix
+        // exceeds one chip's budget, the regime sharding exists for.
+        chip_crossbars: Some(1 << 9),
+        ..Default::default()
+    });
+    let outcome = runtime.run_batch(
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|chips| {
+                SolveJob::new(format!("chips-{chips}"), handle.clone(), format).with_sharding(chips)
+            })
+            .collect(),
+    );
+
+    let reference: Vec<u64> = outcome.jobs[0]
+        .result
+        .x
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for job in &outcome.jobs[1..] {
+        let bits: Vec<u64> = job.result.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits, reference,
+            "{} numerics differ from the single-chip solve",
+            job.telemetry.tenant
+        );
+        assert_eq!(job.result.iterations, outcome.jobs[0].result.iterations);
+    }
+
+    // Sharded jobs report their chip span and pay an inter-chip reduction; the
+    // single-chip job does not.
+    assert_eq!(outcome.jobs[0].telemetry.simulated.reduction_s, 0.0);
+    for (job, chips) in outcome.jobs[1..].iter().zip([2usize, 4, 8]) {
+        assert_eq!(job.telemetry.shards, chips);
+        assert!(job.telemetry.simulated.reduction_s > 0.0);
+    }
+    assert_eq!(outcome.report.sharded_jobs, 3);
+    assert!(outcome.report.reduction_total_s > 0.0);
+
+    // Sharding an oversized matrix beats streaming it through one small chip.
+    let single = outcome.jobs[0].telemetry.simulated.total_s;
+    let quad = outcome.jobs[2].telemetry.simulated.total_s;
+    assert!(
+        single > 1.5 * quad,
+        "4-chip makespan should win: {single:.3e}s vs {quad:.3e}s"
+    );
+}
+
+#[test]
+fn shard_encodings_flow_through_the_cache_per_shard() {
+    let a = refloat::matgen::generators::laplacian_2d(20, 20, 0.3).to_csr();
+    let handle = MatrixHandle::new("poisson-20", a);
+    let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    // First 4-chip job: one miss per shard.
+    let first = runtime.run_batch(vec![
+        SolveJob::new("a", handle.clone(), format).with_sharding(4)
+    ]);
+    let shard_misses = first.report.cache.misses;
+    assert!(
+        (2..=4).contains(&(shard_misses as usize)),
+        "expected one miss per shard, got {shard_misses}"
+    );
+
+    // Same job again: every shard encoding is already cached.
+    let second = runtime.run_batch(vec![
+        SolveJob::new("b", handle.clone(), format).with_sharding(4)
+    ]);
+    assert_eq!(second.report.cache.misses, 0);
+    assert_eq!(second.report.cache.hits, shard_misses);
+    assert_eq!(second.jobs[0].telemetry.encode_s, 0.0);
+
+    // A different shard count is a different key set (plus the whole-matrix key for
+    // an unsharded job): no false sharing.
+    let third = runtime.run_batch(vec![
+        SolveJob::new("c", handle.clone(), format).with_sharding(2)
+    ]);
+    assert!(third.report.cache.misses >= 1);
+    let fourth = runtime.run_batch(vec![SolveJob::new("d", handle, format)]);
+    assert_eq!(fourth.report.cache.misses, 1);
+}
+
+#[test]
+fn multi_rhs_batches_solve_every_column_bitwise_like_separate_jobs() {
+    let a = refloat::matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
+    let n = a.nrows();
+    let handle = MatrixHandle::new("poisson-16", a);
+    let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let rhss: Vec<std::sync::Arc<Vec<f64>>> = (0..3)
+        .map(|k| {
+            std::sync::Arc::new(
+                (0..n)
+                    .map(|i| 1.0 + ((i * (k + 3)) % 11) as f64 * 0.1)
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect();
+
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    // One batched job + the same three RHS as separate jobs.
+    let mut jobs =
+        vec![SolveJob::new("batched", handle.clone(), format).with_rhs_batch(rhss.clone())];
+    jobs.extend(
+        rhss.iter()
+            .map(|rhs| SolveJob::new("solo", handle.clone(), format).with_rhs(rhs.clone())),
+    );
+    let outcome = runtime.run_batch(jobs);
+
+    let batched = &outcome.jobs[0];
+    assert_eq!(batched.extra_results.len(), 2);
+    assert_eq!(batched.telemetry.rhs_count, 3);
+    let batched_solutions: Vec<&Vec<f64>> = std::iter::once(&batched.result.x)
+        .chain(batched.extra_results.iter().map(|r| &r.x))
+        .collect();
+    for (k, solo) in outcome.jobs[1..].iter().enumerate() {
+        let solo_bits: Vec<u64> = solo.result.x.iter().map(|v| v.to_bits()).collect();
+        let batch_bits: Vec<u64> = batched_solutions[k].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            solo_bits, batch_bits,
+            "rhs {k} differs between batch and solo"
+        );
+    }
+
+    // The batch programmed the chip once for three solves; the telemetry shows the
+    // amortization (its simulated total is below three cold solos).
+    assert!(batched.telemetry.converged);
+    assert_eq!(outcome.report.rhs_total, 6);
+}
+
+#[test]
+fn sharded_multi_rhs_jobs_combine_both_axes() {
+    let a = refloat::matgen::generators::laplacian_2d(20, 20, 0.4).to_csr();
+    let n = a.nrows();
+    let handle = MatrixHandle::new("poisson-20", a);
+    let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let rhss: Vec<std::sync::Arc<Vec<f64>>> = (0..2)
+        .map(|k| std::sync::Arc::new(vec![1.0 + k as f64; n]))
+        .collect();
+
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        chip_crossbars: Some(1 << 9),
+        ..Default::default()
+    });
+    let reference = runtime.run_batch(vec![
+        SolveJob::new("ref", handle.clone(), format).with_rhs_batch(rhss.clone())
+    ]);
+    let sharded = runtime.run_batch(vec![SolveJob::new("sharded", handle, format)
+        .with_rhs_batch(rhss)
+        .with_sharding(4)]);
+
+    let r = &reference.jobs[0];
+    let s = &sharded.jobs[0];
+    for (a_res, b_res) in std::iter::once((&r.result, &s.result))
+        .chain(r.extra_results.iter().zip(s.extra_results.iter()))
+    {
+        let ab: Vec<u64> = a_res.x.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = b_res.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb);
+    }
+    assert_eq!(s.telemetry.shards, 4);
+    assert_eq!(s.telemetry.rhs_count, 2);
+    assert!(s.telemetry.simulated.reduction_s > 0.0);
 }

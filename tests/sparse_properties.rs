@@ -65,6 +65,89 @@ proptest! {
         prop_assert_eq!(parsed.to_csr(), csr);
     }
 
+    // write -> read identity across every symmetry class and field the reader
+    // supports, with randomized comment/blank-line placement between header, size
+    // line and entries.
+    #[test]
+    fn matrix_market_round_trips_all_symmetries_and_fields(
+        (n, entries) in arb_matrix(),
+        sym_pick in 0u8..3,
+        field_pick in 0u8..3,
+        comment_style in 0u8..4,
+    ) {
+        use mm::{Field, Symmetry};
+        let symmetry = [Symmetry::General, Symmetry::Symmetric, Symmetry::SkewSymmetric]
+            [sym_pick as usize];
+        let field = [Field::Real, Field::Integer, Field::Pattern][field_pick as usize];
+
+        // Build a matrix with the claimed symmetry and values representable in the
+        // claimed field (integers for Integer, 1.0 for Pattern).
+        let mut coo = CooMatrix::new(n, n);
+        let mut seen = std::collections::HashSet::new();
+        for &(r, c, v) in &entries {
+            let v = match field {
+                Field::Real => v,
+                Field::Integer => (v.rem_euclid(1e3)).round() + 1.0,
+                Field::Pattern => 1.0,
+            };
+            if v == 0.0 {
+                continue;
+            }
+            match symmetry {
+                Symmetry::General => {
+                    if seen.insert((r, c)) {
+                        coo.push(r, c, v);
+                    }
+                }
+                Symmetry::Symmetric => {
+                    if seen.insert((r.min(c), r.max(c))) {
+                        coo.push(r, c, v);
+                        if r != c {
+                            coo.push(c, r, v);
+                        }
+                    }
+                }
+                Symmetry::SkewSymmetric => {
+                    if r != c && seen.insert((r.min(c), r.max(c))) {
+                        // A pattern file has no sign token, so the implied +1 always
+                        // sits on the stored (lower) triangle: canonicalize the
+                        // orientation or the sign could not survive the round-trip.
+                        let (r, c) = if field == Field::Pattern {
+                            (r.max(c), r.min(c))
+                        } else {
+                            (r, c)
+                        };
+                        coo.push(r, c, v);
+                        coo.push(c, r, -v);
+                    }
+                }
+            }
+        }
+
+        let comment = match comment_style {
+            0 => String::new(),
+            1 => "one line".to_string(),
+            2 => "first\nsecond\nthird".to_string(),
+            _ => "spaced\n\nlines".to_string(),
+        };
+        let mut buf = Vec::new();
+        mm::write_coo_as(&mut buf, &coo, field, symmetry, &comment).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Blank lines and late comments between the size line and the entries (and at
+        // the end) must be tolerated by the reader.
+        if comment_style == 3 {
+            let size_end = text
+                .match_indices('\n')
+                .nth(text.lines().position(|l| !l.starts_with('%')).unwrap())
+                .map(|(i, _)| i + 1)
+                .unwrap_or(text.len());
+            text.insert_str(size_end, "\n% late comment\n\n");
+            text.push('\n');
+        }
+        let parsed = mm::read_coo_from_str(&text).unwrap();
+        prop_assert_eq!(parsed.to_csr(), coo.to_csr());
+    }
+
     #[test]
     fn transpose_preserves_spmv_duality((n, entries) in arb_matrix()) {
         // (A x)ᵀ y == xᵀ (Aᵀ y) for all x, y — a classic duality check.
