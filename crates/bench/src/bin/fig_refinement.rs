@@ -26,14 +26,6 @@ use refloat_bench::json::{has_flag, json_path_from_args, write_json};
 use refloat_bench::table::TextTable;
 use refloat_core::ReFloatConfig;
 use refloat_runtime::{MatrixHandle, RefinementSpec, RuntimeConfig, SolveJob, SolveRuntime};
-use refloat_sparse::{vecops, CsrMatrix};
-
-fn true_relative_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
-    let ax = a.spmv(x);
-    let mut r = vec![0.0; b.len()];
-    vecops::sub_into(b, &ax, &mut r);
-    vecops::norm2(&r) / vecops::norm2(b)
-}
 
 #[derive(Serialize)]
 struct RefinementRecord {
@@ -117,8 +109,8 @@ fn main() {
     for (i, &format) in formats.iter().enumerate() {
         let plain = &outcome.jobs[2 * i];
         let refined = &outcome.jobs[2 * i + 1];
-        let plain_rel = true_relative_residual(&a, &b, &plain.result.x);
-        let refined_rel = true_relative_residual(&a, &b, &refined.result.x);
+        let plain_rel = a.relative_residual(&b, &plain.result.x);
+        let refined_rel = a.relative_residual(&b, &refined.result.x);
         let tele = refined
             .telemetry
             .refinement

@@ -35,10 +35,15 @@
 //! * [`locality`] — the exponent-locality analysis behind Fig. 3(d),
 //! * [`formats`] — the classical formats of Table III expressed as ReFloat instances,
 //! * [`escalation`] — precision-escalation ladders ([`EscalationPolicy`]) for the
-//!   mixed-precision refinement loop of `refloat_solvers::refinement`.
+//!   mixed-precision refinement loop of `refloat_solvers::refinement`,
+//! * [`autotune`] — cost-model-driven per-matrix format selection: scores candidate
+//!   `(e, f)(ev, fv)` points with the exponent-locality error model against the
+//!   Eq. 2/3 hardware cost and returns the cheapest format predicted to converge
+//!   ([`FormatPlan`]).
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod block;
 pub mod escalation;
 pub mod feinberg;
@@ -52,6 +57,7 @@ pub mod sharded;
 pub mod truncate;
 pub mod vector;
 
+pub use autotune::{AutotuneConfig, FormatCandidate, FormatDecision, FormatPlan};
 pub use block::ReFloatBlock;
 pub use escalation::EscalationPolicy;
 pub use format::{ReFloatConfig, RoundingMode, UnderflowMode};

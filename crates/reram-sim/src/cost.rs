@@ -18,8 +18,14 @@ pub fn cycle_count_eq3(e_m: u32, f_m: u32, e_v: u32, f_v: u32) -> u64 {
 /// The per-cluster crossbar count used by the §VI.B capacity arithmetic:
 /// `2^e` exponent paddings + `f` fraction bit-slices + 1 leading-one slice.
 ///
-/// This is the accounting under which a Feinberg cluster (e = 6, f = 52) occupies 118
-/// crossbars and a default ReFloat cluster (e = 3, f = 3) occupies 12.
+/// **Note the off-by-one against the paper's prose:** for the Feinberg mapping
+/// (e = 6, f = 52) this formula gives `2^6 + 52 + 1 = 117`, while §VI.B quotes **118**
+/// (the extra crossbar is the sign slice of the full-precision mapping).  Consumers
+/// split accordingly: `AcceleratorConfig::feinberg()` hard-codes the quoted 118 so the
+/// §VI.B capacity numbers (2221 clusters per chip) reproduce exactly, whereas every
+/// ReFloat-format consumer — `AcceleratorConfig::refloat`, the multi-chip capacity
+/// arithmetic, and the `refloat_core::autotune` cost model — uses this formula (for the
+/// default e = 3, f = 3 it gives the 12 crossbars per cluster the paper also quotes).
 pub fn crossbars_per_cluster(e: u32, f: u32) -> u32 {
     (1u32 << e) + f + 1
 }

@@ -44,14 +44,24 @@ impl NoisyReFloatOperator {
         self.sigma
     }
 
-    /// A zero-mean, unit-variance deviate from the sum of four uniforms (Irwin–Hall,
-    /// variance 4/12, rescaled by √3) — cheap and close enough to Gaussian for a
-    /// multiplicative noise model, with support bounded to ±2√3.
+    /// A zero-mean, unit-variance deviate — see [`irwin_hall_unit`], which both this
+    /// helper and [`apply`](LinearOperator::apply) share so the two cannot drift.
     #[cfg_attr(not(test), allow(dead_code))]
     fn gaussian_like(&mut self) -> f64 {
-        let s: f64 = (0..4).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 2.0;
-        s * (3.0f64).sqrt()
+        irwin_hall_unit(&mut self.rng)
     }
+}
+
+/// A zero-mean, unit-variance deviate from the sum of four uniforms (Irwin–Hall,
+/// variance 4/12, rescaled by √3) — cheap and close enough to Gaussian for a
+/// multiplicative noise model, with support bounded to ±2√3.
+///
+/// This is the single definition of the deviate: the per-read perturbation in the SpMV
+/// loop and the test-facing [`NoisyReFloatOperator::gaussian_like`] both call it, so
+/// the sampled distribution can never diverge between the two.
+fn irwin_hall_unit(rng: &mut ChaCha8Rng) -> f64 {
+    let s: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0;
+    s * (3.0f64).sqrt()
 }
 
 impl LinearOperator for NoisyReFloatOperator {
@@ -82,9 +92,7 @@ impl LinearOperator for NoisyReFloatOperator {
                 let noise: f64 = if sigma == 0.0 {
                     0.0
                 } else {
-                    // Irwin–Hall(4) rescaled to unit variance, times the RTN deviation.
-                    let s: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0;
-                    sigma * s * (3.0f64).sqrt()
+                    sigma * irwin_hall_unit(&mut rng)
                 };
                 y[row0 + ii as usize] += v * (1.0 + noise) * buf[col0 + jj as usize];
             }

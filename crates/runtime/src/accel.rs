@@ -35,7 +35,8 @@ pub struct SimulatedRun {
 }
 
 impl SimulatedRun {
-    fn zero() -> Self {
+    /// A run that cost nothing (the identity of [`absorb`](Self::absorb)).
+    pub fn zero() -> Self {
         SimulatedRun {
             cycles: 0,
             compute_s: 0.0,
@@ -46,6 +47,20 @@ impl SimulatedRun {
             total_s: 0.0,
             remapped: false,
         }
+    }
+
+    /// Folds another run's cost into this one (used when one job spans several
+    /// execution phases, e.g. an auto-format job whose plain attempt stalled and fell
+    /// back to a refined solve on the same chip).
+    pub fn absorb(&mut self, other: &SimulatedRun) {
+        self.cycles += other.cycles;
+        self.compute_s += other.compute_s;
+        self.stream_write_s += other.stream_write_s;
+        self.program_s += other.program_s;
+        self.reduction_s += other.reduction_s;
+        self.host_fp64_s += other.host_fp64_s;
+        self.total_s += other.total_s;
+        self.remapped |= other.remapped;
     }
 }
 
@@ -140,6 +155,12 @@ impl SimulatedAccelerator {
     /// The owning worker's id.
     pub fn worker_id(&self) -> usize {
         self.worker_id
+    }
+
+    /// Seconds one exact fp64 SpMV costs on the host GPU — prices the true-residual
+    /// check an auto-format job performs before deciding whether to fall back.
+    pub fn host_spmv_time_s(&self, nnz: u64, nrows: u64) -> f64 {
+        self.host.spmv_time_s(nnz, nrows)
     }
 
     /// Lifetime usage counters.

@@ -1,0 +1,368 @@
+//! The format-decision cache: memoized auto-tuning verdicts keyed by
+//! (matrix fingerprint, blocking, tolerance, chip capacity).
+//!
+//! A `plan_format` analysis costs an eigen estimation plus verification solves — far
+//! more than an encode — so repeat tenants must not pay it twice.  The cache mirrors
+//! the [`EncodedMatrixCache`](crate::cache::EncodedMatrixCache) design: LRU eviction
+//! plus in-flight deduplication, so concurrent first-touch jobs on the same matrix
+//! run exactly one analysis and the rest coalesce onto its result.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use refloat_core::autotune::FormatDecision;
+use refloat_solvers::SolverKind;
+
+/// What pins an auto-tuning decision: the matrix content, the blocking (candidates
+/// share the job format's `b`), the requested tolerance, the crossbar capacity the
+/// cost model ranked against, and the Krylov solver the verification trials ran
+/// (CG and BiCGSTAB converge differently on the same quantized operator, so their
+/// decisions must not be shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecisionKey {
+    /// Content hash of the matrix (structure + values).
+    pub fingerprint: u64,
+    /// Block-size exponent every candidate was constrained to.
+    pub b: u32,
+    /// `tolerance.to_bits()` — exact bit pattern, so keys stay `Eq + Hash`.
+    pub tolerance_bits: u64,
+    /// Total crossbars the ranking assumed (per chip × chips the job spans).
+    pub chip_crossbars: u64,
+    /// The solver the analysis verified with.
+    pub solver: SolverKind,
+}
+
+impl DecisionKey {
+    /// Builds the key for one job's analysis request.
+    pub fn new(
+        fingerprint: u64,
+        b: u32,
+        tolerance: f64,
+        chip_crossbars: u64,
+        solver: SolverKind,
+    ) -> Self {
+        DecisionKey {
+            fingerprint,
+            b,
+            tolerance_bits: tolerance.to_bits(),
+            chip_crossbars,
+            solver,
+        }
+    }
+}
+
+/// How one decision lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecisionOutcome {
+    /// The decision was already cached.
+    Hit,
+    /// This lookup ran the analysis (seconds spent planning).
+    Miss {
+        /// Wall-clock seconds this caller spent in `plan_format`.
+        analysis_seconds: f64,
+    },
+    /// Another worker was already analysing this key; this lookup waited for it.
+    Coalesced,
+}
+
+impl DecisionOutcome {
+    /// `true` unless this lookup paid for the analysis itself.
+    pub fn skipped_analysis(&self) -> bool {
+        !matches!(self, DecisionOutcome::Miss { .. })
+    }
+}
+
+/// Monotonic decision-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that ran an analysis.
+    pub misses: u64,
+    /// Lookups that waited for a concurrent analysis of the same key.
+    pub coalesced: u64,
+    /// Entries dropped by the LRU policy.
+    pub evictions: u64,
+}
+
+impl DecisionStats {
+    /// Counter increments since an earlier snapshot of the same cache.
+    pub fn delta_since(&self, earlier: &DecisionStats) -> DecisionStats {
+        DecisionStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+struct DecisionEntry {
+    decision: FormatDecision,
+    last_used: u64,
+}
+
+struct DecisionInner {
+    map: HashMap<DecisionKey, DecisionEntry>,
+    pending: HashSet<DecisionKey>,
+    tick: u64,
+    stats: DecisionStats,
+}
+
+/// A thread-safe LRU cache of [`FormatDecision`]s.  See the module docs.
+pub struct FormatDecisionCache {
+    inner: Mutex<DecisionInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl FormatDecisionCache {
+    /// Creates a cache holding at most `capacity` decisions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "decision cache capacity must be at least 1");
+        FormatDecisionCache {
+            inner: Mutex::new(DecisionInner {
+                map: HashMap::new(),
+                pending: HashSet::new(),
+                tick: 0,
+                stats: DecisionStats::default(),
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of cached decisions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Decisions currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("decision cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> DecisionStats {
+        self.inner.lock().expect("decision cache lock").stats
+    }
+
+    /// Whether a key is currently cached (does not touch recency).
+    pub fn contains(&self, key: &DecisionKey) -> bool {
+        self.inner
+            .lock()
+            .expect("decision cache lock")
+            .map
+            .contains_key(key)
+    }
+
+    /// Returns the decision for `key`, calling `analyse` (outside the lock) only if no
+    /// other caller has cached or is currently computing it.
+    pub fn get_or_analyse<F>(
+        &self,
+        key: DecisionKey,
+        analyse: F,
+    ) -> (FormatDecision, DecisionOutcome)
+    where
+        F: FnOnce() -> FormatDecision,
+    {
+        let mut inner = self.inner.lock().expect("decision cache lock");
+        let mut waited = false;
+        loop {
+            if inner.map.contains_key(&key) {
+                inner.tick += 1;
+                let tick = inner.tick;
+                let entry = inner.map.get_mut(&key).expect("entry just found");
+                entry.last_used = tick;
+                let decision = entry.decision;
+                let outcome = if waited {
+                    inner.stats.coalesced += 1;
+                    DecisionOutcome::Coalesced
+                } else {
+                    inner.stats.hits += 1;
+                    DecisionOutcome::Hit
+                };
+                return (decision, outcome);
+            }
+            if inner.pending.contains(&key) {
+                waited = true;
+                inner = self.ready.wait(inner).expect("decision cache lock");
+                continue;
+            }
+            inner.pending.insert(key);
+            break;
+        }
+        drop(inner);
+
+        // Analyse outside the lock; the guard unblocks waiters if `analyse` panics
+        // (they then race to analyse themselves).  On success the pending marker is
+        // cleared in the same critical section that publishes the entry.
+        let mut guard = PendingGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let started = Instant::now();
+        let decision = analyse();
+        let analysis_seconds = started.elapsed().as_secs_f64();
+
+        let mut inner = self.inner.lock().expect("decision cache lock");
+        guard.armed = false;
+        inner.pending.remove(&key);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            DecisionEntry {
+                decision,
+                last_used: tick,
+            },
+        );
+        inner.stats.misses += 1;
+        while inner.map.len() > self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    inner.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+        (decision, DecisionOutcome::Miss { analysis_seconds })
+    }
+}
+
+/// Removes the pending mark (and wakes waiters) if the analysis unwinds; disarmed on
+/// the success path, where the marker is cleared together with the entry insert.
+struct PendingGuard<'a> {
+    cache: &'a FormatDecisionCache,
+    key: DecisionKey,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.cache
+            .inner
+            .lock()
+            .expect("decision cache lock")
+            .pending
+            .remove(&self.key);
+        self.cache.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refloat_core::ReFloatConfig;
+    use refloat_solvers::SolverKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn decision(e: u32) -> FormatDecision {
+        FormatDecision {
+            format: ReFloatConfig::new(4, e, 8, e, 13),
+            kappa: 10.0,
+            degraded_confidence: false,
+            predicted_convergent: true,
+            predicted_iterations: 25,
+            predicted_cycles_per_spmv: 40,
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_skips_the_analysis() {
+        let cache = FormatDecisionCache::new(4);
+        let key = DecisionKey::new(7, 4, 1e-6, 1 << 18, SolverKind::Cg);
+        let analyses = AtomicU64::new(0);
+        let run = || {
+            cache.get_or_analyse(key, || {
+                analyses.fetch_add(1, Ordering::SeqCst);
+                decision(3)
+            })
+        };
+        let (first_decision, first) = run();
+        assert!(matches!(first, DecisionOutcome::Miss { .. }));
+        assert!(!first.skipped_analysis());
+        let (second_decision, second) = run();
+        assert_eq!(second, DecisionOutcome::Hit);
+        assert_eq!(first_decision, second_decision);
+        assert_eq!(analyses.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_tolerances_and_chips_are_distinct_decisions() {
+        let cache = FormatDecisionCache::new(8);
+        cache.get_or_analyse(
+            DecisionKey::new(7, 4, 1e-6, 1 << 18, SolverKind::Cg),
+            || decision(3),
+        );
+        cache.get_or_analyse(
+            DecisionKey::new(7, 4, 1e-8, 1 << 18, SolverKind::Cg),
+            || decision(4),
+        );
+        cache.get_or_analyse(
+            DecisionKey::new(7, 4, 1e-6, 1 << 12, SolverKind::Cg),
+            || decision(5),
+        );
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+        assert!(cache.contains(&DecisionKey::new(7, 4, 1e-8, 1 << 18, SolverKind::Cg)));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_decision() {
+        let cache = FormatDecisionCache::new(2);
+        let key = |tag: u64| DecisionKey::new(tag, 4, 1e-6, 1 << 18, SolverKind::Cg);
+        cache.get_or_analyse(key(1), || decision(2));
+        cache.get_or_analyse(key(2), || decision(3));
+        cache.get_or_analyse(key(1), || decision(2)); // touch 1; 2 becomes LRU
+        cache.get_or_analyse(key(3), || decision(4)); // evicts 2
+        assert!(cache.contains(&key(1)));
+        assert!(!cache.contains(&key(2)));
+        assert!(cache.contains(&key(3)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_key_analyse_exactly_once() {
+        let cache = FormatDecisionCache::new(4);
+        let key = DecisionKey::new(42, 4, 1e-6, 1 << 18, SolverKind::Cg);
+        let analyses = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_analyse(key, || {
+                        analyses.fetch_add(1, Ordering::SeqCst);
+                        // Give the other threads a chance to actually race it.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        decision(3)
+                    });
+                });
+            }
+        });
+        assert_eq!(analyses.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 7);
+    }
+}

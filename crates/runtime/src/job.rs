@@ -105,6 +105,43 @@ impl RefinementSpec {
     }
 }
 
+/// Auto-format settings for a [`SolveJob`] (see [`SolveJob::with_auto_format`]).
+///
+/// The worker resolves the job's format through `refloat_core::autotune` — memoized in
+/// the runtime's [`FormatDecisionCache`](crate::decision::FormatDecisionCache) under
+/// the matrix fingerprint, so repeat tenants skip the analysis — and, when the chosen
+/// format still stalls above `tolerance` in *true* residual, falls back to the
+/// mixed-precision refinement ladder described by `fallback`.
+#[derive(Debug, Clone)]
+pub struct AutoFormatSpec {
+    /// Target true relative residual `‖b − A·x‖₂ / ‖b‖₂` the solve must reach.
+    pub tolerance: f64,
+    /// The refinement ladder armed when the auto-tuned format stalls (its outer
+    /// target is `tolerance`; the escalation policy defaults to
+    /// [`EscalationPolicy::widen_then_fp64`]).
+    pub fallback: RefinementSpec,
+}
+
+impl AutoFormatSpec {
+    /// A spec targeting `tolerance` with the default escalation fallback.
+    pub fn to_target(tolerance: f64) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance.is_finite(),
+            "AutoFormatSpec: tolerance must be positive and finite, got {tolerance}"
+        );
+        AutoFormatSpec {
+            tolerance,
+            fallback: RefinementSpec::to_target(tolerance),
+        }
+    }
+
+    /// Builder: override the fallback escalation policy.
+    pub fn with_escalation(mut self, escalation: EscalationPolicy) -> Self {
+        self.fallback.escalation = escalation;
+        self
+    }
+}
+
 /// One solve request: matrix handle + right-hand side(s) + format + solver + tolerance.
 #[derive(Debug, Clone)]
 pub struct SolveJob {
@@ -135,6 +172,10 @@ pub struct SolveJob {
     pub solver_config: SolverConfig,
     /// When set, run the job in mixed-precision refinement mode.
     pub refinement: Option<RefinementSpec>,
+    /// When set, the worker auto-tunes the format: [`format`](Self::format) only
+    /// contributes its blocking `b` (and conversion modes are the tuner's defaults),
+    /// while `(e, f)(ev, fv)` come from the memoized per-matrix analysis.
+    pub auto_format: Option<AutoFormatSpec>,
 }
 
 impl SolveJob {
@@ -152,6 +193,7 @@ impl SolveJob {
             solver: SolverKind::Cg,
             solver_config: SolverConfig::relative(1e-8).with_trace(false),
             refinement: None,
+            auto_format: None,
         }
     }
 
@@ -183,8 +225,9 @@ impl SolveJob {
     pub fn with_rhs_batch(mut self, batch: Vec<Arc<Vec<f64>>>) -> Self {
         assert!(!batch.is_empty(), "SolveJob: rhs batch must be non-empty");
         assert!(
-            self.refinement.is_none() || batch.len() == 1,
-            "SolveJob: refined jobs are single-RHS; split the batch into separate jobs"
+            (self.refinement.is_none() && self.auto_format.is_none()) || batch.len() == 1,
+            "SolveJob: refined and auto-format jobs are single-RHS; split the batch \
+             into separate jobs"
         );
         let n = self.matrix.csr().nrows();
         for rhs in &batch {
@@ -212,6 +255,11 @@ impl SolveJob {
     }
 
     /// Builder: override the solver configuration.
+    ///
+    /// On an auto-format job only the iteration cap and trace flag survive: the
+    /// worker re-couples the tolerance (relative, at the [`AutoFormatSpec`] target)
+    /// when it resolves the format, so the solve criterion and the auto-format
+    /// contract can never drift apart.
     pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
         self.solver_config = config;
         self
@@ -220,16 +268,62 @@ impl SolveJob {
     /// Builder: run this job in mixed-precision refinement mode.
     ///
     /// # Panics
-    /// Panics if the job is sharded or carries a RHS batch — refined jobs are
-    /// single-RHS and single-chip (rejected here so the mistake surfaces on the
-    /// submitting thread, not as a worker-pool panic).
+    /// Panics if the job is sharded, carries a RHS batch, or is in auto-format mode —
+    /// refined jobs are single-RHS and single-chip, and auto-format jobs arm their own
+    /// refinement fallback (rejected here so the mistake surfaces on the submitting
+    /// thread, not as a worker-pool panic).
     pub fn with_refinement(mut self, spec: RefinementSpec) -> Self {
         assert!(
             self.shards == 1 && self.extra_rhs.is_empty(),
             "SolveJob: refined jobs are single-RHS and single-chip; drop the sharding \
              or RHS batch"
         );
+        assert!(
+            self.auto_format.is_none(),
+            "SolveJob: auto-format jobs arm their own refinement fallback; drop \
+             with_auto_format or with_refinement"
+        );
         self.refinement = Some(spec);
+        self
+    }
+
+    /// Builder: auto-tune the format for this job, targeting the given *true*
+    /// relative residual.
+    ///
+    /// The worker scores candidate `(e, f)(ev, fv)` points with the
+    /// `refloat_core::autotune` cost model (preserving this job's blocking `b`),
+    /// memoizes the decision in the runtime's format-decision cache under the matrix
+    /// fingerprint, and — if the chosen format still stalls above `tolerance` — falls
+    /// back to the mixed-precision refinement ladder (unsharded).  The job's solver
+    /// configuration is reset to the matching relative tolerance.
+    ///
+    /// # Panics
+    /// Panics if the job is in refinement mode or carries a RHS batch (the refinement
+    /// fallback is single-RHS).
+    pub fn with_auto_format(self, tolerance: f64) -> Self {
+        self.with_auto_format_spec(AutoFormatSpec::to_target(tolerance))
+    }
+
+    /// Builder: auto-tune the format with an explicit [`AutoFormatSpec`] (custom
+    /// fallback escalation).  See [`with_auto_format`](Self::with_auto_format).
+    ///
+    /// # Panics
+    /// Panics if the job is in refinement mode or carries a RHS batch.
+    pub fn with_auto_format_spec(mut self, spec: AutoFormatSpec) -> Self {
+        assert!(
+            self.refinement.is_none(),
+            "SolveJob: auto-format jobs arm their own refinement fallback; drop \
+             with_refinement or with_auto_format"
+        );
+        assert!(
+            self.extra_rhs.is_empty(),
+            "SolveJob: auto-format jobs are single-RHS (the refinement fallback \
+             cannot run batched); split the batch into separate jobs"
+        );
+        self.solver_config = SolverConfig::relative(spec.tolerance)
+            .with_max_iterations(self.solver_config.max_iterations)
+            .with_trace(false);
+        self.auto_format = Some(spec);
         self
     }
 

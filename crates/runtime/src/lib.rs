@@ -98,6 +98,7 @@
 
 pub mod accel;
 pub mod cache;
+pub mod decision;
 pub mod fingerprint;
 pub mod job;
 pub mod queue;
@@ -106,10 +107,13 @@ mod worker;
 
 pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache, ShardId};
+pub use decision::{DecisionKey, DecisionOutcome, DecisionStats, FormatDecisionCache};
 pub use fingerprint::fingerprint_csr;
-pub use job::{JobOutcome, MatrixHandle, RefinementSpec, SolveJob};
+pub use job::{AutoFormatSpec, JobOutcome, MatrixHandle, RefinementSpec, SolveJob};
 pub use queue::BoundedQueue;
-pub use telemetry::{CacheOutcomeKind, JobTelemetry, RefinementTelemetry, RuntimeReport};
+pub use telemetry::{
+    AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, RefinementTelemetry, RuntimeReport,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -190,11 +194,14 @@ impl JobSubmitter<'_> {
 pub struct SolveRuntime {
     config: RuntimeConfig,
     cache: Arc<EncodedMatrixCache>,
+    decisions: Arc<FormatDecisionCache>,
 }
 
 impl SolveRuntime {
-    /// Creates a runtime; workers are spawned per batch (scoped threads), the cache is
-    /// created once here.
+    /// Creates a runtime; workers are spawned per batch (scoped threads), the caches
+    /// are created once here.  The format-decision cache shares the encode cache's
+    /// capacity (decisions are tiny; the capacity only bounds distinct
+    /// matrix × tolerance × chip combinations remembered).
     pub fn new(config: RuntimeConfig) -> Self {
         assert!(config.workers >= 1, "runtime needs at least one worker");
         assert!(
@@ -202,7 +209,12 @@ impl SolveRuntime {
             "queue capacity must be at least 1"
         );
         let cache = Arc::new(EncodedMatrixCache::new(config.cache_capacity));
-        SolveRuntime { config, cache }
+        let decisions = Arc::new(FormatDecisionCache::new(config.cache_capacity));
+        SolveRuntime {
+            config,
+            cache,
+            decisions,
+        }
     }
 
     /// The runtime's sizing configuration.
@@ -213,6 +225,11 @@ impl SolveRuntime {
     /// The shared encoded-matrix cache.
     pub fn cache(&self) -> &EncodedMatrixCache {
         &self.cache
+    }
+
+    /// The shared format-decision cache (auto-format jobs).
+    pub fn decisions(&self) -> &FormatDecisionCache {
+        &self.decisions
     }
 
     /// Convenience: submit a pre-built batch and wait for all results.
@@ -235,15 +252,24 @@ impl SolveRuntime {
         let (results_tx, results_rx) = mpsc::channel::<JobOutcome>();
         let started = Instant::now();
         let cache_before = self.cache.stats();
+        let decisions_before = self.decisions.stats();
 
         std::thread::scope(|scope| {
             for worker_id in 0..self.config.workers {
                 let queue = &queue;
                 let cache = Arc::clone(&self.cache);
+                let decisions = Arc::clone(&self.decisions);
                 let results = results_tx.clone();
                 let chip_crossbars = self.config.chip_crossbars;
                 scope.spawn(move || {
-                    worker::worker_loop(worker_id, queue, &cache, chip_crossbars, results)
+                    worker::worker_loop(
+                        worker_id,
+                        queue,
+                        &cache,
+                        &decisions,
+                        chip_crossbars,
+                        results,
+                    )
                 });
             }
             let submitter = JobSubmitter {
@@ -259,7 +285,14 @@ impl SolveRuntime {
         jobs.sort_by_key(|j| j.job_id);
         let wall_s = started.elapsed().as_secs_f64();
         let cache_stats = self.cache.stats().delta_since(&cache_before);
-        let report = RuntimeReport::aggregate(&jobs, wall_s, cache_stats, self.config.workers);
+        let decision_stats = self.decisions.stats().delta_since(&decisions_before);
+        let report = RuntimeReport::aggregate(
+            &jobs,
+            wall_s,
+            cache_stats,
+            decision_stats,
+            self.config.workers,
+        );
         RuntimeOutcome { jobs, report }
     }
 }

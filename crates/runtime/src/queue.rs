@@ -145,6 +145,94 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_producers_blocked_on_a_full_queue_without_losing_items() {
+        // Contention regression: several producers sit *blocked inside push* on a full
+        // queue when close() fires.  Every blocked producer must wake promptly and get
+        // its item handed back (Err), the accepted items must all drain, and nothing
+        // may be lost or duplicated.
+        let q = BoundedQueue::new(2);
+        q.push(1000).unwrap();
+        q.push(1001).unwrap();
+        let accepted = AtomicUsize::new(2);
+        let rejected = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let q = &q;
+                let accepted = &accepted;
+                let rejected = &rejected;
+                scope.spawn(move || match q.push(i) {
+                    Ok(()) => {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(item) => {
+                        assert_eq!(item, i, "a rejected push must return its own item");
+                        rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            // Give the producers time to block on the full queue, then close.  If
+            // close() failed to wake them, the scope join below would hang the test.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            q.close();
+        });
+        // All four contended producers returned; the queue still drains fully.
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained.len(), accepted.load(Ordering::SeqCst));
+        assert_eq!(
+            accepted.load(Ordering::SeqCst) + rejected.load(Ordering::SeqCst),
+            2 + 4
+        );
+        // The two pre-close items were accepted and must be among the drained ones.
+        assert!(drained.contains(&1000) && drained.contains(&1001));
+        // No duplicates.
+        let mut unique = drained.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), drained.len());
+        // Post-close pushes fail fast.
+        assert_eq!(q.push(7), Err(7));
+    }
+
+    #[test]
+    fn close_wakes_consumers_blocked_on_an_empty_queue_and_drains_late_items() {
+        // Contention regression: several consumers sit *blocked inside pop* on an
+        // empty queue; items are pushed while they wait, then the queue closes.  All
+        // consumers must wake promptly, the pushed items must be consumed exactly
+        // once, and every consumer must observe the closed-and-drained None.
+        let q = BoundedQueue::new(4);
+        let consumed_total = AtomicUsize::new(0);
+        let consumed_count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let q = &q;
+                let consumed_total = &consumed_total;
+                let consumed_count = &consumed_count;
+                scope.spawn(move || {
+                    while let Some(item) = q.pop() {
+                        consumed_total.fetch_add(item, Ordering::SeqCst);
+                        consumed_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            // Let the consumers block on the empty queue first.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            q.push(10).unwrap();
+            q.push(20).unwrap();
+            // Close with consumers still (potentially) parked.  If close() failed to
+            // wake them, the scope join would hang the test.
+            q.close();
+        });
+        assert_eq!(consumed_count.load(Ordering::SeqCst), 2);
+        assert_eq!(consumed_total.load(Ordering::SeqCst), 30);
+        assert!(q.is_empty());
+        assert_eq!(
+            q.pop(),
+            None,
+            "a closed, drained queue keeps returning None"
+        );
+    }
+
+    #[test]
     fn multiple_consumers_drain_everything_exactly_once() {
         let q = BoundedQueue::new(4);
         let total = AtomicUsize::new(0);

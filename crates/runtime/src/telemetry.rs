@@ -1,9 +1,11 @@
 //! Per-job telemetry and batch-level aggregation.
 
+use refloat_core::ReFloatConfig;
 use reram_sim::SolverKind;
 
 use crate::accel::SimulatedRun;
 use crate::cache::{CacheOutcome, CacheStats};
+use crate::decision::DecisionStats;
 
 /// The cache outcome without the embedded timing (telemetry keeps timing separately).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,40 @@ pub struct RefinementTelemetry {
     pub stalled: bool,
 }
 
+/// What the format auto-tuner did for a job (absent unless the job used
+/// [`SolveJob::with_auto_format`](crate::job::SolveJob::with_auto_format)).
+#[derive(Debug, Clone)]
+pub struct AutotuneTelemetry {
+    /// The format the tuner chose (blocking `b` inherited from the job).
+    pub chosen_format: ReFloatConfig,
+    /// The requested true relative residual.
+    pub tolerance: f64,
+    /// `true` when the decision came out of the format-decision cache (hit or
+    /// coalesced) instead of running the analysis.
+    pub decision_cached: bool,
+    /// Seconds this job spent in `plan_format` (0 unless it ran the analysis).
+    pub analysis_s: f64,
+    /// Condition-number estimate the decision used.
+    pub kappa: f64,
+    /// `true` when the eigen estimation behind κ reported degraded confidence.
+    pub degraded_confidence: bool,
+    /// `false` when no candidate survived the analysis and the chosen format is a
+    /// best-effort fallback (the refinement ladder is then expected to engage).
+    pub predicted_convergent: bool,
+    /// Iterations the analysis predicted (measured by its verification solve when one
+    /// ran, the √κ bound otherwise).
+    pub predicted_iterations: u64,
+    /// Model cycles per SpMV the analysis predicted for the chosen format.
+    pub predicted_cycles_per_spmv: u64,
+    /// Iterations the plain solve at the chosen format actually took.
+    pub achieved_iterations: u64,
+    /// True relative residual after the job finished (post-fallback if one ran).
+    pub achieved_relative_residual: f64,
+    /// `true` when the chosen format stalled above the tolerance and the job fell
+    /// back to the mixed-precision refinement ladder.
+    pub fell_back: bool,
+}
+
 /// Everything measured about one job.
 #[derive(Debug, Clone)]
 pub struct JobTelemetry {
@@ -78,8 +114,11 @@ pub struct JobTelemetry {
     pub converged: bool,
     /// The simulated-chip cost of the job.
     pub simulated: SimulatedRun,
-    /// Outer-loop details when the job ran in mixed-precision refinement mode.
+    /// Outer-loop details when the job ran in mixed-precision refinement mode (also
+    /// populated when an auto-format job fell back to the refinement ladder).
     pub refinement: Option<RefinementTelemetry>,
+    /// Format auto-tuning details when the job ran in auto-format mode.
+    pub autotune: Option<AutotuneTelemetry>,
 }
 
 /// Aggregated statistics for one batch.
@@ -136,6 +175,16 @@ pub struct RuntimeReport {
     /// Total host-side fp64 seconds (residual evaluations + fp64 fallback solves) of
     /// refined jobs, under the GPU model.
     pub host_fp64_total_s: f64,
+    /// Jobs that ran in auto-format mode.
+    pub autotuned_jobs: usize,
+    /// Auto-format jobs whose decision came out of the decision cache.
+    pub autotune_decision_hits: u64,
+    /// Auto-format jobs that stalled and fell back to the refinement ladder.
+    pub autotune_fallbacks: u64,
+    /// Total seconds spent in format analyses (paid by decision-cache misses).
+    pub analysis_total_s: f64,
+    /// Decision-cache counter increments during the batch.
+    pub decisions: DecisionStats,
 }
 
 /// `q`-quantile of an unsorted sample using the nearest-rank method.
@@ -166,6 +215,7 @@ impl RuntimeReport {
         jobs: &[crate::job::JobOutcome],
         wall_s: f64,
         cache: CacheStats,
+        decisions: DecisionStats,
         workers: usize,
     ) -> Self {
         let latencies: Vec<f64> = jobs.iter().map(|j| j.telemetry.latency_s).collect();
@@ -239,6 +289,25 @@ impl RuntimeReport {
             host_fp64_total_s: jobs
                 .iter()
                 .fold(0.0, |acc, j| acc + j.telemetry.simulated.host_fp64_s),
+            autotuned_jobs: jobs
+                .iter()
+                .filter(|j| j.telemetry.autotune.is_some())
+                .count(),
+            autotune_decision_hits: jobs
+                .iter()
+                .filter_map(|j| j.telemetry.autotune.as_ref())
+                .filter(|a| a.decision_cached)
+                .count() as u64,
+            autotune_fallbacks: jobs
+                .iter()
+                .filter_map(|j| j.telemetry.autotune.as_ref())
+                .filter(|a| a.fell_back)
+                .count() as u64,
+            analysis_total_s: jobs
+                .iter()
+                .filter_map(|j| j.telemetry.autotune.as_ref())
+                .fold(0.0, |acc, a| acc + a.analysis_s),
+            decisions,
         }
     }
 
@@ -292,6 +361,15 @@ impl RuntimeReport {
             out.push_str(&format!(
                 "sharding        {} sharded jobs, {:.6} s inter-chip reduction\n",
                 self.sharded_jobs, self.reduction_total_s
+            ));
+        }
+        if self.autotuned_jobs > 0 {
+            out.push_str(&format!(
+                "autotune        {} autotuned jobs ({} decision-cache hits, {} fallbacks), {:.3} s analysing\n",
+                self.autotuned_jobs,
+                self.autotune_decision_hits,
+                self.autotune_fallbacks,
+                self.analysis_total_s,
             ));
         }
         if self.rhs_total > self.jobs {
@@ -406,6 +484,7 @@ mod tests {
                 converged: true,
                 simulated,
                 refinement,
+                autotune: None,
             },
         }
     }
@@ -417,7 +496,13 @@ mod tests {
             outcome(1, 1, true),
             outcome(2, 1, false),
         ];
-        let report = RuntimeReport::aggregate(&jobs, 0.1, CacheStats::default(), 2);
+        let report = RuntimeReport::aggregate(
+            &jobs,
+            0.1,
+            CacheStats::default(),
+            DecisionStats::default(),
+            2,
+        );
         let attributed: u64 = report.per_worker_jobs.iter().sum();
         assert_eq!(attributed + report.unattributed_jobs, report.jobs as u64);
         assert_eq!(report.unattributed_jobs, 0);
@@ -432,14 +517,26 @@ mod tests {
     #[should_panic(expected = "attributed to worker")]
     fn aggregate_flags_out_of_range_worker_indices_in_debug() {
         let jobs = vec![outcome(0, 5, false)];
-        let _ = RuntimeReport::aggregate(&jobs, 0.1, CacheStats::default(), 2);
+        let _ = RuntimeReport::aggregate(
+            &jobs,
+            0.1,
+            CacheStats::default(),
+            DecisionStats::default(),
+            2,
+        );
     }
 
     #[test]
     #[cfg(not(debug_assertions))]
     fn aggregate_counts_unattributed_jobs_in_release() {
         let jobs = vec![outcome(0, 5, false), outcome(1, 0, false)];
-        let report = RuntimeReport::aggregate(&jobs, 0.1, CacheStats::default(), 2);
+        let report = RuntimeReport::aggregate(
+            &jobs,
+            0.1,
+            CacheStats::default(),
+            DecisionStats::default(),
+            2,
+        );
         assert_eq!(report.unattributed_jobs, 1);
         let attributed: u64 = report.per_worker_jobs.iter().sum();
         assert_eq!(attributed + report.unattributed_jobs, report.jobs as u64);

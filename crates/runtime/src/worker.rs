@@ -1,25 +1,29 @@
-//! The worker loop: drain the queue, resolve the encoded matrix (or its per-chip
-//! shards) through the cache, solve (plain, sharded, batched multi-RHS, or
+//! The worker loop: drain the queue, resolve the job's format (auto-tuned decisions
+//! come through the format-decision cache) and the encoded matrix (or its per-chip
+//! shards) through the encode cache, solve (plain, sharded, batched multi-RHS, or
 //! mixed-precision refined), and account the simulated-chip cost.
 
 use std::sync::mpsc::Sender;
 use std::time::Instant;
 
+use refloat_core::autotune::{self, AutotuneConfig};
 use refloat_core::{OperatorShard, ReFloatConfig, ReFloatMatrix, ShardedReFloatMatrix};
 use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
 use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
+use crate::decision::{DecisionKey, DecisionOutcome, FormatDecisionCache};
 use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
 use crate::queue::BoundedQueue;
-use crate::telemetry::{CacheOutcomeKind, JobTelemetry, RefinementTelemetry};
+use crate::telemetry::{AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, RefinementTelemetry};
 
 /// Runs until the queue closes and drains; one simulated accelerator per worker.
 pub(crate) fn worker_loop(
     worker_id: usize,
     queue: &BoundedQueue<QueuedJob>,
     cache: &EncodedMatrixCache,
+    decisions: &FormatDecisionCache,
     chip_crossbars: Option<u64>,
     results: Sender<JobOutcome>,
 ) {
@@ -29,7 +33,14 @@ pub(crate) fn worker_loop(
     // traffic skips even the O(nnz) clone of the cached encoding.
     let mut programmed: Option<ProgrammedOp> = None;
     while let Some(queued) = queue.pop() {
-        let outcome = execute_job(queued, cache, &mut accelerator, &mut programmed);
+        let outcome = execute_job(
+            queued,
+            cache,
+            decisions,
+            chip_crossbars,
+            &mut accelerator,
+            &mut programmed,
+        );
         if results.send(outcome).is_err() {
             // The collector went away; nothing left to do.
             break;
@@ -446,16 +457,82 @@ fn run_sharded(
 fn execute_job(
     queued: QueuedJob,
     cache: &EncodedMatrixCache,
+    decisions: &FormatDecisionCache,
+    chip_crossbars: Option<u64>,
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
 ) -> JobOutcome {
     let QueuedJob {
         id,
-        job,
+        mut job,
         submitted_at,
     } = queued;
     let dequeued_at = Instant::now();
     let queue_wait_s = dequeued_at.duration_since(submitted_at).as_secs_f64();
+
+    // Resolve an auto-format job's actual format before anything touches the encode
+    // cache: the decision is memoized under (fingerprint, b, tolerance, chip), so
+    // repeat tenants skip the analysis entirely.
+    let mut autotune_tele: Option<AutotuneTelemetry> = None;
+    if let Some(spec) = job.auto_format.clone() {
+        // A sharded job spreads its clusters over `shards` chips, so the streaming
+        // rounds the cost model charges must be computed against the pooled capacity
+        // (the makespan chip holds ~1/shards of the blocks).
+        let chip = chip_crossbars
+            .unwrap_or(autotune::TABLE_IV_CROSSBARS)
+            .saturating_mul(job.shards.max(1) as u64);
+        let key = DecisionKey::new(
+            job.matrix.fingerprint(),
+            job.format.b,
+            spec.tolerance,
+            chip,
+            job.solver,
+        );
+        let (decision, outcome) = decisions.get_or_analyse(key, || {
+            autotune::plan_format(
+                job.matrix.csr(),
+                &AutotuneConfig::new(spec.tolerance, job.format.b)
+                    .with_chip_crossbars(chip)
+                    .with_solver(job.solver),
+            )
+            .decision()
+        });
+        let analysis_s = match outcome {
+            DecisionOutcome::Miss { analysis_seconds } => analysis_seconds,
+            DecisionOutcome::Hit | DecisionOutcome::Coalesced => 0.0,
+        };
+        job.format = decision.format;
+        // Re-couple the solver criterion to the auto-format tolerance: a
+        // with_solver_config applied after with_auto_format may have overwritten it,
+        // and a plain attempt that stops short of the tolerance would force a
+        // needless refinement fallback.
+        job.solver_config.tolerance = spec.tolerance;
+        job.solver_config.relative = true;
+        // Cap the plain attempt near the predicted iteration count: if the chosen
+        // format is going to stall anyway, burn bounded work before the refinement
+        // fallback engages.
+        let cap = decision
+            .predicted_iterations
+            .saturating_mul(4)
+            .saturating_add(100)
+            .min(usize::MAX as u64) as usize;
+        job.solver_config.max_iterations = job.solver_config.max_iterations.min(cap);
+        autotune_tele = Some(AutotuneTelemetry {
+            chosen_format: decision.format,
+            tolerance: spec.tolerance,
+            decision_cached: outcome.skipped_analysis(),
+            analysis_s,
+            kappa: decision.kappa,
+            degraded_confidence: decision.degraded_confidence,
+            predicted_convergent: decision.predicted_convergent,
+            predicted_iterations: decision.predicted_iterations,
+            predicted_cycles_per_spmv: decision.predicted_cycles_per_spmv,
+            achieved_iterations: 0,
+            achieved_relative_residual: f64::NAN,
+            fell_back: false,
+        });
+    }
+    let job = job;
 
     let ones;
     let rhs: &[f64] = match &job.rhs {
@@ -470,13 +547,13 @@ fn execute_job(
         .collect();
 
     let (
-        result,
+        mut result,
         extra_results,
-        simulated,
-        encode_s,
-        solve_s,
+        mut simulated,
+        mut encode_s,
+        mut solve_s,
         cache_outcome_kind,
-        refinement,
+        mut refinement,
         shards,
     ) = if let Some(spec) = job.refinement.clone() {
         // The builders reject these combinations on the submitting thread; this
@@ -517,6 +594,45 @@ fn execute_job(
         )
     };
 
+    // Auto-format epilogue: measure the *true* residual (one exact fp64 SpMV, charged
+    // to the host), and when the chosen format stalled above the tolerance, fall back
+    // to the mixed-precision refinement ladder on the same chip (unsharded).
+    let mut converged_override: Option<bool> = None;
+    if let (Some(tele), Some(spec)) = (autotune_tele.as_mut(), job.auto_format.as_ref()) {
+        let csr = job.matrix.csr();
+        tele.achieved_iterations = result.iterations as u64;
+        let mut check = SimulatedRun {
+            host_fp64_s: accelerator.host_spmv_time_s(csr.nnz() as u64, csr.nrows() as u64),
+            ..SimulatedRun::zero()
+        };
+        check.total_s = check.host_fp64_s;
+        simulated.absorb(&check);
+        let true_rel = csr.relative_residual(rhs, &result.x);
+        if true_rel <= spec.tolerance {
+            tele.achieved_relative_residual = true_rel;
+            converged_override = Some(true);
+        } else {
+            let mut fallback_job = job.clone();
+            fallback_job.shards = 1;
+            let refined = run_refined(
+                &fallback_job,
+                &spec.fallback,
+                rhs,
+                cache,
+                accelerator,
+                programmed,
+            );
+            tele.fell_back = true;
+            tele.achieved_relative_residual = refined.telemetry.final_relative_residual;
+            converged_override = Some(refined.result.converged());
+            result = refined.result;
+            simulated.absorb(&refined.simulated);
+            encode_s += refined.encode_s;
+            solve_s += refined.solve_s;
+            refinement = Some(refined.telemetry);
+        }
+    }
+
     let telemetry = JobTelemetry {
         job_id: id,
         tenant: job.tenant.to_string(),
@@ -531,9 +647,11 @@ fn execute_job(
         solve_s,
         latency_s: submitted_at.elapsed().as_secs_f64(),
         iterations: result.iterations,
-        converged: result.converged() && extra_results.iter().all(|r| r.converged()),
+        converged: converged_override
+            .unwrap_or_else(|| result.converged() && extra_results.iter().all(|r| r.converged())),
         simulated,
         refinement,
+        autotune: autotune_tele,
     };
     JobOutcome {
         job_id: id,

@@ -1,33 +1,79 @@
 //! Extreme-eigenvalue and condition-number estimation.
 //!
 //! Table V of the paper reports the condition number κ of every workload.  To validate
-//! that the synthetic analogues are in the right regime, this module estimates the
-//! largest eigenvalue by power iteration and the smallest by inverse iteration (each
-//! inverse application solved by CG), giving `κ ≈ λ_max / λ_min` for SPD matrices.
+//! that the synthetic analogues are in the right regime — and to drive the format
+//! auto-tuner in `refloat_core::autotune` — this module estimates the largest
+//! eigenvalue by power iteration and the smallest by inverse iteration (each inverse
+//! application solved by CG), giving `κ ≈ λ_max / λ_min`.
+//!
+//! # SPD assumption
+//!
+//! Every estimator here assumes the operator is **symmetric positive definite**: the
+//! Rayleigh quotients used by both iterations only converge to eigenvalues of the
+//! symmetric part, and the inner CG solves of the inverse iteration require positive
+//! definiteness outright.  On a non-SPD operator the estimates are meaningless; the
+//! closest observable symptom is a non-positive `λ_min`, which
+//! [`EigenEstimate::condition_number`] reports as `+∞` rather than a negative or
+//! misleadingly finite κ.
 
 use crate::cg::cg;
 use crate::operator::LinearOperator;
 use crate::result::SolverConfig;
 use refloat_sparse::vecops;
 
+/// How trustworthy an eigenvalue estimate is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EigenConfidence {
+    /// Every inner solve the estimate depends on converged.
+    Converged,
+    /// At least one inner CG solve of the inverse iteration failed to converge, so the
+    /// `λ_min` (and hence κ) estimate is a loose bound at best.  Consumers that make
+    /// decisions from κ (e.g. the format auto-tuner) should treat the matrix as
+    /// worse-conditioned than estimated.
+    Degraded,
+}
+
 /// Result of an extreme-eigenvalue estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EigenEstimate {
     /// Estimated largest eigenvalue.
     pub lambda_max: f64,
-    /// Estimated smallest eigenvalue.
+    /// Estimated smallest eigenvalue (0.0 when no reliable estimate was obtained).
     pub lambda_min: f64,
+    /// Whether the inner solves behind `lambda_min` all converged.
+    pub confidence: EigenConfidence,
 }
 
 impl EigenEstimate {
     /// The condition-number estimate `λ_max / λ_min`.
+    ///
+    /// Returns `+∞` unless both eigenvalue estimates are strictly positive (and not
+    /// NaN) — either the matrix is numerically singular, the SPD assumption is
+    /// violated, or an iteration failed to produce an estimate — so κ is never
+    /// negative and never the silent `NaN`/`-∞` of a raw division.
     pub fn condition_number(&self) -> f64 {
-        self.lambda_max / self.lambda_min
+        if self.lambda_min > 0.0 && self.lambda_max > 0.0 {
+            self.lambda_max / self.lambda_min
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `true` when every inner solve behind the estimate converged and κ is finite.
+    pub fn is_reliable(&self) -> bool {
+        self.confidence == EigenConfidence::Converged && self.condition_number().is_finite()
     }
 }
 
 /// Estimates the largest eigenvalue of an SPD operator by power iteration.
+///
+/// Returns `NaN` when `iterations == 0`: the internal accumulator starts at 0.0 and is
+/// only ever a Rayleigh quotient after at least one iteration, so returning it
+/// unchanged would present a stale placeholder as an eigenvalue estimate.
 pub fn power_iteration<A: LinearOperator + ?Sized>(a: &mut A, iterations: usize, seed: u64) -> f64 {
+    if iterations == 0 {
+        return f64::NAN;
+    }
     let n = a.nrows();
     let mut x: Vec<f64> = (0..n)
         .map(|i| {
@@ -54,13 +100,30 @@ pub fn power_iteration<A: LinearOperator + ?Sized>(a: &mut A, iterations: usize,
     lambda.abs()
 }
 
+/// The smallest-eigenvalue estimate of an inverse power iteration, with the confidence
+/// of the inner CG solves it depended on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverseIterationEstimate {
+    /// Estimated smallest eigenvalue; 0.0 when no reliable estimate was obtained.
+    pub lambda_min: f64,
+    /// [`EigenConfidence::Degraded`] when an inner CG solve failed to converge.
+    pub confidence: EigenConfidence,
+}
+
 /// Estimates the smallest eigenvalue of an SPD operator by inverse power iteration,
 /// where each application of `A⁻¹` is computed with CG to a loose tolerance.
+///
+/// Each outer step checks that the inner CG actually converged **before** using its
+/// iterate in the Rayleigh quotient: a failed solve yields an arbitrary direction whose
+/// quotient is unrelated to `1/λ_min`, so the iteration stops at the last trustworthy
+/// estimate and reports [`EigenConfidence::Degraded`].  If the very first inner solve
+/// fails there is no trustworthy estimate at all and `lambda_min` is 0.0 (which
+/// [`EigenEstimate::condition_number`] maps to `+∞`).
 pub fn inverse_power_iteration<A: LinearOperator + ?Sized>(
     a: &mut A,
     outer_iterations: usize,
     seed: u64,
-) -> f64 {
+) -> InverseIterationEstimate {
     let n = a.nrows();
     let mut x: Vec<f64> = (0..n)
         .map(|i| {
@@ -75,31 +138,42 @@ pub fn inverse_power_iteration<A: LinearOperator + ?Sized>(
         .with_max_iterations(2_000)
         .with_trace(false);
     let mut mu = 0.0;
+    let mut confidence = EigenConfidence::Converged;
     for _ in 0..outer_iterations {
         let norm = vecops::norm2(&x);
         if norm == 0.0 {
-            return 0.0;
+            return InverseIterationEstimate {
+                lambda_min: 0.0,
+                confidence,
+            };
         }
         vecops::scale(1.0 / norm, &mut x);
         let solve = cg(a, &x, &cfg);
+        if !solve.converged() {
+            // The iterate is not an application of A⁻¹; using it would poison the
+            // Rayleigh quotient.  Keep the last converged estimate and flag it.
+            confidence = EigenConfidence::Degraded;
+            break;
+        }
         // Rayleigh quotient of the inverse: xᵀ A⁻¹ x ≈ 1/λ_min direction.
         mu = vecops::dot(&x, &solve.x);
         x = solve.x;
     }
-    if mu <= 0.0 {
-        0.0
-    } else {
-        1.0 / mu
+    let lambda_min = if mu <= 0.0 { 0.0 } else { 1.0 / mu };
+    InverseIterationEstimate {
+        lambda_min,
+        confidence,
     }
 }
 
 /// Estimates both extreme eigenvalues of an SPD operator.
 pub fn estimate_extremes<A: LinearOperator + ?Sized>(a: &mut A, seed: u64) -> EigenEstimate {
     let lambda_max = power_iteration(a, 60, seed);
-    let lambda_min = inverse_power_iteration(a, 8, seed);
+    let inverse = inverse_power_iteration(a, 8, seed);
     EigenEstimate {
         lambda_max,
-        lambda_min,
+        lambda_min: inverse.lambda_min,
+        confidence: inverse.confidence,
     }
 }
 
@@ -124,6 +198,8 @@ mod tests {
         );
         let kappa = est.condition_number();
         assert!((kappa - 256.0).abs() / 256.0 < 0.15, "κ = {kappa}");
+        assert_eq!(est.confidence, EigenConfidence::Converged);
+        assert!(est.is_reliable());
     }
 
     #[test]
@@ -139,11 +215,71 @@ mod tests {
         let expected_min = 8.0 * h.sin().powi(2) + shift;
         assert!((est.lambda_max - expected_max).abs() / expected_max < 0.05);
         assert!((est.lambda_min - expected_min).abs() / expected_min < 0.15);
+        assert_eq!(est.confidence, EigenConfidence::Converged);
     }
 
     #[test]
     fn power_iteration_handles_zero_operator() {
         let mut a = crate::operator::DiagonalOperator::new(vec![0.0; 10]);
         assert_eq!(power_iteration(&mut a, 5, 3), 0.0);
+    }
+
+    #[test]
+    fn power_iteration_with_zero_iterations_returns_nan_not_a_stale_zero() {
+        // Regression: with no iterations executed the accumulator was returned as-is
+        // (0.0), indistinguishable from a genuine zero eigenvalue estimate.
+        let mut a = generators::logspace_diagonal(16, 1.0, 4.0).to_csr();
+        assert!(power_iteration(&mut a, 0, 3).is_nan());
+    }
+
+    #[test]
+    fn failed_inner_cg_yields_a_degraded_estimate_not_garbage() {
+        // Regression for the unchecked inner solve: a numerically singular spectrum
+        // (κ ≈ 1e30) makes the 2000-iteration inner CG fail.  Pre-fix, the
+        // max-iterations iterate was fed into the Rayleigh quotient anyway and a
+        // garbage λ_min (and finite, wrong κ) came back with no warning.
+        let mut a = generators::logspace_diagonal(3000, 1e-30, 1.0).to_csr();
+        let inverse = inverse_power_iteration(&mut a, 4, 11);
+        assert_eq!(inverse.confidence, EigenConfidence::Degraded);
+        assert_eq!(
+            inverse.lambda_min, 0.0,
+            "no converged inner solve → no λ_min estimate, got {}",
+            inverse.lambda_min
+        );
+
+        let est = estimate_extremes(&mut a, 11);
+        assert_eq!(est.confidence, EigenConfidence::Degraded);
+        assert_eq!(est.condition_number(), f64::INFINITY);
+        assert!(!est.is_reliable());
+    }
+
+    #[test]
+    fn condition_number_of_non_positive_lambda_min_is_positive_infinity() {
+        // Regression: λ_min = 0 used to give +∞ *or* NaN, and a (non-SPD) negative
+        // λ_min produced a negative κ; all such cases now report +∞.
+        for lambda_min in [0.0, -2.0] {
+            let est = EigenEstimate {
+                lambda_max: 4.0,
+                lambda_min,
+                confidence: EigenConfidence::Converged,
+            };
+            assert_eq!(est.condition_number(), f64::INFINITY, "λmin = {lambda_min}");
+            assert!(!est.is_reliable());
+        }
+        // Zero operator: both extremes 0 → +∞, not NaN.
+        let zero = EigenEstimate {
+            lambda_max: 0.0,
+            lambda_min: 0.0,
+            confidence: EigenConfidence::Converged,
+        };
+        assert_eq!(zero.condition_number(), f64::INFINITY);
+        // A NaN λ_max (e.g. from `power_iteration(_, 0, _)` or a NaN matrix entry)
+        // must also map to +∞, not propagate as a silent NaN κ.
+        let nan_max = EigenEstimate {
+            lambda_max: f64::NAN,
+            lambda_min: 1.0,
+            confidence: EigenConfidence::Converged,
+        };
+        assert_eq!(nan_max.condition_number(), f64::INFINITY);
     }
 }

@@ -35,6 +35,8 @@ pub mod result;
 
 pub use bicgstab::bicgstab;
 pub use cg::{cg, pcg};
+pub use eigs::{EigenConfidence, EigenEstimate};
+pub use jacobi::Equilibration;
 pub use operator::{LinearOperator, OperatorStats};
 pub use refinement::{
     refine, OperatorLadder, PrecisionLadder, RefinementConfig, RefinementPass, RefinementResult,
@@ -47,7 +49,7 @@ pub use result::{SolveResult, SolverConfig, StopReason};
 /// This lives in the solver crate so that both the hardware time model (`reram-sim`,
 /// which re-exports it) and the precision-ladder dispatch of [`refinement`] can name a
 /// solver without depending on each other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolverKind {
     /// Conjugate Gradient: 1 SpMV per iteration.
     Cg,

@@ -236,6 +236,26 @@ impl CsrMatrix {
         y
     }
 
+    /// The true relative residual `‖b − A·x‖₂ / ‖b‖₂` of a candidate solution against
+    /// this (exact fp64) matrix — the honest accuracy yardstick for solves performed
+    /// on quantized operators, whose internal residuals are measured against the
+    /// quantized matrix and can be arbitrarily optimistic.  Returns 0.0 for `b = 0`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `b.len() != nrows`.
+    pub fn relative_residual(&self, b: &[f64], x: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.nrows, "relative_residual: b length mismatch");
+        let ax = self.spmv(x);
+        let mut r = vec![0.0; b.len()];
+        crate::vecops::sub_into(b, &ax, &mut r);
+        let b_norm = crate::vecops::norm2(b);
+        if b_norm > 0.0 {
+            crate::vecops::norm2(&r) / b_norm
+        } else {
+            0.0
+        }
+    }
+
     /// Parallel SpMV over row chunks using scoped threads.
     ///
     /// Rows are partitioned into contiguous chunks of roughly equal nonzero count, one

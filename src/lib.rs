@@ -48,11 +48,13 @@ pub use reram_sim as sim;
 /// The most commonly used types and functions, for glob import in examples and tests.
 pub mod prelude {
     pub use refloat_core::{
-        EscalationPolicy, ReFloatConfig, ReFloatMatrix, RoundingMode, UnderflowMode,
+        AutotuneConfig, EscalationPolicy, FormatPlan, ReFloatConfig, ReFloatMatrix, RoundingMode,
+        UnderflowMode,
     };
     pub use refloat_matgen::{Workload, WorkloadSpec};
     pub use refloat_runtime::{
-        MatrixHandle, RefinementSpec, RuntimeConfig, RuntimeReport, SolveJob, SolveRuntime,
+        AutoFormatSpec, MatrixHandle, RefinementSpec, RuntimeConfig, RuntimeReport, SolveJob,
+        SolveRuntime,
     };
     pub use refloat_solvers::{
         bicgstab, cg, refine, LinearOperator, OperatorLadder, PrecisionLadder, RefinementConfig,

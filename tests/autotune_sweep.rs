@@ -1,0 +1,80 @@
+//! Nightly-style full sweep of the format auto-tuner: every workload class ×
+//! several tolerances, with the ranking/verification invariants checked at each
+//! point.
+//!
+//! The quick invariants are covered by the unit tests in `refloat_core::autotune` and
+//! the runtime integration tests; this sweep re-plans from scratch at every
+//! (workload, tolerance) point — an eigen estimation plus verification solves each —
+//! which is seconds in release but minutes under the debug profile `cargo test` uses.
+
+use refloat::core::autotune::{plan_format, AutotuneConfig};
+use refloat::matgen::generators;
+use refloat::sparse::CsrMatrix;
+
+fn workloads() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("poisson", generators::laplacian_2d(32, 32, 0.3).to_csr()),
+        (
+            "mass-1e-12",
+            generators::mass_matrix_3d(8, 8, 8, 1e-12, 0.8, 5).to_csr(),
+        ),
+        (
+            "ring-1e12",
+            generators::sphere_ring_3regular(4096, 1e12, 0.1894).to_csr(),
+        ),
+        (
+            "aniso",
+            generators::anisotropic_9pt(48, 48, 1.0, 0.05, 1e-3).to_csr(),
+        ),
+    ]
+}
+
+// Ignored under the default `cargo test` run to keep the CI budget: the sweep costs
+// minutes in the debug profile.  CI runs it from the already-built *release* test
+// binary (`cargo test --release -- --include-ignored`), where it takes seconds; run
+// `cargo test -q -- --include-ignored` locally for the debug-profile version.
+#[test]
+#[ignore = "full sweep (~minutes in debug); CI runs it in release via --include-ignored"]
+fn autotune_sweep_across_workloads_and_tolerances() {
+    for (name, a) in &workloads() {
+        let mut previous_cycles = 0u64;
+        for tolerance in [1e-4, 1e-6, 1e-8] {
+            let plan = plan_format(a, &AutotuneConfig::new(tolerance, 4));
+            assert!(
+                !plan.fallback,
+                "{name} @ {tolerance:.0e}: expected a surviving candidate"
+            );
+            assert!(
+                plan.chosen.measured_convergent(tolerance),
+                "{name} @ {tolerance:.0e}: chosen {} measured {:?}",
+                plan.chosen.config,
+                plan.chosen.measured_residual
+            );
+            // Every predicted-convergent candidate cheaper than the pick must have
+            // been tried and failed — the tuner never skips a cheaper option.
+            for c in &plan.candidates {
+                if c.predicted_convergent && c.cycles_per_spmv < plan.chosen.cycles_per_spmv {
+                    assert!(
+                        c.measured_residual.is_some_and(|r| r > tolerance),
+                        "{name} @ {tolerance:.0e}: cheaper candidate {} skipped \
+                         without a failed trial",
+                        c.config
+                    );
+                }
+            }
+            // The pick always undercuts the re-based FP64 classical point.
+            let fp64 = plan
+                .candidates
+                .iter()
+                .find(|c| (c.config.e, c.config.f) == (11, 52))
+                .expect("FP64 point in the grid");
+            assert!(plan.chosen.cycles_per_spmv < fp64.cycles_per_spmv);
+            // Tightening the tolerance never makes the pick cheaper per SpMV.
+            assert!(
+                plan.chosen.cycles_per_spmv >= previous_cycles,
+                "{name}: pick got cheaper as the tolerance tightened"
+            );
+            previous_cycles = plan.chosen.cycles_per_spmv;
+        }
+    }
+}

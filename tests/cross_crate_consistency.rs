@@ -114,3 +114,29 @@ fn table_v_small_workloads_generate_and_block_consistently() {
     // (21845) for this small matrix, as §VI.B assumes.
     assert!(blocked.num_blocks() < 21_845);
 }
+
+#[test]
+fn autotune_cost_model_matches_reram_sim_cost_over_the_whole_grid() {
+    // `refloat_core::autotune` restates the Eq. 2/3 closed forms because it sits
+    // *below* `reram-sim` in the dependency graph; this test pins the two
+    // implementations together so they can never drift.
+    use refloat::core::autotune;
+    use refloat::sim::cost;
+
+    for config in autotune::candidate_grid(7) {
+        assert_eq!(
+            autotune::crossbars_per_cluster(config.e, config.f),
+            cost::crossbars_per_cluster(config.e, config.f),
+            "crossbars per cluster diverge at {config}"
+        );
+        assert_eq!(
+            autotune::cycles_per_block_mvm(config.e, config.f, config.ev, config.fv),
+            cost::cycle_count_eq3(config.e, config.f, config.ev, config.fv),
+            "Eq. 3 cycles diverge at {config}"
+        );
+    }
+    // The paper's headline points hold through the autotune mirror too.
+    assert_eq!(autotune::cycles_per_block_mvm(11, 52, 11, 52), 4201);
+    assert_eq!(autotune::cycles_per_block_mvm(3, 3, 3, 8), 28);
+    assert_eq!(autotune::crossbars_per_cluster(3, 3), 12);
+}

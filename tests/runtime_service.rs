@@ -5,8 +5,7 @@
 use std::sync::Arc;
 
 use refloat::prelude::*;
-use refloat::runtime::{CacheOutcomeKind, RefinementSpec};
-use refloat::sparse::vecops;
+use refloat::runtime::{AutoFormatSpec, CacheOutcomeKind, RefinementSpec};
 
 /// A mixed-workload, mixed-format catalog of small matrices.
 fn catalog() -> Vec<(MatrixHandle, ReFloatConfig, SolverKind)> {
@@ -181,16 +180,6 @@ fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
     assert!(rendered.contains("jobs/s"));
 }
 
-/// The true fp64 relative residual `‖b − A·x‖₂/‖b‖₂` — the accuracy yardstick the
-/// refinement loop is judged on (solver-internal residuals are measured against the
-/// *quantized* operator and can be arbitrarily optimistic).
-fn true_relative_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
-    let ax = a.spmv(x);
-    let mut r = vec![0.0; b.len()];
-    vecops::sub_into(b, &ax, &mut r);
-    vecops::norm2(&r) / vecops::norm2(b)
-}
-
 #[test]
 fn refined_jobs_reach_fp64_accuracy_where_plain_low_precision_stalls() {
     let a = refloat::matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
@@ -208,12 +197,12 @@ fn refined_jobs_reach_fp64_accuracy_where_plain_low_precision_stalls() {
             .with_refinement(RefinementSpec::to_target(1e-12)),
     ]);
 
-    let plain_rel = true_relative_residual(&a, &b, &outcome.jobs[0].result.x);
+    let plain_rel = a.relative_residual(&b, &outcome.jobs[0].result.x);
     assert!(
         plain_rel > 1e-6,
         "plain low-precision solve should stall above 1e-6, got {plain_rel:.3e}"
     );
-    let refined_rel = true_relative_residual(&a, &b, &outcome.jobs[1].result.x);
+    let refined_rel = a.relative_residual(&b, &outcome.jobs[1].result.x);
     assert!(
         refined_rel <= 1e-12,
         "refined solve should reach fp64 accuracy, got {refined_rel:.3e}"
@@ -460,6 +449,192 @@ fn multi_rhs_batches_solve_every_column_bitwise_like_separate_jobs() {
     // amortization (its simulated total is below three cold solos).
     assert!(batched.telemetry.converged);
     assert_eq!(outcome.report.rhs_total, 6);
+}
+
+#[test]
+fn auto_format_decisions_are_keyed_by_solver() {
+    // CG and BiCGSTAB converge differently on the same quantized operator, so their
+    // verification-measured decisions must not be shared (the iteration cap derived
+    // from a CG trial could truncate a BiCGSTAB solve).
+    let a = refloat::matgen::generators::laplacian_2d(12, 12, 0.4).to_csr();
+    let handle = MatrixHandle::new("poisson-12", a.clone());
+    let base = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let outcome = runtime.run_batch(vec![
+        SolveJob::new("cg", handle.clone(), base).with_auto_format(1e-6),
+        SolveJob::new("bicg", handle, base)
+            .with_solver(SolverKind::BiCgStab)
+            .with_auto_format(1e-6),
+    ]);
+    assert_eq!(
+        outcome.report.decisions.misses, 2,
+        "one analysis per solver"
+    );
+    let b = vec![1.0; a.nrows()];
+    for job in &outcome.jobs {
+        let tele = job.telemetry.autotune.as_ref().unwrap();
+        assert!(!tele.decision_cached);
+        assert!(job.telemetry.converged, "{} job", job.telemetry.tenant);
+        assert!(a.relative_residual(&b, &job.result.x) <= 1e-6);
+    }
+}
+
+#[test]
+fn auto_format_jobs_converge_and_memoize_the_decision() {
+    let a = refloat::matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
+    let handle = MatrixHandle::new("poisson-16", a.clone());
+    let b = vec![1.0; a.nrows()];
+    let tolerance = 1e-6;
+    // The job format only contributes its blocking b = 4; (e, f)(ev, fv) are tuned.
+    let base = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 1, // serial workers: the second job must be a clean decision HIT
+        ..Default::default()
+    });
+
+    let outcome = runtime.run_batch(vec![
+        SolveJob::new("t0", handle.clone(), base).with_auto_format(tolerance),
+        SolveJob::new("t1", handle.clone(), base).with_auto_format(tolerance),
+    ]);
+    let first = outcome.jobs[0]
+        .telemetry
+        .autotune
+        .as_ref()
+        .expect("auto job telemetry");
+    let second = outcome.jobs[1]
+        .telemetry
+        .autotune
+        .as_ref()
+        .expect("auto job telemetry");
+
+    // The first job paid for the analysis; the second identical job hit the
+    // decision cache (the acceptance criterion of the auto-tuning subsystem).
+    assert!(!first.decision_cached);
+    assert!(first.analysis_s > 0.0);
+    assert!(second.decision_cached);
+    assert_eq!(second.analysis_s, 0.0);
+    assert_eq!(first.chosen_format, second.chosen_format);
+    assert_eq!(outcome.report.autotuned_jobs, 2);
+    assert_eq!(outcome.report.autotune_decision_hits, 1);
+    assert_eq!(outcome.report.autotune_fallbacks, 0);
+    assert!(outcome.report.render().contains("autotune"));
+
+    // The tuned format preserves the blocking, converges in true residual, and the
+    // prediction is comparable to the achieved iteration count.
+    assert_eq!(first.chosen_format.b, 4);
+    assert!(!first.fell_back);
+    assert!(first.achieved_relative_residual <= tolerance);
+    let true_rel = a.relative_residual(&b, &outcome.jobs[0].result.x);
+    assert!(true_rel <= tolerance, "true residual {true_rel:.3e}");
+    assert!(first.predicted_iterations > 0);
+    assert!(first.achieved_iterations > 0);
+    assert!(first.kappa.is_finite() && first.kappa > 1.0);
+    assert!(first.predicted_convergent && !first.degraded_confidence);
+    // The residual check is charged to the host model even without a fallback.
+    assert!(outcome.jobs[0].telemetry.simulated.host_fp64_s > 0.0);
+
+    // A fresh batch on the same runtime still hits the persistent decision cache.
+    let again = runtime.run_batch(vec![
+        SolveJob::new("t2", handle, base).with_auto_format(tolerance)
+    ]);
+    assert!(
+        again.jobs[0]
+            .telemetry
+            .autotune
+            .as_ref()
+            .unwrap()
+            .decision_cached
+    );
+    assert_eq!(again.report.decisions.hits, 1);
+    assert_eq!(again.report.decisions.misses, 0);
+}
+
+#[test]
+fn auto_format_decisions_are_keyed_by_tolerance() {
+    let handle = MatrixHandle::new(
+        "poisson-12",
+        refloat::matgen::generators::laplacian_2d(12, 12, 0.4).to_csr(),
+    );
+    let base = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let outcome = runtime.run_batch(vec![
+        SolveJob::new("loose", handle.clone(), base).with_auto_format(1e-3),
+        SolveJob::new("tight", handle, base).with_auto_format(1e-8),
+    ]);
+    assert_eq!(
+        outcome.report.decisions.misses, 2,
+        "two tolerances, two analyses"
+    );
+    let loose = outcome.jobs[0].telemetry.autotune.as_ref().unwrap();
+    let tight = outcome.jobs[1].telemetry.autotune.as_ref().unwrap();
+    // A tighter target can never be predicted cheaper per SpMV.
+    assert!(loose.predicted_cycles_per_spmv <= tight.predicted_cycles_per_spmv);
+    assert!(outcome.jobs.iter().all(|j| j.telemetry.converged));
+}
+
+#[test]
+fn auto_format_falls_back_to_the_refinement_ladder_when_nothing_survives() {
+    // κ ≈ 1e30: the eigen estimate degrades, no candidate is predicted convergent,
+    // and the plain attempt at the best-effort format cannot reach the tolerance —
+    // the refinement ladder must engage (and honestly report its stall).
+    let a = refloat::matgen::generators::logspace_diagonal(600, 1e-30, 1.0).to_csr();
+    let handle = MatrixHandle::new("singular-600", a);
+    let base = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let spec = AutoFormatSpec::to_target(1e-8).with_escalation(EscalationPolicy::fp64_only());
+    let outcome = runtime.run_batch(vec![SolveJob::new("t", handle, base)
+        .with_solver_config(SolverConfig::relative(1e-8).with_max_iterations(500))
+        .with_auto_format_spec(spec)]);
+
+    let tele = outcome.jobs[0].telemetry.autotune.as_ref().unwrap();
+    assert!(tele.degraded_confidence);
+    assert!(!tele.predicted_convergent);
+    assert!(tele.fell_back, "the refinement fallback must engage");
+    assert!(
+        outcome.jobs[0].telemetry.refinement.is_some(),
+        "fallback jobs carry refinement telemetry"
+    );
+    assert_eq!(outcome.report.autotune_fallbacks, 1);
+    // The matrix is numerically singular, so even the ladder may stall — but the
+    // telemetry must say so rather than claim convergence.
+    let refinement = outcome.jobs[0].telemetry.refinement.as_ref().unwrap();
+    assert_eq!(
+        outcome.jobs[0].telemetry.converged,
+        refinement.final_relative_residual <= 1e-8
+    );
+}
+
+#[test]
+fn auto_format_composes_with_sharding() {
+    let a = refloat::matgen::generators::laplacian_2d(20, 20, 0.3).to_csr();
+    let handle = MatrixHandle::new("poisson-20", a.clone());
+    let b = vec![1.0; a.nrows()];
+    let base = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let runtime = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        chip_crossbars: Some(1 << 10),
+        ..Default::default()
+    });
+    let outcome = runtime.run_batch(vec![SolveJob::new("t", handle, base)
+        .with_auto_format(1e-6)
+        .with_sharding(2)]);
+    let job = &outcome.jobs[0];
+    assert_eq!(job.telemetry.shards, 2);
+    assert!(job.telemetry.simulated.reduction_s > 0.0);
+    let tele = job.telemetry.autotune.as_ref().unwrap();
+    assert!(!tele.fell_back);
+    assert!(job.telemetry.converged);
+    let true_rel = a.relative_residual(&b, &job.result.x);
+    assert!(true_rel <= 1e-6, "true residual {true_rel:.3e}");
 }
 
 #[test]
