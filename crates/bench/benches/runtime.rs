@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use refloat_core::ReFloatConfig;
 use refloat_matgen::generators;
 use refloat_runtime::{
-    fingerprint_csr, BoundedQueue, EncodedMatrixCache, MatrixHandle, RuntimeConfig, SolveJob,
+    fingerprint_csr, BoundedQueue, EncodedMatrixCache, MatrixHandle, RuntimeConfig, SolvePlan,
     SolveRuntime,
 };
 use refloat_solvers::SolverConfig;
@@ -48,27 +48,30 @@ fn bench_runtime_overhead(c: &mut Criterion) {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 8,
-        chip_crossbars: None,
+        ..RuntimeConfig::default()
     });
     let one_iter = SolverConfig::relative(1e-8)
         .with_max_iterations(1)
         .with_trace(false);
     // Warm the cache so the measured batches never encode.
-    runtime.run_batch(vec![
-        SolveJob::new("warm", handle.clone(), format).with_solver_config(one_iter.clone())
-    ]);
+    runtime.run_batch(vec![SolvePlan::new("warm", handle.clone(), format)
+        .solver_config(one_iter.clone())
+        .build()
+        .expect("valid plan")]);
     let mut group = c.benchmark_group("runtime_batch");
     group.sample_size(10);
     group.throughput(Throughput::Elements(16));
     group.bench_function("overhead_16_trivial_jobs_4_workers", |b| {
         b.iter(|| {
-            let jobs: Vec<SolveJob> = (0..16)
+            let plans: Vec<SolvePlan> = (0..16)
                 .map(|i| {
-                    SolveJob::new(format!("t{i}"), handle.clone(), format)
-                        .with_solver_config(one_iter.clone())
+                    SolvePlan::new(format!("t{i}"), handle.clone(), format)
+                        .solver_config(one_iter.clone())
+                        .build()
+                        .expect("valid plan")
                 })
                 .collect();
-            runtime.run_batch(jobs)
+            runtime.run_batch(plans)
         })
     });
     group.finish();

@@ -5,7 +5,7 @@
 //! `refloat_core::autotune` pick them.  For each matgen workload the driver runs,
 //! through the `refloat-runtime` service:
 //!
-//! * an **autotuned** job (`SolveJob::with_auto_format`) — submitted twice, so the
+//! * an **autotuned** job (`SolvePlan` with `auto_format`) — submitted twice, so the
 //!   second submission demonstrates the memoized decision (a format-decision-cache
 //!   hit), and
 //! * one **fixed-format** job per Table III classical format, re-based onto the same
@@ -28,7 +28,7 @@ use refloat_bench::table::TextTable;
 use refloat_core::formats;
 use refloat_core::ReFloatConfig;
 use refloat_matgen::generators;
-use refloat_runtime::{MatrixHandle, RuntimeConfig, SolveJob, SolveRuntime};
+use refloat_runtime::{MatrixHandle, RuntimeConfig, SolvePlan, SolveRuntime};
 use refloat_solvers::SolverConfig;
 use refloat_sparse::CsrMatrix;
 
@@ -119,7 +119,7 @@ fn main() {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 64,
-        chip_crossbars: None,
+        ..RuntimeConfig::default()
     });
     let fixed_solver = SolverConfig::relative(tolerance)
         .with_max_iterations(1_500)
@@ -143,9 +143,15 @@ fn main() {
 
         // Two identical autotuned jobs (the second must hit the decision cache), then
         // every Table III format re-based onto the same blocking.
-        let mut jobs = vec![
-            SolveJob::new("auto", handle.clone(), base).with_auto_format(tolerance),
-            SolveJob::new("auto-again", handle.clone(), base).with_auto_format(tolerance),
+        let mut plans = vec![
+            SolvePlan::new("auto", handle.clone(), base)
+                .auto_format(tolerance)
+                .build()
+                .expect("valid plan"),
+            SolvePlan::new("auto-again", handle.clone(), base)
+                .auto_format(tolerance)
+                .build()
+                .expect("valid plan"),
         ];
         let fixed_formats: Vec<(String, ReFloatConfig)> = formats::table_iii()
             .iter()
@@ -157,10 +163,13 @@ fn main() {
                 )
             })
             .collect();
-        jobs.extend(fixed_formats.iter().map(|(_, format)| {
-            SolveJob::new("fixed", handle.clone(), *format).with_solver_config(fixed_solver.clone())
+        plans.extend(fixed_formats.iter().map(|(_, format)| {
+            SolvePlan::new("fixed", handle.clone(), *format)
+                .solver_config(fixed_solver.clone())
+                .build()
+                .expect("valid plan")
         }));
-        let outcome = runtime.run_batch(jobs);
+        let outcome = runtime.run_batch(plans);
 
         let auto = &outcome.jobs[0];
         let auto_tele = auto

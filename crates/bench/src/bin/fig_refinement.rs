@@ -25,7 +25,7 @@ use serde::Serialize;
 use refloat_bench::json::{has_flag, json_path_from_args, write_json};
 use refloat_bench::table::TextTable;
 use refloat_core::ReFloatConfig;
-use refloat_runtime::{MatrixHandle, RefinementSpec, RuntimeConfig, SolveJob, SolveRuntime};
+use refloat_runtime::{MatrixHandle, RefinementSpec, RuntimeConfig, SolvePlan, SolveRuntime};
 
 #[derive(Serialize)]
 struct RefinementRecord {
@@ -79,19 +79,23 @@ fn main() {
         workers: 2,
         queue_capacity: 8,
         cache_capacity: 32,
-        chip_crossbars: None,
+        ..RuntimeConfig::default()
     });
-    let jobs: Vec<SolveJob> = formats
+    let plans: Vec<SolvePlan> = formats
         .iter()
         .flat_map(|&format| {
             [
-                SolveJob::new("plain", handle.clone(), format),
-                SolveJob::new("refined", handle.clone(), format)
-                    .with_refinement(RefinementSpec::to_target(target)),
+                SolvePlan::new("plain", handle.clone(), format)
+                    .build()
+                    .expect("valid plan"),
+                SolvePlan::new("refined", handle.clone(), format)
+                    .refinement(RefinementSpec::to_target(target))
+                    .build()
+                    .expect("valid plan"),
             ]
         })
         .collect();
-    let outcome = runtime.run_batch(jobs);
+    let outcome = runtime.run_batch(plans);
 
     let mut table = TextTable::new([
         "format",

@@ -24,7 +24,7 @@ use serde::Serialize;
 use refloat_bench::json::{has_flag, json_path_from_args, write_json};
 use refloat_bench::table::TextTable;
 use refloat_core::ReFloatConfig;
-use refloat_runtime::{MatrixHandle, RuntimeConfig, SolveJob, SolveRuntime};
+use refloat_runtime::{MatrixHandle, RuntimeConfig, SolvePlan, SolveRuntime};
 use reram_sim::AcceleratorConfig;
 
 #[derive(Serialize)]
@@ -61,14 +61,18 @@ fn main() {
         queue_capacity: 8,
         cache_capacity: 64,
         chip_crossbars: Some(chip_crossbars),
+        ..RuntimeConfig::default()
     });
-    let jobs: Vec<SolveJob> = chip_counts
+    let plans: Vec<SolvePlan> = chip_counts
         .iter()
         .map(|&chips| {
-            SolveJob::new(format!("chips-{chips}"), handle.clone(), format).with_sharding(chips)
+            SolvePlan::new(format!("chips-{chips}"), handle.clone(), format)
+                .sharding(chips)
+                .build()
+                .expect("valid plan")
         })
         .collect();
-    let outcome = runtime.run_batch(jobs);
+    let outcome = runtime.run_batch(plans);
 
     let blocks = {
         let encoded = refloat_core::ReFloatMatrix::from_csr(handle.csr(), format);

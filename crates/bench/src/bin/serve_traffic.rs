@@ -21,7 +21,7 @@ use refloat_bench::json::{has_flag, json_path_from_args, write_json};
 use refloat_core::ReFloatConfig;
 use refloat_matgen::generators;
 use refloat_runtime::fingerprint::fnv1a_u64;
-use refloat_runtime::{CacheOutcomeKind, MatrixHandle, RuntimeConfig, SolveJob, SolveRuntime};
+use refloat_runtime::{CacheOutcomeKind, MatrixHandle, RuntimeConfig, SolvePlan, SolveRuntime};
 use refloat_solvers::SolverConfig;
 use reram_sim::SolverKind;
 
@@ -184,19 +184,23 @@ fn main() {
         workers,
         queue_capacity: 2 * workers.max(1),
         cache_capacity,
-        chip_crossbars: None,
+        ..RuntimeConfig::default()
     });
     let outcome = runtime.run_with(|submitter| {
         for (i, &which) in picks.iter().enumerate() {
             let entry = &catalog[which];
-            let job = SolveJob::new(
+            let plan = SolvePlan::new(
                 format!("tenant-{}", i % 16),
                 entry.handle.clone(),
                 entry.format,
             )
-            .with_solver(entry.solver)
-            .with_solver_config(solver_config.clone());
-            submitter.submit(job);
+            .solver(entry.solver)
+            .solver_config(solver_config.clone())
+            .build()
+            .expect("valid trace plan");
+            submitter
+                .submit(plan)
+                .expect("the batch client admits until the producer returns");
         }
     });
 

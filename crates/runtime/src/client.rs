@@ -1,0 +1,414 @@
+//! The service-mode API: a long-lived [`SolveClient`] whose non-blocking
+//! [`submit`](SolveClient::submit) returns a [`SolveTicket`], plus graceful
+//! [`drain`](SolveClient::drain)/[`shutdown`](SolveClient::shutdown).
+//!
+//! The client owns a worker pool (one simulated accelerator per worker) fed by the
+//! priority scheduler of [`crate::sched`].  Submission applies backpressure when
+//! the pending set is at capacity, exactly like the old batch path; everything
+//! else is asynchronous: the caller keeps the ticket and collects the outcome
+//! whenever it likes, with [`wait`](SolveTicket::wait),
+//! [`try_get`](SolveTicket::try_get), [`wait_timeout`](SolveTicket::wait_timeout)
+//! or [`cancel`](SolveTicket::cancel).
+//!
+//! Cancellation is *dequeue-only*: a job that no worker has started is removed
+//! from the scheduler and its ticket resolves to [`TicketOutcome::Cancelled`]
+//! without ever touching a chip (no simulated cycles, no cache traffic); a job
+//! already in flight runs to completion and `cancel` reports `false`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::{CacheStats, EncodedMatrixCache};
+use crate::decision::{DecisionStats, FormatDecisionCache};
+use crate::job::JobOutcome;
+use crate::plan::SolvePlan;
+use crate::sched::JobScheduler;
+use crate::telemetry::{JobTelemetry, RuntimeReport};
+use crate::worker;
+use crate::RuntimeConfig;
+
+/// Why a submission was not admitted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The client is draining or shut down.  The plan is handed back intact —
+    /// nothing is ever silently dropped.
+    Closed(Box<SolvePlan>),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed(plan) => write!(
+                f,
+                "solve client is closed; plan from tenant {:?} was not admitted",
+                plan.tenant()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How a ticket resolved.
+#[derive(Debug)]
+pub enum TicketOutcome {
+    /// The job ran; the full per-job outcome (solution, telemetry).
+    Completed(Box<JobOutcome>),
+    /// The job was cancelled before any worker started it.  It never touched a
+    /// chip: no simulated cycles, no cache traffic, no telemetry row.
+    Cancelled,
+    /// The job panicked inside the worker.  The panic is contained so the service
+    /// stays alive (the worker keeps serving, drain/shutdown still complete);
+    /// failed jobs carry no telemetry row.  The payload is the panic message.
+    Failed(String),
+}
+
+impl TicketOutcome {
+    /// The job outcome, if the job ran to completion.
+    pub fn completed(self) -> Option<JobOutcome> {
+        match self {
+            TicketOutcome::Completed(outcome) => Some(*outcome),
+            TicketOutcome::Cancelled | TicketOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Whether the job was cancelled before starting.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, TicketOutcome::Cancelled)
+    }
+}
+
+enum TicketSlot {
+    Pending,
+    Ready(TicketOutcome),
+}
+
+/// The completion cell a ticket and its worker share.
+pub(crate) struct TicketShared {
+    slot: Mutex<TicketSlot>,
+    ready: Condvar,
+}
+
+impl TicketShared {
+    fn new() -> Self {
+        TicketShared {
+            slot: Mutex::new(TicketSlot::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn complete(&self, outcome: TicketOutcome) {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        debug_assert!(
+            matches!(*slot, TicketSlot::Pending),
+            "a ticket resolves exactly once"
+        );
+        *slot = TicketSlot::Ready(outcome);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    fn take_ready(slot: &mut TicketSlot) -> Option<TicketOutcome> {
+        match std::mem::replace(slot, TicketSlot::Pending) {
+            TicketSlot::Ready(outcome) => Some(outcome),
+            TicketSlot::Pending => None,
+        }
+    }
+}
+
+/// A submitted job's payload while it waits in the scheduler.
+pub(crate) struct QueuedTicket {
+    pub plan: SolvePlan,
+    pub submitted_at: Instant,
+    pub ticket: Arc<TicketShared>,
+}
+
+/// State shared between the client handle and its worker threads.
+pub(crate) struct ClientCore {
+    pub sched: JobScheduler<QueuedTicket>,
+    pub cache: Arc<EncodedMatrixCache>,
+    pub decisions: Arc<FormatDecisionCache>,
+    pub chip_crossbars: Option<u64>,
+    pub workers: usize,
+    next_id: AtomicU64,
+    /// Telemetry of every completed job, in completion order (the report source).
+    pub completed: Mutex<Vec<JobTelemetry>>,
+    cancelled: AtomicU64,
+}
+
+/// The handle on one queued (or running, or finished) job.
+///
+/// Obtained from [`SolveClient::submit`].  Dropping a ticket does not cancel the
+/// job — it merely discards the outcome.
+pub struct SolveTicket {
+    id: u64,
+    shared: Arc<TicketShared>,
+    core: Arc<ClientCore>,
+}
+
+impl SolveTicket {
+    /// The job's submission id (its position in submission order; equal-priority
+    /// traffic is also dequeued in this order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job completes (or resolves as cancelled).
+    pub fn wait(self) -> TicketOutcome {
+        let mut slot = self.shared.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = TicketShared::take_ready(&mut slot) {
+                return outcome;
+            }
+            slot = self.shared.ready.wait(slot).expect("ticket lock");
+        }
+    }
+
+    /// Returns the outcome if the job already resolved, or hands the ticket back.
+    pub fn try_get(self) -> Result<TicketOutcome, SolveTicket> {
+        let taken = {
+            let mut slot = self.shared.slot.lock().expect("ticket lock");
+            TicketShared::take_ready(&mut slot)
+        };
+        taken.ok_or(self)
+    }
+
+    /// Blocks up to `timeout` for the outcome, or hands the ticket back.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<TicketOutcome, SolveTicket> {
+        let deadline = Instant::now() + timeout;
+        let taken = {
+            let mut slot = self.shared.slot.lock().expect("ticket lock");
+            loop {
+                if let Some(outcome) = TicketShared::take_ready(&mut slot) {
+                    break Some(outcome);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break None;
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(slot, remaining)
+                    .expect("ticket lock");
+                slot = guard;
+            }
+        };
+        taken.ok_or(self)
+    }
+
+    /// Attempts to dequeue the job before any worker starts it.
+    ///
+    /// Returns `true` when the job was still pending: it is removed from the
+    /// scheduler, the ticket resolves to [`TicketOutcome::Cancelled`], and the
+    /// job is refunded entirely — no simulated cycles, no cache traffic, no
+    /// telemetry row.  Returns `false` when a worker already picked the job up
+    /// (it will run to completion) or it already resolved.
+    pub fn cancel(&self) -> bool {
+        match self.core.sched.cancel(self.id) {
+            Some(queued) => {
+                self.core.cancelled.fetch_add(1, Ordering::Relaxed);
+                queued.ticket.complete(TicketOutcome::Cancelled);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for SolveTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveTicket").field("id", &self.id).finish()
+    }
+}
+
+/// A long-lived handle on a running solve service: a worker pool, the shared
+/// caches, and the QoS scheduler in front of them.
+///
+/// Created by [`SolveRuntime::start`](crate::SolveRuntime::start) (owning) or
+/// [`SolveRuntime::client`](crate::SolveRuntime::client) (sharing the runtime's
+/// caches).  Dropping the client shuts it down gracefully: admission closes,
+/// accepted jobs finish, workers join.
+pub struct SolveClient {
+    core: Arc<ClientCore>,
+    handles: Vec<JoinHandle<()>>,
+    started: Instant,
+    cache_baseline: CacheStats,
+    decision_baseline: DecisionStats,
+}
+
+impl SolveClient {
+    pub(crate) fn spawn(
+        config: &RuntimeConfig,
+        cache: Arc<EncodedMatrixCache>,
+        decisions: Arc<FormatDecisionCache>,
+    ) -> Self {
+        assert!(config.workers >= 1, "runtime needs at least one worker");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue capacity must be at least 1"
+        );
+        let cache_baseline = cache.stats();
+        let decision_baseline = decisions.stats();
+        let core = Arc::new(ClientCore {
+            sched: JobScheduler::new(config.queue_capacity, config.scheduler),
+            cache,
+            decisions,
+            chip_crossbars: config.chip_crossbars,
+            workers: config.workers,
+            next_id: AtomicU64::new(0),
+            completed: Mutex::new(Vec::new()),
+            cancelled: AtomicU64::new(0),
+        });
+        let handles = (0..config.workers)
+            .map(|worker_id| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("refloat-worker-{worker_id}"))
+                    .spawn(move || worker::worker_loop(worker_id, &core))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SolveClient {
+            core,
+            handles,
+            started: Instant::now(),
+            cache_baseline,
+            decision_baseline,
+        }
+    }
+
+    /// Submits a plan without blocking on its execution (submission itself blocks
+    /// only while the pending set is at capacity — backpressure).  Returns the
+    /// job's ticket, or [`SubmitError::Closed`] with the plan handed back when
+    /// the client is draining or shut down.
+    pub fn submit(&self, plan: SolvePlan) -> Result<SolveTicket, SubmitError> {
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let priority = plan.priority;
+        let submitted_at = Instant::now();
+        let deadline = plan.deadline.map(|d| submitted_at + d);
+        let shared = Arc::new(TicketShared::new());
+        let queued = QueuedTicket {
+            plan,
+            submitted_at,
+            ticket: Arc::clone(&shared),
+        };
+        match self.core.sched.push(id, priority, deadline, queued) {
+            Ok(()) => Ok(SolveTicket {
+                id,
+                shared,
+                core: Arc::clone(&self.core),
+            }),
+            Err(queued) => Err(SubmitError::Closed(Box::new(queued.plan))),
+        }
+    }
+
+    /// Jobs submitted so far (admitted or not).
+    pub fn submitted(&self) -> u64 {
+        self.core.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Jobs cancelled before a worker started them.
+    pub fn cancelled(&self) -> u64 {
+        self.core.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Stops admission and blocks until every accepted job has resolved its
+    /// ticket.
+    ///
+    /// Draining is terminal: once the backlog empties each worker exits its loop,
+    /// so the client can afterwards only hand out tickets/reports — further
+    /// submissions fail with [`SubmitError::Closed`], and the only remaining
+    /// lifecycle step is [`shutdown`](Self::shutdown) (or `Drop`), which joins the
+    /// worker threads.
+    pub fn drain(&self) {
+        self.core.sched.close();
+        self.core.sched.wait_idle();
+    }
+
+    /// Drains and joins the worker pool, returning the final report.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        self.drain();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.report()
+    }
+
+    /// A report over everything completed so far (cache/decision counters are
+    /// deltas since this client started).
+    pub fn report(&self) -> RuntimeReport {
+        let completed = self.core.completed.lock().expect("telemetry lock");
+        let sched = self.core.sched.stats();
+        RuntimeReport::aggregate(
+            &completed,
+            self.started.elapsed().as_secs_f64(),
+            self.core.cache.stats().delta_since(&self.cache_baseline),
+            self.core
+                .decisions
+                .stats()
+                .delta_since(&self.decision_baseline),
+            self.core.workers,
+            sched.peak_depth,
+            self.core.cancelled.load(Ordering::Relaxed) as usize,
+        )
+    }
+}
+
+impl Drop for SolveClient {
+    fn drop(&mut self) {
+        self.core.sched.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SolvePlan;
+    use crate::MatrixHandle;
+    use refloat_core::ReFloatConfig;
+
+    #[test]
+    fn a_panicking_job_fails_its_ticket_without_hanging_the_service() {
+        // Regression: a panic inside a worker used to skip both finish_one and the
+        // ticket resolution, deadlocking drain/shutdown and the waiter forever.
+        // Force a panic the validator cannot catch by corrupting an already-built
+        // plan in-crate (a wrong-length RHS trips the solver's dimension assert).
+        let a = refloat_matgen::generators::laplacian_2d(8, 8, 0.3).to_csr();
+        let handle = MatrixHandle::new("p8", a);
+        let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+        let mut poisoned = SolvePlan::new("poisoned", handle.clone(), format)
+            .build()
+            .unwrap();
+        poisoned.job.rhs = Some(std::sync::Arc::new(vec![1.0; 3]));
+
+        let client = crate::SolveRuntime::start(crate::RuntimeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let bad = client.submit(poisoned).unwrap();
+        match bad.wait() {
+            TicketOutcome::Failed(message) => {
+                assert!(
+                    message.contains("must match rhs length"),
+                    "unexpected message {message:?}"
+                )
+            }
+            other => panic!("poisoned job must fail its ticket, got {other:?}"),
+        }
+        // The worker survived the panic and keeps serving.
+        let good = client
+            .submit(SolvePlan::new("good", handle, format).build().unwrap())
+            .unwrap();
+        assert!(good.wait().completed().expect("runs").result.converged());
+        // drain/shutdown complete instead of hanging on the lost in-flight count.
+        let report = client.shutdown();
+        assert_eq!(report.jobs, 1, "failed jobs carry no telemetry row");
+        assert_eq!(report.converged, 1);
+    }
+}

@@ -1,4 +1,5 @@
-//! The job-submission API: shared matrix handles and solve requests.
+//! Shared matrix handles, job specs (the internal execution record behind a
+//! validated [`SolvePlan`](crate::SolvePlan)), and per-job outcomes.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -9,6 +10,7 @@ use refloat_sparse::CsrMatrix;
 use reram_sim::SolverKind;
 
 use crate::fingerprint::fingerprint_csr;
+use crate::sched::Priority;
 use crate::telemetry::JobTelemetry;
 
 /// A cheaply-cloneable reference to a matrix a tenant wants solves against.
@@ -55,7 +57,8 @@ impl MatrixHandle {
     }
 }
 
-/// Mixed-precision refinement settings for a [`SolveJob`].
+/// Mixed-precision refinement settings for a plan (see
+/// [`SolvePlanBuilder::refinement`](crate::SolvePlanBuilder::refinement)).
 ///
 /// A refined job wraps its inner solver (CG/BiCGSTAB at the job's base format) in the
 /// outer fp64 defect-correction loop of `refloat_solvers::refinement`: exact residuals
@@ -105,7 +108,8 @@ impl RefinementSpec {
     }
 }
 
-/// Auto-format settings for a [`SolveJob`] (see [`SolveJob::with_auto_format`]).
+/// Auto-format settings for a plan (see
+/// [`SolvePlanBuilder::auto_format`](crate::SolvePlanBuilder::auto_format)).
 ///
 /// The worker resolves the job's format through `refloat_core::autotune` — memoized in
 /// the runtime's [`FormatDecisionCache`](crate::decision::FormatDecisionCache) under
@@ -115,6 +119,10 @@ impl RefinementSpec {
 #[derive(Debug, Clone)]
 pub struct AutoFormatSpec {
     /// Target true relative residual `‖b − A·x‖₂ / ‖b‖₂` the solve must reach.
+    /// Must be positive and finite — validated by
+    /// [`SolvePlanBuilder::build`](crate::SolvePlanBuilder::build), which reports
+    /// [`PlanViolation::InvalidTolerance`](crate::PlanViolation::InvalidTolerance)
+    /// otherwise.
     pub tolerance: f64,
     /// The refinement ladder armed when the auto-tuned format stalls (its outer
     /// target is `tolerance`; the escalation policy defaults to
@@ -123,12 +131,9 @@ pub struct AutoFormatSpec {
 }
 
 impl AutoFormatSpec {
-    /// A spec targeting `tolerance` with the default escalation fallback.
+    /// A spec targeting `tolerance` with the default escalation fallback.  The
+    /// tolerance is validated when the plan is built, not here.
     pub fn to_target(tolerance: f64) -> Self {
-        assert!(
-            tolerance > 0.0 && tolerance.is_finite(),
-            "AutoFormatSpec: tolerance must be positive and finite, got {tolerance}"
-        );
         AutoFormatSpec {
             tolerance,
             fallback: RefinementSpec::to_target(tolerance),
@@ -142,9 +147,16 @@ impl AutoFormatSpec {
     }
 }
 
-/// One solve request: matrix handle + right-hand side(s) + format + solver + tolerance.
+/// The internal, already-validated execution record of one solve request.
+///
+/// Constructed exclusively by
+/// [`SolvePlanBuilder::build`](crate::SolvePlanBuilder::build) — every invariant
+/// the worker relies on (refined jobs are single-RHS and single-chip, auto-format
+/// jobs are single-RHS, RHS lengths match the matrix, `shards >= 1`) is
+/// established there, as typed [`PlanError`](crate::PlanError)s rather than
+/// worker-side panics.
 #[derive(Debug, Clone)]
-pub struct SolveJob {
+pub(crate) struct SolveJob {
     /// Who submitted the job (telemetry/reporting label).
     pub tenant: Arc<str>,
     /// The matrix to solve against.
@@ -153,17 +165,12 @@ pub struct SolveJob {
     /// convention).
     pub rhs: Option<Arc<Vec<f64>>>,
     /// Additional right-hand sides of a batched multi-RHS job.  All RHS of one job
-    /// share the programmed operator: the chip is programmed once and the per-column
-    /// solves (each bitwise identical to a standalone job) amortize that cost.
+    /// share the programmed operator.
     pub extra_rhs: Vec<Arc<Vec<f64>>>,
     /// The ReFloat format to encode (or fetch) the matrix in.  For refined jobs this
     /// is the *base* rung of the escalation ladder.
     pub format: ReFloatConfig,
-    /// How many accelerator chips the job spans (1 = a single chip).  A sharded job
-    /// partitions the matrix into `shards` nnz-balanced block-row bands, encodes each
-    /// through the cache under its own [`ShardId`](crate::cache::ShardId), runs the
-    /// bands in parallel, and gathers the disjoint outputs — bitwise identical to the
-    /// unsharded solve for every shard count.
+    /// How many accelerator chips the job spans (1 = a single chip).
     pub shards: usize,
     /// Which Krylov solver to run.
     pub solver: SolverKind,
@@ -172,161 +179,13 @@ pub struct SolveJob {
     pub solver_config: SolverConfig,
     /// When set, run the job in mixed-precision refinement mode.
     pub refinement: Option<RefinementSpec>,
-    /// When set, the worker auto-tunes the format: [`format`](Self::format) only
-    /// contributes its blocking `b` (and conversion modes are the tuner's defaults),
-    /// while `(e, f)(ev, fv)` come from the memoized per-matrix analysis.
+    /// When set, the worker auto-tunes the format: `format` only contributes its
+    /// blocking `b`, while `(e, f)(ev, fv)` come from the memoized per-matrix
+    /// analysis.
     pub auto_format: Option<AutoFormatSpec>,
 }
 
 impl SolveJob {
-    /// A CG job with the harness defaults: all-ones right-hand side, relative `1e-8`
-    /// tolerance, no residual trace (traces are per-iteration allocations the serving
-    /// path does not need).
-    pub fn new(tenant: impl Into<String>, matrix: MatrixHandle, format: ReFloatConfig) -> Self {
-        SolveJob {
-            tenant: tenant.into().into(),
-            matrix,
-            rhs: None,
-            extra_rhs: Vec::new(),
-            format,
-            shards: 1,
-            solver: SolverKind::Cg,
-            solver_config: SolverConfig::relative(1e-8).with_trace(false),
-            refinement: None,
-            auto_format: None,
-        }
-    }
-
-    /// Builder: use BiCGSTAB (or switch back to CG).
-    pub fn with_solver(mut self, solver: SolverKind) -> Self {
-        self.solver = solver;
-        self
-    }
-
-    /// Builder: use an explicit right-hand side.
-    pub fn with_rhs(mut self, rhs: Arc<Vec<f64>>) -> Self {
-        assert_eq!(
-            rhs.len(),
-            self.matrix.csr().nrows(),
-            "SolveJob: rhs length must match the matrix"
-        );
-        self.rhs = Some(rhs);
-        self
-    }
-
-    /// Builder: solve against a batch of right-hand sides (the first becomes the
-    /// primary [`rhs`](Self::rhs), the rest ride along in
-    /// [`extra_rhs`](Self::extra_rhs)).  The chip is programmed once for the whole
-    /// batch.
-    ///
-    /// # Panics
-    /// Panics if the batch is empty, any RHS length mismatches the matrix, or the job
-    /// is in refinement mode (refined jobs are single-RHS).
-    pub fn with_rhs_batch(mut self, batch: Vec<Arc<Vec<f64>>>) -> Self {
-        assert!(!batch.is_empty(), "SolveJob: rhs batch must be non-empty");
-        assert!(
-            (self.refinement.is_none() && self.auto_format.is_none()) || batch.len() == 1,
-            "SolveJob: refined and auto-format jobs are single-RHS; split the batch \
-             into separate jobs"
-        );
-        let n = self.matrix.csr().nrows();
-        for rhs in &batch {
-            assert_eq!(rhs.len(), n, "SolveJob: rhs length must match the matrix");
-        }
-        let mut batch = batch.into_iter();
-        self.rhs = batch.next();
-        self.extra_rhs = batch.collect();
-        self
-    }
-
-    /// Builder: span the job across `shards` accelerator chips (block-row sharding).
-    ///
-    /// # Panics
-    /// Panics if `shards` is 0, or if `shards > 1` on a job in refinement mode
-    /// (refined jobs are single-chip).
-    pub fn with_sharding(mut self, shards: usize) -> Self {
-        assert!(shards >= 1, "SolveJob: shards must be at least 1");
-        assert!(
-            self.refinement.is_none() || shards == 1,
-            "SolveJob: refined jobs are single-chip; drop with_refinement or the sharding"
-        );
-        self.shards = shards;
-        self
-    }
-
-    /// Builder: override the solver configuration.
-    ///
-    /// On an auto-format job only the iteration cap and trace flag survive: the
-    /// worker re-couples the tolerance (relative, at the [`AutoFormatSpec`] target)
-    /// when it resolves the format, so the solve criterion and the auto-format
-    /// contract can never drift apart.
-    pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
-        self.solver_config = config;
-        self
-    }
-
-    /// Builder: run this job in mixed-precision refinement mode.
-    ///
-    /// # Panics
-    /// Panics if the job is sharded, carries a RHS batch, or is in auto-format mode —
-    /// refined jobs are single-RHS and single-chip, and auto-format jobs arm their own
-    /// refinement fallback (rejected here so the mistake surfaces on the submitting
-    /// thread, not as a worker-pool panic).
-    pub fn with_refinement(mut self, spec: RefinementSpec) -> Self {
-        assert!(
-            self.shards == 1 && self.extra_rhs.is_empty(),
-            "SolveJob: refined jobs are single-RHS and single-chip; drop the sharding \
-             or RHS batch"
-        );
-        assert!(
-            self.auto_format.is_none(),
-            "SolveJob: auto-format jobs arm their own refinement fallback; drop \
-             with_auto_format or with_refinement"
-        );
-        self.refinement = Some(spec);
-        self
-    }
-
-    /// Builder: auto-tune the format for this job, targeting the given *true*
-    /// relative residual.
-    ///
-    /// The worker scores candidate `(e, f)(ev, fv)` points with the
-    /// `refloat_core::autotune` cost model (preserving this job's blocking `b`),
-    /// memoizes the decision in the runtime's format-decision cache under the matrix
-    /// fingerprint, and — if the chosen format still stalls above `tolerance` — falls
-    /// back to the mixed-precision refinement ladder (unsharded).  The job's solver
-    /// configuration is reset to the matching relative tolerance.
-    ///
-    /// # Panics
-    /// Panics if the job is in refinement mode or carries a RHS batch (the refinement
-    /// fallback is single-RHS).
-    pub fn with_auto_format(self, tolerance: f64) -> Self {
-        self.with_auto_format_spec(AutoFormatSpec::to_target(tolerance))
-    }
-
-    /// Builder: auto-tune the format with an explicit [`AutoFormatSpec`] (custom
-    /// fallback escalation).  See [`with_auto_format`](Self::with_auto_format).
-    ///
-    /// # Panics
-    /// Panics if the job is in refinement mode or carries a RHS batch.
-    pub fn with_auto_format_spec(mut self, spec: AutoFormatSpec) -> Self {
-        assert!(
-            self.refinement.is_none(),
-            "SolveJob: auto-format jobs arm their own refinement fallback; drop \
-             with_refinement or with_auto_format"
-        );
-        assert!(
-            self.extra_rhs.is_empty(),
-            "SolveJob: auto-format jobs are single-RHS (the refinement fallback \
-             cannot run batched); split the batch into separate jobs"
-        );
-        self.solver_config = SolverConfig::relative(spec.tolerance)
-            .with_max_iterations(self.solver_config.max_iterations)
-            .with_trace(false);
-        self.auto_format = Some(spec);
-        self
-    }
-
     /// The cache key of this job's unsharded encoding (sharded jobs derive one key per
     /// shard from the same fingerprint + format, see the worker).
     pub fn cache_key(&self) -> crate::cache::CacheKey {
@@ -339,11 +198,12 @@ impl SolveJob {
     }
 }
 
-/// A job with its submission envelope, as carried by the queue.
+/// A job with its submission envelope, as handed to a worker.
 #[derive(Debug)]
 pub(crate) struct QueuedJob {
     pub id: u64,
     pub job: SolveJob,
+    pub priority: Priority,
     pub submitted_at: Instant,
 }
 
@@ -365,6 +225,7 @@ pub struct JobOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::SolvePlan;
 
     #[test]
     fn equal_matrices_share_a_fingerprint_distinct_ones_do_not() {
@@ -384,10 +245,17 @@ mod tests {
     fn cache_key_distinguishes_formats() {
         let a = refloat_matgen::generators::laplacian_2d(6, 6, 0.1).to_csr();
         let handle = MatrixHandle::new("a", a);
-        let j1 = SolveJob::new("t", handle.clone(), ReFloatConfig::new(4, 3, 3, 3, 8));
-        let j2 = SolveJob::new("t", handle, ReFloatConfig::new(4, 3, 8, 3, 8));
-        assert_ne!(j1.cache_key(), j2.cache_key());
-        assert_eq!(j1.cache_key().fingerprint, j2.cache_key().fingerprint);
+        let j1 = SolvePlan::new("t", handle.clone(), ReFloatConfig::new(4, 3, 3, 3, 8))
+            .build()
+            .unwrap();
+        let j2 = SolvePlan::new("t", handle, ReFloatConfig::new(4, 3, 8, 3, 8))
+            .build()
+            .unwrap();
+        assert_ne!(j1.job.cache_key(), j2.job.cache_key());
+        assert_eq!(
+            j1.job.cache_key().fingerprint,
+            j2.job.cache_key().fingerprint
+        );
     }
 
     #[test]
@@ -395,54 +263,18 @@ mod tests {
         let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
         let n = a.nrows();
         let handle = MatrixHandle::new("a", a);
-        let job = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
-            .with_rhs_batch(vec![
+        let plan = SolvePlan::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
+            .rhs_batch(vec![
                 Arc::new(vec![1.0; n]),
                 Arc::new(vec![2.0; n]),
                 Arc::new(vec![3.0; n]),
             ])
-            .with_sharding(4);
-        assert_eq!(job.rhs_count(), 3);
-        assert_eq!(job.extra_rhs.len(), 2);
-        assert_eq!(job.shards, 4);
-        assert_eq!(job.rhs.as_ref().unwrap()[0], 1.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "shards must be at least 1")]
-    fn zero_shards_is_rejected() {
-        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
-        let handle = MatrixHandle::new("a", a);
-        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8)).with_sharding(0);
-    }
-
-    #[test]
-    #[should_panic(expected = "single-chip")]
-    fn refinement_rejects_sharding_at_build_time() {
-        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
-        let handle = MatrixHandle::new("a", a);
-        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
-            .with_refinement(crate::RefinementSpec::to_target(1e-10))
-            .with_sharding(2);
-    }
-
-    #[test]
-    #[should_panic(expected = "single-RHS")]
-    fn refinement_rejects_rhs_batches_at_build_time() {
-        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
-        let n = a.nrows();
-        let handle = MatrixHandle::new("a", a);
-        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
-            .with_rhs_batch(vec![Arc::new(vec![1.0; n]), Arc::new(vec![2.0; n])])
-            .with_refinement(crate::RefinementSpec::to_target(1e-10));
-    }
-
-    #[test]
-    #[should_panic(expected = "rhs length")]
-    fn mismatched_rhs_is_rejected() {
-        let a = refloat_matgen::generators::laplacian_2d(4, 4, 0.1).to_csr();
-        let handle = MatrixHandle::new("a", a);
-        let _ = SolveJob::new("t", handle, ReFloatConfig::new(3, 3, 8, 3, 8))
-            .with_rhs(Arc::new(vec![1.0; 3]));
+            .sharding(4)
+            .build()
+            .unwrap();
+        assert_eq!(plan.rhs_count(), 3);
+        assert_eq!(plan.job.extra_rhs.len(), 2);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.job.rhs.as_ref().unwrap()[0], 1.0);
     }
 }

@@ -1,21 +1,32 @@
-//! `refloat-runtime` — a batched, multi-tenant solve service over a pool of simulated
-//! ReFloat accelerators.
+//! `refloat-runtime` — a persistent, multi-tenant solve service over a pool of
+//! simulated ReFloat accelerators.
 //!
 //! The rest of the workspace drives *one* matrix through *one* solver on *one*
 //! simulated chip at a time.  This crate adds the serving layer the ROADMAP's
 //! production north-star asks for, in the spirit of the distributed in-memory-computing
 //! line of work (Vo et al.) and the mixed-precision offload model of Le Gallo et al.:
-//! many independent solves, scheduled across a worker pool where **each worker owns one
-//! simulated accelerator**, with per-job precision (the `ReFloatConfig`) chosen by the
-//! tenant.
+//! many independent solves, admitted and scheduled against accelerator capacity by a
+//! long-lived service, with per-job precision (the `ReFloatConfig`) and urgency (the
+//! [`Priority`] class) chosen by the tenant.
 //!
 //! The moving parts:
 //!
-//! * [`SolveJob`] / [`MatrixHandle`] (`job`) — the submission API: a shared matrix
-//!   handle, a right-hand side, a ReFloat format, a solver kind and a tolerance;
-//! * [`BoundedQueue`] (`queue`) — a blocking bounded MPMC queue providing submission
-//!   backpressure, built on `Mutex` + `Condvar` (no async runtime, matching the
-//!   scoped-thread idioms of `refloat_sparse::parallel`);
+//! * [`SolvePlan`] / [`MatrixHandle`] (`plan`, `job`) — the submission API: a shared
+//!   matrix handle, right-hand side(s), a ReFloat format, a solver, a QoS class and
+//!   an optional soft deadline, validated *as a whole* by
+//!   [`SolvePlanBuilder::build`] into either an immutable plan or a typed
+//!   [`PlanError`] listing **every** conflicting selection (no panicking builder
+//!   paths);
+//! * [`SolveClient`] / [`SolveTicket`] (`client`) — the service handle:
+//!   [`SolveClient::submit`] is non-blocking (modulo capacity backpressure) and
+//!   returns a ticket with `wait`/`try_get`/`wait_timeout`/`cancel`; `drain` and
+//!   `shutdown` finish gracefully;
+//! * [`sched`] — the QoS scheduler: priority classes, earliest-deadline-first within
+//!   a class, age-based anti-starvation promotion, deterministic tie-breaking by
+//!   submission id (see the module docs for the determinism contract);
+//! * [`BoundedQueue`] (`queue`) — the original blocking bounded MPMC queue, kept as
+//!   a standalone primitive (the service path now schedules by priority instead of
+//!   consuming FIFO);
 //! * [`EncodedMatrixCache`] (`cache`) — an LRU cache of encoded
 //!   [`ReFloatMatrix`](refloat_core::ReFloatMatrix) operators keyed by
 //!   (matrix fingerprint, shard, format), with in-flight deduplication so concurrent
@@ -24,22 +35,56 @@
 //!   simulated cycles/seconds (Eq. 2/3 via `reram-sim`) next to wall-clock time,
 //!   including crossbar re-programming when a worker switches matrices;
 //! * [`JobTelemetry`] / [`RuntimeReport`] (`telemetry`) — per-job measurements (queue
-//!   wait, encode time, solve time, iterations, simulated cycles, cache outcome) and
-//!   their aggregation (throughput, p50/p99 latency, cache hit rate);
-//! * [`RefinementSpec`] (`job`) — opt-in **mixed-precision refinement**: the job runs
-//!   the outer fp64 defect-correction loop of `refloat_solvers::refinement`, drawing
-//!   inner correction solves from a precision ladder whose quantized rungs resolve
-//!   through the same encoded-matrix cache (so escalation re-uses encodings), with
-//!   per-pass chip re-programming and host-side fp64 work charged by the accelerator
-//!   model;
-//! * [`SolveRuntime`] (here) — the service itself: spawns the worker pool on scoped
-//!   threads, feeds it from a producer closure, and collects deterministic,
-//!   submission-ordered results.
+//!   wait, encode time, solve time, iterations, simulated cycles, cache outcome,
+//!   priority class) and their aggregation (throughput, p50/p99 latency, p50/p99
+//!   queue wait, peak queue depth, per-priority wait lanes, cache hit rate);
+//! * [`RefinementSpec`] / [`AutoFormatSpec`] (`job`) — opt-in mixed-precision
+//!   refinement and per-matrix format auto-tuning, both resolved through the shared
+//!   caches;
+//! * [`SolveRuntime`] (here) — the factory owning the caches; [`SolveRuntime::start`]
+//!   (or [`SolveRuntime::client`]) spawns the worker pool and returns the client,
+//!   while [`run_batch`](SolveRuntime::run_batch)/[`run_with`](SolveRuntime::run_with)
+//!   survive as thin deterministic wrappers over it.
+//!
+//! # Service mode
+//!
+//! ```
+//! use refloat_core::ReFloatConfig;
+//! use refloat_runtime::{MatrixHandle, Priority, RuntimeConfig, SolvePlan, SolveRuntime};
+//!
+//! let a = refloat_matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
+//! let handle = MatrixHandle::new("poisson-16", a);
+//!
+//! let client = SolveRuntime::start(RuntimeConfig { workers: 2, ..RuntimeConfig::default() });
+//! let urgent = client
+//!     .submit(
+//!         SolvePlan::new("alice", handle.clone(), ReFloatConfig::paper_default())
+//!             .priority(Priority::Interactive)
+//!             .build()
+//!             .expect("valid plan"),
+//!     )
+//!     .expect("client accepts while open");
+//! let background = client
+//!     .submit(
+//!         SolvePlan::new("bob", handle, ReFloatConfig::paper_default())
+//!             .priority(Priority::Batch)
+//!             .build()
+//!             .expect("valid plan"),
+//!     )
+//!     .expect("client accepts while open");
+//!
+//! let outcome = urgent.wait().completed().expect("ran, not cancelled");
+//! assert!(outcome.result.converged());
+//! background.wait();
+//! let report = client.shutdown();
+//! assert_eq!(report.jobs, 2);
+//! ```
 //!
 //! # The shard → chip → reduction pipeline
 //!
-//! A job built with [`SolveJob::with_sharding`]`(c)` spans `c` chips of a simulated
-//! multi-chip accelerator instead of streaming an oversized matrix through one chip:
+//! A plan built with [`SolvePlanBuilder::sharding`]`(c)` spans `c` chips of a
+//! simulated multi-chip accelerator instead of streaming an oversized matrix through
+//! one chip:
 //!
 //! 1. **shard** — the matrix is partitioned into `c` nnz-balanced bands on `2^b`
 //!    block-row boundaries (`refloat_sparse::shard`, reusing `balance_by_weight`), so
@@ -51,17 +96,19 @@
 //! 3. **reduction** — each SpMV ends with a fixed-order gather of the disjoint
 //!    per-chip output bands to the host, charged as link latency + bandwidth.
 //!
-//! Batched **multi-RHS** jobs ([`SolveJob::with_rhs_batch`]) push `k` right-hand sides
-//! through the same pipeline: the chips are programmed once and every column solve
-//! amortizes that programming (and the cache traffic) across the batch.
+//! Batched **multi-RHS** plans ([`SolvePlanBuilder::rhs_batch`]) push `k` right-hand
+//! sides through the same pipeline: the chips are programmed once and every column
+//! solve amortizes that programming (and the cache traffic) across the batch.
 //!
 //! # Determinism
 //!
 //! Every job is a pure function of its matrix, right-hand side(s) and configuration:
 //! the encoded operator a worker solves with is (a clone of) the same `ReFloatMatrix`
 //! the serial path would build, so **numeric results are bit-identical to serial
-//! execution regardless of worker count, scheduling, or cache state**.  Only
-//! wall-clock telemetry varies between runs.
+//! execution regardless of worker count, scheduling policy, or cache state**.  Only
+//! wall-clock telemetry varies between runs.  The QoS scheduler reorders *when* jobs
+//! run, never *what* they compute; equal-priority traffic additionally keeps the
+//! submission-id dequeue order of the old FIFO path (see [`sched`]).
 //!
 //! The contract extends across **shard counts**: a sharded solve is bitwise identical
 //! to the unsharded solve for every `c`, because shard cuts never split a block, each
@@ -72,22 +119,24 @@
 //! summation whose split points depend only on vector length, so residual tests and
 //! stopping decisions are also independent of sharding and stable at large `n`.)
 //!
-//! # Example
+//! # Batch wrappers
 //!
 //! ```
 //! use refloat_core::ReFloatConfig;
-//! use refloat_runtime::{MatrixHandle, RuntimeConfig, SolveJob, SolveRuntime};
+//! use refloat_runtime::{MatrixHandle, RuntimeConfig, SolvePlan, SolveRuntime};
 //!
 //! let a = refloat_matgen::generators::laplacian_2d(16, 16, 0.3).to_csr();
 //! let handle = MatrixHandle::new("poisson-16", a);
-//! let jobs: Vec<SolveJob> = (0..8)
+//! let plans: Vec<SolvePlan> = (0..8)
 //!     .map(|t| {
-//!         SolveJob::new(format!("tenant-{t}"), handle.clone(), ReFloatConfig::paper_default())
+//!         SolvePlan::new(format!("tenant-{t}"), handle.clone(), ReFloatConfig::paper_default())
+//!             .build()
+//!             .expect("valid plan")
 //!     })
 //!     .collect();
 //!
 //! let runtime = SolveRuntime::new(RuntimeConfig { workers: 4, ..RuntimeConfig::default() });
-//! let outcome = runtime.run_batch(jobs);
+//! let outcome = runtime.run_batch(plans);
 //! assert_eq!(outcome.jobs.len(), 8);
 //! assert!(outcome.jobs.iter().all(|j| j.result.converged()));
 //! // 8 jobs on one matrix+format: a single encode, 7 cache hits.
@@ -98,43 +147,49 @@
 
 pub mod accel;
 pub mod cache;
+pub mod client;
 pub mod decision;
 pub mod fingerprint;
 pub mod job;
+pub mod plan;
 pub mod queue;
+pub mod sched;
 pub mod telemetry;
 mod worker;
 
 pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache, ShardId};
+pub use client::{SolveClient, SolveTicket, SubmitError, TicketOutcome};
 pub use decision::{DecisionKey, DecisionOutcome, DecisionStats, FormatDecisionCache};
 pub use fingerprint::fingerprint_csr;
-pub use job::{AutoFormatSpec, JobOutcome, MatrixHandle, RefinementSpec, SolveJob};
+pub use job::{AutoFormatSpec, JobOutcome, MatrixHandle, RefinementSpec};
+pub use plan::{PlanError, PlanViolation, SolvePlan, SolvePlanBuilder};
 pub use queue::BoundedQueue;
+pub use sched::{Priority, SchedulerPolicy, SchedulingMode};
 pub use telemetry::{
-    AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, RefinementTelemetry, RuntimeReport,
+    AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, PriorityLane, RefinementTelemetry,
+    RuntimeReport,
 };
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Instant;
 
-use job::QueuedJob;
-
-/// Sizing knobs for a [`SolveRuntime`].
+/// Sizing and scheduling knobs for a [`SolveRuntime`] / [`SolveClient`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker threads; each owns one simulated accelerator (pool).
     pub workers: usize,
-    /// Bounded job-queue capacity (submission blocks when full — backpressure).
+    /// Pending-job capacity (submission blocks when full — backpressure).
     pub queue_capacity: usize,
     /// Encoded-matrix cache capacity, in entries.
     pub cache_capacity: usize,
     /// Crossbars per simulated chip (`None` = the Table IV 2^18).  Smaller chips push
-    /// matrices past the single-chip budget, the regime where sharded jobs
-    /// ([`SolveJob::with_sharding`]) pay off.
+    /// matrices past the single-chip budget, the regime where sharded plans
+    /// ([`SolvePlanBuilder::sharding`]) pay off.
     pub chip_crossbars: Option<u64>,
+    /// Dequeue policy: priority scheduling with anti-starvation promotion by
+    /// default; [`SchedulerPolicy::fifo`] restores strict arrival order.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -144,6 +199,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             cache_capacity: 32,
             chip_crossbars: None,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 }
@@ -158,39 +214,37 @@ pub struct RuntimeOutcome {
     pub report: RuntimeReport,
 }
 
-/// Handed to the producer closure of [`SolveRuntime::run_with`]; submits jobs into the
-/// bounded queue (blocking when the queue is full).
+/// Handed to the producer closure of [`SolveRuntime::run_with`]; submits plans into
+/// the service (blocking while the pending set is at capacity) and keeps their
+/// tickets so the wrapper can collect results in submission order.
 pub struct JobSubmitter<'a> {
-    queue: &'a BoundedQueue<QueuedJob>,
-    next_id: AtomicU64,
+    client: &'a SolveClient,
+    tickets: RefCell<Vec<SolveTicket>>,
 }
 
 impl JobSubmitter<'_> {
-    /// Enqueues a job, blocking while the queue is at capacity.  Returns the job id
-    /// (its position in submission order).
-    pub fn submit(&self, job: SolveJob) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let queued = QueuedJob {
-            id,
-            job,
-            submitted_at: Instant::now(),
-        };
-        if self.queue.push(queued).is_err() {
-            unreachable!("runtime queue closes only after the producer returns");
-        }
-        id
+    /// Enqueues a plan, blocking while the pending set is at capacity.  Returns the
+    /// job id (its position in submission order), or the typed
+    /// [`SubmitError::Closed`] — with the plan handed back — if the service stopped
+    /// admitting (it never silently drops a job).
+    pub fn submit(&self, plan: SolvePlan) -> Result<u64, SubmitError> {
+        let ticket = self.client.submit(plan)?;
+        let id = ticket.id();
+        self.tickets.borrow_mut().push(ticket);
+        Ok(id)
     }
 
     /// Jobs submitted so far.
     pub fn submitted(&self) -> u64 {
-        self.next_id.load(Ordering::Relaxed)
+        self.client.submitted()
     }
 }
 
-/// The batched multi-tenant solve service.
+/// The multi-tenant solve service factory.
 ///
-/// The encoded-matrix cache lives on the runtime and persists across batches, so a
-/// tenant resubmitting the same matrix + format later skips quantization entirely.
+/// Owns the encoded-matrix and format-decision caches, which persist across every
+/// client and batch it serves — a tenant resubmitting the same matrix + format later
+/// skips quantization entirely.
 pub struct SolveRuntime {
     config: RuntimeConfig,
     cache: Arc<EncodedMatrixCache>,
@@ -198,7 +252,7 @@ pub struct SolveRuntime {
 }
 
 impl SolveRuntime {
-    /// Creates a runtime; workers are spawned per batch (scoped threads), the caches
+    /// Creates a runtime; workers are spawned per client (or per batch), the caches
     /// are created once here.  The format-decision cache shares the encode cache's
     /// capacity (decisions are tiny; the capacity only bounds distinct
     /// matrix × tolerance × chip combinations remembered).
@@ -217,6 +271,26 @@ impl SolveRuntime {
         }
     }
 
+    /// Starts a self-contained service: spawns the worker pool and returns the
+    /// long-lived [`SolveClient`] handle (the one-call entry point for service
+    /// mode).  The caches live as long as the client.
+    pub fn start(config: RuntimeConfig) -> SolveClient {
+        SolveRuntime::new(config).client()
+    }
+
+    /// Spawns a worker pool sharing this runtime's caches and returns its client.
+    ///
+    /// Several sequential clients of one runtime share encoded matrices and format
+    /// decisions; each client's report covers its own jobs (cache counters are
+    /// deltas since the client started).
+    pub fn client(&self) -> SolveClient {
+        SolveClient::spawn(
+            &self.config,
+            Arc::clone(&self.cache),
+            Arc::clone(&self.decisions),
+        )
+    }
+
     /// The runtime's sizing configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
@@ -233,66 +307,49 @@ impl SolveRuntime {
     }
 
     /// Convenience: submit a pre-built batch and wait for all results.
-    pub fn run_batch(&self, jobs: Vec<SolveJob>) -> RuntimeOutcome {
+    ///
+    /// A thin deterministic wrapper over [`client`](Self::client): outcomes come
+    /// back in submission order whatever the scheduler did.
+    pub fn run_batch(&self, plans: Vec<SolvePlan>) -> RuntimeOutcome {
         self.run_with(|submitter| {
-            for job in jobs {
-                submitter.submit(job);
+            for plan in plans {
+                submitter
+                    .submit(plan)
+                    .expect("the batch client admits until the producer returns");
             }
         })
     }
 
-    /// Runs a streaming batch: spawns the worker pool, calls `produce` with a
+    /// Runs a streaming batch: spawns a worker pool, calls `produce` with a
     /// [`JobSubmitter`] (on the calling thread, so submission observes queue
-    /// backpressure), and returns once every submitted job has completed.
+    /// backpressure), and returns once every submitted job has completed — a thin
+    /// deterministic wrapper over the service client.
     pub fn run_with<F>(&self, produce: F) -> RuntimeOutcome
     where
         F: FnOnce(&JobSubmitter<'_>),
     {
-        let queue = BoundedQueue::new(self.config.queue_capacity);
-        let (results_tx, results_rx) = mpsc::channel::<JobOutcome>();
-        let started = Instant::now();
-        let cache_before = self.cache.stats();
-        let decisions_before = self.decisions.stats();
-
-        std::thread::scope(|scope| {
-            for worker_id in 0..self.config.workers {
-                let queue = &queue;
-                let cache = Arc::clone(&self.cache);
-                let decisions = Arc::clone(&self.decisions);
-                let results = results_tx.clone();
-                let chip_crossbars = self.config.chip_crossbars;
-                scope.spawn(move || {
-                    worker::worker_loop(
-                        worker_id,
-                        queue,
-                        &cache,
-                        &decisions,
-                        chip_crossbars,
-                        results,
-                    )
-                });
-            }
-            let submitter = JobSubmitter {
-                queue: &queue,
-                next_id: AtomicU64::new(0),
-            };
-            produce(&submitter);
-            queue.close();
-        });
-        drop(results_tx);
-
-        let mut jobs: Vec<JobOutcome> = results_rx.into_iter().collect();
-        jobs.sort_by_key(|j| j.job_id);
-        let wall_s = started.elapsed().as_secs_f64();
-        let cache_stats = self.cache.stats().delta_since(&cache_before);
-        let decision_stats = self.decisions.stats().delta_since(&decisions_before);
-        let report = RuntimeReport::aggregate(
-            &jobs,
-            wall_s,
-            cache_stats,
-            decision_stats,
-            self.config.workers,
-        );
+        let client = self.client();
+        let submitter = JobSubmitter {
+            client: &client,
+            tickets: RefCell::new(Vec::new()),
+        };
+        produce(&submitter);
+        let tickets = submitter.tickets.into_inner();
+        // Tickets are waited in submission order; nothing can cancel them (the
+        // submitter never exposes them), so every one completes or failed.  A
+        // failed (panicked) job re-panics here, preserving the propagate-to-caller
+        // semantics of the old scoped-thread batch pool.
+        let jobs: Vec<JobOutcome> = tickets
+            .into_iter()
+            .filter_map(|t| match t.wait() {
+                TicketOutcome::Completed(outcome) => Some(*outcome),
+                TicketOutcome::Cancelled => None,
+                TicketOutcome::Failed(message) => {
+                    panic!("runtime job panicked: {message}")
+                }
+            })
+            .collect();
+        let report = client.shutdown();
         RuntimeOutcome { jobs, report }
     }
 }
@@ -309,23 +366,23 @@ mod tests {
         )
     }
 
+    fn plan(tenant: &str, handle: &MatrixHandle, format: ReFloatConfig) -> SolvePlan {
+        SolvePlan::new(tenant, handle.clone(), format)
+            .build()
+            .expect("valid plan")
+    }
+
     #[test]
     fn batch_results_arrive_in_submission_order() {
         let handle = poisson_handle(8, "p8");
-        let jobs: Vec<SolveJob> = (0..10)
-            .map(|i| {
-                SolveJob::new(
-                    format!("t{i}"),
-                    handle.clone(),
-                    ReFloatConfig::new(4, 3, 8, 3, 8),
-                )
-            })
+        let plans: Vec<SolvePlan> = (0..10)
+            .map(|i| plan(&format!("t{i}"), &handle, ReFloatConfig::new(4, 3, 8, 3, 8)))
             .collect();
         let runtime = SolveRuntime::new(RuntimeConfig {
             workers: 3,
             ..Default::default()
         });
-        let outcome = runtime.run_batch(jobs);
+        let outcome = runtime.run_batch(plans);
         let ids: Vec<u64> = outcome.jobs.iter().map(|j| j.job_id).collect();
         assert_eq!(ids, (0..10).collect::<Vec<u64>>());
         for (i, job) in outcome.jobs.iter().enumerate() {
@@ -343,10 +400,10 @@ mod tests {
             ..Default::default()
         });
 
-        let first = runtime.run_batch(vec![SolveJob::new("a", handle.clone(), format)]);
+        let first = runtime.run_batch(vec![plan("a", &handle, format)]);
         assert_eq!(first.report.cache.misses, 1);
 
-        let second = runtime.run_batch(vec![SolveJob::new("b", handle, format)]);
+        let second = runtime.run_batch(vec![plan("b", &handle, format)]);
         assert_eq!(second.report.cache.misses, 0);
         assert_eq!(second.report.cache.hits, 1);
         assert_eq!(second.jobs[0].telemetry.encode_s, 0.0);
@@ -360,15 +417,19 @@ mod tests {
             workers: 2,
             queue_capacity: 2,
             cache_capacity: 4,
-            chip_crossbars: None,
+            ..Default::default()
         });
         let outcome = runtime.run_with(|submitter| {
             for i in 0..24 {
-                submitter.submit(SolveJob::new(format!("t{i}"), handle.clone(), format));
+                submitter
+                    .submit(plan(&format!("t{i}"), &handle, format))
+                    .expect("open during produce");
             }
             assert_eq!(submitter.submitted(), 24);
         });
         assert_eq!(outcome.jobs.len(), 24);
         assert!(outcome.report.throughput_jobs_per_s > 0.0);
+        assert!(outcome.report.queue_depth_peak >= 1);
+        assert!(outcome.report.queue_depth_peak <= 2);
     }
 }

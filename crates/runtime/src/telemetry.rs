@@ -6,6 +6,7 @@ use reram_sim::SolverKind;
 use crate::accel::SimulatedRun;
 use crate::cache::{CacheOutcome, CacheStats};
 use crate::decision::DecisionStats;
+use crate::sched::Priority;
 
 /// The cache outcome without the embedded timing (telemetry keeps timing separately).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,8 +48,8 @@ pub struct RefinementTelemetry {
     pub stalled: bool,
 }
 
-/// What the format auto-tuner did for a job (absent unless the job used
-/// [`SolveJob::with_auto_format`](crate::job::SolveJob::with_auto_format)).
+/// What the format auto-tuner did for a job (absent unless the plan used
+/// [`SolvePlanBuilder::auto_format`](crate::SolvePlanBuilder::auto_format)).
 #[derive(Debug, Clone)]
 pub struct AutotuneTelemetry {
     /// The format the tuner chose (blocking `b` inherited from the job).
@@ -94,6 +95,8 @@ pub struct JobTelemetry {
     pub worker: usize,
     /// Solver kind.
     pub solver: SolverKind,
+    /// QoS class the job was scheduled under.
+    pub priority: Priority,
     /// Chips the job spanned (1 = unsharded).
     pub shards: usize,
     /// Right-hand sides solved under the one chip programming (1 = single RHS).
@@ -145,6 +148,15 @@ pub struct RuntimeReport {
     pub latency_max_s: f64,
     /// Median queue wait, seconds.
     pub queue_wait_p50_s: f64,
+    /// 99th-percentile queue wait, seconds.
+    pub queue_wait_p99_s: f64,
+    /// Most jobs ever pending in the scheduler at once (high-water mark).
+    pub queue_depth_peak: usize,
+    /// Jobs cancelled before a worker started them (they contribute nothing to any
+    /// other counter: no cycles, no cache traffic, no latency samples).
+    pub cancelled_jobs: usize,
+    /// Per-priority queue-wait statistics (only classes that saw jobs).
+    pub per_priority: Vec<PriorityLane>,
     /// Cache counter increments during the batch.
     pub cache: CacheStats,
     /// Total seconds spent encoding matrices (paid by cache misses).
@@ -187,6 +199,19 @@ pub struct RuntimeReport {
     pub decisions: DecisionStats,
 }
 
+/// Queue-wait statistics of one priority class.
+#[derive(Debug, Clone)]
+pub struct PriorityLane {
+    /// The class.
+    pub priority: Priority,
+    /// Jobs completed in this class.
+    pub jobs: usize,
+    /// Median queue wait, seconds.
+    pub queue_wait_p50_s: f64,
+    /// 99th-percentile queue wait, seconds.
+    pub queue_wait_p99_s: f64,
+}
+
 /// `q`-quantile of an unsorted sample using the nearest-rank method.
 ///
 /// Robust by construction: `q` is clamped into `[0, 1]` (a debug assertion flags
@@ -210,20 +235,23 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
 }
 
 impl RuntimeReport {
-    /// Aggregates a finished batch.
+    /// Aggregates the telemetry of a finished batch (or of everything a
+    /// [`SolveClient`](crate::SolveClient) has completed so far).
     pub fn aggregate(
-        jobs: &[crate::job::JobOutcome],
+        jobs: &[JobTelemetry],
         wall_s: f64,
         cache: CacheStats,
         decisions: DecisionStats,
         workers: usize,
+        queue_depth_peak: usize,
+        cancelled_jobs: usize,
     ) -> Self {
-        let latencies: Vec<f64> = jobs.iter().map(|j| j.telemetry.latency_s).collect();
-        let queue_waits: Vec<f64> = jobs.iter().map(|j| j.telemetry.queue_wait_s).collect();
+        let latencies: Vec<f64> = jobs.iter().map(|j| j.latency_s).collect();
+        let queue_waits: Vec<f64> = jobs.iter().map(|j| j.queue_wait_s).collect();
         let mut per_worker_jobs = vec![0u64; workers];
         let mut unattributed_jobs = 0u64;
         for job in jobs {
-            match per_worker_jobs.get_mut(job.telemetry.worker) {
+            match per_worker_jobs.get_mut(job.worker) {
                 Some(slot) => *slot += 1,
                 None => {
                     // A worker index outside the pool means the telemetry and the
@@ -232,15 +260,31 @@ impl RuntimeReport {
                     debug_assert!(
                         false,
                         "job {} attributed to worker {} of a {}-worker pool",
-                        job.job_id, job.telemetry.worker, workers
+                        job.job_id, job.worker, workers
                     );
                     unattributed_jobs += 1;
                 }
             }
         }
+        let per_priority = Priority::ALL
+            .into_iter()
+            .filter_map(|priority| {
+                let waits: Vec<f64> = jobs
+                    .iter()
+                    .filter(|j| j.priority == priority)
+                    .map(|j| j.queue_wait_s)
+                    .collect();
+                (!waits.is_empty()).then(|| PriorityLane {
+                    priority,
+                    jobs: waits.len(),
+                    queue_wait_p50_s: percentile(&waits, 0.50),
+                    queue_wait_p99_s: percentile(&waits, 0.99),
+                })
+            })
+            .collect();
         RuntimeReport {
             jobs: jobs.len(),
-            converged: jobs.iter().filter(|j| j.telemetry.converged).count(),
+            converged: jobs.iter().filter(|j| j.converged).count(),
             workers,
             wall_s,
             throughput_jobs_per_s: if wall_s > 0.0 {
@@ -257,55 +301,48 @@ impl RuntimeReport {
             },
             latency_max_s: latencies.iter().cloned().fold(0.0, f64::max),
             queue_wait_p50_s: percentile(&queue_waits, 0.50),
+            queue_wait_p99_s: percentile(&queue_waits, 0.99),
+            queue_depth_peak,
+            cancelled_jobs,
+            per_priority,
             cache,
             // `Sum<f64>` over an empty iterator yields -0.0, which renders as
             // "-0.000000"; fold from +0.0 instead.
-            encode_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.telemetry.encode_s),
-            solve_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.telemetry.solve_s),
-            simulated_cycles: jobs.iter().map(|j| j.telemetry.simulated.cycles).sum(),
-            simulated_total_s: jobs
-                .iter()
-                .fold(0.0, |acc, j| acc + j.telemetry.simulated.total_s),
-            remaps: jobs
-                .iter()
-                .filter(|j| j.telemetry.simulated.remapped)
-                .count() as u64,
-            sharded_jobs: jobs.iter().filter(|j| j.telemetry.shards > 1).count(),
-            rhs_total: jobs.iter().map(|j| j.telemetry.rhs_count).sum(),
+            encode_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.encode_s),
+            solve_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.solve_s),
+            simulated_cycles: jobs.iter().map(|j| j.simulated.cycles).sum(),
+            simulated_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.simulated.total_s),
+            remaps: jobs.iter().filter(|j| j.simulated.remapped).count() as u64,
+            sharded_jobs: jobs.iter().filter(|j| j.shards > 1).count(),
+            rhs_total: jobs.iter().map(|j| j.rhs_count).sum(),
             reduction_total_s: jobs
                 .iter()
-                .fold(0.0, |acc, j| acc + j.telemetry.simulated.reduction_s),
+                .fold(0.0, |acc, j| acc + j.simulated.reduction_s),
             per_worker_jobs,
             unattributed_jobs,
-            refined_jobs: jobs
-                .iter()
-                .filter(|j| j.telemetry.refinement.is_some())
-                .count(),
+            refined_jobs: jobs.iter().filter(|j| j.refinement.is_some()).count(),
             escalations: jobs
                 .iter()
-                .filter_map(|j| j.telemetry.refinement.as_ref())
+                .filter_map(|j| j.refinement.as_ref())
                 .map(|r| r.escalations as u64)
                 .sum(),
             host_fp64_total_s: jobs
                 .iter()
-                .fold(0.0, |acc, j| acc + j.telemetry.simulated.host_fp64_s),
-            autotuned_jobs: jobs
-                .iter()
-                .filter(|j| j.telemetry.autotune.is_some())
-                .count(),
+                .fold(0.0, |acc, j| acc + j.simulated.host_fp64_s),
+            autotuned_jobs: jobs.iter().filter(|j| j.autotune.is_some()).count(),
             autotune_decision_hits: jobs
                 .iter()
-                .filter_map(|j| j.telemetry.autotune.as_ref())
+                .filter_map(|j| j.autotune.as_ref())
                 .filter(|a| a.decision_cached)
                 .count() as u64,
             autotune_fallbacks: jobs
                 .iter()
-                .filter_map(|j| j.telemetry.autotune.as_ref())
+                .filter_map(|j| j.autotune.as_ref())
                 .filter(|a| a.fell_back)
                 .count() as u64,
             analysis_total_s: jobs
                 .iter()
-                .filter_map(|j| j.telemetry.autotune.as_ref())
+                .filter_map(|j| j.autotune.as_ref())
                 .fold(0.0, |acc, a| acc + a.analysis_s),
             decisions,
         }
@@ -335,9 +372,28 @@ impl RuntimeReport {
             self.latency_max_s * 1e3,
         ));
         out.push_str(&format!(
-            "queue wait      p50 {:.2} ms\n",
-            self.queue_wait_p50_s * 1e3
+            "queue wait      p50 {:.2} ms   p99 {:.2} ms   peak depth {}\n",
+            self.queue_wait_p50_s * 1e3,
+            self.queue_wait_p99_s * 1e3,
+            self.queue_depth_peak,
         ));
+        if self.per_priority.len() > 1 {
+            for lane in &self.per_priority {
+                out.push_str(&format!(
+                    "  {:<13} {} jobs, wait p50 {:.2} ms   p99 {:.2} ms\n",
+                    lane.priority.label(),
+                    lane.jobs,
+                    lane.queue_wait_p50_s * 1e3,
+                    lane.queue_wait_p99_s * 1e3,
+                ));
+            }
+        }
+        if self.cancelled_jobs > 0 {
+            out.push_str(&format!(
+                "cancelled       {} jobs dequeued before starting (no chip time charged)\n",
+                self.cancelled_jobs
+            ));
+        }
         out.push_str(&format!(
             "encode cache    {:.1}% hit rate ({} hits, {} coalesced, {} misses, {} evictions), {:.3} s encoding\n",
             self.hit_rate() * 100.0,
@@ -392,8 +448,6 @@ impl RuntimeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::JobOutcome;
-    use refloat_solvers::{SolveResult, StopReason};
 
     #[test]
     fn percentile_uses_nearest_rank() {
@@ -436,7 +490,7 @@ mod tests {
         let _ = percentile(&[1.0], 1.5);
     }
 
-    fn outcome(job_id: u64, worker: usize, refined: bool) -> JobOutcome {
+    fn telemetry(job_id: u64, worker: usize, refined: bool) -> JobTelemetry {
         let simulated = SimulatedRun {
             cycles: 100,
             compute_s: 1e-6,
@@ -456,45 +510,34 @@ mod tests {
             final_relative_residual: 1e-13,
             stalled: false,
         });
-        JobOutcome {
+        JobTelemetry {
             job_id,
-            result: SolveResult {
-                x: vec![1.0],
-                iterations: 10,
-                spmv_count: 10,
-                final_residual: 1e-9,
-                trace: vec![],
-                stop: StopReason::Converged,
-            },
-            extra_results: Vec::new(),
-            telemetry: JobTelemetry {
-                job_id,
-                tenant: "t".to_string(),
-                matrix: "m".to_string(),
-                worker,
-                solver: SolverKind::Cg,
-                shards: 1,
-                rhs_count: 1,
-                cache: CacheOutcomeKind::Hit,
-                queue_wait_s: 0.0,
-                encode_s: 0.0,
-                solve_s: 1e-3,
-                latency_s: 2e-3,
-                iterations: 10,
-                converged: true,
-                simulated,
-                refinement,
-                autotune: None,
-            },
+            tenant: "t".to_string(),
+            matrix: "m".to_string(),
+            worker,
+            solver: SolverKind::Cg,
+            priority: Priority::Standard,
+            shards: 1,
+            rhs_count: 1,
+            cache: CacheOutcomeKind::Hit,
+            queue_wait_s: 1e-4 * (job_id + 1) as f64,
+            encode_s: 0.0,
+            solve_s: 1e-3,
+            latency_s: 2e-3,
+            iterations: 10,
+            converged: true,
+            simulated,
+            refinement,
+            autotune: None,
         }
     }
 
     #[test]
     fn aggregate_worker_attribution_sums_to_jobs() {
         let jobs = vec![
-            outcome(0, 0, false),
-            outcome(1, 1, true),
-            outcome(2, 1, false),
+            telemetry(0, 0, false),
+            telemetry(1, 1, true),
+            telemetry(2, 1, false),
         ];
         let report = RuntimeReport::aggregate(
             &jobs,
@@ -502,6 +545,8 @@ mod tests {
             CacheStats::default(),
             DecisionStats::default(),
             2,
+            3,
+            0,
         );
         let attributed: u64 = report.per_worker_jobs.iter().sum();
         assert_eq!(attributed + report.unattributed_jobs, report.jobs as u64);
@@ -513,29 +558,67 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_reports_queue_wait_tails_depth_and_priority_lanes() {
+        let mut jobs: Vec<JobTelemetry> = (0..10).map(|i| telemetry(i, 0, false)).collect();
+        jobs[9].priority = Priority::Interactive;
+        jobs[9].queue_wait_s = 1e-6;
+        let report = RuntimeReport::aggregate(
+            &jobs,
+            0.1,
+            CacheStats::default(),
+            DecisionStats::default(),
+            1,
+            7,
+            2,
+        );
+        // Nearest-rank p99 of 10 samples is the maximum standard-lane wait (1 ms).
+        assert!(report.queue_wait_p99_s >= report.queue_wait_p50_s);
+        assert!((report.queue_wait_p99_s - 9e-4).abs() < 1e-12);
+        assert_eq!(report.queue_depth_peak, 7);
+        assert_eq!(report.cancelled_jobs, 2);
+        assert_eq!(report.per_priority.len(), 2);
+        let interactive = &report.per_priority[0];
+        assert_eq!(interactive.priority, Priority::Interactive);
+        assert_eq!(interactive.jobs, 1);
+        assert!((interactive.queue_wait_p99_s - 1e-6).abs() < 1e-15);
+        let standard = &report.per_priority[1];
+        assert_eq!(standard.priority, Priority::Standard);
+        assert_eq!(standard.jobs, 9);
+        let rendered = report.render();
+        assert!(rendered.contains("p99"));
+        assert!(rendered.contains("peak depth 7"));
+        assert!(rendered.contains("interactive"));
+        assert!(rendered.contains("cancelled       2 jobs"));
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "attributed to worker")]
     fn aggregate_flags_out_of_range_worker_indices_in_debug() {
-        let jobs = vec![outcome(0, 5, false)];
+        let jobs = vec![telemetry(0, 5, false)];
         let _ = RuntimeReport::aggregate(
             &jobs,
             0.1,
             CacheStats::default(),
             DecisionStats::default(),
             2,
+            1,
+            0,
         );
     }
 
     #[test]
     #[cfg(not(debug_assertions))]
     fn aggregate_counts_unattributed_jobs_in_release() {
-        let jobs = vec![outcome(0, 5, false), outcome(1, 0, false)];
+        let jobs = vec![telemetry(0, 5, false), telemetry(1, 0, false)];
         let report = RuntimeReport::aggregate(
             &jobs,
             0.1,
             CacheStats::default(),
             DecisionStats::default(),
             2,
+            2,
+            0,
         );
         assert_eq!(report.unattributed_jobs, 1);
         let attributed: u64 = report.per_worker_jobs.iter().sum();

@@ -3,7 +3,6 @@
 //! shards) through the encode cache, solve (plain, sharded, batched multi-RHS, or
 //! mixed-precision refined), and account the simulated-chip cost.
 
-use std::sync::mpsc::Sender;
 use std::time::Instant;
 
 use refloat_core::autotune::{self, AutotuneConfig};
@@ -13,38 +12,79 @@ use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
+use crate::client::{ClientCore, QueuedTicket, TicketOutcome};
 use crate::decision::{DecisionKey, DecisionOutcome, FormatDecisionCache};
 use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
-use crate::queue::BoundedQueue;
 use crate::telemetry::{AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, RefinementTelemetry};
 
-/// Runs until the queue closes and drains; one simulated accelerator per worker.
-pub(crate) fn worker_loop(
-    worker_id: usize,
-    queue: &BoundedQueue<QueuedJob>,
-    cache: &EncodedMatrixCache,
-    decisions: &FormatDecisionCache,
-    chip_crossbars: Option<u64>,
-    results: Sender<JobOutcome>,
-) {
-    let mut accelerator = SimulatedAccelerator::new(worker_id).with_chip_crossbars(chip_crossbars);
+/// Runs until the client's scheduler closes and drains; one simulated accelerator
+/// per worker.  Completed outcomes resolve the job's ticket; a telemetry copy is
+/// appended to the client's report log.
+///
+/// A panicking job is *contained*: the ticket resolves to
+/// [`TicketOutcome::Failed`] with the panic message, the scheduler's in-flight
+/// accounting is balanced, and the worker keeps serving — a poisoned job can
+/// neither hang `drain`/`shutdown` nor strand its waiter.  (The pre-service
+/// scoped-thread pool propagated the panic to the batch caller instead; the batch
+/// wrappers in `lib.rs` restore that behaviour by re-panicking on `Failed`.)
+pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
+    let mut accelerator =
+        SimulatedAccelerator::new(worker_id).with_chip_crossbars(core.chip_crossbars);
     // The worker's "programmed" operator, mirroring the simulated chip state: reused
     // across consecutive jobs on the same (matrix, format[, shard set]) so hot
     // traffic skips even the O(nnz) clone of the cached encoding.
     let mut programmed: Option<ProgrammedOp> = None;
-    while let Some(queued) = queue.pop() {
-        let outcome = execute_job(
-            queued,
-            cache,
-            decisions,
-            chip_crossbars,
-            &mut accelerator,
-            &mut programmed,
-        );
-        if results.send(outcome).is_err() {
-            // The collector went away; nothing left to do.
-            break;
+    while let Some(popped) = core.sched.pop() {
+        let QueuedTicket {
+            plan,
+            submitted_at,
+            ticket,
+        } = popped.payload;
+        let queued = QueuedJob {
+            id: popped.id,
+            job: plan.job,
+            priority: popped.priority,
+            submitted_at,
+        };
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(
+                queued,
+                &core.cache,
+                &core.decisions,
+                core.chip_crossbars,
+                &mut accelerator,
+                &mut programmed,
+            )
+        }));
+        match run {
+            Ok(outcome) => {
+                core.completed
+                    .lock()
+                    .expect("telemetry lock")
+                    .push(outcome.telemetry.clone());
+                ticket.complete(TicketOutcome::Completed(Box::new(outcome)));
+            }
+            Err(payload) => {
+                // The accelerator and programmed-operator mirror may be mid-update;
+                // rebuild both so subsequent jobs see a consistent (cold) chip.
+                accelerator =
+                    SimulatedAccelerator::new(worker_id).with_chip_crossbars(core.chip_crossbars);
+                programmed = None;
+                ticket.complete(TicketOutcome::Failed(panic_message(payload.as_ref())));
+            }
         }
+        core.sched.finish_one();
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
     }
 }
 
@@ -465,6 +505,7 @@ fn execute_job(
     let QueuedJob {
         id,
         mut job,
+        priority,
         submitted_at,
     } = queued;
     let dequeued_at = Instant::now();
@@ -556,12 +597,12 @@ fn execute_job(
         mut refinement,
         shards,
     ) = if let Some(spec) = job.refinement.clone() {
-        // The builders reject these combinations on the submitting thread; this
-        // backstop only guards direct struct construction.
-        assert!(
+        // SolvePlanBuilder::build rejects these combinations with a typed PlanError
+        // before submission; this backstop only guards in-crate construction bugs.
+        debug_assert!(
             job.extra_rhs.is_empty() && job.shards == 1,
-            "refined jobs are single-RHS and single-chip; split the batch or drop \
-                 with_refinement"
+            "refined jobs are single-RHS and single-chip; the plan validator must \
+             have rejected this"
         );
         let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed);
         (
@@ -639,6 +680,7 @@ fn execute_job(
         matrix: job.matrix.name().to_string(),
         worker: accelerator.worker_id(),
         solver: job.solver,
+        priority,
         shards,
         rhs_count: job.rhs_count(),
         cache: cache_outcome_kind,

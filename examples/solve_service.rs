@@ -1,6 +1,8 @@
-//! Multi-tenant serving in ~40 lines: three tenants share two matrices at different
-//! precisions; the runtime schedules their jobs over a pool of simulated accelerators
-//! and the encoded-matrix cache deduplicates quantization work.
+//! Service mode in ~60 lines: a long-lived `SolveClient` serving three tenants who
+//! share two matrices at different precisions and urgencies.  Interactive traffic
+//! jumps the queue, a batch job rides along without starving, a queued job is
+//! cancelled before it starts, and the shared encoded-matrix cache deduplicates
+//! quantization work across all of it.
 //!
 //! Run with: `cargo run --release --example solve_service`
 
@@ -22,37 +24,73 @@ fn main() {
     let paper = ReFloatConfig::new(5, 3, 3, 3, 8);
     let wide = ReFloatConfig::new(5, 3, 8, 3, 8);
 
-    let mut jobs = Vec::new();
+    // Start the service: a persistent worker pool behind a QoS scheduler.
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 16,
+        ..RuntimeConfig::default()
+    });
+
+    // A background batch sweep from carol rides at batch priority...
+    let carol: Vec<SolveTicket> = (0..4)
+        .map(|round| {
+            let plan = SolvePlan::new(format!("carol-{round}"), poisson.clone(), wide)
+                .priority(Priority::Batch)
+                .build()
+                .expect("valid plan");
+            client.submit(plan).expect("service is accepting")
+        })
+        .collect();
+
+    // ...while alice and bob submit interactive traffic that overtakes it.
+    let mut tickets = Vec::new();
     for round in 0..12 {
-        jobs.push(SolveJob::new("alice", poisson.clone(), paper));
-        jobs.push(SolveJob::new("bob", mass.clone(), wide));
-        if round % 3 == 0 {
-            jobs.push(SolveJob::new("carol", poisson.clone(), wide));
+        for (tenant, handle, format) in [("alice", &poisson, paper), ("bob", &mass, wide)] {
+            let plan = SolvePlan::new(format!("{tenant}-{round}"), handle.clone(), format)
+                .priority(Priority::Interactive)
+                .build()
+                .expect("valid plan");
+            tickets.push(client.submit(plan).expect("service is accepting"));
         }
     }
 
-    let runtime = SolveRuntime::new(RuntimeConfig {
-        workers: 4,
-        queue_capacity: 8,
-        cache_capacity: 16,
-        chip_crossbars: None,
-    });
-    let outcome = runtime.run_batch(jobs);
-
-    println!("{}", outcome.report.render());
-    for job in outcome.jobs.iter().take(3) {
-        println!(
-            "job {}: tenant {} on {} -> {} iterations, {:?} cache, {} sim cycles",
-            job.job_id,
-            job.telemetry.tenant,
-            job.telemetry.matrix,
-            job.result.iterations,
-            job.telemetry.cache,
-            job.telemetry.simulated.cycles,
-        );
+    // One more batch job — submitted and then cancelled before any worker takes it.
+    let doomed = client
+        .submit(
+            SolvePlan::new("carol-cancelled", poisson.clone(), wide)
+                .priority(Priority::Batch)
+                .build()
+                .expect("valid plan"),
+        )
+        .expect("service is accepting");
+    if doomed.cancel() {
+        println!("cancelled carol's extra sweep before it touched a chip");
+        assert!(doomed.wait().is_cancelled());
+    } else {
+        // A worker grabbed it first on a fast machine; in-flight jobs finish.
+        assert!(doomed.wait().completed().is_some());
     }
 
-    assert!(outcome.jobs.iter().all(|j| j.result.converged()));
-    // 3 distinct (matrix, format) pairs -> 3 encodes for 28 jobs.
-    assert_eq!(outcome.report.cache.misses, 3);
+    // Collect the interactive results as they land; the batch sweep afterwards.
+    for ticket in tickets.into_iter().chain(carol) {
+        let outcome = ticket.wait().completed().expect("ran to completion");
+        assert!(outcome.result.converged());
+    }
+
+    // An invalid plan is a typed error listing every conflict — never a panic.
+    let err = SolvePlan::new("mallory", poisson.clone(), wide)
+        .refinement(RefinementSpec::to_target(1e-12))
+        .sharding(4)
+        .auto_format(-3.0)
+        .build()
+        .unwrap_err();
+    println!("rejected mallory's plan:\n{err}\n");
+
+    let report = client.shutdown();
+    println!("{}", report.render());
+
+    // 3 distinct (matrix, format) pairs -> 3 encodes for 28 completed jobs.
+    assert_eq!(report.cache.misses, 3);
+    assert_eq!(report.converged, report.jobs);
 }

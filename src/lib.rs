@@ -11,7 +11,7 @@
 //! | [`solvers`] (`refloat-solvers`) | CG and BiCGSTAB over a pluggable [`solvers::LinearOperator`] |
 //! | [`core`](mod@core) (`refloat-core`) | the ReFloat format, per-block exponent bases, quantized operators, baselines |
 //! | [`sim`] (`reram-sim`) | crossbar pipeline, Eq. 2/Eq. 3 cost models, accelerator + GPU timing, RTN noise |
-//! | [`runtime`] (`refloat-runtime`) | batched multi-tenant solve service: job queue, worker pool of simulated accelerators, encoded-matrix cache, telemetry |
+//! | [`runtime`] (`refloat-runtime`) | persistent multi-tenant solve service: validated `SolvePlan`s, `SolveClient` tickets, QoS scheduler, worker pool of simulated accelerators, encoded-matrix cache, telemetry |
 //!
 //! ## Quick start
 //!
@@ -53,8 +53,9 @@ pub mod prelude {
     };
     pub use refloat_matgen::{Workload, WorkloadSpec};
     pub use refloat_runtime::{
-        AutoFormatSpec, MatrixHandle, RefinementSpec, RuntimeConfig, RuntimeReport, SolveJob,
-        SolveRuntime,
+        AutoFormatSpec, MatrixHandle, PlanError, Priority, RefinementSpec, RuntimeConfig,
+        RuntimeReport, SchedulerPolicy, SolveClient, SolvePlan, SolveRuntime, SolveTicket,
+        TicketOutcome,
     };
     pub use refloat_solvers::{
         bicgstab, cg, refine, LinearOperator, OperatorLadder, PrecisionLadder, RefinementConfig,

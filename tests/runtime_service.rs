@@ -1,11 +1,16 @@
 //! Workspace-level tests of the `refloat-runtime` solve service: concurrent execution
 //! must be bit-identical to serial execution, the encoded-matrix cache must actually
-//! skip re-encoding, and reports must reflect the batch.
+//! skip re-encoding, reports must reflect the batch, and the service-mode API
+//! (`SolveClient` tickets, QoS scheduling, cancellation, drain/shutdown) must honour
+//! its contract.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use refloat::prelude::*;
-use refloat::runtime::{AutoFormatSpec, CacheOutcomeKind, RefinementSpec};
+use refloat::runtime::{
+    AutoFormatSpec, CacheOutcomeKind, PlanViolation, RefinementSpec, SubmitError,
+};
 
 /// A mixed-workload, mixed-format catalog of small matrices.
 fn catalog() -> Vec<(MatrixHandle, ReFloatConfig, SolverKind)> {
@@ -40,7 +45,7 @@ fn catalog() -> Vec<(MatrixHandle, ReFloatConfig, SolverKind)> {
     ]
 }
 
-fn trace_jobs(count: usize) -> Vec<SolveJob> {
+fn trace_plans(count: usize) -> Vec<SolvePlan> {
     let catalog = catalog();
     (0..count)
         .map(|i| {
@@ -51,46 +56,48 @@ fn trace_jobs(count: usize) -> Vec<SolveJob> {
                 1 + (i / 3) % (catalog.len() - 1)
             };
             let (handle, format, solver) = &catalog[which];
-            SolveJob::new(format!("tenant-{}", i % 7), handle.clone(), *format)
-                .with_solver(*solver)
-                .with_solver_config(
+            SolvePlan::new(format!("tenant-{}", i % 7), handle.clone(), *format)
+                .solver(*solver)
+                .solver_config(
                     SolverConfig::relative(1e-8)
                         .with_max_iterations(2_000)
                         .with_trace(false),
                 )
+                .build()
+                .expect("valid trace plan")
         })
         .collect()
 }
 
-/// Serial reference execution of a job: exactly what a downstream user would run by
+/// Serial reference execution of a plan: exactly what a downstream user would run by
 /// hand with the umbrella crate.
-fn solve_serial(job: &SolveJob) -> SolveResult {
-    let mut op = ReFloatMatrix::from_csr(job.matrix.csr(), job.format);
-    let ones = vec![1.0; job.matrix.csr().nrows()];
-    let rhs: &[f64] = match &job.rhs {
+fn solve_serial(plan: &SolvePlan) -> SolveResult {
+    let mut op = ReFloatMatrix::from_csr(plan.matrix().csr(), plan.format());
+    let ones = vec![1.0; plan.matrix().csr().nrows()];
+    let rhs: &[f64] = match plan.rhs() {
         Some(b) => b,
         None => &ones,
     };
-    match job.solver {
-        SolverKind::Cg => cg(&mut op, rhs, &job.solver_config),
-        SolverKind::BiCgStab => bicgstab(&mut op, rhs, &job.solver_config),
+    match plan.solver() {
+        SolverKind::Cg => cg(&mut op, rhs, plan.solver_config()),
+        SolverKind::BiCgStab => bicgstab(&mut op, rhs, plan.solver_config()),
     }
 }
 
 #[test]
 fn concurrent_results_are_bit_identical_to_serial_execution() {
-    let jobs = trace_jobs(72); // >= 64 jobs, mixed matrices/formats/solvers
+    let plans = trace_plans(72); // >= 64 jobs, mixed matrices/formats/solvers
     let runtime = SolveRuntime::new(RuntimeConfig {
         workers: 6, // >= 4 workers
         queue_capacity: 8,
         cache_capacity: 8,
-        chip_crossbars: None,
+        ..RuntimeConfig::default()
     });
-    let outcome = runtime.run_batch(jobs.clone());
+    let outcome = runtime.run_batch(plans.clone());
     assert_eq!(outcome.jobs.len(), 72);
 
-    for (job, out) in jobs.iter().zip(outcome.jobs.iter()) {
-        let serial = solve_serial(job);
+    for (plan, out) in plans.iter().zip(outcome.jobs.iter()) {
+        let serial = solve_serial(plan);
         assert_eq!(
             serial.iterations, out.result.iterations,
             "job {}",
@@ -119,8 +126,8 @@ fn two_runs_of_the_same_batch_agree_bitwise() {
         workers: 7,
         ..Default::default()
     });
-    let a = runtime_a.run_batch(trace_jobs(30));
-    let b = runtime_b.run_batch(trace_jobs(30));
+    let a = runtime_a.run_batch(trace_plans(30));
+    let b = runtime_b.run_batch(trace_plans(30));
     for (ja, jb) in a.jobs.iter().zip(b.jobs.iter()) {
         assert_eq!(ja.result.iterations, jb.result.iterations);
         let bits_a: Vec<u64> = ja.result.x.iter().map(|v| v.to_bits()).collect();
@@ -130,14 +137,43 @@ fn two_runs_of_the_same_batch_agree_bitwise() {
 }
 
 #[test]
+fn scheduling_policy_never_changes_numerics() {
+    // The QoS scheduler reorders *when* jobs run, never *what* they compute: a
+    // FIFO run and a priority run of the same trace agree bitwise, job by job.
+    let fifo = SolveRuntime::new(RuntimeConfig {
+        workers: 3,
+        scheduler: SchedulerPolicy::fifo(),
+        ..Default::default()
+    })
+    .run_batch(trace_plans(24));
+    let prio = SolveRuntime::new(RuntimeConfig {
+        workers: 3,
+        scheduler: SchedulerPolicy::priority(4),
+        ..Default::default()
+    })
+    .run_batch(trace_plans(24));
+    for (ja, jb) in fifo.jobs.iter().zip(prio.jobs.iter()) {
+        assert_eq!(ja.job_id, jb.job_id);
+        let bits_a: Vec<u64> = ja.result.x.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = jb.result.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "job {}", ja.job_id);
+    }
+}
+
+#[test]
 fn resubmitting_a_matrix_hits_the_cache_and_skips_encoding() {
     let (handle, format, _) = catalog().remove(0);
+    let plan = |tenant: &str, format: ReFloatConfig| {
+        SolvePlan::new(tenant, handle.clone(), format)
+            .build()
+            .unwrap()
+    };
     let runtime = SolveRuntime::new(RuntimeConfig {
         workers: 2,
         ..Default::default()
     });
 
-    let first = runtime.run_batch(vec![SolveJob::new("t0", handle.clone(), format)]);
+    let first = runtime.run_batch(vec![plan("t0", format)]);
     assert_eq!(first.jobs[0].telemetry.cache, CacheOutcomeKind::Miss);
     assert!(
         first.jobs[0].telemetry.encode_s > 0.0,
@@ -145,14 +181,14 @@ fn resubmitting_a_matrix_hits_the_cache_and_skips_encoding() {
     );
 
     // Second submission of the same matrix + format: a hit, zero encode time.
-    let second = runtime.run_batch(vec![SolveJob::new("t1", handle.clone(), format)]);
+    let second = runtime.run_batch(vec![plan("t1", format)]);
     assert_eq!(second.jobs[0].telemetry.cache, CacheOutcomeKind::Hit);
     assert_eq!(second.jobs[0].telemetry.encode_s, 0.0);
     assert_eq!(second.report.cache.misses, 0);
 
     // A *different* format on the same matrix is its own entry (and a miss).
     let wide = ReFloatConfig::new(format.b, format.e, format.f, format.ev, 16);
-    let third = runtime.run_batch(vec![SolveJob::new("t2", handle, wide)]);
+    let third = runtime.run_batch(vec![plan("t2", wide)]);
     assert_eq!(third.jobs[0].telemetry.cache, CacheOutcomeKind::Miss);
 }
 
@@ -162,9 +198,9 @@ fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 8,
-        chip_crossbars: None,
+        ..RuntimeConfig::default()
     });
-    let outcome = runtime.run_batch(trace_jobs(64));
+    let outcome = runtime.run_batch(trace_plans(64));
     let report = &outcome.report;
     assert_eq!(report.jobs, 64);
     assert_eq!(report.converged, 64);
@@ -173,11 +209,19 @@ fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
     assert!(report.throughput_jobs_per_s > 0.0);
     assert!(report.latency_p50_s <= report.latency_p99_s);
     assert!(report.latency_p99_s <= report.latency_max_s + 1e-12);
+    assert!(report.queue_wait_p50_s <= report.queue_wait_p99_s);
+    assert!(report.queue_depth_peak >= 1);
+    assert!(report.queue_depth_peak <= 16);
+    assert_eq!(report.cancelled_jobs, 0);
+    // All trace traffic is standard priority: exactly one lane.
+    assert_eq!(report.per_priority.len(), 1);
+    assert_eq!(report.per_priority[0].jobs, 64);
     assert!(report.simulated_cycles > 0);
     assert!(report.simulated_total_s > 0.0);
     let rendered = report.render();
     assert!(rendered.contains("hit rate"));
     assert!(rendered.contains("jobs/s"));
+    assert!(rendered.contains("peak depth"));
 }
 
 #[test]
@@ -192,9 +236,13 @@ fn refined_jobs_reach_fp64_accuracy_where_plain_low_precision_stalls() {
         ..Default::default()
     });
     let outcome = runtime.run_batch(vec![
-        SolveJob::new("plain", handle.clone(), format),
-        SolveJob::new("refined", handle.clone(), format)
-            .with_refinement(RefinementSpec::to_target(1e-12)),
+        SolvePlan::new("plain", handle.clone(), format)
+            .build()
+            .unwrap(),
+        SolvePlan::new("refined", handle.clone(), format)
+            .refinement(RefinementSpec::to_target(1e-12))
+            .build()
+            .unwrap(),
     ]);
 
     let plain_rel = a.relative_residual(&b, &outcome.jobs[0].result.x);
@@ -224,19 +272,21 @@ fn refined_jobs_reach_fp64_accuracy_where_plain_low_precision_stalls() {
 
 #[test]
 fn refined_jobs_are_deterministic_and_share_rung_encodings_via_the_cache() {
-    let jobs = || {
+    let plans = || {
         let handle = MatrixHandle::new(
             "poisson-12",
             refloat::matgen::generators::laplacian_2d(12, 12, 0.4).to_csr(),
         );
         (0..6)
             .map(|i| {
-                SolveJob::new(
+                SolvePlan::new(
                     format!("tenant-{i}"),
                     handle.clone(),
                     ReFloatConfig::new(4, 3, 3, 3, 8),
                 )
-                .with_refinement(RefinementSpec::to_target(1e-12))
+                .refinement(RefinementSpec::to_target(1e-12))
+                .build()
+                .unwrap()
             })
             .collect::<Vec<_>>()
     };
@@ -245,12 +295,12 @@ fn refined_jobs_are_deterministic_and_share_rung_encodings_via_the_cache() {
         workers: 2,
         ..Default::default()
     })
-    .run_batch(jobs());
+    .run_batch(plans());
     let b = SolveRuntime::new(RuntimeConfig {
         workers: 5,
         ..Default::default()
     })
-    .run_batch(jobs());
+    .run_batch(plans());
 
     for (ja, jb) in a.jobs.iter().zip(b.jobs.iter()) {
         let bits_a: Vec<u64> = ja.result.x.iter().map(|v| v.to_bits()).collect();
@@ -291,12 +341,16 @@ fn explicit_rhs_and_custom_tolerance_are_honoured() {
     let rhs = Arc::new(refloat::matgen::rhs::smooth(n));
     let runtime = SolveRuntime::new(RuntimeConfig::default());
     let outcome = runtime.run_batch(vec![
-        SolveJob::new("t", handle.clone(), format)
-            .with_rhs(Arc::clone(&rhs))
-            .with_solver_config(SolverConfig::relative(1e-4).with_max_iterations(500)),
-        SolveJob::new("t", handle, format)
-            .with_rhs(rhs)
-            .with_solver_config(SolverConfig::relative(1e-10).with_max_iterations(500)),
+        SolvePlan::new("t", handle.clone(), format)
+            .rhs(Arc::clone(&rhs))
+            .solver_config(SolverConfig::relative(1e-4).with_max_iterations(500))
+            .build()
+            .unwrap(),
+        SolvePlan::new("t", handle, format)
+            .rhs(rhs)
+            .solver_config(SolverConfig::relative(1e-10).with_max_iterations(500))
+            .build()
+            .unwrap(),
     ]);
     let loose = &outcome.jobs[0].result;
     let tight = &outcome.jobs[1].result;
@@ -323,7 +377,10 @@ fn sharded_solves_are_bitwise_identical_across_chip_counts() {
         [1usize, 2, 4, 8]
             .into_iter()
             .map(|chips| {
-                SolveJob::new(format!("chips-{chips}"), handle.clone(), format).with_sharding(chips)
+                SolvePlan::new(format!("chips-{chips}"), handle.clone(), format)
+                    .sharding(chips)
+                    .build()
+                    .unwrap()
             })
             .collect(),
     );
@@ -368,15 +425,19 @@ fn shard_encodings_flow_through_the_cache_per_shard() {
     let a = refloat::matgen::generators::laplacian_2d(20, 20, 0.3).to_csr();
     let handle = MatrixHandle::new("poisson-20", a);
     let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let sharded = |tenant: &str, shards: usize| {
+        SolvePlan::new(tenant, handle.clone(), format)
+            .sharding(shards)
+            .build()
+            .unwrap()
+    };
     let runtime = SolveRuntime::new(RuntimeConfig {
         workers: 1,
         ..Default::default()
     });
 
     // First 4-chip job: one miss per shard.
-    let first = runtime.run_batch(vec![
-        SolveJob::new("a", handle.clone(), format).with_sharding(4)
-    ]);
+    let first = runtime.run_batch(vec![sharded("a", 4)]);
     let shard_misses = first.report.cache.misses;
     assert!(
         (2..=4).contains(&(shard_misses as usize)),
@@ -384,20 +445,18 @@ fn shard_encodings_flow_through_the_cache_per_shard() {
     );
 
     // Same job again: every shard encoding is already cached.
-    let second = runtime.run_batch(vec![
-        SolveJob::new("b", handle.clone(), format).with_sharding(4)
-    ]);
+    let second = runtime.run_batch(vec![sharded("b", 4)]);
     assert_eq!(second.report.cache.misses, 0);
     assert_eq!(second.report.cache.hits, shard_misses);
     assert_eq!(second.jobs[0].telemetry.encode_s, 0.0);
 
     // A different shard count is a different key set (plus the whole-matrix key for
     // an unsharded job): no false sharing.
-    let third = runtime.run_batch(vec![
-        SolveJob::new("c", handle.clone(), format).with_sharding(2)
-    ]);
+    let third = runtime.run_batch(vec![sharded("c", 2)]);
     assert!(third.report.cache.misses >= 1);
-    let fourth = runtime.run_batch(vec![SolveJob::new("d", handle, format)]);
+    let fourth = runtime.run_batch(vec![SolvePlan::new("d", handle.clone(), format)
+        .build()
+        .unwrap()]);
     assert_eq!(fourth.report.cache.misses, 1);
 }
 
@@ -422,13 +481,17 @@ fn multi_rhs_batches_solve_every_column_bitwise_like_separate_jobs() {
         ..Default::default()
     });
     // One batched job + the same three RHS as separate jobs.
-    let mut jobs =
-        vec![SolveJob::new("batched", handle.clone(), format).with_rhs_batch(rhss.clone())];
-    jobs.extend(
-        rhss.iter()
-            .map(|rhs| SolveJob::new("solo", handle.clone(), format).with_rhs(rhs.clone())),
-    );
-    let outcome = runtime.run_batch(jobs);
+    let mut plans = vec![SolvePlan::new("batched", handle.clone(), format)
+        .rhs_batch(rhss.clone())
+        .build()
+        .unwrap()];
+    plans.extend(rhss.iter().map(|rhs| {
+        SolvePlan::new("solo", handle.clone(), format)
+            .rhs(rhs.clone())
+            .build()
+            .unwrap()
+    }));
+    let outcome = runtime.run_batch(plans);
 
     let batched = &outcome.jobs[0];
     assert_eq!(batched.extra_results.len(), 2);
@@ -464,10 +527,15 @@ fn auto_format_decisions_are_keyed_by_solver() {
         ..Default::default()
     });
     let outcome = runtime.run_batch(vec![
-        SolveJob::new("cg", handle.clone(), base).with_auto_format(1e-6),
-        SolveJob::new("bicg", handle, base)
-            .with_solver(SolverKind::BiCgStab)
-            .with_auto_format(1e-6),
+        SolvePlan::new("cg", handle.clone(), base)
+            .auto_format(1e-6)
+            .build()
+            .unwrap(),
+        SolvePlan::new("bicg", handle.clone(), base)
+            .solver(SolverKind::BiCgStab)
+            .auto_format(1e-6)
+            .build()
+            .unwrap(),
     ]);
     assert_eq!(
         outcome.report.decisions.misses, 2,
@@ -490,15 +558,18 @@ fn auto_format_jobs_converge_and_memoize_the_decision() {
     let tolerance = 1e-6;
     // The job format only contributes its blocking b = 4; (e, f)(ev, fv) are tuned.
     let base = ReFloatConfig::new(4, 3, 8, 3, 8);
+    let auto = |tenant: &str| {
+        SolvePlan::new(tenant, handle.clone(), base)
+            .auto_format(tolerance)
+            .build()
+            .unwrap()
+    };
     let runtime = SolveRuntime::new(RuntimeConfig {
         workers: 1, // serial workers: the second job must be a clean decision HIT
         ..Default::default()
     });
 
-    let outcome = runtime.run_batch(vec![
-        SolveJob::new("t0", handle.clone(), base).with_auto_format(tolerance),
-        SolveJob::new("t1", handle.clone(), base).with_auto_format(tolerance),
-    ]);
+    let outcome = runtime.run_batch(vec![auto("t0"), auto("t1")]);
     let first = outcome.jobs[0]
         .telemetry
         .autotune
@@ -537,9 +608,7 @@ fn auto_format_jobs_converge_and_memoize_the_decision() {
     assert!(outcome.jobs[0].telemetry.simulated.host_fp64_s > 0.0);
 
     // A fresh batch on the same runtime still hits the persistent decision cache.
-    let again = runtime.run_batch(vec![
-        SolveJob::new("t2", handle, base).with_auto_format(tolerance)
-    ]);
+    let again = runtime.run_batch(vec![auto("t2")]);
     assert!(
         again.jobs[0]
             .telemetry
@@ -564,8 +633,14 @@ fn auto_format_decisions_are_keyed_by_tolerance() {
         ..Default::default()
     });
     let outcome = runtime.run_batch(vec![
-        SolveJob::new("loose", handle.clone(), base).with_auto_format(1e-3),
-        SolveJob::new("tight", handle, base).with_auto_format(1e-8),
+        SolvePlan::new("loose", handle.clone(), base)
+            .auto_format(1e-3)
+            .build()
+            .unwrap(),
+        SolvePlan::new("tight", handle.clone(), base)
+            .auto_format(1e-8)
+            .build()
+            .unwrap(),
     ]);
     assert_eq!(
         outcome.report.decisions.misses, 2,
@@ -591,9 +666,11 @@ fn auto_format_falls_back_to_the_refinement_ladder_when_nothing_survives() {
         ..Default::default()
     });
     let spec = AutoFormatSpec::to_target(1e-8).with_escalation(EscalationPolicy::fp64_only());
-    let outcome = runtime.run_batch(vec![SolveJob::new("t", handle, base)
-        .with_solver_config(SolverConfig::relative(1e-8).with_max_iterations(500))
-        .with_auto_format_spec(spec)]);
+    let outcome = runtime.run_batch(vec![SolvePlan::new("t", handle, base)
+        .solver_config(SolverConfig::relative(1e-8).with_max_iterations(500))
+        .auto_format_spec(spec)
+        .build()
+        .unwrap()]);
 
     let tele = outcome.jobs[0].telemetry.autotune.as_ref().unwrap();
     assert!(tele.degraded_confidence);
@@ -624,9 +701,11 @@ fn auto_format_composes_with_sharding() {
         chip_crossbars: Some(1 << 10),
         ..Default::default()
     });
-    let outcome = runtime.run_batch(vec![SolveJob::new("t", handle, base)
-        .with_auto_format(1e-6)
-        .with_sharding(2)]);
+    let outcome = runtime.run_batch(vec![SolvePlan::new("t", handle, base)
+        .auto_format(1e-6)
+        .sharding(2)
+        .build()
+        .unwrap()]);
     let job = &outcome.jobs[0];
     assert_eq!(job.telemetry.shards, 2);
     assert!(job.telemetry.simulated.reduction_s > 0.0);
@@ -652,12 +731,15 @@ fn sharded_multi_rhs_jobs_combine_both_axes() {
         chip_crossbars: Some(1 << 9),
         ..Default::default()
     });
-    let reference = runtime.run_batch(vec![
-        SolveJob::new("ref", handle.clone(), format).with_rhs_batch(rhss.clone())
-    ]);
-    let sharded = runtime.run_batch(vec![SolveJob::new("sharded", handle, format)
-        .with_rhs_batch(rhss)
-        .with_sharding(4)]);
+    let reference = runtime.run_batch(vec![SolvePlan::new("ref", handle.clone(), format)
+        .rhs_batch(rhss.clone())
+        .build()
+        .unwrap()]);
+    let sharded = runtime.run_batch(vec![SolvePlan::new("sharded", handle.clone(), format)
+        .rhs_batch(rhss)
+        .sharding(4)
+        .build()
+        .unwrap()]);
 
     let r = &reference.jobs[0];
     let s = &sharded.jobs[0];
@@ -671,4 +753,255 @@ fn sharded_multi_rhs_jobs_combine_both_axes() {
     assert_eq!(s.telemetry.shards, 4);
     assert_eq!(s.telemetry.rhs_count, 2);
     assert!(s.telemetry.simulated.reduction_s > 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Service mode: SolveClient tickets, QoS scheduling, cancellation, drain.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tickets_resolve_through_wait_try_get_and_wait_timeout() {
+    let (handle, format, _) = catalog().remove(0);
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+
+    let t0 = client
+        .submit(SolvePlan::new("w", handle.clone(), format).build().unwrap())
+        .expect("open client admits");
+    let outcome = t0.wait().completed().expect("ran to completion");
+    assert!(outcome.result.converged());
+
+    let t1 = client
+        .submit(
+            SolvePlan::new("wt", handle.clone(), format)
+                .build()
+                .unwrap(),
+        )
+        .expect("open client admits");
+    // Generous timeout: the job is a cache hit on a warm pool.
+    let outcome = match t1.wait_timeout(Duration::from_secs(60)) {
+        Ok(outcome) => outcome.completed().expect("ran to completion"),
+        Err(_) => panic!("a 60 s timeout must suffice for a tiny solve"),
+    };
+    assert!(outcome.result.converged());
+
+    // try_get eventually observes the completion without blocking.
+    let mut t2 = client
+        .submit(
+            SolvePlan::new("tg", handle.clone(), format)
+                .build()
+                .unwrap(),
+        )
+        .expect("open client admits");
+    let outcome = loop {
+        match t2.try_get() {
+            Ok(outcome) => break outcome,
+            Err(ticket) => {
+                t2 = ticket;
+                std::thread::yield_now();
+            }
+        }
+    };
+    assert!(outcome.completed().expect("completed").result.converged());
+
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 3);
+    assert_eq!(report.converged, 3);
+}
+
+#[test]
+fn submit_after_drain_returns_the_plan_instead_of_dropping_it() {
+    // Regression: the old teardown path lost (or panicked on) jobs pushed after the
+    // queue closed.  The service hands the plan back as a typed error.
+    let (handle, format, _) = catalog().remove(0);
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let ticket = client
+        .submit(
+            SolvePlan::new("early", handle.clone(), format)
+                .build()
+                .unwrap(),
+        )
+        .expect("open client admits");
+    client.drain();
+    // The accepted job completed; the late one is refused with its plan intact.
+    assert!(ticket.wait().completed().is_some());
+    let late = SolvePlan::new("late", handle.clone(), format)
+        .priority(Priority::Interactive)
+        .build()
+        .unwrap();
+    match client.submit(late) {
+        Err(SubmitError::Closed(plan)) => {
+            assert_eq!(plan.tenant(), "late");
+            assert_eq!(plan.priority(), Priority::Interactive);
+        }
+        Ok(_) => panic!("a drained client must not admit new plans"),
+    }
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 1, "the late plan was refused, not lost");
+}
+
+#[test]
+fn cancel_before_start_refunds_everything() {
+    // A cancelled-before-start job must be a complete refund: no simulated cycles,
+    // no cache traffic, no telemetry row — the report matches a run that never
+    // submitted it.
+    let slow = MatrixHandle::new(
+        "poisson-48",
+        refloat::matgen::generators::laplacian_2d(48, 48, 0.2).to_csr(),
+    );
+    let format = ReFloatConfig::new(4, 3, 8, 3, 8);
+
+    // Reference: just the long job, alone.
+    let reference = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    })
+    .run_batch(vec![SolvePlan::new("only", slow.clone(), format)
+        .build()
+        .unwrap()]);
+    let reference_cycles = reference.report.simulated_cycles;
+    assert!(reference_cycles > 0);
+
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let running = client
+        .submit(
+            SolvePlan::new("only", slow.clone(), format)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    // Queue three batch jobs behind the long solve and cancel them before the
+    // single worker can reach them.
+    let queued: Vec<_> = (0..3)
+        .map(|i| {
+            client
+                .submit(
+                    SolvePlan::new(format!("cancel-{i}"), slow.clone(), format)
+                        .priority(Priority::Batch)
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap()
+        })
+        .collect();
+    for ticket in &queued {
+        assert!(ticket.cancel(), "job should still be pending");
+        assert!(!ticket.cancel(), "double cancel finds nothing to dequeue");
+    }
+    for ticket in queued {
+        assert!(ticket.wait().is_cancelled());
+    }
+    assert!(running.wait().completed().is_some());
+
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 1);
+    assert_eq!(report.cancelled_jobs, 3);
+    assert_eq!(
+        report.simulated_cycles, reference_cycles,
+        "cancelled jobs must not charge chip cycles"
+    );
+    assert_eq!(report.cache.misses, reference.report.cache.misses);
+    assert!(report.render().contains("cancelled"));
+}
+
+#[test]
+fn sustained_interactive_load_does_not_starve_batch_jobs() {
+    // One batch job submitted into an interactive flood on a single worker: with
+    // age promotion it must overtake the tail of the flood (under strict priority
+    // with no promotion it would run dead last).  Queue waits grow monotonically
+    // with dequeue order on a single worker, so wait comparisons recover the order.
+    let (handle, format, _) = catalog().remove(2); // poisson-12, quick solves
+    let plan = |tenant: &str, priority: Priority| {
+        SolvePlan::new(tenant, handle.clone(), format)
+            .priority(priority)
+            .build()
+            .unwrap()
+    };
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 1,
+        queue_capacity: 64,
+        scheduler: SchedulerPolicy::priority(2),
+        ..Default::default()
+    });
+    let mut interactive = Vec::new();
+    for i in 0..20 {
+        interactive.push(
+            client
+                .submit(plan(&format!("i{i}"), Priority::Interactive))
+                .unwrap(),
+        );
+    }
+    let batch = client.submit(plan("batch", Priority::Batch)).unwrap();
+    for i in 20..40 {
+        interactive.push(
+            client
+                .submit(plan(&format!("i{i}"), Priority::Interactive))
+                .unwrap(),
+        );
+    }
+    let batch_wait = batch
+        .wait()
+        .completed()
+        .expect("batch job completes")
+        .telemetry
+        .queue_wait_s;
+    let interactive_waits: Vec<f64> = interactive
+        .into_iter()
+        .map(|t| {
+            t.wait()
+                .completed()
+                .expect("completes")
+                .telemetry
+                .queue_wait_s
+        })
+        .collect();
+    let overtaken = interactive_waits
+        .iter()
+        .filter(|&&w| w > batch_wait)
+        .count();
+    assert!(
+        overtaken >= 10,
+        "age promotion should let the batch job overtake most of the late flood; \
+         it overtook only {overtaken}/40"
+    );
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 41);
+    assert_eq!(report.per_priority.len(), 2);
+}
+
+#[test]
+fn invalid_plans_are_typed_errors_not_panics() {
+    // The workspace-level guarantee behind the API redesign: every invalid
+    // combination surfaces as a PlanError before submission; nothing panics.
+    let (handle, format, _) = catalog().remove(0);
+    let n = handle.csr().nrows();
+    let err = SolvePlan::new("t", handle.clone(), format)
+        .sharding(0)
+        .refinement(RefinementSpec::to_target(1e-10))
+        .auto_format(f64::NAN)
+        .rhs_batch(vec![Arc::new(vec![1.0; n + 1])])
+        .build()
+        .unwrap_err();
+    assert!(err.contains(&PlanViolation::ZeroShards));
+    assert!(err.contains(&PlanViolation::RefinementWithAutoFormat));
+    assert!(err.contains(&PlanViolation::RhsLengthMismatch {
+        index: 0,
+        expected: n,
+        got: n + 1
+    }));
+    assert!(err
+        .violations
+        .iter()
+        .any(|v| matches!(v, PlanViolation::InvalidTolerance { .. })));
+    // Display lists every violation for the operator.
+    let rendered = err.to_string();
+    assert!(rendered.contains("violation"));
 }
