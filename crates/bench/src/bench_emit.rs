@@ -1,0 +1,107 @@
+//! The tracked `BENCH_*.json` perf trajectory: which areas exist, which metrics each
+//! area must report, and the emit helper the bench binaries share.
+//!
+//! Three binaries always emit (so every run from the repo root refreshes the tracked
+//! baseline): `serve_traffic` → `BENCH_runtime.json`, `bench_encode` →
+//! `BENCH_encode.json`, `bench_spmv` → `BENCH_spmv.json`.  The figure binaries
+//! (`fig_scheduling`, `fig_sharding`) emit only when `--bench-dir` is passed, since
+//! their default runs are acceptance checks rather than measurements.
+//!
+//! `bench_check` validates every `BENCH_*.json` in a directory against the
+//! [`required_metrics`] vocabulary below and the schema in
+//! [`refloat_telemetry::bench`]; CI fails on any drift.
+
+use std::path::{Path, PathBuf};
+
+use refloat_telemetry::BenchReport;
+
+use crate::json::flag_value;
+
+/// Areas whose `BENCH_<area>.json` file must exist in a trajectory directory
+/// (`bench_check` fails when one is missing).
+pub const TRACKED_AREAS: [&str; 3] = ["runtime", "encode", "spmv"];
+
+/// The metrics each area's report must carry, as finite numbers.  Renaming or
+/// dropping one of these is schema drift and fails `bench_check`.
+pub fn required_metrics(area: &str) -> Option<&'static [&'static str]> {
+    match area {
+        "runtime" => Some(&[
+            "jobs_per_s",
+            "queue_wait_p50_ms",
+            "queue_wait_p99_ms",
+            "latency_p50_ms",
+            "latency_p99_ms",
+            "cache_hit_rate",
+            "model_cycles",
+            "cancelled_jobs",
+            "unattributed_jobs",
+        ]),
+        "encode" => Some(&["rows_per_s", "nnz_per_s", "encode_s_total"]),
+        "spmv" => Some(&[
+            "csr_nnz_per_s",
+            "quantized_nnz_per_s",
+            "model_cycles_per_spmv",
+        ]),
+        "scheduling" => Some(&["interactive_p99_improvement_x", "throughput_ratio"]),
+        "sharding" => Some(&["speedup_4_chips", "reduction_share_8_chips"]),
+        _ => None,
+    }
+}
+
+/// Parses `--bench-dir <dir>` from the argument list.
+pub fn bench_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    flag_value(args, "--bench-dir").map(PathBuf::from)
+}
+
+/// The trajectory directory for binaries that always emit: `--bench-dir` when given,
+/// otherwise the current directory (so runs from the repo root refresh the tracked
+/// files in place).
+pub fn default_bench_dir(args: &[String]) -> PathBuf {
+    bench_dir_from_args(args).unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Writes the report into `dir` (created if needed) and prints the path, panicking on
+/// I/O errors — a bench run that cannot record its trajectory should fail loudly.
+pub fn emit(report: &BenchReport, dir: &Path) {
+    std::fs::create_dir_all(dir).expect("create bench dir");
+    let path = report.write(dir).expect("write bench report");
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_tracked_area_has_a_vocabulary() {
+        for area in TRACKED_AREAS {
+            let metrics = required_metrics(area).expect("tracked area has metrics");
+            assert!(!metrics.is_empty());
+        }
+        assert!(required_metrics("nonsense").is_none());
+    }
+
+    #[test]
+    fn bench_dir_defaults_to_cwd() {
+        let args: Vec<String> = vec!["--quick".into()];
+        assert_eq!(bench_dir_from_args(&args), None);
+        assert_eq!(default_bench_dir(&args), PathBuf::from("."));
+        let args: Vec<String> = vec!["--bench-dir".into(), "/tmp/b".into()];
+        assert_eq!(default_bench_dir(&args), PathBuf::from("/tmp/b"));
+    }
+
+    #[test]
+    fn emit_writes_a_validating_file() {
+        let dir = std::env::temp_dir().join("refloat_bench_emit_test");
+        let report = BenchReport::new("encode", "test")
+            .metric("rows_per_s", 1.0)
+            .metric("nnz_per_s", 2.0)
+            .metric("encode_s_total", 0.5);
+        emit(&report, &dir);
+        let text = std::fs::read_to_string(dir.join("BENCH_encode.json")).expect("reads");
+        let value: serde::Value = serde_json::from_str(&text).expect("parses");
+        let problems = refloat_telemetry::validate(&value, required_metrics("encode").unwrap());
+        assert_eq!(problems, Vec::<String>::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

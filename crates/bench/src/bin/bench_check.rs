@@ -1,0 +1,102 @@
+//! `bench_check` — CI validator for the tracked `BENCH_*.json` perf trajectory.
+//!
+//! Scans a directory for `BENCH_<area>.json` files and validates each against the
+//! schema in `refloat-telemetry` (schema version, identity fields) and the per-area
+//! required-metric vocabulary in `refloat_bench::bench_emit`.  The always-emitted
+//! areas (`runtime`, `encode`, `spmv`) must be present; any parse failure, missing
+//! metric, unknown area, or schema-version drift is reported and fails the run.
+//!
+//! ```text
+//! bench_check [--dir DIR]      # default: current directory
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use refloat_bench::bench_emit::{required_metrics, TRACKED_AREAS};
+use refloat_bench::json::flag_value;
+use refloat_telemetry::validate;
+use serde::Value;
+
+/// Validates one file; returns the problems found (empty = valid).
+fn check_file(path: &Path, area: &str) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("unreadable: {e}")],
+    };
+    let value: Value = match serde_json::from_str(&text) {
+        Ok(value) => value,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    let Some(required) = required_metrics(area) else {
+        return vec![format!(
+            "unknown bench area '{area}' (no required-metric vocabulary; \
+             register it in refloat_bench::bench_emit)"
+        )];
+    };
+    let mut problems = validate(&value, required);
+    match value.field("area") {
+        Ok(Value::Str(s)) if s == area => {}
+        Ok(Value::Str(s)) => problems.push(format!(
+            "file is named for area '{area}' but records area '{s}'"
+        )),
+        _ => {} // already reported by validate()
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = flag_value(&args, "--dir").unwrap_or_else(|| ".".to_string());
+    let dir = Path::new(&dir);
+
+    // Every BENCH_*.json present gets validated; the tracked areas must be present.
+    let mut areas: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read bench dir {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            let area = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+            Some(area.to_string())
+        })
+        .collect();
+    for required in TRACKED_AREAS {
+        if !areas.iter().any(|a| a == required) {
+            areas.push(required.to_string());
+        }
+    }
+    areas.sort();
+
+    let mut failures = 0usize;
+    for area in &areas {
+        let path = dir.join(refloat_telemetry::bench::file_name(area));
+        let problems = if path.exists() {
+            check_file(&path, area)
+        } else {
+            vec!["missing (tracked area must be emitted)".to_string()]
+        };
+        if problems.is_empty() {
+            println!("ok   {}", path.display());
+        } else {
+            failures += 1;
+            println!("FAIL {}", path.display());
+            for problem in problems {
+                println!("     - {problem}");
+            }
+        }
+    }
+
+    if failures > 0 {
+        println!(
+            "\n{failures}/{} bench files failed schema validation",
+            areas.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\nall {} bench files match schema v{}",
+            areas.len(),
+            refloat_telemetry::BENCH_SCHEMA_VERSION
+        );
+        ExitCode::SUCCESS
+    }
+}

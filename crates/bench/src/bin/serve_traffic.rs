@@ -9,20 +9,30 @@
 //! are independent of scheduling.
 //!
 //! ```text
-//! serve_traffic [--jobs N] [--workers N] [--seed S] [--cache N] [--quick] [--json PATH]
+//! serve_traffic [--jobs N] [--workers N] [--seed S] [--cache N] [--quick]
+//!               [--json PATH] [--trace PATH] [--bench-dir DIR]
 //! ```
+//!
+//! `--trace PATH` attaches a span/event [`TraceSink`] to the runtime and writes the
+//! JSONL export to `PATH` after the drain.  Every run also refreshes the tracked
+//! `BENCH_runtime.json` perf-trajectory file (in `--bench-dir`, default the current
+//! directory).
+
+use std::sync::Arc;
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
-use refloat_bench::json::{has_flag, json_path_from_args, write_json};
+use refloat_bench::bench_emit::{default_bench_dir, emit};
+use refloat_bench::json::{flag_value, has_flag, json_path_from_args, write_json};
 use refloat_core::ReFloatConfig;
 use refloat_matgen::generators;
 use refloat_runtime::fingerprint::fnv1a_u64;
 use refloat_runtime::{CacheOutcomeKind, MatrixHandle, RuntimeConfig, SolvePlan, SolveRuntime};
 use refloat_solvers::SolverConfig;
+use refloat_telemetry::{BenchReport, TraceSink};
 use reram_sim::SolverKind;
 
 /// One entry of the tenant-visible matrix catalog.
@@ -180,10 +190,17 @@ fn main() {
         .with_max_iterations(if quick { 2_000 } else { 5_000 })
         .with_trace(false);
 
+    // A wall-clock trace sink when asked for; span timestamps are host-dependent but
+    // the event *stream* (kinds, details, per-job order) is part of the determinism
+    // contract checked below.
+    let trace_path = flag_value(&args, "--trace");
+    let trace_sink = trace_path.as_ref().map(|_| Arc::new(TraceSink::wall()));
+
     let runtime = SolveRuntime::new(RuntimeConfig {
         workers,
         queue_capacity: 2 * workers.max(1),
         cache_capacity,
+        trace: trace_sink.clone(),
         ..RuntimeConfig::default()
     });
     let outcome = runtime.run_with(|submitter| {
@@ -226,6 +243,31 @@ fn main() {
         digest = fnv1a_u64(digest, checksum.to_bits());
     }
     println!("determinism digest: {digest:016x}");
+
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        std::fs::write(path, sink.export_jsonl()).expect("write --trace output");
+        println!("wrote {path} ({} trace events)", sink.len());
+    }
+
+    // Refresh the tracked perf-trajectory point for the runtime area.
+    let report = &outcome.report;
+    let bench = BenchReport::new("runtime", "serve_traffic")
+        .config_num("jobs", jobs as f64)
+        .config_num("workers", workers as f64)
+        .config_num("seed", seed as f64)
+        .config_num("cache", cache_capacity as f64)
+        .config_str("mode", if quick { "quick" } else { "full" })
+        .config_str("traced", if trace_sink.is_some() { "yes" } else { "no" })
+        .metric("jobs_per_s", report.throughput_jobs_per_s)
+        .metric("queue_wait_p50_ms", report.queue_wait_p50_s * 1e3)
+        .metric("queue_wait_p99_ms", report.queue_wait_p99_s * 1e3)
+        .metric("latency_p50_ms", report.latency_p50_s * 1e3)
+        .metric("latency_p99_ms", report.latency_p99_s * 1e3)
+        .metric("cache_hit_rate", report.hit_rate())
+        .metric("model_cycles", report.simulated_cycles as f64)
+        .metric("cancelled_jobs", report.cancelled_jobs as f64)
+        .metric("unattributed_jobs", report.unattributed_jobs as f64);
+    emit(&bench, &default_bench_dir(&args));
 
     if let Some(path) = json_path_from_args(&args) {
         let records: Vec<TraceRecord> = outcome

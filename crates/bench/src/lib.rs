@@ -7,12 +7,15 @@
 //!   (FP64 / ReFloat / Feinberg), and the Fig. 8 performance-row computation,
 //! * [`table`] — plain-text table rendering for the binaries' stdout reports,
 //! * [`json`] — serialisable result records so `EXPERIMENTS.md` numbers can be
-//!   regenerated and diffed.
+//!   regenerated and diffed,
+//! * [`bench_emit`] — the tracked `BENCH_*.json` perf trajectory: where the files go,
+//!   which metrics each area must report, and the emit helper the binaries share.
 //!
 //! The Criterion micro-benchmarks live in `benches/` and cover the wall-clock cost of
 //! the building blocks themselves (SpMV, block conversion, quantized SpMV, the bit-exact
 //! crossbar pipeline and whole solver iterations).
 
+pub mod bench_emit;
 pub mod experiment;
 pub mod json;
 pub mod table;

@@ -16,6 +16,9 @@
 //!   scale-out path for matrices exceeding one chip's crossbar budget,
 //! * [`gpu`] — a roofline + kernel-launch latency model standing in for the V100 +
 //!   cuSPARSE baseline (see DESIGN.md §3 for the substitution argument),
+//! * [`events`] — cycle-event hooks ([`CycleHook`]) through which a host observes the
+//!   per-phase attribution of simulated cycles (program / compute / stream-write /
+//!   reduction / host-fp64) without the simulator depending on a telemetry backend,
 //! * [`noise`] — the random-telegraph-noise model of the Fig. 10 robustness study.
 
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@
 pub mod accelerator;
 pub mod cost;
 pub mod engine;
+pub mod events;
 pub mod gpu;
 pub mod multichip;
 pub mod noise;
@@ -30,6 +34,7 @@ pub mod xbar;
 
 pub use accelerator::{AcceleratorConfig, SolverKind, SolverTimeBreakdown};
 pub use cost::{crossbar_count_eq2, crossbars_per_cluster, cycle_count_eq3};
+pub use events::{ChipPhase, CollectingHook, CycleEvent, CycleHook};
 pub use gpu::GpuModel;
 pub use multichip::{
     MultiChipAccelerator, MultiChipConfig, MultiChipSolveBreakdown, ShardedSpmvBreakdown,

@@ -2,8 +2,13 @@
 //! chip-time it would have cost on the Table IV ReFloat accelerator, and accounts
 //! crossbar re-programming when a worker switches to a different matrix.
 
+use std::sync::Arc;
+
 use refloat_core::ReFloatConfig;
-use reram_sim::{AcceleratorConfig, GpuModel, MultiChipAccelerator, MultiChipConfig, SolverKind};
+use reram_sim::{
+    AcceleratorConfig, ChipPhase, CycleEvent, CycleHook, GpuModel, MultiChipAccelerator,
+    MultiChipConfig, SolverKind,
+};
 
 use crate::cache::CacheKey;
 
@@ -62,6 +67,30 @@ impl SimulatedRun {
         self.total_s += other.total_s;
         self.remapped |= other.remapped;
     }
+
+    /// The run's per-phase attribution as [`CycleEvent`]s, skipping zero-cost phases.
+    ///
+    /// Pipeline cycles are all crossbar compute, so the total cycle count rides on the
+    /// [`ChipPhase::Compute`] event; host-side phases are modelled in seconds only.
+    /// Everything here is **simulated** time — deterministic and digest-safe.
+    pub fn cycle_events(&self) -> Vec<CycleEvent> {
+        let attributions = [
+            (ChipPhase::Program, 0u64, self.program_s),
+            (ChipPhase::Compute, self.cycles, self.compute_s),
+            (ChipPhase::StreamWrite, 0, self.stream_write_s),
+            (ChipPhase::Reduction, 0, self.reduction_s),
+            (ChipPhase::HostFp64, 0, self.host_fp64_s),
+        ];
+        attributions
+            .into_iter()
+            .filter(|&(_, cycles, seconds)| cycles > 0 || seconds > 0.0)
+            .map(|(phase, cycles, seconds)| CycleEvent {
+                phase,
+                cycles,
+                seconds,
+            })
+            .collect()
+    }
 }
 
 /// One inner pass of a refined job, as the accelerator model accounts it.
@@ -115,6 +144,9 @@ pub struct SimulatedAccelerator {
     /// chips force oversized matrices into streaming rounds — the regime where
     /// sharding across a pool pays off.
     chip_crossbars: Option<u64>,
+    /// Optional observer of per-run phase attributions (None = no observation cost
+    /// beyond an `is_some` check per run).
+    hook: Option<Arc<dyn CycleHook>>,
 }
 
 impl SimulatedAccelerator {
@@ -127,6 +159,7 @@ impl SimulatedAccelerator {
             usage: AcceleratorUsage::default(),
             host: GpuModel::v100(),
             chip_crossbars: None,
+            hook: None,
         }
     }
 
@@ -134,6 +167,22 @@ impl SimulatedAccelerator {
     pub fn with_host_gpu(mut self, host: GpuModel) -> Self {
         self.host = host;
         self
+    }
+
+    /// Builder: observe every run's per-phase cycle attribution through a
+    /// [`CycleHook`].
+    pub fn with_cycle_hook(mut self, hook: Arc<dyn CycleHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Fires the run's phase attributions at the hook, if one is installed.
+    fn notify(&self, run: &SimulatedRun) {
+        if let Some(hook) = &self.hook {
+            for event in run.cycle_events() {
+                hook.on_event(&event);
+            }
+        }
     }
 
     /// Builder: simulate chips with a smaller (or larger) crossbar pool than Table IV.
@@ -220,6 +269,7 @@ impl SimulatedAccelerator {
         self.usage.cycles += run.cycles;
         self.usage.busy_s += run.total_s;
         self.usage.remaps += u64::from(remapped);
+        self.notify(&run);
         run
     }
 
@@ -272,6 +322,7 @@ impl SimulatedAccelerator {
         self.usage.cycles += run.cycles;
         self.usage.busy_s += run.total_s;
         self.usage.remaps += u64::from(remapped);
+        self.notify(&run);
         run
     }
 
@@ -326,6 +377,7 @@ impl SimulatedAccelerator {
         self.usage.jobs += 1;
         self.usage.cycles += run.cycles;
         self.usage.busy_s += run.total_s;
+        self.notify(&run);
         run
     }
 }
@@ -425,6 +477,44 @@ mod tests {
         assert_eq!(run.cycles, 0);
         assert_eq!(run.total_s, 0.0);
         assert!(!run.remapped);
+    }
+
+    #[test]
+    fn cycle_events_attribute_every_nonzero_phase() {
+        let run = SimulatedRun {
+            cycles: 2800,
+            compute_s: 1e-5,
+            stream_write_s: 0.0,
+            program_s: 2e-6,
+            reduction_s: 0.0,
+            host_fp64_s: 3e-7,
+            total_s: 1.23e-5,
+            remapped: true,
+        };
+        let events = run.cycle_events();
+        let phases: Vec<ChipPhase> = events.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![ChipPhase::Program, ChipPhase::Compute, ChipPhase::HostFp64]
+        );
+        assert_eq!(events[1].cycles, 2800);
+        assert_eq!(events[1].seconds, 1e-5);
+        assert!(SimulatedRun::zero().cycle_events().is_empty());
+    }
+
+    #[test]
+    fn cycle_hook_sees_each_run_once() {
+        let hook = Arc::new(reram_sim::CollectingHook::new());
+        let format = ReFloatConfig::paper_default();
+        let mut chip =
+            SimulatedAccelerator::new(0).with_cycle_hook(Arc::clone(&hook) as Arc<dyn CycleHook>);
+        let run = chip.execute(key(1), &format, 2_000, 100, SolverKind::Cg);
+        let events = hook.snapshot();
+        assert!(!events.is_empty());
+        assert_eq!(hook.seconds_in(ChipPhase::Compute), run.compute_s);
+        assert_eq!(hook.seconds_in(ChipPhase::Program), run.program_s);
+        let total_cycles: u64 = events.iter().map(|e| e.cycles).sum();
+        assert_eq!(total_cycles, run.cycles);
     }
 
     #[test]

@@ -20,12 +20,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use refloat_telemetry::{MetricsRegistry, MetricsSnapshot, TraceSink};
+
 use crate::cache::{CacheStats, EncodedMatrixCache};
 use crate::decision::{DecisionStats, FormatDecisionCache};
 use crate::job::JobOutcome;
 use crate::plan::SolvePlan;
 use crate::sched::JobScheduler;
-use crate::telemetry::{JobTelemetry, RuntimeReport};
+use crate::telemetry::{metric_names, JobMetricHandles, JobTelemetry, RuntimeReport};
 use crate::worker;
 use crate::RuntimeConfig;
 
@@ -136,6 +138,12 @@ pub(crate) struct ClientCore {
     /// Telemetry of every completed job, in completion order (the report source).
     pub completed: Mutex<Vec<JobTelemetry>>,
     cancelled: AtomicU64,
+    /// The live metrics registry: workers stream job completions into it, so it is
+    /// pollable mid-traffic without draining (see
+    /// [`SolveClient::metrics_snapshot`]).
+    pub metrics: Arc<MetricsRegistry>,
+    /// The trace sink, when the runtime was configured with one.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 /// The handle on one queued (or running, or finished) job.
@@ -210,6 +218,10 @@ impl SolveTicket {
         match self.core.sched.cancel(self.id) {
             Some(queued) => {
                 self.core.cancelled.fetch_add(1, Ordering::Relaxed);
+                self.core
+                    .metrics
+                    .counter(metric_names::JOBS_CANCELLED)
+                    .inc();
                 queued.ticket.complete(TicketOutcome::Cancelled);
                 true
             }
@@ -252,6 +264,13 @@ impl SolveClient {
         );
         let cache_baseline = cache.stats();
         let decision_baseline = decisions.stats();
+        let metrics = Arc::new(MetricsRegistry::new());
+        // Registering up front creates the full metric vocabulary, so a snapshot
+        // taken before the first job completes already carries every (zero) counter.
+        let _ = JobMetricHandles::register(&metrics);
+        metrics
+            .gauge(metric_names::WORKERS)
+            .set(config.workers as f64);
         let core = Arc::new(ClientCore {
             sched: JobScheduler::new(config.queue_capacity, config.scheduler),
             cache,
@@ -261,6 +280,8 @@ impl SolveClient {
             next_id: AtomicU64::new(0),
             completed: Mutex::new(Vec::new()),
             cancelled: AtomicU64::new(0),
+            metrics,
+            trace: config.trace.clone(),
         });
         let handles = (0..config.workers)
             .map(|worker_id| {
@@ -313,6 +334,49 @@ impl SolveClient {
     /// Jobs cancelled before a worker started them.
     pub fn cancelled(&self) -> u64 {
         self.core.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time view of the live metrics registry.
+    ///
+    /// Unlike [`report`](Self::report) this does not lock the telemetry log —
+    /// workers stream completions into the registry with atomic operations, so the
+    /// snapshot is cheap and safe to poll **mid-traffic** on an undrained client.
+    /// The vocabulary (see [`metric_names`]) is registered at
+    /// startup, so every counter is present (zero-valued) from the first call.
+    ///
+    /// ```
+    /// use refloat_runtime::{metric_names, RuntimeConfig, SolvePlan, SolveRuntime};
+    ///
+    /// let a = refloat_matgen::generators::laplacian_2d(8, 8, 0.3).to_csr();
+    /// let handle = refloat_runtime::MatrixHandle::new("m", a);
+    /// let format = refloat_core::ReFloatConfig::new(4, 3, 8, 3, 8);
+    /// let client = SolveRuntime::start(RuntimeConfig { workers: 1, ..Default::default() });
+    ///
+    /// let ticket = client
+    ///     .submit(SolvePlan::new("tenant", handle, format).build().unwrap())
+    ///     .unwrap();
+    /// assert!(ticket.wait().completed().is_some());
+    ///
+    /// // The client is still live (no drain/shutdown) and already serves counters.
+    /// let snapshot = client.metrics_snapshot();
+    /// assert_eq!(snapshot.counter(metric_names::JOBS_COMPLETED), Some(1));
+    /// assert_eq!(snapshot.counter(metric_names::JOBS_CANCELLED), Some(0));
+    /// assert!(snapshot.histogram(metric_names::LATENCY_S).unwrap().count >= 1);
+    /// client.shutdown();
+    /// ```
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // The queue-depth high-water mark lives in the scheduler; refresh the gauge
+        // so polls see the current peak.
+        self.core
+            .metrics
+            .gauge(metric_names::QUEUE_DEPTH_PEAK)
+            .set(self.core.sched.stats().peak_depth as f64);
+        self.core.metrics.snapshot()
+    }
+
+    /// The trace sink this client records spans into, when tracing is enabled.
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.core.trace.as_ref()
     }
 
     /// Stops admission and blocks until every accepted job has resolved its

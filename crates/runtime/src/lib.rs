@@ -37,7 +37,16 @@
 //! * [`JobTelemetry`] / [`RuntimeReport`] (`telemetry`) — per-job measurements (queue
 //!   wait, encode time, solve time, iterations, simulated cycles, cache outcome,
 //!   priority class) and their aggregation (throughput, p50/p99 latency, p50/p99
-//!   queue wait, peak queue depth, per-priority wait lanes, cache hit rate);
+//!   queue wait, peak queue depth, per-priority wait lanes, cache hit rate), backed
+//!   by a `refloat-telemetry` [`MetricsRegistry`]: workers stream every completion
+//!   into shared counters/histograms, so
+//!   [`SolveClient::metrics_snapshot`] observes a *live* (undrained) service and
+//!   [`RuntimeReport::aggregate`] derives its totals from the same recording path;
+//! * span tracing — set [`RuntimeConfig::trace`] to a shared
+//!   [`TraceSink`] and every job emits queue-wait / dequeue / cache-lookup / encode /
+//!   execute / per-shard / refinement-pass / autotune-analysis / host-fp64 /
+//!   chip-phase events, exportable as JSON-lines (see the `trace` module of
+//!   `refloat-telemetry` and its deterministic-clock contract);
 //! * [`RefinementSpec`] / [`AutoFormatSpec`] (`job`) — opt-in mixed-precision
 //!   refinement and per-matrix format auto-tuning, both resolved through the shared
 //!   caches;
@@ -155,6 +164,7 @@ pub mod plan;
 pub mod queue;
 pub mod sched;
 pub mod telemetry;
+mod trace_job;
 mod worker;
 
 pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
@@ -167,8 +177,13 @@ pub use plan::{PlanError, PlanViolation, SolvePlan, SolvePlanBuilder};
 pub use queue::BoundedQueue;
 pub use sched::{Priority, SchedulerPolicy, SchedulingMode};
 pub use telemetry::{
-    AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, PriorityLane, RefinementTelemetry,
-    RuntimeReport,
+    metric_names, AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry,
+    PriorityLane, RefinementTelemetry, RuntimeReport,
+};
+// Re-export the observability vocabulary so service users need only this crate.
+pub use refloat_telemetry::{
+    parse_jsonl, Clock, ManualClock, MetricsRegistry, MetricsSnapshot, SpanKind, TraceEvent,
+    TraceSink, WallClock,
 };
 
 use std::cell::RefCell;
@@ -190,6 +205,12 @@ pub struct RuntimeConfig {
     /// Dequeue policy: priority scheduling with anti-starvation promotion by
     /// default; [`SchedulerPolicy::fifo`] restores strict arrival order.
     pub scheduler: SchedulerPolicy,
+    /// Optional span-trace sink.  `None` (the default) disables tracing entirely —
+    /// workers skip event construction, so the hot path pays nothing.  With a sink
+    /// every job flushes its events in one batch; solve numerics are unaffected
+    /// either way (tracing only observes wall-clock time, see the
+    /// deterministic-clock contract in `refloat-telemetry`).
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for RuntimeConfig {
@@ -200,6 +221,7 @@ impl Default for RuntimeConfig {
             cache_capacity: 32,
             chip_crossbars: None,
             scheduler: SchedulerPolicy::default(),
+            trace: None,
         }
     }
 }

@@ -1,12 +1,203 @@
 //! Per-job telemetry and batch-level aggregation.
+//!
+//! Aggregation is *backed by the metrics registry*: the counters and histograms a
+//! live worker streams into ([`JobMetricHandles::record`]) are the same recording
+//! path [`RuntimeReport::aggregate`] replays over a batch's telemetry rows, so a
+//! live [`metrics_snapshot`](crate::SolveClient::metrics_snapshot) and a post-drain
+//! report can never disagree about what a completed job counts as.
+//!
+//! # Which clock is which
+//!
+//! Wall-clock fields (`queue_wait_s`, `encode_s`, `solve_s`, `latency_s`, every
+//! percentile) are host measurements and vary run to run; the [`SimulatedRun`]
+//! fields are deterministic simulated seconds from the Eq. 2/3 cost model.  See the
+//! deterministic-clock contract in `refloat_telemetry::clock`.
+
+use std::sync::Arc;
 
 use refloat_core::ReFloatConfig;
+use refloat_telemetry::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use reram_sim::SolverKind;
+use serde::{Serialize, Value};
 
 use crate::accel::SimulatedRun;
 use crate::cache::{CacheOutcome, CacheStats};
 use crate::decision::DecisionStats;
 use crate::sched::Priority;
+
+/// The metric names under which the runtime records job completions — the stable
+/// vocabulary shared by live snapshots, report aggregation, and dashboards.
+pub mod metric_names {
+    /// Counter: jobs completed (cancelled jobs never reach it).
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Counter: completed jobs whose solve met its residual criterion.
+    pub const JOBS_CONVERGED: &str = "jobs_converged";
+    /// Counter: jobs cancelled before any worker started them.
+    pub const JOBS_CANCELLED: &str = "jobs_cancelled";
+    /// Counter: jobs whose encoded matrix was a cache hit.
+    pub const CACHE_HITS: &str = "cache_hits";
+    /// Counter: jobs that encoded their matrix (cache miss).
+    pub const CACHE_MISSES: &str = "cache_misses";
+    /// Counter: jobs that waited on a concurrent encode of the same key.
+    pub const CACHE_COALESCED: &str = "cache_coalesced";
+    /// Counter: total simulated accelerator cycles.
+    pub const SIMULATED_CYCLES: &str = "simulated_cycles";
+    /// Counter: jobs that re-programmed their chip.
+    pub const REMAPS: &str = "remaps";
+    /// Counter: jobs spanning more than one chip.
+    pub const SHARDED_JOBS: &str = "sharded_jobs";
+    /// Counter: right-hand sides solved (≥ jobs; batched jobs contribute several).
+    pub const RHS_TOTAL: &str = "rhs_total";
+    /// Counter: jobs that ran in mixed-precision refinement mode.
+    pub const REFINED_JOBS: &str = "refined_jobs";
+    /// Counter: format escalations across refined jobs.
+    pub const ESCALATIONS: &str = "escalations";
+    /// Counter: jobs that ran in auto-format mode.
+    pub const AUTOTUNED_JOBS: &str = "autotuned_jobs";
+    /// Counter: auto-format jobs served from the decision cache.
+    pub const AUTOTUNE_DECISION_HITS: &str = "autotune_decision_hits";
+    /// Counter: auto-format jobs that fell back to the refinement ladder.
+    pub const AUTOTUNE_FALLBACKS: &str = "autotune_fallbacks";
+    /// Histogram (wall seconds): submission → dequeue.
+    pub const QUEUE_WAIT_S: &str = "queue_wait_s";
+    /// Histogram (wall seconds): submission → completion.
+    pub const LATENCY_S: &str = "latency_s";
+    /// Histogram (wall seconds): time inside the solver.
+    pub const SOLVE_S: &str = "solve_s";
+    /// Histogram (wall seconds): encode time, observed only for jobs that paid any
+    /// encoding (whole-matrix misses, shard misses, refinement-rung misses).
+    pub const ENCODE_S: &str = "encode_s";
+    /// Histogram (simulated seconds): per-job simulated chip time.
+    pub const SIMULATED_S: &str = "simulated_s";
+    /// Histogram (simulated seconds): inter-chip gather time of sharded jobs.
+    pub const REDUCTION_S: &str = "reduction_s";
+    /// Histogram (simulated seconds): host-side fp64 work.
+    pub const HOST_FP64_S: &str = "host_fp64_s";
+    /// Histogram (wall seconds): autotune analysis time, observed on decision-cache
+    /// misses only.
+    pub const ANALYSIS_S: &str = "analysis_s";
+    /// Gauge: scheduler queue-depth high-water mark.
+    pub const QUEUE_DEPTH_PEAK: &str = "queue_depth_peak";
+    /// Gauge: worker threads serving the client.
+    pub const WORKERS: &str = "workers";
+}
+
+/// Pre-fetched handles on every job-completion metric.
+///
+/// Workers create one set at startup and record through it, so the per-job hot path
+/// is atomic increments only — the registry's name-lookup locks are never touched
+/// after registration.  Registration also *creates* every metric, so a snapshot
+/// taken before the first job still carries the full (all-zero) vocabulary and
+/// dashboards never key-error on missing fields.
+#[derive(Debug)]
+pub struct JobMetricHandles {
+    jobs: Arc<Counter>,
+    converged: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_coalesced: Arc<Counter>,
+    simulated_cycles: Arc<Counter>,
+    remaps: Arc<Counter>,
+    sharded_jobs: Arc<Counter>,
+    rhs_total: Arc<Counter>,
+    refined_jobs: Arc<Counter>,
+    escalations: Arc<Counter>,
+    autotuned_jobs: Arc<Counter>,
+    autotune_decision_hits: Arc<Counter>,
+    autotune_fallbacks: Arc<Counter>,
+    queue_wait_s: Arc<Histogram>,
+    latency_s: Arc<Histogram>,
+    solve_s: Arc<Histogram>,
+    encode_s: Arc<Histogram>,
+    simulated_s: Arc<Histogram>,
+    reduction_s: Arc<Histogram>,
+    host_fp64_s: Arc<Histogram>,
+    analysis_s: Arc<Histogram>,
+}
+
+impl JobMetricHandles {
+    /// Fetches (creating if needed) every job-completion metric of `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        use metric_names as m;
+        // Ensure the cancellation counter exists too, even though it is incremented
+        // by the client (not per completed job).
+        let _ = registry.counter(m::JOBS_CANCELLED);
+        JobMetricHandles {
+            jobs: registry.counter(m::JOBS_COMPLETED),
+            converged: registry.counter(m::JOBS_CONVERGED),
+            cache_hits: registry.counter(m::CACHE_HITS),
+            cache_misses: registry.counter(m::CACHE_MISSES),
+            cache_coalesced: registry.counter(m::CACHE_COALESCED),
+            simulated_cycles: registry.counter(m::SIMULATED_CYCLES),
+            remaps: registry.counter(m::REMAPS),
+            sharded_jobs: registry.counter(m::SHARDED_JOBS),
+            rhs_total: registry.counter(m::RHS_TOTAL),
+            refined_jobs: registry.counter(m::REFINED_JOBS),
+            escalations: registry.counter(m::ESCALATIONS),
+            autotuned_jobs: registry.counter(m::AUTOTUNED_JOBS),
+            autotune_decision_hits: registry.counter(m::AUTOTUNE_DECISION_HITS),
+            autotune_fallbacks: registry.counter(m::AUTOTUNE_FALLBACKS),
+            queue_wait_s: registry.histogram_seconds(m::QUEUE_WAIT_S),
+            latency_s: registry.histogram_seconds(m::LATENCY_S),
+            solve_s: registry.histogram_seconds(m::SOLVE_S),
+            encode_s: registry.histogram_seconds(m::ENCODE_S),
+            simulated_s: registry.histogram_seconds(m::SIMULATED_S),
+            reduction_s: registry.histogram_seconds(m::REDUCTION_S),
+            host_fp64_s: registry.histogram_seconds(m::HOST_FP64_S),
+            analysis_s: registry.histogram_seconds(m::ANALYSIS_S),
+        }
+    }
+
+    /// Streams one completed job into the metrics (atomic operations only).
+    pub fn record(&self, job: &JobTelemetry) {
+        self.jobs.inc();
+        if job.converged {
+            self.converged.inc();
+        }
+        match job.cache {
+            CacheOutcomeKind::Hit => self.cache_hits.inc(),
+            CacheOutcomeKind::Miss => self.cache_misses.inc(),
+            CacheOutcomeKind::Coalesced => self.cache_coalesced.inc(),
+        }
+        self.simulated_cycles.add(job.simulated.cycles);
+        if job.simulated.remapped {
+            self.remaps.inc();
+        }
+        if job.shards > 1 {
+            self.sharded_jobs.inc();
+            self.reduction_s.observe(job.simulated.reduction_s);
+        }
+        self.rhs_total.add(job.rhs_count as u64);
+        if let Some(refinement) = &job.refinement {
+            self.refined_jobs.inc();
+            self.escalations.add(refinement.escalations as u64);
+        }
+        if let Some(autotune) = &job.autotune {
+            self.autotuned_jobs.inc();
+            if autotune.decision_cached {
+                self.autotune_decision_hits.inc();
+            }
+            if autotune.fell_back {
+                self.autotune_fallbacks.inc();
+            }
+            if autotune.analysis_s > 0.0 {
+                self.analysis_s.observe(autotune.analysis_s);
+            }
+        }
+        self.queue_wait_s.observe(job.queue_wait_s);
+        self.latency_s.observe(job.latency_s);
+        self.solve_s.observe(job.solve_s);
+        // A refined job can pay rung encodes even when its *base* rung was a hit, so
+        // key on the time actually spent, not on the job-level cache outcome.
+        if job.encode_s > 0.0 {
+            self.encode_s.observe(job.encode_s);
+        }
+        self.simulated_s.observe(job.simulated.total_s);
+        if job.simulated.host_fp64_s > 0.0 {
+            self.host_fp64_s.observe(job.simulated.host_fp64_s);
+        }
+    }
+}
 
 /// The cache outcome without the embedded timing (telemetry keeps timing separately).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +208,17 @@ pub enum CacheOutcomeKind {
     Miss,
     /// This job waited for a concurrent encode of the same key.
     Coalesced,
+}
+
+impl CacheOutcomeKind {
+    /// A stable lowercase label for trace details and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcomeKind::Hit => "hit",
+            CacheOutcomeKind::Miss => "miss",
+            CacheOutcomeKind::Coalesced => "coalesced",
+        }
+    }
 }
 
 impl From<CacheOutcome> for CacheOutcomeKind {
@@ -155,7 +357,9 @@ pub struct RuntimeReport {
     /// Jobs cancelled before a worker started them (they contribute nothing to any
     /// other counter: no cycles, no cache traffic, no latency samples).
     pub cancelled_jobs: usize,
-    /// Per-priority queue-wait statistics (only classes that saw jobs).
+    /// Per-priority queue-wait statistics.  Every class is always present (empty
+    /// lanes report 0 jobs and 0.0 waits), so dashboards keyed on a lane never
+    /// key-error when a class saw no traffic.
     pub per_priority: Vec<PriorityLane>,
     /// Cache counter increments during the batch.
     pub cache: CacheStats,
@@ -197,6 +401,10 @@ pub struct RuntimeReport {
     pub analysis_total_s: f64,
     /// Decision-cache counter increments during the batch.
     pub decisions: DecisionStats,
+    /// The full metrics snapshot the aggregation was derived from (the same
+    /// vocabulary [`SolveClient::metrics_snapshot`](crate::SolveClient::metrics_snapshot)
+    /// serves live).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Queue-wait statistics of one priority class.
@@ -246,6 +454,25 @@ impl RuntimeReport {
         queue_depth_peak: usize,
         cancelled_jobs: usize,
     ) -> Self {
+        // Replay every row through the same recording path live workers use, so the
+        // report's totals are *derived from* the metrics registry rather than being
+        // a second, independently maintained accumulation that could drift from it.
+        let registry = MetricsRegistry::new();
+        let handles = JobMetricHandles::register(&registry);
+        for job in jobs {
+            handles.record(job);
+        }
+        registry
+            .counter(metric_names::JOBS_CANCELLED)
+            .add(cancelled_jobs as u64);
+        registry
+            .gauge(metric_names::QUEUE_DEPTH_PEAK)
+            .set(queue_depth_peak as f64);
+        registry.gauge(metric_names::WORKERS).set(workers as f64);
+        let metrics = registry.snapshot();
+        let counter = |name: &str| metrics.counter(name).unwrap_or(0);
+        let hist_sum = |name: &str| metrics.histogram(name).map(|h| h.sum).unwrap_or(0.0);
+
         let latencies: Vec<f64> = jobs.iter().map(|j| j.latency_s).collect();
         let queue_waits: Vec<f64> = jobs.iter().map(|j| j.queue_wait_s).collect();
         let mut per_worker_jobs = vec![0u64; workers];
@@ -266,25 +493,26 @@ impl RuntimeReport {
                 }
             }
         }
+        // Every class gets a lane, traffic or not — consumers index by class.
         let per_priority = Priority::ALL
             .into_iter()
-            .filter_map(|priority| {
+            .map(|priority| {
                 let waits: Vec<f64> = jobs
                     .iter()
                     .filter(|j| j.priority == priority)
                     .map(|j| j.queue_wait_s)
                     .collect();
-                (!waits.is_empty()).then(|| PriorityLane {
+                PriorityLane {
                     priority,
                     jobs: waits.len(),
                     queue_wait_p50_s: percentile(&waits, 0.50),
                     queue_wait_p99_s: percentile(&waits, 0.99),
-                })
+                }
             })
             .collect();
         RuntimeReport {
-            jobs: jobs.len(),
-            converged: jobs.iter().filter(|j| j.converged).count(),
+            jobs: counter(metric_names::JOBS_COMPLETED) as usize,
+            converged: counter(metric_names::JOBS_CONVERGED) as usize,
             workers,
             wall_s,
             throughput_jobs_per_s: if wall_s > 0.0 {
@@ -306,45 +534,25 @@ impl RuntimeReport {
             cancelled_jobs,
             per_priority,
             cache,
-            // `Sum<f64>` over an empty iterator yields -0.0, which renders as
-            // "-0.000000"; fold from +0.0 instead.
-            encode_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.encode_s),
-            solve_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.solve_s),
-            simulated_cycles: jobs.iter().map(|j| j.simulated.cycles).sum(),
-            simulated_total_s: jobs.iter().fold(0.0, |acc, j| acc + j.simulated.total_s),
-            remaps: jobs.iter().filter(|j| j.simulated.remapped).count() as u64,
-            sharded_jobs: jobs.iter().filter(|j| j.shards > 1).count(),
-            rhs_total: jobs.iter().map(|j| j.rhs_count).sum(),
-            reduction_total_s: jobs
-                .iter()
-                .fold(0.0, |acc, j| acc + j.simulated.reduction_s),
+            encode_total_s: hist_sum(metric_names::ENCODE_S),
+            solve_total_s: hist_sum(metric_names::SOLVE_S),
+            simulated_cycles: counter(metric_names::SIMULATED_CYCLES),
+            simulated_total_s: hist_sum(metric_names::SIMULATED_S),
+            remaps: counter(metric_names::REMAPS),
+            sharded_jobs: counter(metric_names::SHARDED_JOBS) as usize,
+            rhs_total: counter(metric_names::RHS_TOTAL) as usize,
+            reduction_total_s: hist_sum(metric_names::REDUCTION_S),
             per_worker_jobs,
             unattributed_jobs,
-            refined_jobs: jobs.iter().filter(|j| j.refinement.is_some()).count(),
-            escalations: jobs
-                .iter()
-                .filter_map(|j| j.refinement.as_ref())
-                .map(|r| r.escalations as u64)
-                .sum(),
-            host_fp64_total_s: jobs
-                .iter()
-                .fold(0.0, |acc, j| acc + j.simulated.host_fp64_s),
-            autotuned_jobs: jobs.iter().filter(|j| j.autotune.is_some()).count(),
-            autotune_decision_hits: jobs
-                .iter()
-                .filter_map(|j| j.autotune.as_ref())
-                .filter(|a| a.decision_cached)
-                .count() as u64,
-            autotune_fallbacks: jobs
-                .iter()
-                .filter_map(|j| j.autotune.as_ref())
-                .filter(|a| a.fell_back)
-                .count() as u64,
-            analysis_total_s: jobs
-                .iter()
-                .filter_map(|j| j.autotune.as_ref())
-                .fold(0.0, |acc, a| acc + a.analysis_s),
+            refined_jobs: counter(metric_names::REFINED_JOBS) as usize,
+            escalations: counter(metric_names::ESCALATIONS),
+            host_fp64_total_s: hist_sum(metric_names::HOST_FP64_S),
+            autotuned_jobs: counter(metric_names::AUTOTUNED_JOBS) as usize,
+            autotune_decision_hits: counter(metric_names::AUTOTUNE_DECISION_HITS),
+            autotune_fallbacks: counter(metric_names::AUTOTUNE_FALLBACKS),
+            analysis_total_s: hist_sum(metric_names::ANALYSIS_S),
             decisions,
+            metrics,
         }
     }
 
@@ -377,23 +585,21 @@ impl RuntimeReport {
             self.queue_wait_p99_s * 1e3,
             self.queue_depth_peak,
         ));
-        if self.per_priority.len() > 1 {
-            for lane in &self.per_priority {
-                out.push_str(&format!(
-                    "  {:<13} {} jobs, wait p50 {:.2} ms   p99 {:.2} ms\n",
-                    lane.priority.label(),
-                    lane.jobs,
-                    lane.queue_wait_p50_s * 1e3,
-                    lane.queue_wait_p99_s * 1e3,
-                ));
-            }
-        }
-        if self.cancelled_jobs > 0 {
+        // Every lane prints, traffic or not — a dashboard scraping this output sees
+        // the same lines whether or not a class happened to receive jobs.
+        for lane in &self.per_priority {
             out.push_str(&format!(
-                "cancelled       {} jobs dequeued before starting (no chip time charged)\n",
-                self.cancelled_jobs
+                "  {:<13} {} jobs, wait p50 {:.2} ms   p99 {:.2} ms\n",
+                lane.priority.label(),
+                lane.jobs,
+                lane.queue_wait_p50_s * 1e3,
+                lane.queue_wait_p99_s * 1e3,
             ));
         }
+        out.push_str(&format!(
+            "cancelled       {} jobs dequeued before starting (no chip time charged)\n",
+            self.cancelled_jobs
+        ));
         out.push_str(&format!(
             "encode cache    {:.1}% hit rate ({} hits, {} coalesced, {} misses, {} evictions), {:.3} s encoding\n",
             self.hit_rate() * 100.0,
@@ -440,8 +646,163 @@ impl RuntimeReport {
                 "WARNING         {} jobs attributed to workers outside the pool\n",
                 self.unattributed_jobs
             ));
+        } else {
+            out.push_str("unattributed    0 jobs\n");
         }
         out
+    }
+}
+
+impl Serialize for PriorityLane {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "priority".to_string(),
+                Value::Str(self.priority.label().to_string()),
+            ),
+            ("jobs".to_string(), Value::Num(self.jobs as f64)),
+            (
+                "queue_wait_p50_s".to_string(),
+                Value::Num(self.queue_wait_p50_s),
+            ),
+            (
+                "queue_wait_p99_s".to_string(),
+                Value::Num(self.queue_wait_p99_s),
+            ),
+        ])
+    }
+}
+
+impl Serialize for RuntimeReport {
+    fn to_value(&self) -> Value {
+        let cache_stats = |hits: u64, misses: u64, coalesced: u64, evictions: u64| {
+            Value::Object(vec![
+                ("hits".to_string(), Value::Num(hits as f64)),
+                ("misses".to_string(), Value::Num(misses as f64)),
+                ("coalesced".to_string(), Value::Num(coalesced as f64)),
+                ("evictions".to_string(), Value::Num(evictions as f64)),
+            ])
+        };
+        Value::Object(vec![
+            ("jobs".to_string(), Value::Num(self.jobs as f64)),
+            ("converged".to_string(), Value::Num(self.converged as f64)),
+            ("workers".to_string(), Value::Num(self.workers as f64)),
+            ("wall_s".to_string(), Value::Num(self.wall_s)),
+            (
+                "throughput_jobs_per_s".to_string(),
+                Value::Num(self.throughput_jobs_per_s),
+            ),
+            ("latency_p50_s".to_string(), Value::Num(self.latency_p50_s)),
+            ("latency_p99_s".to_string(), Value::Num(self.latency_p99_s)),
+            (
+                "latency_mean_s".to_string(),
+                Value::Num(self.latency_mean_s),
+            ),
+            ("latency_max_s".to_string(), Value::Num(self.latency_max_s)),
+            (
+                "queue_wait_p50_s".to_string(),
+                Value::Num(self.queue_wait_p50_s),
+            ),
+            (
+                "queue_wait_p99_s".to_string(),
+                Value::Num(self.queue_wait_p99_s),
+            ),
+            (
+                "queue_depth_peak".to_string(),
+                Value::Num(self.queue_depth_peak as f64),
+            ),
+            (
+                "cancelled_jobs".to_string(),
+                Value::Num(self.cancelled_jobs as f64),
+            ),
+            (
+                "unattributed_jobs".to_string(),
+                Value::Num(self.unattributed_jobs as f64),
+            ),
+            (
+                "per_priority".to_string(),
+                Value::Array(self.per_priority.iter().map(|l| l.to_value()).collect()),
+            ),
+            (
+                "cache".to_string(),
+                cache_stats(
+                    self.cache.hits,
+                    self.cache.misses,
+                    self.cache.coalesced,
+                    self.cache.evictions,
+                ),
+            ),
+            (
+                "decisions".to_string(),
+                cache_stats(
+                    self.decisions.hits,
+                    self.decisions.misses,
+                    self.decisions.coalesced,
+                    self.decisions.evictions,
+                ),
+            ),
+            (
+                "encode_total_s".to_string(),
+                Value::Num(self.encode_total_s),
+            ),
+            ("solve_total_s".to_string(), Value::Num(self.solve_total_s)),
+            (
+                "simulated_cycles".to_string(),
+                Value::Num(self.simulated_cycles as f64),
+            ),
+            (
+                "simulated_total_s".to_string(),
+                Value::Num(self.simulated_total_s),
+            ),
+            ("remaps".to_string(), Value::Num(self.remaps as f64)),
+            (
+                "sharded_jobs".to_string(),
+                Value::Num(self.sharded_jobs as f64),
+            ),
+            ("rhs_total".to_string(), Value::Num(self.rhs_total as f64)),
+            (
+                "reduction_total_s".to_string(),
+                Value::Num(self.reduction_total_s),
+            ),
+            (
+                "per_worker_jobs".to_string(),
+                Value::Array(
+                    self.per_worker_jobs
+                        .iter()
+                        .map(|&n| Value::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "refined_jobs".to_string(),
+                Value::Num(self.refined_jobs as f64),
+            ),
+            (
+                "escalations".to_string(),
+                Value::Num(self.escalations as f64),
+            ),
+            (
+                "host_fp64_total_s".to_string(),
+                Value::Num(self.host_fp64_total_s),
+            ),
+            (
+                "autotuned_jobs".to_string(),
+                Value::Num(self.autotuned_jobs as f64),
+            ),
+            (
+                "autotune_decision_hits".to_string(),
+                Value::Num(self.autotune_decision_hits as f64),
+            ),
+            (
+                "autotune_fallbacks".to_string(),
+                Value::Num(self.autotune_fallbacks as f64),
+            ),
+            (
+                "analysis_total_s".to_string(),
+                Value::Num(self.analysis_total_s),
+            ),
+            ("metrics".to_string(), self.metrics.to_value()),
+        ])
     }
 }
 
@@ -576,7 +937,8 @@ mod tests {
         assert!((report.queue_wait_p99_s - 9e-4).abs() < 1e-12);
         assert_eq!(report.queue_depth_peak, 7);
         assert_eq!(report.cancelled_jobs, 2);
-        assert_eq!(report.per_priority.len(), 2);
+        // All three lanes are always present; the batch lane saw no traffic.
+        assert_eq!(report.per_priority.len(), 3);
         let interactive = &report.per_priority[0];
         assert_eq!(interactive.priority, Priority::Interactive);
         assert_eq!(interactive.jobs, 1);
@@ -584,11 +946,26 @@ mod tests {
         let standard = &report.per_priority[1];
         assert_eq!(standard.priority, Priority::Standard);
         assert_eq!(standard.jobs, 9);
+        let batch = &report.per_priority[2];
+        assert_eq!(batch.priority, Priority::Batch);
+        assert_eq!(batch.jobs, 0);
+        assert_eq!(batch.queue_wait_p99_s, 0.0);
+        // The metrics snapshot backs the aggregation and agrees with it.
+        assert_eq!(
+            report.metrics.counter(metric_names::JOBS_COMPLETED),
+            Some(report.jobs as u64)
+        );
+        assert_eq!(
+            report.metrics.counter(metric_names::JOBS_CANCELLED),
+            Some(2)
+        );
         let rendered = report.render();
         assert!(rendered.contains("p99"));
         assert!(rendered.contains("peak depth 7"));
         assert!(rendered.contains("interactive"));
+        assert!(rendered.contains("batch"));
         assert!(rendered.contains("cancelled       2 jobs"));
+        assert!(rendered.contains("unattributed    0 jobs"));
     }
 
     #[test]

@@ -10,12 +10,17 @@ use refloat_core::{OperatorShard, ReFloatConfig, ReFloatMatrix, ShardedReFloatMa
 use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
 use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
+use refloat_telemetry::{SpanKind, TraceSink};
+
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
 use crate::client::{ClientCore, QueuedTicket, TicketOutcome};
 use crate::decision::{DecisionKey, DecisionOutcome, FormatDecisionCache};
 use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
-use crate::telemetry::{AutotuneTelemetry, CacheOutcomeKind, JobTelemetry, RefinementTelemetry};
+use crate::telemetry::{
+    AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry, RefinementTelemetry,
+};
+use crate::trace_job::JobTrace;
 
 /// Runs until the client's scheduler closes and drains; one simulated accelerator
 /// per worker.  Completed outcomes resolve the job's ticket; a telemetry copy is
@@ -34,6 +39,9 @@ pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
     // across consecutive jobs on the same (matrix, format[, shard set]) so hot
     // traffic skips even the O(nnz) clone of the cached encoding.
     let mut programmed: Option<ProgrammedOp> = None;
+    // Handles on the client's live metrics registry: per-job recording below is
+    // atomic increments only, pollable mid-traffic via metrics_snapshot().
+    let metric_handles = JobMetricHandles::register(&core.metrics);
     while let Some(popped) = core.sched.pop() {
         let QueuedTicket {
             plan,
@@ -54,10 +62,12 @@ pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
                 core.chip_crossbars,
                 &mut accelerator,
                 &mut programmed,
+                core.trace.as_deref(),
             )
         }));
         match run {
             Ok(outcome) => {
+                metric_handles.record(&outcome.telemetry);
                 core.completed
                     .lock()
                     .expect("telemetry lock")
@@ -262,6 +272,7 @@ fn run_refined(
     cache: &EncodedMatrixCache,
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
+    jt: &mut JobTrace<'_>,
 ) -> RefinedOutcome {
     let csr = job.matrix.csr();
     // The ladder can only adopt a whole-matrix operator; a held sharded operator is
@@ -280,11 +291,40 @@ fn run_refined(
         seed,
     );
     let config = spec.refinement_config();
+    let solve_anchor = jt.now_s();
     let solve_started = Instant::now();
     let refined = refine(&mut CsrRef(csr), rhs, &mut ladder, &config);
     // Rung fetches (encode / coalesced wait / clone) interleave with the solve; keep
     // solver time clean of them.
     let solve_s = solve_started.elapsed().as_secs_f64() - ladder.fetch_s;
+    jt.span(SpanKind::Execute, solve_anchor, || {
+        format!(
+            "refined outer={} inner={} escalations={}",
+            refined.outer_iterations, refined.inner_iterations, refined.escalations
+        )
+    });
+    jt.instant(SpanKind::CacheLookup, || {
+        format!(
+            "outcome={} rung=base",
+            ladder.base_outcome.unwrap_or(CacheOutcomeKind::Hit).label()
+        )
+    });
+    if ladder.encode_s > 0.0 {
+        jt.span_backdated(SpanKind::Encode, ladder.encode_s, || {
+            "rung-encodes".to_string()
+        });
+    }
+    if jt.enabled() {
+        for pass in &refined.passes {
+            jt.instant(SpanKind::RefinementPass, || {
+                format!(
+                    "level={} inner_iterations={}",
+                    ladder.level_name(pass.level),
+                    pass.inner_iterations
+                )
+            });
+        }
+    }
 
     let pass_costs: Vec<RefinedPassCost> = refined
         .passes
@@ -357,8 +397,10 @@ fn run_plain(
     cache: &EncodedMatrixCache,
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
+    jt: &mut JobTrace<'_>,
 ) -> PlainOutcome {
     let key = job.cache_key();
+    let lookup_anchor = jt.now_s();
     let (encoded, cache_outcome) = cache.get_or_encode(key, || {
         ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
     });
@@ -366,6 +408,14 @@ fn run_plain(
         CacheOutcome::Miss { encode_seconds } => encode_seconds,
         CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
     };
+    jt.span(SpanKind::CacheLookup, lookup_anchor, || {
+        format!("outcome={}", CacheOutcomeKind::from(cache_outcome).label())
+    });
+    if encode_s > 0.0 {
+        jt.span_backdated(SpanKind::Encode, encode_s, || {
+            format!("blocks={}", encoded.num_blocks())
+        });
+    }
 
     // The worker needs a mutable operator (applying it mutates the converter
     // scratch), while the cache entry is shared and immutable.  Reuse the
@@ -378,12 +428,16 @@ fn run_plain(
         Some(ProgrammedOp::Whole(held_key, op)) if held_key == key => op,
         _ => (*encoded).clone(),
     };
+    let solve_anchor = jt.now_s();
     let solve_started = Instant::now();
     let results = job
         .solver
         .solve_batch(&mut operator, rhss, &job.solver_config);
     let solve_s = solve_started.elapsed().as_secs_f64();
     let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
+    jt.span(SpanKind::Execute, solve_anchor, || {
+        format!("rhs={} iterations={:?}", rhss.len(), iterations)
+    });
     let simulated = accelerator.execute_batch(
         key,
         &job.format,
@@ -411,6 +465,7 @@ fn run_sharded(
     cache: &EncodedMatrixCache,
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
+    jt: &mut JobTrace<'_>,
 ) -> PlainOutcome {
     let csr = job.matrix.csr();
     let parts = block_row_shards(csr, job.format.b, job.shards)
@@ -421,6 +476,7 @@ fn run_sharded(
     let mut encode_s = 0.0;
     let mut any_miss = false;
     let mut any_coalesced = false;
+    let lookup_anchor = jt.now_s();
     for part in &parts {
         let key = CacheKey::sharded(
             job.matrix.fingerprint(),
@@ -443,6 +499,21 @@ fn run_sharded(
         keys.push(key);
         cached.push(encoded);
     }
+    jt.span(SpanKind::CacheLookup, lookup_anchor, || {
+        format!(
+            "shards={count} outcome={}",
+            if any_miss {
+                "miss"
+            } else if any_coalesced {
+                "coalesced"
+            } else {
+                "hit"
+            }
+        )
+    });
+    if encode_s > 0.0 {
+        jt.span_backdated(SpanKind::Encode, encode_s, || format!("shards={count}"));
+    }
     // Adopt the worker's held multi-chip operator when it is exactly this shard set
     // (the cache lookups above still record the hits); assemble from clones of the
     // cached encodings otherwise.
@@ -462,17 +533,30 @@ fn run_sharded(
         ),
     };
 
+    let solve_anchor = jt.now_s();
     let solve_started = Instant::now();
     let results = job
         .solver
         .solve_batch(&mut operator, rhss, &job.solver_config);
     let solve_s = solve_started.elapsed().as_secs_f64();
     let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
+    jt.span(SpanKind::Execute, solve_anchor, || {
+        format!("rhs={} iterations={:?}", rhss.len(), iterations)
+    });
+    let shard_blocks = operator.shard_blocks();
+    let shard_rows = operator.shard_rows();
+    if jt.enabled() {
+        for (index, (blocks, rows)) in shard_blocks.iter().zip(shard_rows.iter()).enumerate() {
+            jt.instant(SpanKind::ShardExecute, || {
+                format!("shard={index} blocks={blocks} rows={rows}")
+            });
+        }
+    }
     let simulated = accelerator.execute_sharded(
         &keys,
         &job.format,
-        &operator.shard_blocks(),
-        &operator.shard_rows(),
+        &shard_blocks,
+        &shard_rows,
         &iterations,
         job.solver,
     );
@@ -494,6 +578,7 @@ fn run_sharded(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     queued: QueuedJob,
     cache: &EncodedMatrixCache,
@@ -501,6 +586,7 @@ fn execute_job(
     chip_crossbars: Option<u64>,
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
+    trace: Option<&TraceSink>,
 ) -> JobOutcome {
     let QueuedJob {
         id,
@@ -510,6 +596,13 @@ fn execute_job(
     } = queued;
     let dequeued_at = Instant::now();
     let queue_wait_s = dequeued_at.duration_since(submitted_at).as_secs_f64();
+    let mut jt = JobTrace::new(trace, id, accelerator.worker_id());
+    jt.span_backdated(SpanKind::QueueWait, queue_wait_s, || {
+        format!("priority={}", priority.label())
+    });
+    jt.instant(SpanKind::Dequeue, || {
+        format!("tenant={} matrix={}", job.tenant, job.matrix.name())
+    });
 
     // Resolve an auto-format job's actual format before anything touches the encode
     // cache: the decision is memoized under (fingerprint, b, tolerance, chip), so
@@ -529,6 +622,7 @@ fn execute_job(
             chip,
             job.solver,
         );
+        let analysis_anchor = jt.now_s();
         let (decision, outcome) = decisions.get_or_analyse(key, || {
             autotune::plan_format(
                 job.matrix.csr(),
@@ -542,6 +636,13 @@ fn execute_job(
             DecisionOutcome::Miss { analysis_seconds } => analysis_seconds,
             DecisionOutcome::Hit | DecisionOutcome::Coalesced => 0.0,
         };
+        jt.span(SpanKind::AutotuneAnalysis, analysis_anchor, || {
+            format!(
+                "cached={} format={}",
+                outcome.skipped_analysis(),
+                decision.format
+            )
+        });
         job.format = decision.format;
         // Re-couple the solver criterion to the auto-format tolerance: a
         // with_solver_config applied after with_auto_format may have overwritten it,
@@ -604,7 +705,7 @@ fn execute_job(
             "refined jobs are single-RHS and single-chip; the plan validator must \
              have rejected this"
         );
-        let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed);
+        let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed, &mut jt);
         (
             refined.result,
             Vec::new(),
@@ -617,9 +718,9 @@ fn execute_job(
         )
     } else {
         let plain = if job.shards > 1 {
-            run_sharded(&job, &rhss, cache, accelerator, programmed)
+            run_sharded(&job, &rhss, cache, accelerator, programmed, &mut jt)
         } else {
-            run_plain(&job, &rhss, cache, accelerator, programmed)
+            run_plain(&job, &rhss, cache, accelerator, programmed, &mut jt)
         };
         let mut results = plain.results.into_iter();
         let result = results.next().expect("one result per RHS");
@@ -648,7 +749,11 @@ fn execute_job(
         };
         check.total_s = check.host_fp64_s;
         simulated.absorb(&check);
+        let check_anchor = jt.now_s();
         let true_rel = csr.relative_residual(rhs, &result.x);
+        jt.span(SpanKind::HostFp64, check_anchor, || {
+            format!("true-residual-check simulated_s={:e}", check.host_fp64_s)
+        });
         if true_rel <= spec.tolerance {
             tele.achieved_relative_residual = true_rel;
             converged_override = Some(true);
@@ -662,6 +767,7 @@ fn execute_job(
                 cache,
                 accelerator,
                 programmed,
+                &mut jt,
             );
             tele.fell_back = true;
             tele.achieved_relative_residual = refined.telemetry.final_relative_residual;
@@ -673,6 +779,21 @@ fn execute_job(
             refinement = Some(refined.telemetry);
         }
     }
+
+    // The job's final simulated cost attribution, one instant per nonzero phase.
+    if jt.enabled() {
+        for event in simulated.cycle_events() {
+            jt.instant(SpanKind::ChipPhase, || {
+                format!(
+                    "phase={} cycles={} simulated_s={:e}",
+                    event.phase.label(),
+                    event.cycles,
+                    event.seconds
+                )
+            });
+        }
+    }
+    jt.flush();
 
     let telemetry = JobTelemetry {
         job_id: id,

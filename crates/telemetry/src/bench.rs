@@ -1,0 +1,224 @@
+//! The `BENCH_<area>.json` perf-trajectory schema.
+//!
+//! Each bench binary emits one small JSON file recording what was run (`config`) and
+//! what was measured (`metrics`, flat name → finite number).  The schema is stable and
+//! versioned so the CI validator ([`validate`]) fails the build when a bin drifts, and
+//! successive commits of the same file form a tracked performance trajectory that
+//! later PRs can diff against.
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "area": "runtime",
+//!   "generated_by": "serve_traffic",
+//!   "config": { "jobs": 96, "workers": 4 },
+//!   "metrics": { "jobs_per_s": 1234.5, "cache_hit_rate": 0.71 }
+//! }
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Serialize, Value};
+
+/// Version of the `BENCH_*.json` schema; bump when a field is renamed or removed.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Builder for one `BENCH_<area>.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    area: String,
+    generated_by: String,
+    config: Vec<(String, Value)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts a report for the given area (`runtime`, `encode`, ...) produced by the
+    /// named binary.
+    pub fn new(area: impl Into<String>, generated_by: impl Into<String>) -> Self {
+        BenchReport {
+            area: area.into(),
+            generated_by: generated_by.into(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records a numeric configuration entry (jobs, workers, seed, ...).
+    pub fn config_num(mut self, key: &str, value: f64) -> Self {
+        self.config.push((key.to_string(), Value::Num(value)));
+        self
+    }
+
+    /// Records a string configuration entry.
+    pub fn config_str(mut self, key: &str, value: &str) -> Self {
+        self.config
+            .push((key.to_string(), Value::Str(value.to_string())));
+        self
+    }
+
+    /// Records one measured metric.  Non-finite values are rejected here rather than
+    /// silently rendering as `null` and failing validation later.
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        assert!(
+            value.is_finite(),
+            "bench metric '{key}' must be finite, got {value}"
+        );
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    /// The canonical file name for this report's area.
+    pub fn file_name(&self) -> String {
+        file_name(&self.area)
+    }
+
+    /// Renders the schema-versioned value tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                Value::Num(BENCH_SCHEMA_VERSION as f64),
+            ),
+            ("area".to_string(), Value::Str(self.area.clone())),
+            (
+                "generated_by".to_string(),
+                Value::Str(self.generated_by.clone()),
+            ),
+            ("config".to_string(), Value::Object(self.config.clone())),
+            (
+                "metrics".to_string(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<area>.json` (pretty-printed) into `dir` and returns the path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let mut text =
+            serde_json::to_string_pretty(&self.to_value()).expect("bench report renders");
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+/// The canonical file name for a bench area: `BENCH_<area>.json`.
+pub fn file_name(area: &str) -> String {
+    format!("BENCH_{area}.json")
+}
+
+/// Validates a parsed `BENCH_*.json` value: schema version, identity fields, and the
+/// presence of each `required_metrics` entry as a finite number.  Returns a list of
+/// problems (empty = valid) so a checker can report every drift at once.
+pub fn validate(value: &Value, required_metrics: &[&str]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let field = |name: &str| value.field(name).ok().cloned().unwrap_or(Value::Null);
+
+    match field("schema_version") {
+        Value::Num(v) if v == BENCH_SCHEMA_VERSION as f64 => {}
+        Value::Num(v) => problems.push(format!(
+            "schema_version is {v}, expected {BENCH_SCHEMA_VERSION}"
+        )),
+        other => problems.push(format!("schema_version missing (found {})", other.kind())),
+    }
+    for key in ["area", "generated_by"] {
+        if !matches!(field(key), Value::Str(_)) {
+            problems.push(format!("'{key}' missing or not a string"));
+        }
+    }
+    if !matches!(field("config"), Value::Object(_)) {
+        problems.push("'config' missing or not an object".to_string());
+    }
+    match field("metrics") {
+        Value::Object(entries) => {
+            for required in required_metrics {
+                match entries.iter().find(|(k, _)| k == required) {
+                    // The serde_json shim renders non-finite numbers as null, so a
+                    // Null here means a bin emitted NaN/inf — flag it as drift.
+                    Some((_, Value::Num(v))) if v.is_finite() => {}
+                    Some((_, other)) => problems.push(format!(
+                        "metric '{required}' is {}, expected finite number",
+                        other.kind()
+                    )),
+                    None => problems.push(format!("required metric '{required}' missing")),
+                }
+            }
+        }
+        other => problems.push(format!("'metrics' missing (found {})", other.kind())),
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport::new("runtime", "serve_traffic")
+            .config_num("jobs", 96.0)
+            .config_str("mode", "quick")
+            .metric("jobs_per_s", 1234.5)
+            .metric("cache_hit_rate", 0.71)
+    }
+
+    #[test]
+    fn report_renders_and_validates() {
+        let value = sample().to_value();
+        assert_eq!(
+            validate(&value, &["jobs_per_s", "cache_hit_rate"]),
+            Vec::<String>::new()
+        );
+        let text = serde_json::to_string_pretty(&value).expect("renders");
+        let back: Value = serde_json::from_str(&text).expect("parses");
+        assert_eq!(validate(&back, &["jobs_per_s"]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validation_reports_every_drift() {
+        let value = Value::Object(vec![
+            ("schema_version".to_string(), Value::Num(99.0)),
+            ("area".to_string(), Value::Str("x".to_string())),
+            (
+                "metrics".to_string(),
+                Value::Object(vec![("bad".to_string(), Value::Null)]),
+            ),
+        ]);
+        let problems = validate(&value, &["bad", "gone"]);
+        assert_eq!(problems.len(), 5, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("schema_version")));
+        assert!(problems.iter().any(|p| p.contains("generated_by")));
+        assert!(problems.iter().any(|p| p.contains("'bad'")));
+        assert!(problems.iter().any(|p| p.contains("'gone'")));
+    }
+
+    #[test]
+    fn file_names_follow_the_bench_prefix() {
+        assert_eq!(sample().file_name(), "BENCH_runtime.json");
+        assert_eq!(file_name("spmv"), "BENCH_spmv.json");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_metrics_are_rejected_at_build_time() {
+        let _ = BenchReport::new("x", "y").metric("bad", f64::NAN);
+    }
+
+    #[test]
+    fn reports_write_to_disk() {
+        let dir = std::env::temp_dir().join("refloat_bench_schema_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = sample().write(&dir).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let back: Value = serde_json::from_str(&text).expect("parses");
+        assert_eq!(validate(&back, &["jobs_per_s"]), Vec::<String>::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

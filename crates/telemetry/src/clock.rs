@@ -1,0 +1,119 @@
+//! Clock sources for tracing, and the workspace's deterministic-clock contract.
+//!
+//! # The deterministic-clock contract
+//!
+//! The runtime reports time in two unrelated currencies, and every field is committed
+//! to exactly one of them:
+//!
+//! * **Wall-clock seconds** — measured on the host with [`std::time::Instant`] (or a
+//!   [`Clock`] implementation when tracing).  These fields describe how long the *host
+//!   harness* took and vary run to run: `queue_wait_s`, `encode_s`, `solve_s`,
+//!   `latency_s` in `JobTelemetry`, every percentile in `RuntimeReport`, and the
+//!   `start_s`/`end_s` of every [`TraceEvent`](crate::trace::TraceEvent).  They are
+//!   **never** folded into determinism digests.
+//! * **Simulated seconds** — derived from the Eq. 2/Eq. 3 cycle model of `reram-sim`
+//!   (`SimulatedRun`: `cycles`, `compute_s`, `stream_write_s`, `program_s`,
+//!   `reduction_s`, `host_fp64_s`, `total_s`).  These depend only on the matrix, the
+//!   format, and the accelerator config — they are bitwise reproducible across runs,
+//!   worker counts and machines, and *are* safe to digest.  Chip-phase cycle events
+//!   carry simulated seconds in their `detail` strings.
+//!
+//! Tests that assert byte-identical trace streams must therefore inject a
+//! [`ManualClock`] (and a single worker with a FIFO scheduler) so the wall-clock
+//! fields become reproducible too; production runs use [`WallClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic source of seconds for trace timestamps.
+///
+/// Implementations must be cheap and thread-safe: `now_s` is called several times per
+/// job on the worker hot path.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Seconds elapsed since the clock's epoch.
+    fn now_s(&self) -> f64;
+}
+
+/// Wall-clock time relative to the moment the clock was created.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A manually advanced clock for deterministic tests: `now_s` returns whatever the
+/// test last [`set`](ManualClock::set); it never moves on its own.
+///
+/// The value is stored as `f64` bits in an atomic, so a shared `Arc<ManualClock>` can
+/// be advanced from the test thread while workers read it.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a manual clock reading 0.0 seconds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current reading, in seconds.
+    pub fn set(&self, seconds: f64) {
+        self.bits.store(seconds.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Advances the current reading by `seconds`.
+    pub fn advance(&self, seconds: f64) {
+        self.set(self.now_s() + seconds);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_s(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_s();
+        let b = c.now_s();
+        assert!(b >= a && a >= 0.0);
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_s(), 0.0);
+        c.set(1.5);
+        assert_eq!(c.now_s(), 1.5);
+        c.advance(0.25);
+        assert_eq!(c.now_s(), 1.75);
+        assert_eq!(c.now_s(), 1.75);
+    }
+}

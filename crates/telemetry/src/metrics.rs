@@ -1,0 +1,492 @@
+//! A lock-minimal metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Hot-path updates (`Counter::inc`, `Histogram::observe`, ...) are plain atomic
+//! operations on pre-fetched `Arc` handles — the registry's internal mutexes are only
+//! taken when a metric is first created or when a [`MetricsSnapshot`] is assembled, so
+//! workers never contend with each other or with a polling client.
+//!
+//! Histograms use *fixed* bucket bounds, which makes cross-worker aggregation a plain
+//! element-wise sum: [`HistogramSnapshot::merge`] is associative and commutative, so
+//! per-worker histograms can be combined in any order with identical results.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Serialize, Value};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current reading.
+    pub fn set_max(&self, value: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value > f64::from_bits(bits)).then(|| value.to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (and `> bounds[i-1]`); one extra
+/// overflow bucket counts everything above the last bound.  Bounds are fixed at
+/// construction, so two histograms with the same bounds merge by summing buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Arc<[f64]>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given ascending bucket upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// Default bounds for latency-style observations in seconds: 1/2/5 steps from
+    /// 100 ns to 100 s (values above 100 s land in the overflow bucket).
+    pub fn seconds_bounds() -> Vec<f64> {
+        let mut bounds = Vec::new();
+        for exp in -7..=2_i32 {
+            for mantissa in [1.0, 2.0, 5.0] {
+                bounds.push(mantissa * 10.0_f64.powi(exp));
+            }
+        }
+        bounds
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        // First bound >= value; boundary values land in the bucket they bound.
+        let idx = self.bounds.partition_point(|b| *b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable histogram state: per-bucket counts plus total count and sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (the overflow bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (last is overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile estimate, reported as the upper bound of the bucket
+    /// containing the rank (overflow observations clamp to the last bound).
+    /// Returns 0.0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+
+    /// Mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Element-wise sum of two snapshots with identical bounds.
+    ///
+    /// Associative and commutative, so per-worker histograms combine in any order.
+    /// Panics if the bounds differ (histograms from different registries must be
+    /// created with the same bucket layout to be aggregatable).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_string(), self.count.to_value()),
+            ("sum".to_string(), self.sum.to_value()),
+            ("p50".to_string(), self.percentile(50.0).to_value()),
+            ("p99".to_string(), self.percentile(99.0).to_value()),
+            ("bounds".to_string(), self.bounds.to_value()),
+            ("counts".to_string(), self.counts.to_value()),
+        ])
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create and return shared handles; fetch
+/// them once per worker and update through the handle so the hot path never touches
+/// the registry locks.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter with this name, creating it if needed.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the gauge with this name, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram with this name, creating it with the given bounds if
+    /// needed (an existing histogram keeps its original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Returns a seconds-scale histogram ([`Histogram::seconds_bounds`]).
+    pub fn histogram_seconds(&self, name: &str) -> Arc<Histogram> {
+        self.histogram(name, &Histogram::seconds_bounds())
+    }
+
+    /// A consistent, name-sorted snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], with entries sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// True when no metric has been registered at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let section = |fields: Vec<(String, Value)>| Value::Object(fields);
+        Value::Object(vec![
+            (
+                "counters".to_string(),
+                section(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                section(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                section(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_update_through_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("jobs");
+        let b = reg.counter("jobs");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("jobs").get(), 3);
+
+        let g = reg.gauge("depth");
+        g.set(4.0);
+        g.set_max(2.0);
+        assert_eq!(g.get(), 4.0);
+        g.set_max(9.5);
+        assert_eq!(reg.gauge("depth").get(), 9.5);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.percentile(50.0), 0.0);
+        assert_eq!(snap.percentile(99.0), 0.0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_reports_its_bucket_for_every_percentile() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1, 1.0]);
+        h.observe(0.05);
+        let snap = h.snapshot();
+        for p in [0.1, 50.0, 99.0, 100.0] {
+            assert_eq!(snap.percentile(p), 0.1, "p={p}");
+        }
+        assert_eq!(snap.mean(), 0.05);
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_bucket_they_bound() {
+        let h = Histogram::new(&[1.0, 2.0, 5.0]);
+        h.observe(1.0); // exactly on a bound: bucket 0 (v <= 1.0)
+        h.observe(2.0);
+        h.observe(5.0);
+        h.observe(7.0); // above the last bound: overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 1, 1, 1]);
+        // Overflow observations clamp to the last bound in percentile estimates.
+        assert_eq!(snap.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let bounds = [0.5, 1.0, 2.0];
+        let mk = |values: &[f64]| {
+            let h = Histogram::new(&bounds);
+            for v in values {
+                h.observe(*v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[0.1, 0.6, 3.0]);
+        let b = mk(&[1.5]);
+        let c = mk(&[0.4, 0.4, 2.0, 9.0]);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        let all = a.merge(&b).merge(&c);
+        assert_eq!(all.count, 8);
+        assert_eq!(all.counts.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[1.0]).snapshot();
+        let b = Histogram::new(&[2.0]).snapshot();
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn seconds_bounds_are_ascending_and_span_ns_to_minutes() {
+        let bounds = Histogram::seconds_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(bounds[0] <= 1e-6);
+        assert!(*bounds.last().expect("non-empty") >= 100.0);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_last").inc();
+        reg.counter("a_first").add(5);
+        reg.gauge("mid").set(1.5);
+        reg.histogram_seconds("lat").observe(0.01);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a_first", "z_last"]
+        );
+        assert_eq!(snap.counter("a_first"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("mid"), Some(1.5));
+        assert_eq!(snap.histogram("lat").expect("present").count, 1);
+        assert!(!snap.is_empty());
+        assert!(MetricsRegistry::new().snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs").add(3);
+        reg.histogram("lat", &[1.0]).observe(0.5);
+        let text = serde_json::to_string(&reg.snapshot()).expect("renders");
+        assert!(text.contains("\"jobs\":3"));
+        assert!(text.contains("\"histograms\""));
+        let back: Value = serde_json::from_str(&text).expect("parses");
+        assert_eq!(
+            back.field("counters").and_then(|c| c.field("jobs")).ok(),
+            Some(&Value::Num(3.0))
+        );
+    }
+}

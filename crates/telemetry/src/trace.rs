@@ -1,0 +1,265 @@
+//! Span/event tracing: typed per-job events collected into a shared [`TraceSink`] and
+//! exported as JSON-lines.
+//!
+//! Workers accumulate the events of one job locally (no contention) and flush them to
+//! the sink in a single batch when the job completes, so tracing cost on the hot path
+//! is one mutex acquisition per *job*, not per event.  Events are exported sorted by
+//! `(job_id, seq)`, which is deterministic for a fixed worker count even though the
+//! flush interleaving between workers is not.
+
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::clock::{Clock, WallClock};
+
+/// What a trace event describes.  One variant per instrumented stage of a job's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Time between submission and a worker dequeuing the job.
+    QueueWait,
+    /// Instant event: the scheduler handed the job to a worker.
+    Dequeue,
+    /// Encoded-matrix cache lookup (detail says hit / miss / coalesced).
+    CacheLookup,
+    /// ReFloat block encoding performed on a cache miss.
+    Encode,
+    /// The solve itself (all iterations on the simulated accelerator).
+    Execute,
+    /// One shard of a multi-chip solve.
+    ShardExecute,
+    /// One rung of the mixed-precision refinement ladder.
+    RefinementPass,
+    /// Autotune format analysis (probe solves + scoring).
+    AutotuneAnalysis,
+    /// Host-side fp64 residual work (true-residual checks, refinement residuals).
+    HostFp64,
+    /// A simulated chip-phase cycle event (program / compute / stream-write / ...).
+    ChipPhase,
+}
+
+impl SpanKind {
+    /// All kinds, in serialization-label order.
+    pub const ALL: [SpanKind; 10] = [
+        SpanKind::QueueWait,
+        SpanKind::Dequeue,
+        SpanKind::CacheLookup,
+        SpanKind::Encode,
+        SpanKind::Execute,
+        SpanKind::ShardExecute,
+        SpanKind::RefinementPass,
+        SpanKind::AutotuneAnalysis,
+        SpanKind::HostFp64,
+        SpanKind::ChipPhase,
+    ];
+
+    /// The stable string label used in JSONL exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Dequeue => "dequeue",
+            SpanKind::CacheLookup => "cache_lookup",
+            SpanKind::Encode => "encode",
+            SpanKind::Execute => "execute",
+            SpanKind::ShardExecute => "shard_execute",
+            SpanKind::RefinementPass => "refinement_pass",
+            SpanKind::AutotuneAnalysis => "autotune_analysis",
+            SpanKind::HostFp64 => "host_fp64",
+            SpanKind::ChipPhase => "chip_phase",
+        }
+    }
+
+    /// Parses a label produced by [`SpanKind::label`].
+    pub fn from_label(label: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+// The serde_derive shim only handles plain named-field structs, so the enum carries
+// hand-written impls (serialized as its stable string label).
+impl Serialize for SpanKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for SpanKind {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(s) => SpanKind::from_label(s)
+                .ok_or_else(|| serde::Error::new(format!("unknown span kind '{s}'"))),
+            other => Err(serde::Error::new(format!(
+                "expected span-kind string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// One traced span or instant event.
+///
+/// `start_s`/`end_s` are **wall-clock** seconds from the sink's [`Clock`] (see the
+/// [`crate::clock`] contract); instant events have `start_s == end_s`.  `seq` numbers
+/// events within one job in emission order, so sorting by `(job_id, seq)` reconstructs
+/// each job's timeline regardless of worker interleaving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The job this event belongs to.
+    pub job_id: u64,
+    /// Emission order within the job (0-based).
+    pub seq: u32,
+    /// The worker that emitted the event, if any.
+    pub worker: Option<u64>,
+    /// What the event describes.
+    pub kind: SpanKind,
+    /// Span start, wall-clock seconds since the clock epoch.
+    pub start_s: f64,
+    /// Span end, wall-clock seconds since the clock epoch.
+    pub end_s: f64,
+    /// Free-form `key=value` details (deterministic content only).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Span duration in seconds (0 for instant events).
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// A shared collector of [`TraceEvent`]s.
+///
+/// Cloned (via `Arc`) into the runtime config; workers flush per-job batches with
+/// [`record_batch`](TraceSink::record_batch).
+#[derive(Debug)]
+pub struct TraceSink {
+    clock: Arc<dyn Clock>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// Creates a sink reading timestamps from the given clock.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        TraceSink {
+            clock,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a sink on a fresh [`WallClock`] (the production default).
+    pub fn wall() -> Self {
+        Self::new(Arc::new(WallClock::new()))
+    }
+
+    /// Current reading of the sink's clock, in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// Records a single event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+
+    /// Records a whole job's events with one lock acquisition.
+    pub fn record_batch(&self, batch: Vec<TraceEvent>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .extend(batch);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All events so far, sorted by `(job_id, seq)` — the canonical export order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.lock().expect("trace sink poisoned").clone();
+        events.sort_by_key(|e| (e.job_id, e.seq));
+        events
+    }
+
+    /// Exports the canonical snapshot as JSON-lines (one compact object per line).
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&serde_json::to_string(&event).expect("trace event renders"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a JSON-lines trace export back into events (blank lines are skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn event(job_id: u64, seq: u32, kind: SpanKind) -> TraceEvent {
+        TraceEvent {
+            job_id,
+            seq,
+            worker: Some(1),
+            kind,
+            start_s: 0.5,
+            end_s: 1.25,
+            detail: format!("kind={}", kind.label()),
+        }
+    }
+
+    #[test]
+    fn kinds_round_trip_through_labels() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_sorts_by_job_then_seq() {
+        let sink = TraceSink::new(Arc::new(ManualClock::new()));
+        sink.record(event(2, 0, SpanKind::Execute));
+        sink.record_batch(vec![
+            event(1, 1, SpanKind::Execute),
+            event(1, 0, SpanKind::QueueWait),
+        ]);
+        let order: Vec<(u64, u32)> = sink.snapshot().iter().map(|e| (e.job_id, e.seq)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let sink = TraceSink::wall();
+        sink.record(event(7, 0, SpanKind::CacheLookup));
+        sink.record(event(7, 1, SpanKind::ChipPhase));
+        let text = sink.export_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).expect("parses");
+        assert_eq!(back, sink.snapshot());
+    }
+
+    #[test]
+    fn instant_events_have_zero_duration() {
+        let mut e = event(1, 0, SpanKind::Dequeue);
+        e.end_s = e.start_s;
+        assert_eq!(e.duration_s(), 0.0);
+    }
+}

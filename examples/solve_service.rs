@@ -2,7 +2,8 @@
 //! share two matrices at different precisions and urgencies.  Interactive traffic
 //! jumps the queue, a batch job rides along without starving, a queued job is
 //! cancelled before it starts, and the shared encoded-matrix cache deduplicates
-//! quantization work across all of it.
+//! quantization work across all of it.  Mid-traffic, the live metrics registry is
+//! polled without draining anything.
 //!
 //! Run with: `cargo run --release --example solve_service`
 
@@ -77,6 +78,19 @@ fn main() {
         let outcome = ticket.wait().completed().expect("ran to completion");
         assert!(outcome.result.converged());
     }
+
+    // Live observability: poll the metrics registry mid-traffic.  No drain, no
+    // shutdown — the snapshot is a lock-free read of the same counters the final
+    // report aggregates, and the full vocabulary exists even for idle metrics.
+    let live = client.metrics_snapshot();
+    let done = live
+        .counter(refloat::runtime::metric_names::JOBS_COMPLETED)
+        .expect("registered at startup");
+    let hits = live
+        .counter(refloat::runtime::metric_names::CACHE_HITS)
+        .expect("registered at startup");
+    println!("live snapshot: {done} jobs completed, {hits} cache hits so far\n");
+    assert!(done >= 28, "all collected jobs are visible live");
 
     // An invalid plan is a typed error listing every conflict — never a panic.
     let err = SolvePlan::new("mallory", poisson.clone(), wide)

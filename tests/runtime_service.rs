@@ -134,6 +134,23 @@ fn two_runs_of_the_same_batch_agree_bitwise() {
         let bits_b: Vec<u64> = jb.result.x.iter().map(|v| v.to_bits()).collect();
         assert_eq!(bits_a, bits_b);
     }
+
+    // Turning tracing on must not perturb the numerics: a third run with a live
+    // TraceSink agrees bitwise with the untraced runs, and actually traced.
+    let sink = Arc::new(refloat::runtime::TraceSink::wall());
+    let traced = SolveRuntime::new(RuntimeConfig {
+        workers: 4,
+        trace: Some(sink.clone()),
+        ..Default::default()
+    })
+    .run_batch(trace_plans(30));
+    assert!(!sink.is_empty(), "tracing was enabled but recorded nothing");
+    for (ja, jt) in a.jobs.iter().zip(traced.jobs.iter()) {
+        assert_eq!(ja.result.iterations, jt.result.iterations);
+        let bits_a: Vec<u64> = ja.result.x.iter().map(|v| v.to_bits()).collect();
+        let bits_t: Vec<u64> = jt.result.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_t, "tracing changed job {} numerics", ja.job_id);
+    }
 }
 
 #[test]
@@ -213,9 +230,18 @@ fn skewed_traffic_reaches_a_high_hit_rate_and_sane_report() {
     assert!(report.queue_depth_peak >= 1);
     assert!(report.queue_depth_peak <= 16);
     assert_eq!(report.cancelled_jobs, 0);
-    // All trace traffic is standard priority: exactly one lane.
-    assert_eq!(report.per_priority.len(), 1);
-    assert_eq!(report.per_priority[0].jobs, 64);
+    // All trace traffic is standard priority; every lane is reported regardless.
+    assert_eq!(report.per_priority.len(), 3);
+    let standard = report
+        .per_priority
+        .iter()
+        .find(|lane| lane.priority == Priority::Standard)
+        .expect("standard lane present");
+    assert_eq!(standard.jobs, 64);
+    assert!(report
+        .per_priority
+        .iter()
+        .all(|lane| lane.priority == Priority::Standard || lane.jobs == 0));
     assert!(report.simulated_cycles > 0);
     assert!(report.simulated_total_s > 0.0);
     let rendered = report.render();
@@ -974,7 +1000,8 @@ fn sustained_interactive_load_does_not_starve_batch_jobs() {
     );
     let report = client.shutdown();
     assert_eq!(report.jobs, 41);
-    assert_eq!(report.per_priority.len(), 2);
+    // Interactive and batch saw traffic; the standard lane still reports (empty).
+    assert_eq!(report.per_priority.len(), 3);
 }
 
 #[test]
