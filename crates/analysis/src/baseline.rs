@@ -1,0 +1,239 @@
+//! The committed findings baseline: grandfathered `(lint, file) → count` entries.
+//!
+//! The baseline is the bridge between "the auditor exists" and "the tree is clean":
+//! pre-existing findings are recorded here so the CI gate can fail on *new* findings
+//! immediately, while the recorded debt is paid down over subsequent PRs.  The gate
+//! fails on drift in **either** direction — a fixed finding whose entry is not
+//! removed is as much an error as a new finding — so the file can only shrink
+//! truthfully.  Per-site `// refloat-analysis: allow(<lint>)` comments are the other
+//! mechanism: those are *permanent, justified* exceptions reviewed in context, while
+//! baseline entries are temporary debt.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Lint, Severity};
+use crate::toml;
+
+/// The key of one baseline entry.
+pub type BaselineKey = (Lint, String);
+
+/// The committed baseline: `(lint, file) → expected finding count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Expected error-severity finding counts.
+    pub counts: BTreeMap<BaselineKey, u64>,
+}
+
+/// One difference between the committed baseline and the current findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// More findings than the baseline records: new debt was added.
+    New {
+        /// The lint.
+        lint: Lint,
+        /// The file.
+        file: String,
+        /// Findings the baseline allows (0 when unlisted).
+        expected: u64,
+        /// Findings observed.
+        actual: u64,
+    },
+    /// Fewer findings than the baseline records: the entry is stale and must be
+    /// removed (regenerate with `--write-baseline`).
+    Stale {
+        /// The lint.
+        lint: Lint,
+        /// The file.
+        file: String,
+        /// Findings the baseline still records.
+        expected: u64,
+        /// Findings observed.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::New {
+                lint,
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "NEW  [{lint}] {file}: {actual} finding(s), baseline allows {expected} — \
+                 fix the code or add a justified `// refloat-analysis: allow({lint})`"
+            ),
+            Drift::Stale {
+                lint,
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "STALE [{lint}] {file}: baseline records {expected} but only {actual} remain — \
+                 regenerate the baseline (analysis_check --write-baseline)"
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Builds the baseline that exactly matches `diagnostics` (error severity only;
+    /// warnings are never baselined — they do not gate).
+    pub fn from_diagnostics(diagnostics: &[Diagnostic]) -> Baseline {
+        let mut counts: BTreeMap<BaselineKey, u64> = BTreeMap::new();
+        for d in diagnostics {
+            if d.severity == Severity::Error {
+                *counts.entry((d.lint, d.file.clone())).or_insert(0) += 1;
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Compares current `diagnostics` against this baseline.  Empty result ⇔ the
+    /// gate passes.
+    pub fn drift(&self, diagnostics: &[Diagnostic]) -> Vec<Drift> {
+        let actual = Baseline::from_diagnostics(diagnostics);
+        let mut out = Vec::new();
+        let keys: std::collections::BTreeSet<&BaselineKey> =
+            self.counts.keys().chain(actual.counts.keys()).collect();
+        for key in keys {
+            let expected = self.counts.get(key).copied().unwrap_or(0);
+            let observed = actual.counts.get(key).copied().unwrap_or(0);
+            let (lint, file) = (key.0, key.1.clone());
+            if observed > expected {
+                out.push(Drift::New {
+                    lint,
+                    file,
+                    expected,
+                    actual: observed,
+                });
+            } else if observed < expected {
+                out.push(Drift::Stale {
+                    lint,
+                    file,
+                    expected,
+                    actual: observed,
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the canonical baseline file (sorted, fixed header).  `emit ∘ parse`
+    /// of an emitter-produced file is byte-identical.
+    pub fn emit(&self) -> String {
+        let mut out = String::from(
+            "# refloat-analysis baseline: grandfathered findings as (lint, file) -> count.\n\
+             # Regenerate with: cargo run -p refloat-analysis --bin analysis_check -- --write-baseline\n\
+             # Policy: new code never adds findings.  The CI gate fails on drift in either\n\
+             # direction, so fixing a finding requires removing its entry here too.\n",
+        );
+        for ((lint, file), count) in &self.counts {
+            out.push_str(&format!(
+                "\n[[finding]]\nlint = {}\nfile = {}\ncount = {}\n",
+                toml::quote(lint.id()),
+                toml::quote(file),
+                count
+            ));
+        }
+        out
+    }
+
+    /// Parses a baseline file produced by [`emit`](Baseline::emit).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = toml::parse(text).map_err(|e| e.to_string())?;
+        let mut counts = BTreeMap::new();
+        for (name, table) in &doc.tables {
+            if name != "finding" {
+                return Err(format!("unexpected table [[{name}]] in baseline"));
+            }
+            let lint_id = table
+                .get_str("lint")
+                .ok_or_else(|| "baseline entry missing `lint`".to_string())?;
+            let lint = Lint::from_id(lint_id)
+                .ok_or_else(|| format!("unknown lint id {lint_id:?} in baseline"))?;
+            let file = table
+                .get_str("file")
+                .ok_or_else(|| "baseline entry missing `file`".to_string())?
+                .to_string();
+            let count = table
+                .get_int("count")
+                .ok_or_else(|| "baseline entry missing `count`".to_string())?;
+            if counts.insert((lint, file.clone()), count).is_some() {
+                return Err(format!("duplicate baseline entry for ({lint_id}, {file})"));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: Lint, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            span: String::new(),
+            lint,
+            severity: Severity::Error,
+            message: "m".to_string(),
+            suggestion: String::new(),
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip_is_byte_identical() {
+        let diags = vec![
+            diag(Lint::PanicInServicePath, "crates/runtime/src/worker.rs", 3),
+            diag(Lint::PanicInServicePath, "crates/runtime/src/worker.rs", 9),
+            diag(Lint::UnorderedIteration, "crates/core/src/autotune.rs", 1),
+        ];
+        let baseline = Baseline::from_diagnostics(&diags);
+        let text = baseline.emit();
+        let reparsed = Baseline::parse(&text).unwrap();
+        assert_eq!(reparsed, baseline);
+        assert_eq!(reparsed.emit(), text, "emit ∘ parse must be byte-identical");
+    }
+
+    #[test]
+    fn empty_baseline_round_trips_too() {
+        let baseline = Baseline::default();
+        let text = baseline.emit();
+        assert_eq!(Baseline::parse(&text).unwrap().emit(), text);
+    }
+
+    #[test]
+    fn drift_flags_new_and_stale_in_both_directions() {
+        let committed = Baseline::from_diagnostics(&[
+            diag(Lint::PanicInServicePath, "a.rs", 1),
+            diag(Lint::PanicInServicePath, "a.rs", 2),
+            diag(Lint::UnorderedIteration, "b.rs", 1),
+        ]);
+        // One a.rs finding fixed (stale), one brand-new c.rs finding (new).
+        let current = vec![
+            diag(Lint::PanicInServicePath, "a.rs", 1),
+            diag(Lint::UnorderedIteration, "b.rs", 1),
+            diag(Lint::WallClockInDeterministicPath, "c.rs", 5),
+        ];
+        let drift = committed.drift(&current);
+        assert_eq!(drift.len(), 2);
+        assert!(drift
+            .iter()
+            .any(|d| matches!(d, Drift::Stale { file, .. } if file == "a.rs")));
+        assert!(drift
+            .iter()
+            .any(|d| matches!(d, Drift::New { file, .. } if file == "c.rs")));
+    }
+
+    #[test]
+    fn warnings_are_never_baselined() {
+        let mut d = diag(Lint::PanicInServicePath, "a.rs", 1);
+        d.severity = Severity::Warn;
+        assert!(Baseline::from_diagnostics(&[d]).counts.is_empty());
+    }
+}

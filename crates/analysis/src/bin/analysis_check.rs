@@ -1,0 +1,142 @@
+//! The CI gate: scan the workspace, diff against `analysis-baseline.toml`.
+//!
+//! ```text
+//! analysis_check [--root PATH] [--write-baseline] [--report PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` baseline drift (new or stale findings), `2` I/O or
+//! usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use refloat_analysis::baseline::Baseline;
+use refloat_analysis::diag::Severity;
+use refloat_analysis::engine;
+
+const BASELINE_FILE: &str = "analysis-baseline.toml";
+
+struct Args {
+    root: PathBuf,
+    write_baseline: bool,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        write_baseline: false,
+        report: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: analysis_check [--root PATH] [--write-baseline] [--report PATH]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match engine::analyze_workspace(&args.root) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("analysis_check: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let errors = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warns = analysis.diagnostics.len() - errors;
+
+    if args.write_baseline {
+        let fresh = Baseline::from_diagnostics(&analysis.diagnostics);
+        if let Err(e) = std::fs::write(args.root.join(BASELINE_FILE), fresh.emit()) {
+            eprintln!("analysis_check: writing {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "analysis_check: wrote {BASELINE_FILE} ({} grandfathered finding(s) across {} files)",
+            errors, analysis.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = args.root.join(BASELINE_FILE);
+    let committed = if baseline_path.is_file() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("analysis_check: reading {BASELINE_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("analysis_check: {BASELINE_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+    let drift = committed.drift(&analysis.diagnostics);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "refloat-analysis report: {} file(s) scanned, {} error(s), {} warning(s), {} drift\n",
+        analysis.files_scanned,
+        errors,
+        warns,
+        drift.len()
+    ));
+    for d in &analysis.diagnostics {
+        report.push_str(&format!("{d}\n"));
+    }
+    for d in &drift {
+        report.push_str(&format!("{d}\n"));
+    }
+    print!("{report}");
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("analysis_check: writing report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if drift.is_empty() {
+        println!("analysis_check: OK (clean against {BASELINE_FILE})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "analysis_check: FAILED — {} finding(s) drifted from {BASELINE_FILE}",
+            drift.len()
+        );
+        ExitCode::FAILURE
+    }
+}

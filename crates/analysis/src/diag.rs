@@ -1,0 +1,150 @@
+//! Typed diagnostics: lint identities, severities, and the finding record.
+
+use std::fmt;
+
+/// The identity of one lint.  The stable string id (used in suppression comments,
+/// baseline entries and reports) is [`Lint::id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// `Instant::now` / `SystemTime` / `.elapsed()` outside `telemetry::clock` —
+    /// host time must flow through the injected `Clock` so a `ManualClock` run is
+    /// bitwise reproducible.
+    WallClockInDeterministicPath,
+    /// `HashMap` / `HashSet` in non-test code: iteration order is randomized per
+    /// process, which silently breaks digests, reports and LRU victim scans.
+    UnorderedIteration,
+    /// `.sum::<f64>()` / `fold(0.0, +)` float accumulation outside `vecops`, where
+    /// the pairwise/Kahan reductions live.
+    NaiveFloatAccumulation,
+    /// `unwrap()` / `expect()` / `panic!` / indexing in the runtime service path,
+    /// where every panic becomes a degraded (Failed) job.
+    PanicInServicePath,
+    /// A lock acquisition graph cycle, or a nested acquisition that inverts the
+    /// order declared in `lock_order.toml`.
+    LockOrder,
+    /// A non-vendor crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafeMissing,
+}
+
+impl Lint {
+    /// Every lint, in id order.
+    pub const ALL: [Lint; 6] = [
+        Lint::WallClockInDeterministicPath,
+        Lint::UnorderedIteration,
+        Lint::NaiveFloatAccumulation,
+        Lint::PanicInServicePath,
+        Lint::LockOrder,
+        Lint::ForbidUnsafeMissing,
+    ];
+
+    /// The stable string id used in `// refloat-analysis: allow(<id>)` comments,
+    /// baseline entries and reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::WallClockInDeterministicPath => "wall-clock-in-deterministic-path",
+            Lint::UnorderedIteration => "unordered-iteration",
+            Lint::NaiveFloatAccumulation => "naive-float-accumulation",
+            Lint::PanicInServicePath => "panic-in-service-path",
+            Lint::LockOrder => "lock-order",
+            Lint::ForbidUnsafeMissing => "forbid-unsafe-missing",
+        }
+    }
+
+    /// Parses a stable string id.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.id() == id)
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How a finding gates the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, never gated: candidate for cleanup, too noisy to block on.
+    Warn,
+    /// Gated through the baseline: a new finding fails `analysis_check`.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Repo-relative path (forward slashes) of the file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// The offending source fragment (token span), for the report.
+    pub span: String,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Gating severity.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// The sanctioned fix.
+    pub suggestion: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: [{}] {}{}",
+            self.severity.label(),
+            self.file,
+            self.line,
+            self.lint.id(),
+            self.message,
+            if self.suggestion.is_empty() {
+                String::new()
+            } else {
+                format!(" (suggestion: {})", self.suggestion)
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for lint in Lint::ALL {
+            assert_eq!(Lint::from_id(lint.id()), Some(lint));
+        }
+        assert_eq!(Lint::from_id("nope"), None);
+    }
+
+    #[test]
+    fn diagnostics_render_file_line_and_lint() {
+        let d = Diagnostic {
+            file: "crates/runtime/src/worker.rs".to_string(),
+            line: 42,
+            span: "Instant::now".to_string(),
+            lint: Lint::WallClockInDeterministicPath,
+            severity: Severity::Error,
+            message: "wall-clock read in a deterministic path".to_string(),
+            suggestion: "thread the runtime Clock".to_string(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("crates/runtime/src/worker.rs:42"));
+        assert!(s.contains("wall-clock-in-deterministic-path"));
+        assert!(s.starts_with("error:"));
+    }
+}

@@ -1,0 +1,405 @@
+//! A token-level Rust lexer: just enough structure for pattern lints.
+//!
+//! The lexer classifies source text into identifiers, punctuation, literals and
+//! lifetimes, with 1-based line numbers, while *consuming* (but recording) comments
+//! so that lint patterns can never fire inside a comment, a doc example, or a string
+//! literal.  It is not a parser: it has no opinion on expressions or items.  That is
+//! deliberate — every lint in this crate is a token-pattern with light scope
+//! tracking, which keeps the whole pass dependency-free (no `syn`, no `rustc`
+//! internals) and fast enough to run on every file of the workspace in CI.
+//!
+//! Handled Rust lexical subtleties:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * string, raw-string (`r#"…"#`), byte-string and char literals (lint patterns
+//!   never match inside them),
+//! * char-literal vs. lifetime disambiguation (`'a'` vs `'a`),
+//! * numeric literals including floats, exponents and suffixes (`0.0_f64`, `1e-3`),
+//!   without swallowing the `..` of a range (`0..4`).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `self`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `{`, `+`, …).
+    Punct,
+    /// A string, raw-string, byte-string or char literal (content not preserved).
+    Literal,
+    /// A numeric literal, with its text preserved (float-accumulation lint needs it).
+    Num,
+    /// A lifetime (`'a`); distinguished from char literals.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token text for idents, puncts and numbers; empty for (non-numeric)
+    /// literals, whose content must never influence a lint.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment, as recorded during lexing (suppressions live in comments).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// The comment text, without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments.  Unterminated literals or comments simply
+/// end the token stream at end-of-file — a lint pass must degrade gracefully on code
+/// that does not compile, never panic.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..end].to_string(),
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_literal(b, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                if is_char_literal(b, i) {
+                    i = skip_char_literal(b, i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    // A lifetime: consume the quote and the identifier.
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        // Exponent sign: `1e-3` / `2.5E+7`.
+                        if (d == b'e' || d == b'E')
+                            && i + 1 < b.len()
+                            && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                            && i + 2 < b.len()
+                            && b[i + 2].is_ascii_digit()
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if d == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        // `0..4` — the dots belong to a range, not the number.
+                        break;
+                    } else if d == b'.'
+                        && (i + 1 >= b.len()
+                            || b[i + 1].is_ascii_digit()
+                            || !is_ident_start(b[i + 1]))
+                    {
+                        // `0.0`, `1.` — a fractional part (but `4.max(…)` is a
+                        // method call on an integer, not a float).
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string, byte string or raw byte
+/// string literal rather than a plain identifier.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'b', b'"', ..] => true,
+        [b'r', b'#', ..] => {
+            // r#"…"# is a raw string, but r#ident is a raw identifier.
+            let mut j = i + 1;
+            while j < b.len() && b[j] == b'#' {
+                j += 1;
+            }
+            j < b.len() && b[j] == b'"'
+        }
+        [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] | [b'b', b'\'', ..] => true,
+        _ => false,
+    }
+}
+
+/// Skips a plain `"…"` string starting at `i`; returns the index past the closing
+/// quote and advances `line` over embedded newlines.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and `b'…'` literals starting at `i`.
+fn skip_raw_or_byte_literal(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // b'x' byte literal: like a char literal, no lifetime ambiguity.
+        return skip_char_literal(b, j);
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return j; // not actually a literal; resynchronize
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether the `'` at `i` opens a char literal (vs. a lifetime).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true, // '\n', '\'', '\u{…}'
+        Some(&c) if c != b'\'' => b.get(i + 2) == Some(&b'\''),
+        _ => false,
+    }
+}
+
+/// Skips a `'…'` char literal starting at the opening quote.
+fn skip_char_literal(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn main() {\n    x.y();\n}\n");
+        assert!(l.tokens[0].is_ident("fn"));
+        assert!(l.tokens[1].is_ident("main"));
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_tokenize() {
+        assert!(!idents("let s = \"Instant::now()\";").contains(&"Instant".to_string()));
+        assert!(!idents("let s = r#\"HashMap \" quoted\"#;").contains(&"HashMap".to_string()));
+        assert!(!idents("let s = b\"unwrap()\";").contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn comments_are_recorded_not_tokenized() {
+        let l = lex("// one unwrap()\n/* two /* nested */ still */ x\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("one unwrap()"));
+        assert!(l.comments[1].text.contains("nested"));
+        assert_eq!(l.tokens.len(), 1);
+        assert!(l.tokens[0].is_ident("x"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("let c = 'a'; fn f<'a>(x: &'a str) {}");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Literal).count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+    }
+
+    #[test]
+    fn numbers_keep_floats_but_not_range_dots() {
+        let l = lex("0.0_f64 1e-3 0..4 4.max(0)");
+        let nums: Vec<String> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0.0_f64", "1e-3", "0", "4", "4", "0"]);
+    }
+
+    #[test]
+    fn multiline_strings_advance_line_numbers() {
+        let l = lex("let s = \"a\nb\nc\";\nx");
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 4);
+    }
+}

@@ -1,0 +1,67 @@
+//! `refloat-analysis`: an in-house determinism & concurrency auditor for this
+//! workspace, wired into CI as the `analysis_check` gate.
+//!
+//! The ReFloat runtime's headline property is *bitwise reproducibility*: the same
+//! trace produces the same digest across worker counts, shard counts, scheduler
+//! policies and tracing on/off.  That property is one `HashMap` iteration or one
+//! stray `Instant::now()` away from silently breaking, and `rustc`/`clippy` have
+//! no idea which of our files are on the deterministic path.  This crate does: it
+//! lexes the workspace's own sources (a token-level lexer + light scope tracking,
+//! no `syn`, no `rustc` internals — the build box is offline) and enforces the
+//! project's determinism and concurrency policies as lints.
+//!
+//! # The lints, and the shipped bugs that motivated them
+//!
+//! * **`wall-clock-in-deterministic-path`** — `Instant::now` / `SystemTime` /
+//!   `.elapsed()` anywhere but `telemetry::clock`.  PR 6 introduced the `Clock`
+//!   contract (`ManualClock` + 1 worker ⇒ byte-identical JSONL traces); the five
+//!   runtime modules (`decision`, `sched`, `cache`, `client`, `worker`) still read
+//!   host time directly until this PR threaded the injected clock through them —
+//!   every such read was an irreproducible timestamp in the trace.
+//! * **`unordered-iteration`** — `HashMap`/`HashSet` in non-test code.  The LRU
+//!   victim scans in the encode/decision caches iterated a `HashMap`, so *which*
+//!   entry was evicted on a tie depended on the process's hash seed; this PR moved
+//!   them to `BTreeMap`/`BTreeSet` (and the autotune candidate-dedup set too).
+//! * **`naive-float-accumulation`** — `.sum::<f64>()` / `.fold(0.0, +)` outside
+//!   `vecops`.  PR 3 fixed `dot`/`norm2` to pairwise summation (`O(log n · ε)`)
+//!   after naive accumulation produced order-dependent residuals, but stray
+//!   `.sum::<f64>()` reductions kept reappearing (report means, Frobenius norms);
+//!   `vecops::sum` is now the sanctioned spelling and this lint points at it.
+//! * **`panic-in-service-path`** — `unwrap`/`expect`/`panic!` (and, as a
+//!   report-only warning, slice indexing) in the runtime/telemetry service
+//!   modules.  PR 5 had to bolt `catch_unwind` containment onto workers after a
+//!   scheduler `.expect("band 1")` and a poisoned-mutex `.unwrap()` cascade took
+//!   the whole pool down; `refloat_telemetry::sync` (poison-recovering `lock`
+//!   /`wait`) is the sanctioned fix this lint suggests.
+//! * **`lock-order`** — cycles in the recovered lock-acquisition graph, and
+//!   inversions of the order declared in `lock_order.toml`.
+//!   `MetricsRegistry::snapshot` really does hold three guards at once
+//!   (counters → gauges → histograms); the declared order pins that today so a
+//!   future writer taking them backwards fails CI *before* the deadlock ships.
+//! * **`forbid-unsafe-missing`** — every non-vendor crate root must carry
+//!   `#![forbid(unsafe_code)]` (this PR added it everywhere; the lint keeps it).
+//!
+//! # Workflow
+//!
+//! `cargo run -p refloat-analysis --bin analysis_check` scans the workspace,
+//! prints surviving findings, and diffs error-severity counts against the
+//! committed `analysis-baseline.toml`.  Exit codes: `0` clean, `1` drift (new
+//! *or* stale findings — the baseline may only shrink truthfully), `2` I/O or
+//! config error.  `--write-baseline` regenerates the baseline;  `--report PATH`
+//! writes the full findings report (CI uploads it next to the BENCH artifacts).
+//! Per-site suppressions are `// refloat-analysis: allow(<lint>) — justification`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod lock_order;
+pub mod toml;
+
+pub use baseline::{Baseline, Drift};
+pub use diag::{Diagnostic, Lint, Severity};
+pub use engine::{analyze_workspace, scan_file, Analysis, FileScan};

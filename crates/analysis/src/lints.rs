@@ -1,0 +1,338 @@
+//! Token-pattern lints over a [`Lexed`] file.
+//!
+//! Each lint here encodes a bug class this workspace has actually shipped (see the
+//! crate docs for the incident list).  The scans are pure token patterns — the
+//! engine ([`crate::engine`]) decides which files a lint applies to, strips
+//! `#[cfg(test)]` ranges, and honours `// refloat-analysis: allow(<lint>)`
+//! suppressions, so every function in this module reports *every* syntactic match.
+
+use crate::diag::{Diagnostic, Lint, Severity};
+use crate::lexer::{Lexed, TokKind, Token};
+
+fn finding(
+    file: &str,
+    line: u32,
+    span: &str,
+    lint: Lint,
+    severity: Severity,
+    message: &str,
+    suggestion: &str,
+) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        span: span.to_string(),
+        lint,
+        severity,
+        message: message.to_string(),
+        suggestion: suggestion.to_string(),
+    }
+}
+
+/// `t[i] t[i+1]` is the path separator `::`.
+fn path_sep(t: &[Token], i: usize) -> bool {
+    t.get(i).is_some_and(|a| a.is_punct(':')) && t.get(i + 1).is_some_and(|a| a.is_punct(':'))
+}
+
+/// Wall-clock reads outside the injected `Clock`: `Instant::now(...)`,
+/// `SystemTime::<member>` and `.elapsed()`.
+///
+/// A bare `use std::time::Instant;` import does not fire — only a *read* does —
+/// so a module may keep the import for an allowed site without double-allowing.
+pub fn wall_clock(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].is_ident("Instant")
+            && path_sep(t, i + 1)
+            && t.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            out.push(finding(
+                file,
+                t[i].line,
+                "Instant::now",
+                Lint::WallClockInDeterministicPath,
+                Severity::Error,
+                "wall-clock read (`Instant::now`) in a deterministic path",
+                "thread the runtime `Clock` (`clock.now_s()`); only `telemetry::clock` may read host time",
+            ));
+        } else if t[i].is_ident("SystemTime")
+            && path_sep(t, i + 1)
+            && t.get(i + 3).is_some_and(|a| a.kind == TokKind::Ident)
+        {
+            out.push(finding(
+                file,
+                t[i].line,
+                "SystemTime::",
+                Lint::WallClockInDeterministicPath,
+                Severity::Error,
+                "wall-clock read (`SystemTime`) in a deterministic path",
+                "thread the runtime `Clock` (`clock.now_s()`); only `telemetry::clock` may read host time",
+            ));
+        } else if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|a| a.is_ident("elapsed"))
+            && t.get(i + 2).is_some_and(|a| a.is_punct('('))
+        {
+            out.push(finding(
+                file,
+                t[i + 1].line,
+                ".elapsed()",
+                Lint::WallClockInDeterministicPath,
+                Severity::Error,
+                "`.elapsed()` reads the host monotonic clock",
+                "difference two `clock.now_s()` reads instead",
+            ));
+        }
+    }
+    out
+}
+
+/// `HashMap` / `HashSet` in non-test code: per-process randomized iteration order
+/// silently breaks digests, reports and LRU victim scans.
+pub fn unordered_iteration(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    for tok in t {
+        let (name, replacement) = if tok.is_ident("HashMap") {
+            ("HashMap", "BTreeMap")
+        } else if tok.is_ident("HashSet") {
+            ("HashSet", "BTreeSet")
+        } else {
+            continue;
+        };
+        out.push(finding(
+            file,
+            tok.line,
+            name,
+            Lint::UnorderedIteration,
+            Severity::Error,
+            &format!("`{name}` iteration order is randomized per process"),
+            &format!("use `{replacement}` so every walk of the container is deterministic"),
+        ));
+    }
+    out
+}
+
+/// Naive left-to-right float accumulation: `.sum::<f64>()` / `.sum::<f32>()`, or a
+/// `.fold(0.0, …+…)` reduction.  `vecops::sum` (pairwise, `O(log n · ε)`) is the
+/// sanctioned alternative; integer `.sum::<u64>()` folds are exact and do not fire.
+pub fn float_accumulation(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|a| a.is_ident("sum"))
+            && path_sep(t, i + 2)
+            && t.get(i + 4).is_some_and(|a| a.is_punct('<'))
+            && t.get(i + 5)
+                .is_some_and(|a| a.is_ident("f64") || a.is_ident("f32"))
+        {
+            out.push(finding(
+                file,
+                t[i + 1].line,
+                ".sum::<float>()",
+                Lint::NaiveFloatAccumulation,
+                Severity::Error,
+                "naive left-to-right float `.sum()` accumulates O(n·eps) error",
+                "use `refloat_sparse::vecops::sum` (pairwise, O(log n * eps), reproducible split points)",
+            ));
+        } else if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|a| a.is_ident("fold"))
+            && t.get(i + 2).is_some_and(|a| a.is_punct('('))
+            && t.get(i + 3)
+                .is_some_and(|a| a.kind == TokKind::Num && is_float_zero(&a.text))
+            && fold_args_contain_plus(t, i + 2)
+        {
+            out.push(finding(
+                file,
+                t[i + 1].line,
+                ".fold(0.0, +)",
+                Lint::NaiveFloatAccumulation,
+                Severity::Error,
+                "`.fold(0.0, +)` is a naive left-to-right float accumulation",
+                "use `refloat_sparse::vecops::sum` (pairwise, O(log n * eps), reproducible split points)",
+            ));
+        }
+    }
+    out
+}
+
+/// Whether a numeric literal is a *float* zero (`0.0`, `0.`, `0f64`, `0.0_f32`,
+/// `0e0`).  Integer zeros (`0`, `0u64`) are exact accumulators and do not count.
+fn is_float_zero(text: &str) -> bool {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let floaty = cleaned.contains('.')
+        || cleaned.contains('e')
+        || cleaned.contains('E')
+        || cleaned.ends_with("f64")
+        || cleaned.ends_with("f32");
+    if !floaty {
+        return false;
+    }
+    let numeric: String = cleaned
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .to_string();
+    numeric.parse::<f64>().map(|v| v == 0.0).unwrap_or(false)
+}
+
+/// Whether the parenthesized argument list opening at `t[open]` (`(`) contains a
+/// top-level-or-deeper `+` punct — the accumulate step of a fold.
+fn fold_args_contain_plus(t: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    for tok in &t[open..] {
+        if tok.kind == TokKind::Punct {
+            match tok.text.as_bytes().first() {
+                Some(b'(') => depth += 1,
+                Some(b')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                Some(b'+') => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Keywords that can legitimately precede `[` without the bracket being an index
+/// expression (`&mut [f64]`, `dyn [..]`, `return [..]`, …).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "mut", "dyn", "ref", "return", "break", "in", "as", "else", "match", "if", "while", "loop",
+    "move", "static", "const", "let", "where", "impl", "for", "fn", "unsafe",
+];
+
+/// Panics in the service path: `.unwrap()` / `.expect()` / `panic!` /
+/// `unreachable!` / `todo!` / `unimplemented!` (Error), and slice indexing (Warn —
+/// report-only, never gated).  `assert!`/`debug_assert!` are *not* flagged:
+/// asserting an invariant is policy, unwrapping a `Result` on the hot path is not.
+pub fn panic_in_service_path(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].is_punct('.')
+            && t.get(i + 1)
+                .is_some_and(|a| a.is_ident("unwrap") || a.is_ident("expect"))
+            && t.get(i + 2).is_some_and(|a| a.is_punct('('))
+        {
+            let what = &t[i + 1].text;
+            out.push(finding(
+                file,
+                t[i + 1].line,
+                &format!(".{what}()"),
+                Lint::PanicInServicePath,
+                Severity::Error,
+                &format!(
+                    "`.{what}()` in a service module turns a recoverable error into a worker panic"
+                ),
+                "propagate the error, or handle poison via `refloat_telemetry::sync::lock`",
+            ));
+        } else if t[i].kind == TokKind::Ident
+            && matches!(
+                t[i].text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && t.get(i + 1).is_some_and(|a| a.is_punct('!'))
+        {
+            out.push(finding(
+                file,
+                t[i].line,
+                &format!("{}!", t[i].text),
+                Lint::PanicInServicePath,
+                Severity::Error,
+                &format!("`{}!` in a service module takes the worker down", t[i].text),
+                "return a typed error (`TicketOutcome::Failed`) instead",
+            ));
+        } else if t[i].is_punct('[')
+            && i > 0
+            && (t[i - 1].is_punct(')')
+                || t[i - 1].is_punct(']')
+                || (t[i - 1].kind == TokKind::Ident
+                    && !NON_INDEX_PRECEDERS.contains(&t[i - 1].text.as_str())))
+        {
+            out.push(finding(
+                file,
+                t[i].line,
+                "[..]",
+                Lint::PanicInServicePath,
+                Severity::Warn,
+                "slice indexing may panic on an out-of-bounds index",
+                "prefer `.get(..)` where the index is not invariant-checked",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ids(diags: &[Diagnostic]) -> Vec<(Lint, u32)> {
+        diags.iter().map(|d| (d.lint, d.line)).collect()
+    }
+
+    #[test]
+    fn wall_clock_flags_reads_not_imports() {
+        let src = "use std::time::Instant;\nlet t0 = Instant::now();\nlet dt = t0.elapsed();\nlet st = SystemTime::now();\n";
+        let diags = wall_clock("f.rs", &lex(src));
+        assert_eq!(
+            ids(&diags),
+            vec![
+                (Lint::WallClockInDeterministicPath, 2),
+                (Lint::WallClockInDeterministicPath, 3),
+                (Lint::WallClockInDeterministicPath, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn unordered_flags_both_containers() {
+        let src = "use std::collections::HashMap;\nlet s: HashSet<u32> = HashSet::new();\n";
+        let diags = unordered_iteration("f.rs", &lex(src));
+        assert_eq!(diags.len(), 3);
+        assert!(diags[0].suggestion.contains("BTreeMap"));
+        assert!(diags[1].suggestion.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn float_accumulation_flags_float_sum_and_fold_only() {
+        let flagged = "let a: f64 = xs.iter().sum::<f64>();\nlet b = xs.iter().fold(0.0, |acc, x| acc + x);\n";
+        assert_eq!(float_accumulation("f.rs", &lex(flagged)).len(), 2);
+        // Integer sums and non-additive folds are exact / not accumulations.
+        let clean = "let n: u64 = xs.iter().sum::<u64>();\nlet c = xs.iter().fold(0, |acc, x| acc + x);\nlet d = xs.iter().fold(0.0, |acc, x| acc.max(x));\n";
+        assert!(float_accumulation("f.rs", &lex(clean)).is_empty());
+    }
+
+    #[test]
+    fn panic_path_severities() {
+        let src = "let x = r.unwrap();\nlet y = r.expect(\"m\");\npanic!(\"boom\");\nlet z = v[i];\nassert!(ok);\nlet w = r.unwrap_or(0);\n";
+        let diags = panic_in_service_path("f.rs", &lex(src));
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        let warns: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .collect();
+        assert_eq!(errors.len(), 3, "unwrap + expect + panic!: {diags:?}");
+        assert_eq!(warns.len(), 1, "v[i] indexing: {diags:?}");
+    }
+
+    #[test]
+    fn slice_types_are_not_indexing() {
+        let src = "fn f(x: &mut [f64], y: &[u8]) -> [f64; 4] { todo!() }\n";
+        let diags = panic_in_service_path("f.rs", &lex(src));
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity == Severity::Error && d.span == "todo!"),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Lock-acquisition-order auditing.
+//!
+//! The workspace's concurrency is all `Mutex` + `Condvar` (no async runtime), so
+//! the deadlock class that matters is *nested acquisition in inconsistent order*.
+//! This module recovers an acquisition graph from tokens using a small guard
+//! liveness model, then checks it two ways:
+//!
+//! 1. **Cycles** — any cycle in a file's acquisition graph is a potential
+//!    deadlock, declared order or not.
+//! 2. **Declared-order inversions** — `lock_order.toml` at the workspace root
+//!    declares the global acquisition order (`order = ["counters", …]`); an edge
+//!    that acquires an earlier-declared lock while holding a later-declared one is
+//!    flagged even if no cycle exists *yet* (the whole point of a declared order is
+//!    to fail the first half of a future deadlock).
+//!
+//! ## Liveness model
+//!
+//! * An acquisition is `sync::lock(&path.to.field)` (resource = the last
+//!   identifier in the argument, e.g. `completed`) or `expr.lock(…)` (resource =
+//!   the identifier before `.lock`, e.g. `events`).
+//! * A `let`-bound guard lives until `drop(name)` or the end of its block.
+//! * A statement temporary (no `let`) lives until the next `;` — which is exactly
+//!   Rust's temporary-lifetime rule, and what makes `MetricsRegistry::snapshot`
+//!   (three guards inside one struct-literal statement) produce real edges.
+//! * `sync::wait(&condvar, guard)` re-acquires the *same* lock, so it is not an
+//!   acquisition event; same-resource edges are dropped for the same reason (a
+//!   re-`lock` after `drop` is indistinguishable from nesting at token level).
+//!
+//! Resources are file-scoped for cycle detection (two structs may both have an
+//! `inner` field without being the same lock), while declared-order inversions use
+//! bare names so `lock_order.toml` stays readable.
+
+use crate::diag::{Diagnostic, Lint, Severity};
+use crate::lexer::{Lexed, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed nested acquisition: `to` was locked while `from` was held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Resource already held.
+    pub from: String,
+    /// Resource acquired while holding `from`.
+    pub to: String,
+    /// File of the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// `let` binding name, if any (temporaries have none).
+    name: Option<String>,
+    /// The lock's resource name.
+    resource: String,
+    /// Brace depth the guard was created at.
+    depth: i32,
+}
+
+/// Extracts nested-acquisition edges from one lexed file.
+pub fn scan(file: &str, lexed: &Lexed) -> Vec<LockEdge> {
+    let t = &lexed.tokens;
+    let mut edges = Vec::new();
+    let mut live: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_let: Option<String> = None;
+    let mut i = 0usize;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            live.retain(|g| g.depth <= depth);
+        } else if tok.is_punct(';') {
+            live.retain(|g| g.name.is_some());
+            pending_let = None;
+        } else if tok.is_ident("let") {
+            let mut j = i + 1;
+            if t.get(j).is_some_and(|a| a.is_ident("mut")) {
+                j += 1;
+            }
+            pending_let = match (t.get(j), t.get(j + 1)) {
+                (Some(name), Some(eq)) if name.kind == TokKind::Ident && eq.is_punct('=') => {
+                    Some(name.text.clone())
+                }
+                _ => None, // destructuring / type-annotated lets: treat as temporary
+            };
+        } else if tok.is_ident("drop")
+            && t.get(i + 1).is_some_and(|a| a.is_punct('('))
+            && t.get(i + 2).is_some_and(|a| a.kind == TokKind::Ident)
+            && t.get(i + 3).is_some_and(|a| a.is_punct(')'))
+        {
+            let dropped = &t[i + 2].text;
+            live.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+        } else if let Some((resource, line, next)) = acquisition_at(t, i) {
+            for g in &live {
+                if g.resource != resource {
+                    edges.push(LockEdge {
+                        from: g.resource.clone(),
+                        to: resource.clone(),
+                        file: file.to_string(),
+                        line,
+                    });
+                }
+            }
+            live.push(Guard {
+                name: pending_let.take(),
+                resource,
+                depth,
+            });
+            i = next;
+            continue;
+        }
+        i += 1;
+    }
+    edges
+}
+
+/// If an acquisition starts at `t[i]`, returns `(resource, line, index past the
+/// pattern head)`.
+fn acquisition_at(t: &[Token], i: usize) -> Option<(String, u32, usize)> {
+    // sync::lock(&path.to.resource)
+    if t[i].is_ident("sync")
+        && t.get(i + 1).is_some_and(|a| a.is_punct(':'))
+        && t.get(i + 2).is_some_and(|a| a.is_punct(':'))
+        && t.get(i + 3).is_some_and(|a| a.is_ident("lock"))
+        && t.get(i + 4).is_some_and(|a| a.is_punct('('))
+    {
+        let mut depth = 0i32;
+        let mut last_ident = None;
+        let mut j = i + 4;
+        while j < t.len() {
+            let a = &t[j];
+            if a.is_punct('(') {
+                depth += 1;
+            } else if a.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.kind == TokKind::Ident {
+                last_ident = Some(a.text.clone());
+            }
+            j += 1;
+        }
+        let resource = last_ident?;
+        return Some((resource, t[i].line, i + 5));
+    }
+    // expr.lock(…) — resource is the identifier before `.lock`
+    if t[i].is_punct('.')
+        && t.get(i + 1).is_some_and(|a| a.is_ident("lock"))
+        && t.get(i + 2).is_some_and(|a| a.is_punct('('))
+        && i > 0
+        && t[i - 1].kind == TokKind::Ident
+    {
+        return Some((t[i - 1].text.clone(), t[i + 1].line, i + 3));
+    }
+    None
+}
+
+/// Checks aggregated edges for cycles (per file) and declared-order inversions.
+pub fn check(edges: &[LockEdge], declared_order: &[String]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Declared-order inversions, by bare resource name.
+    let position: BTreeMap<&str, usize> = declared_order
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    for e in edges {
+        if let (Some(&pf), Some(&pt)) = (position.get(e.from.as_str()), position.get(e.to.as_str()))
+        {
+            if pf > pt {
+                out.push(Diagnostic {
+                    file: e.file.clone(),
+                    line: e.line,
+                    span: format!("{} -> {}", e.from, e.to),
+                    lint: Lint::LockOrder,
+                    severity: Severity::Error,
+                    message: format!(
+                        "lock `{}` acquired while holding `{}`, inverting the declared order in lock_order.toml",
+                        e.to, e.from
+                    ),
+                    suggestion: format!("acquire `{}` before `{}` (or drop the held guard first)", e.to, e.from),
+                });
+            }
+        }
+    }
+
+    // Cycles, per file (resources are only meaningful within a file).
+    let mut by_file: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        by_file.entry(e.file.as_str()).or_default().push(e);
+    }
+    for (file, file_edges) in by_file {
+        let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+        for e in &file_edges {
+            adj.entry(e.from.as_str()).or_default().push(e);
+        }
+        let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+        let nodes: Vec<&str> = adj.keys().copied().collect();
+        for start in nodes {
+            let mut path: Vec<&str> = Vec::new();
+            dfs_cycles(start, &adj, &mut path, &mut reported, file, &mut out);
+        }
+    }
+    out
+}
+
+/// Depth-first cycle search.  On finding a node already in `path`, reports the
+/// cycle once (deduplicated by its node set) at the closing edge's line.
+fn dfs_cycles<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a LockEdge>>,
+    path: &mut Vec<&'a str>,
+    reported: &mut BTreeSet<BTreeSet<String>>,
+    file: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if path.len() > 64 {
+        return; // defensive bound; real acquisition chains are depth 2-3
+    }
+    if let Some(pos) = path.iter().position(|n| *n == node) {
+        let cycle: Vec<&str> = path[pos..].to_vec();
+        let key: BTreeSet<String> = cycle.iter().map(|s| s.to_string()).collect();
+        if reported.insert(key) {
+            let closing = adj
+                .get(path.last().copied().unwrap_or(node))
+                .and_then(|es| es.iter().find(|e| e.to == node));
+            let line = closing.map(|e| e.line).unwrap_or(1);
+            let mut shown: Vec<&str> = cycle.clone();
+            shown.push(node);
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                span: shown.join(" -> "),
+                lint: Lint::LockOrder,
+                severity: Severity::Error,
+                message: format!("lock acquisition cycle: {}", shown.join(" -> ")),
+                suggestion:
+                    "pick one global order for these locks and declare it in lock_order.toml"
+                        .to_string(),
+            });
+        }
+        return;
+    }
+    path.push(node);
+    if let Some(next) = adj.get(node) {
+        for e in next {
+            dfs_cycles(e.to.as_str(), adj, path, reported, file, out);
+        }
+    }
+    path.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn edges(src: &str) -> Vec<(String, String, u32)> {
+        scan("f.rs", &lex(src))
+            .into_iter()
+            .map(|e| (e.from, e.to, e.line))
+            .collect()
+    }
+
+    #[test]
+    fn nested_named_guards_make_an_edge() {
+        let src = "fn f(&self) {\n    let a = sync::lock(&self.first);\n    let b = sync::lock(&self.second);\n}\n";
+        assert_eq!(edges(src), vec![("first".into(), "second".into(), 3)]);
+    }
+
+    #[test]
+    fn drop_ends_a_guard_before_the_next_acquisition() {
+        let src = "fn f(&self) {\n    let a = sync::lock(&self.first);\n    drop(a);\n    let b = sync::lock(&self.second);\n}\n";
+        assert!(edges(src).is_empty());
+    }
+
+    #[test]
+    fn sequential_statement_temporaries_do_not_nest() {
+        let src = "fn f(&self) {\n    sync::lock(&self.first).push(1);\n    sync::lock(&self.second).push(2);\n}\n";
+        assert!(edges(src).is_empty());
+    }
+
+    #[test]
+    fn struct_literal_temporaries_nest_within_one_statement() {
+        // The MetricsRegistry::snapshot shape: three guards live until the `;`.
+        let src = "fn snap(&self) -> S {\n    S {\n        a: sync::lock(&self.counters).clone(),\n        b: sync::lock(&self.gauges).clone(),\n        c: sync::lock(&self.histograms).clone(),\n    }\n}\n";
+        let got = edges(src);
+        assert_eq!(
+            got,
+            vec![
+                ("counters".into(), "gauges".into(), 4),
+                ("counters".into(), "histograms".into(), 5),
+                ("gauges".into(), "histograms".into(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn method_lock_form_and_block_scope() {
+        let src = "fn f(&self) {\n    {\n        let g = self.events.lock().unwrap();\n    }\n    let h = self.other.lock().unwrap();\n}\n";
+        assert!(edges(src).is_empty(), "guard g died at its block end");
+        let nested =
+            "fn f(&self) {\n    let g = self.events.lock().unwrap();\n    let h = self.other.lock().unwrap();\n}\n";
+        assert_eq!(edges(nested), vec![("events".into(), "other".into(), 3)]);
+    }
+
+    #[test]
+    fn three_lock_cycle_is_detected() {
+        // fn1: a then b;  fn2: b then c;  fn3: c then a  =>  a -> b -> c -> a.
+        let src = "fn f1(&self) {\n    let g = sync::lock(&self.a);\n    let h = sync::lock(&self.b);\n}\nfn f2(&self) {\n    let g = sync::lock(&self.b);\n    let h = sync::lock(&self.c);\n}\nfn f3(&self) {\n    let g = sync::lock(&self.c);\n    let h = sync::lock(&self.a);\n}\n";
+        let found = scan("f.rs", &lex(src));
+        assert_eq!(found.len(), 3);
+        let diags = check(&found, &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].lint, Lint::LockOrder);
+        assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn declared_order_inversion_without_a_cycle() {
+        let found = scan(
+            "f.rs",
+            &lex("fn f(&self) {\n    let g = sync::lock(&self.gauges);\n    let h = sync::lock(&self.counters);\n}\n"),
+        );
+        let declared = vec!["counters".to_string(), "gauges".to_string()];
+        let diags = check(&found, &declared);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("inverting"),
+            "{}",
+            diags[0].message
+        );
+        // The same edges in declared order are clean.
+        let ok = scan(
+            "f.rs",
+            &lex("fn f(&self) {\n    let g = sync::lock(&self.counters);\n    let h = sync::lock(&self.gauges);\n}\n"),
+        );
+        assert!(check(&ok, &declared).is_empty());
+    }
+}

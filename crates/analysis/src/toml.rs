@@ -1,0 +1,272 @@
+//! A minimal TOML subset: exactly what `analysis-baseline.toml` and
+//! `lock_order.toml` need, written in-house (the offline container has no `toml`
+//! crate, and the full grammar is far more than two config files deserve).
+//!
+//! Supported: `#` comments, bare or quoted keys, string values, integer values,
+//! arrays of strings, and `[[table]]` array-of-tables headers.  The emitter is
+//! canonical (sorted, fixed spacing), so *parse → re-emit* of an emitter-produced
+//! file is byte-identical — the property the baseline round-trip test pins.
+
+use std::fmt;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A (non-negative) integer.
+    Int(u64),
+    /// An array of quoted strings.
+    StrArray(Vec<String>),
+}
+
+/// One `[[name]]` table: ordered key/value pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Key/value pairs in file order.
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// The value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The string value of `key`, if present and a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value of `key`, if present and an integer.
+    pub fn get_int(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(Value::Int(n)) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed document: top-level key/values plus `[[name]]` tables in file order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    /// Key/value pairs before any table header.
+    pub root: Table,
+    /// `[[name]]` tables, in file order.
+    pub tables: Vec<(String, Table)>,
+}
+
+/// A parse failure, with the 1-based line it happened on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the supported TOML subset.
+pub fn parse(text: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    let mut current: Option<(String, Table)> = None;
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let mut joined;
+        let mut line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A multi-line array: accumulate until the closing bracket.
+        if line.contains('[') && !line.starts_with("[[") && !line.contains(']') {
+            joined = line.to_string();
+            for (_, cont) in lines.by_ref() {
+                let cont = cont.trim();
+                if cont.starts_with('#') {
+                    continue;
+                }
+                joined.push(' ');
+                joined.push_str(cont);
+                if cont.contains(']') {
+                    break;
+                }
+            }
+            if !joined.contains(']') {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "unterminated array".to_string(),
+                });
+            }
+            line = &joined;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            if let Some(done) = current.take() {
+                doc.tables.push(done);
+            }
+            current = Some((name.trim().to_string(), Table::default()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ParseError {
+                line: lineno,
+                message: "plain [table] headers are not part of the supported subset".to_string(),
+            });
+        }
+        let (key, value_text) = line.split_once('=').ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("expected `key = value`, found {line:?}"),
+        })?;
+        let key = unquote_key(key.trim());
+        let value = parse_value(value_text.trim(), lineno)?;
+        match &mut current {
+            Some((_, table)) => table.entries.push((key, value)),
+            None => doc.root.entries.push((key, value)),
+        }
+    }
+    if let Some(done) = current.take() {
+        doc.tables.push(done);
+    }
+    Ok(doc)
+}
+
+fn unquote_key(key: &str) -> String {
+    key.strip_prefix('"')
+        .and_then(|k| k.strip_suffix('"'))
+        .unwrap_or(key)
+        .to_string()
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ParseError> {
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::StrArray(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: "arrays may contain only strings".to_string(),
+                    })
+                }
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Ok(Value::Str(unescape(inner)));
+    }
+    text.parse::<u64>().map(Value::Int).map_err(|_| ParseError {
+        line: lineno,
+        message: format!("unsupported value {text:?} (expected string, integer or array)"),
+    })
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Quotes a string value canonically.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_keys_tables_and_arrays() {
+        let doc = parse(
+            "# header\norder = [\"a\", \"b\"]\n\n[[finding]]\nlint = \"x\"\ncount = 3\n\n[[finding]]\nlint = \"y\"\ncount = 1\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.root.get("order"),
+            Some(&Value::StrArray(vec!["a".to_string(), "b".to_string()]))
+        );
+        assert_eq!(doc.tables.len(), 2);
+        assert_eq!(doc.tables[0].0, "finding");
+        assert_eq!(doc.tables[0].1.get_str("lint"), Some("x"));
+        assert_eq!(doc.tables[1].1.get_int("count"), Some(1));
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let doc = parse("order = [\n    \"a\",\n    # a comment inside\n    \"b\",\n]\n").unwrap();
+        assert_eq!(
+            doc.root.get("order"),
+            Some(&Value::StrArray(vec!["a".to_string(), "b".to_string()]))
+        );
+        assert!(
+            parse("order = [\n    \"a\",\n").is_err(),
+            "unterminated array"
+        );
+    }
+
+    #[test]
+    fn quoting_round_trips() {
+        let original = "a \"quoted\" \\ backslash";
+        let quoted = quote(original);
+        match parse_value(&quoted, 1).unwrap() {
+            Value::Str(s) => assert_eq!(s, original),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse("[table]\n").is_err());
+        assert!(parse("x = 1.5\n").is_err());
+        assert!(parse("just a line\n").is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Acceptance tests for the workspace auditor: fixture positives, suppressed
+//! negatives, the real workspace against the committed baseline, and the
+//! committed baseline's byte-identical round-trip.
+
+use std::path::{Path, PathBuf};
+
+use refloat_analysis::baseline::Baseline;
+use refloat_analysis::diag::{Lint, Severity};
+use refloat_analysis::engine::{analyze_workspace, scan_file};
+
+/// The workspace root, from this crate's manifest dir (`crates/analysis`).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// One positive fixture and the matching suppressed-negative per lint: the fixture
+/// fires exactly the expected lint, and the same code under a
+/// `// refloat-analysis: allow(<lint>)` justification block is clean.
+#[test]
+fn every_lint_has_a_firing_fixture_and_a_working_suppression() {
+    // (lint, file the fixture pretends to live at, fixture body)
+    let fixtures: Vec<(Lint, &str, &str)> = vec![
+        (
+            Lint::WallClockInDeterministicPath,
+            "crates/runtime/src/worker.rs",
+            "fn f() { let t0 = Instant::now(); }\n",
+        ),
+        (
+            Lint::UnorderedIteration,
+            "crates/core/src/x.rs",
+            "fn f() { let m: HashMap<u32, u32> = Default::default(); }\n",
+        ),
+        (
+            Lint::NaiveFloatAccumulation,
+            "crates/core/src/x.rs",
+            "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n",
+        ),
+        (
+            Lint::PanicInServicePath,
+            "crates/runtime/src/sched.rs",
+            "fn f(r: Result<u32, ()>) -> u32 { r.unwrap() }\n",
+        ),
+    ];
+    for (lint, file, body) in fixtures {
+        let positive = scan_file(file, body, false);
+        let fired: Vec<Lint> = positive
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.lint)
+            .collect();
+        assert_eq!(
+            fired,
+            vec![lint],
+            "fixture for {lint} at {file}: {positive:?}"
+        );
+
+        let suppressed_src = format!(
+            "// refloat-analysis: allow({lint}) — fixture: justified here because\n\
+             // this is the suppressed-negative half of the acceptance test.\n{body}"
+        );
+        let negative = scan_file(file, &suppressed_src, false);
+        assert!(
+            negative
+                .diagnostics
+                .iter()
+                .all(|d| d.severity != Severity::Error),
+            "suppression for {lint} at {file} did not hold: {negative:?}"
+        );
+    }
+
+    // lock-order: the inversion fires against a declared order, and an allow on
+    // the inner acquisition suppresses the edge.
+    let inversion = "fn f(&self) {\n    let g = sync::lock(&self.gauges);\n    let h = sync::lock(&self.counters);\n}\n";
+    let declared = vec!["counters".to_string(), "gauges".to_string()];
+    let scan = scan_file("crates/x/src/y.rs", inversion, false);
+    let diags = refloat_analysis::lock_order::check(&scan.lock_edges, &declared);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, Lint::LockOrder);
+
+    let allowed = "fn f(&self) {\n    let g = sync::lock(&self.gauges);\n    // refloat-analysis: allow(lock-order) — fixture justification.\n    let h = sync::lock(&self.counters);\n}\n";
+    let scan = scan_file("crates/x/src/y.rs", allowed, false);
+    assert!(
+        refloat_analysis::lock_order::check(&scan.lock_edges, &declared).is_empty(),
+        "allow(lock-order) must drop the covered edge"
+    );
+
+    // forbid-unsafe-missing: crate roots only.
+    let root_scan = scan_file("crates/x/src/lib.rs", "pub fn f() {}\n", true);
+    assert_eq!(
+        root_scan
+            .diagnostics
+            .iter()
+            .map(|d| d.lint)
+            .collect::<Vec<_>>(),
+        vec![Lint::ForbidUnsafeMissing]
+    );
+}
+
+/// A seeded violation in a service file is reported with its file and line and
+/// drifts from the committed (empty) baseline — the failure mode CI gates on.
+#[test]
+fn seeded_violation_drifts_from_the_committed_baseline() {
+    let root = workspace_root();
+    let committed = Baseline::parse(
+        &std::fs::read_to_string(root.join("analysis-baseline.toml"))
+            .expect("baseline is committed"),
+    )
+    .expect("committed baseline parses");
+
+    let seeded = "fn tick() -> f64 {\n    let t0 = std::time::Instant::now();\n    t0.elapsed().as_secs_f64()\n}\n";
+    let scan = scan_file("crates/runtime/src/worker.rs", seeded, false);
+    let lines: Vec<(u32, Lint)> = scan.diagnostics.iter().map(|d| (d.line, d.lint)).collect();
+    assert_eq!(
+        lines,
+        vec![
+            (2, Lint::WallClockInDeterministicPath),
+            (3, Lint::WallClockInDeterministicPath),
+        ],
+        "{:?}",
+        scan.diagnostics
+    );
+    let drift = committed.drift(&scan.diagnostics);
+    assert!(!drift.is_empty(), "a seeded violation must drift");
+}
+
+/// The real workspace is clean against the committed baseline — the same check CI
+/// runs, enforced from `cargo test` too so local drift fails fast.
+#[test]
+fn workspace_matches_committed_baseline() {
+    let root = workspace_root();
+    let analysis = analyze_workspace(&root).expect("workspace analyzes");
+    assert!(analysis.files_scanned > 50, "walker found the workspace");
+    let committed = Baseline::parse(
+        &std::fs::read_to_string(root.join("analysis-baseline.toml"))
+            .expect("baseline is committed"),
+    )
+    .expect("committed baseline parses");
+    let drift = committed.drift(&analysis.diagnostics);
+    let rendered: Vec<String> = drift.iter().map(|d| d.to_string()).collect();
+    assert!(
+        drift.is_empty(),
+        "workspace drifted from analysis-baseline.toml:\n{}",
+        rendered.join("\n")
+    );
+}
+
+/// The committed baseline file is in canonical form: parse → re-emit reproduces
+/// the exact committed bytes (so `--write-baseline` never produces noisy diffs).
+#[test]
+fn committed_baseline_is_canonical_bytes() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("analysis-baseline.toml"))
+        .expect("baseline is committed");
+    let parsed = Baseline::parse(&text).expect("committed baseline parses");
+    assert_eq!(
+        parsed.emit(),
+        text,
+        "analysis-baseline.toml is not canonical; regenerate with --write-baseline"
+    );
+}
+
+/// `lock_order.toml` is committed, parses, and declares the one real multi-lock
+/// site (metrics snapshot: counters before gauges before histograms).
+#[test]
+fn declared_lock_order_is_committed_and_covers_the_metrics_snapshot() {
+    let root = workspace_root();
+    let order = refloat_analysis::engine::load_lock_order(&root).expect("lock_order.toml parses");
+    let pos = |name: &str| {
+        order
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from lock_order.toml"))
+    };
+    assert!(pos("counters") < pos("gauges"));
+    assert!(pos("gauges") < pos("histograms"));
+}

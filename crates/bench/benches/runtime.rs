@@ -22,9 +22,12 @@ fn bench_runtime_overhead(c: &mut Criterion) {
     // Cache hot path: every lookup after the first is a hit.
     let cache = EncodedMatrixCache::new(8);
     let key = refloat_runtime::CacheKey::whole(handle.fingerprint(), format);
-    cache.get_or_encode(key, || refloat_core::ReFloatMatrix::from_csr(&a, format));
+    let clock = refloat_telemetry::WallClock::new();
+    cache.get_or_encode(key, &clock, || {
+        refloat_core::ReFloatMatrix::from_csr(&a, format)
+    });
     group.bench_function("cache_hit_lookup", |b| {
-        b.iter(|| cache.get_or_encode(key, || unreachable!("entry is cached")))
+        b.iter(|| cache.get_or_encode(key, &clock, || unreachable!("entry is cached")))
     });
 
     // Queue transfer (uncontended single-thread push + pop).

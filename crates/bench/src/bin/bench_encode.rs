@@ -45,11 +45,15 @@ fn main() {
     // timed repetitions.
     let warm = ReFloatMatrix::from_csr(&a, format);
     let blocks = warm.num_blocks();
+    // refloat-analysis: allow(wall-clock-in-deterministic-path) — this bench bin
+    // measures *real host* encode throughput by design; its numbers feed
+    // BENCH_encode.json, not any deterministic digest.
     let start = Instant::now();
     for _ in 0..reps {
         let encoded = ReFloatMatrix::from_csr(&a, format);
         assert_eq!(encoded.num_blocks(), blocks, "encode must be deterministic");
     }
+    // refloat-analysis: allow(wall-clock-in-deterministic-path)
     let total_s = start.elapsed().as_secs_f64().max(1e-9);
 
     let rows_per_s = (a.nrows() * reps) as f64 / total_s;

@@ -37,10 +37,14 @@ fn time_apply<O: LinearOperator>(
     reps: usize,
     nnz: usize,
 ) -> (f64, f64) {
+    // refloat-analysis: allow(wall-clock-in-deterministic-path) — this bench bin
+    // measures *real host* SpMV throughput by design; its numbers feed
+    // BENCH_spmv.json, not any deterministic digest.
     let start = Instant::now();
     for _ in 0..reps {
         op.apply(x, y);
     }
+    // refloat-analysis: allow(wall-clock-in-deterministic-path)
     let total_s = start.elapsed().as_secs_f64().max(1e-9);
     ((nnz * reps) as f64 / total_s, y.iter().sum())
 }

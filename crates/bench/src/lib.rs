@@ -15,6 +15,8 @@
 //! the building blocks themselves (SpMV, block conversion, quantized SpMV, the bit-exact
 //! crossbar pipeline and whole solver iterations).
 
+#![forbid(unsafe_code)]
+
 pub mod bench_emit;
 pub mod experiment;
 pub mod json;

@@ -50,7 +50,7 @@
 //! [`EscalationPolicy`](crate::escalation::EscalationPolicy) / mixed-precision
 //! refinement ladder.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::block::optimal_exponent_base;
 use crate::format::{max_offset_for_bits, ReFloatConfig};
@@ -269,7 +269,7 @@ pub fn cycles_per_block_mvm(e: u32, f: u32, ev: u32, fv: u32) -> u64 {
 /// re-based onto the same blocking, so whenever the model predicts a classical format
 /// suffices the tuner can pick exactly it.
 pub fn candidate_grid(b: u32) -> Vec<ReFloatConfig> {
-    let mut seen: HashSet<(u32, u32, u32, u32)> = HashSet::new();
+    let mut seen: BTreeSet<(u32, u32, u32, u32)> = BTreeSet::new();
     let mut out = Vec::new();
     let mut push = |e: u32, f: u32, ev: u32, fv: u32| {
         if seen.insert((e, f, ev, fv)) {

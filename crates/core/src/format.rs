@@ -7,7 +7,7 @@ use std::fmt;
 /// The paper keeps "the leading `f` bits from the original fraction bits and removes the
 /// rest" (§IV.B), i.e. truncation toward zero; round-to-nearest is provided as an
 /// ablation knob because it halves the worst-case fraction error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum RoundingMode {
     /// Drop the trailing fraction bits (the paper's conversion; default).
     #[default]
@@ -22,7 +22,7 @@ pub enum RoundingMode {
 /// provided as an ablation: it trades a large *relative* error on tiny elements for a
 /// much smaller *absolute* error, which can matter for extremely wide-dynamic-range
 /// vector segments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum UnderflowMode {
     /// Clamp the offset to the smallest representable value (the paper's rule; default).
     #[default]
@@ -36,7 +36,7 @@ pub enum UnderflowMode {
 /// * `b` — the block-size exponent; blocks (and crossbars) are `2^b × 2^b`,
 /// * `e`, `f` — exponent-offset and fraction bits for **matrix** elements,
 /// * `ev`, `fv` — exponent-offset and fraction bits for **vector** elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReFloatConfig {
     /// Block-size exponent `b` (blocks are `2^b × 2^b`); 7 for the 128×128 crossbars of
     /// Table IV.

@@ -42,6 +42,7 @@
 //!   ([`FormatPlan`]).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod autotune;
 pub mod block;

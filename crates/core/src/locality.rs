@@ -70,7 +70,9 @@ pub fn exponent_locality(blocked: &BlockedMatrix) -> LocalityReport {
     let mean_block_bits = if per_block_bits.is_empty() {
         0.0
     } else {
-        per_block_bits.iter().map(|&b| b as f64).sum::<f64>() / per_block_bits.len() as f64
+        // Exact integer sum (bit widths are small integers); divides once at the end.
+        per_block_bits.iter().map(|&b| u64::from(b)).sum::<u64>() as f64
+            / per_block_bits.len() as f64
     };
     let mut block_bits_histogram = vec![0usize; (max_block_bits + 1) as usize];
     for &b in &per_block_bits {

@@ -337,8 +337,9 @@ pub fn apply_lognormal_jitter(a: &mut CooMatrix, sigma_log2: f64, seed: u64) {
         .values()
         .iter()
         .map(|&v| {
-            // Approximately normal deviate from the sum of four uniforms (Irwin–Hall).
-            let u: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0;
+            // Approximately normal deviate from the sum of four uniforms (Irwin–Hall);
+            // chained adds keep the exact left-to-right order of the draws.
+            let u = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 2.0;
             v * (sigma_log2 * u).exp2()
         })
         .collect();

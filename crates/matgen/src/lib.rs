@@ -19,6 +19,7 @@
 //! available; every experiment binary accepts them interchangeably.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod generators;
 pub mod rhs;

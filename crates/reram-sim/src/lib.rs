@@ -22,6 +22,7 @@
 //! * [`noise`] — the random-telegraph-noise model of the Fig. 10 robustness study.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod accelerator;
 pub mod cost;

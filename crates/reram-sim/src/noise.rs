@@ -60,7 +60,9 @@ impl NoisyReFloatOperator {
 /// loop and the test-facing [`NoisyReFloatOperator::gaussian_like`] both call it, so
 /// the sampled distribution can never diverge between the two.
 fn irwin_hall_unit(rng: &mut ChaCha8Rng) -> f64 {
-    let s: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0;
+    // Four explicit chained adds: same left-to-right order (and bits) as the old
+    // iterator sum, without the open-ended `.sum::<f64>()` accumulation pattern.
+    let s = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 2.0;
     s * (3.0f64).sqrt()
 }
 

@@ -10,11 +10,11 @@
 //! * lookups racing with an in-progress encode **coalesce**: they block until the
 //!   encoder publishes the entry instead of duplicating the work.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
 
 use refloat_core::{ReFloatConfig, ReFloatMatrix};
+use refloat_telemetry::{sync, Clock};
 
 /// Which slice of a matrix an encoding covers: shard `index` of a `count`-way
 /// block-row partition.  The unsharded operator is shard 0 of 1.
@@ -22,7 +22,7 @@ use refloat_core::{ReFloatConfig, ReFloatMatrix};
 /// Shard identity (not the row range) is what keys the cache: the partitioner is a
 /// pure function of `(matrix, b, count)`, so `(fingerprint, index, count)` pins the
 /// row band exactly, while keys stay `Copy` and hashable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShardId {
     /// Shard index within the partition (`< count`).
     pub index: u32,
@@ -47,7 +47,7 @@ impl ShardId {
 }
 
 /// Cache key: (matrix content fingerprint, shard, ReFloat format).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheKey {
     /// Content hash of the matrix (structure + values).
     pub fingerprint: u64,
@@ -143,9 +143,10 @@ struct CacheEntry {
 }
 
 struct CacheInner {
-    map: HashMap<CacheKey, CacheEntry>,
+    /// Ordered map so iteration (the LRU victim scan) visits keys deterministically.
+    map: BTreeMap<CacheKey, CacheEntry>,
     /// Keys currently being encoded by some caller.
-    pending: HashSet<CacheKey>,
+    pending: BTreeSet<CacheKey>,
     /// Logical clock for LRU recency.
     tick: u64,
     stats: CacheStats,
@@ -164,8 +165,8 @@ impl EncodedMatrixCache {
         assert!(capacity >= 1, "cache capacity must be at least 1");
         EncodedMatrixCache {
             inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                pending: HashSet::new(),
+                map: BTreeMap::new(),
+                pending: BTreeSet::new(),
                 tick: 0,
                 stats: CacheStats::default(),
             }),
@@ -181,7 +182,7 @@ impl EncodedMatrixCache {
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        sync::lock(&self.inner).map.len()
     }
 
     /// Whether the cache is empty.
@@ -191,26 +192,34 @@ impl EncodedMatrixCache {
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        sync::lock(&self.inner).stats
     }
 
     /// Whether a key is currently cached (does not touch recency).
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.inner.lock().expect("cache lock").map.contains_key(key)
+        sync::lock(&self.inner).map.contains_key(key)
     }
 
     /// Returns the encoded matrix for `key`, calling `encode` (outside the lock) only
-    /// if no other caller has cached or is currently encoding it.
-    pub fn get_or_encode<F>(&self, key: CacheKey, encode: F) -> (Arc<ReFloatMatrix>, CacheOutcome)
+    /// if no other caller has cached or is currently encoding it.  Encode timing is
+    /// read from `clock` so a `ManualClock` run reports exactly-zero encode seconds.
+    pub fn get_or_encode<F>(
+        &self,
+        key: CacheKey,
+        clock: &dyn Clock,
+        encode: F,
+    ) -> (Arc<ReFloatMatrix>, CacheOutcome)
     where
         F: FnOnce() -> ReFloatMatrix,
     {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = sync::lock(&self.inner);
         let mut waited = false;
         loop {
             if inner.map.contains_key(&key) {
                 inner.tick += 1;
                 let tick = inner.tick;
+                // refloat-analysis: allow(panic-in-service-path) — key presence was
+                // checked two lines above under the same guard.
                 let entry = inner.map.get_mut(&key).expect("entry just found");
                 entry.last_used = tick;
                 let matrix = Arc::clone(&entry.matrix);
@@ -225,7 +234,7 @@ impl EncodedMatrixCache {
             }
             if inner.pending.contains(&key) {
                 waited = true;
-                inner = self.ready.wait(inner).expect("cache lock");
+                inner = sync::wait(&self.ready, inner);
                 continue;
             }
             inner.pending.insert(key);
@@ -243,11 +252,11 @@ impl EncodedMatrixCache {
             key,
             armed: true,
         };
-        let started = Instant::now();
+        let started_s = clock.now_s();
         let matrix = Arc::new(encode());
-        let encode_seconds = started.elapsed().as_secs_f64();
+        let encode_seconds = (clock.now_s() - started_s).max(0.0);
 
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = sync::lock(&self.inner);
         guard.armed = false;
         inner.pending.remove(&key);
         inner.tick += 1;
@@ -294,12 +303,7 @@ impl Drop for PendingGuard<'_> {
         if !self.armed {
             return;
         }
-        self.cache
-            .inner
-            .lock()
-            .expect("cache lock")
-            .pending
-            .remove(&self.key);
+        sync::lock(&self.cache.inner).pending.remove(&self.key);
         self.cache.ready.notify_all();
     }
 }
@@ -309,6 +313,7 @@ mod tests {
     use super::*;
     use refloat_matgen::generators;
     use refloat_sparse::CsrMatrix;
+    use refloat_telemetry::WallClock;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn matrix(n: usize) -> CsrMatrix {
@@ -327,8 +332,9 @@ mod tests {
     fn second_lookup_is_a_hit_and_skips_the_encoder() {
         let cache = EncodedMatrixCache::new(4);
         let encodes = AtomicU64::new(0);
+        let clock = WallClock::new();
         let run = |cache: &EncodedMatrixCache| {
-            cache.get_or_encode(key(1), || {
+            cache.get_or_encode(key(1), &clock, || {
                 encodes.fetch_add(1, Ordering::SeqCst);
                 encoded(4)
             })
@@ -345,10 +351,11 @@ mod tests {
     #[test]
     fn lru_evicts_the_least_recently_used_entry() {
         let cache = EncodedMatrixCache::new(2);
-        cache.get_or_encode(key(1), || encoded(4));
-        cache.get_or_encode(key(2), || encoded(4));
-        cache.get_or_encode(key(1), || encoded(4)); // touch 1; 2 becomes LRU
-        cache.get_or_encode(key(3), || encoded(4)); // evicts 2
+        let clock = WallClock::new();
+        cache.get_or_encode(key(1), &clock, || encoded(4));
+        cache.get_or_encode(key(2), &clock, || encoded(4));
+        cache.get_or_encode(key(1), &clock, || encoded(4)); // touch 1; 2 becomes LRU
+        cache.get_or_encode(key(3), &clock, || encoded(4)); // evicts 2
         assert!(cache.contains(&key(1)));
         assert!(!cache.contains(&key(2)));
         assert!(cache.contains(&key(3)));
@@ -358,11 +365,12 @@ mod tests {
     #[test]
     fn concurrent_lookups_of_one_key_encode_exactly_once() {
         let cache = EncodedMatrixCache::new(4);
+        let clock = WallClock::new();
         let encodes = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {
-                    cache.get_or_encode(key(7), || {
+                    cache.get_or_encode(key(7), &clock, || {
                         encodes.fetch_add(1, Ordering::SeqCst);
                         // A non-trivial encode so the other threads actually race it.
                         encoded(24)
@@ -380,13 +388,16 @@ mod tests {
     #[test]
     fn distinct_formats_are_distinct_entries() {
         let cache = EncodedMatrixCache::new(4);
+        let clock = WallClock::new();
         let fp = 99u64;
         cache.get_or_encode(
             CacheKey::whole(fp, ReFloatConfig::new(3, 3, 3, 3, 8)),
+            &clock,
             || encoded(4),
         );
         cache.get_or_encode(
             CacheKey::whole(fp, ReFloatConfig::new(3, 3, 8, 3, 8)),
+            &clock,
             || encoded(4),
         );
         assert_eq!(cache.len(), 2);
@@ -396,20 +407,26 @@ mod tests {
     #[test]
     fn distinct_shards_are_distinct_entries() {
         let cache = EncodedMatrixCache::new(8);
+        let clock = WallClock::new();
         let fp = 7u64;
         let format = ReFloatConfig::new(3, 3, 8, 3, 8);
-        cache.get_or_encode(CacheKey::whole(fp, format), || encoded(4));
-        cache.get_or_encode(CacheKey::sharded(fp, ShardId::of(0, 2), format), || {
-            encoded(4)
-        });
-        cache.get_or_encode(CacheKey::sharded(fp, ShardId::of(1, 2), format), || {
-            encoded(4)
-        });
+        cache.get_or_encode(CacheKey::whole(fp, format), &clock, || encoded(4));
+        cache.get_or_encode(
+            CacheKey::sharded(fp, ShardId::of(0, 2), format),
+            &clock,
+            || encoded(4),
+        );
+        cache.get_or_encode(
+            CacheKey::sharded(fp, ShardId::of(1, 2), format),
+            &clock,
+            || encoded(4),
+        );
         // The same shard again is a hit.
-        let (_, outcome) = cache
-            .get_or_encode(CacheKey::sharded(fp, ShardId::of(1, 2), format), || {
-                encoded(4)
-            });
+        let (_, outcome) = cache.get_or_encode(
+            CacheKey::sharded(fp, ShardId::of(1, 2), format),
+            &clock,
+            || encoded(4),
+        );
         assert_eq!(outcome, CacheOutcome::Hit);
         assert_eq!(cache.len(), 3);
         assert!(ShardId::WHOLE.is_whole() && !ShardId::of(1, 2).is_whole());

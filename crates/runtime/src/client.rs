@@ -20,7 +20,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use refloat_telemetry::{MetricsRegistry, MetricsSnapshot, TraceSink};
+use refloat_telemetry::{sync, Clock, MetricsRegistry, MetricsSnapshot, TraceSink, WallClock};
 
 use crate::cache::{CacheStats, EncodedMatrixCache};
 use crate::decision::{DecisionStats, FormatDecisionCache};
@@ -102,7 +102,7 @@ impl TicketShared {
     }
 
     pub(crate) fn complete(&self, outcome: TicketOutcome) {
-        let mut slot = self.slot.lock().expect("ticket lock");
+        let mut slot = sync::lock(&self.slot);
         debug_assert!(
             matches!(*slot, TicketSlot::Pending),
             "a ticket resolves exactly once"
@@ -123,7 +123,8 @@ impl TicketShared {
 /// A submitted job's payload while it waits in the scheduler.
 pub(crate) struct QueuedTicket {
     pub plan: SolvePlan,
-    pub submitted_at: Instant,
+    /// Submission time in the runtime clock's seconds (see `telemetry::clock`).
+    pub submitted_at_s: f64,
     pub ticket: Arc<TicketShared>,
 }
 
@@ -144,6 +145,10 @@ pub(crate) struct ClientCore {
     pub metrics: Arc<MetricsRegistry>,
     /// The trace sink, when the runtime was configured with one.
     pub trace: Option<Arc<TraceSink>>,
+    /// The clock every wall-time telemetry field is read from.  Sourced from the
+    /// trace sink when tracing is configured (so a `ManualClock` sink pins *all*
+    /// host-time fields, not just trace timestamps), else a fresh [`WallClock`].
+    pub clock: Arc<dyn Clock>,
 }
 
 /// The handle on one queued (or running, or finished) job.
@@ -165,19 +170,19 @@ impl SolveTicket {
 
     /// Blocks until the job completes (or resolves as cancelled).
     pub fn wait(self) -> TicketOutcome {
-        let mut slot = self.shared.slot.lock().expect("ticket lock");
+        let mut slot = sync::lock(&self.shared.slot);
         loop {
             if let Some(outcome) = TicketShared::take_ready(&mut slot) {
                 return outcome;
             }
-            slot = self.shared.ready.wait(slot).expect("ticket lock");
+            slot = sync::wait(&self.shared.ready, slot);
         }
     }
 
     /// Returns the outcome if the job already resolved, or hands the ticket back.
     pub fn try_get(self) -> Result<TicketOutcome, SolveTicket> {
         let taken = {
-            let mut slot = self.shared.slot.lock().expect("ticket lock");
+            let mut slot = sync::lock(&self.shared.slot);
             TicketShared::take_ready(&mut slot)
         };
         taken.ok_or(self)
@@ -185,22 +190,22 @@ impl SolveTicket {
 
     /// Blocks up to `timeout` for the outcome, or hands the ticket back.
     pub fn wait_timeout(self, timeout: Duration) -> Result<TicketOutcome, SolveTicket> {
+        // A blocking timeout is a host-side liveness bound, not telemetry: it must
+        // track real time even under a ManualClock (which would never advance here).
+        // refloat-analysis: allow(wall-clock-in-deterministic-path)
         let deadline = Instant::now() + timeout;
         let taken = {
-            let mut slot = self.shared.slot.lock().expect("ticket lock");
+            let mut slot = sync::lock(&self.shared.slot);
             loop {
                 if let Some(outcome) = TicketShared::take_ready(&mut slot) {
                     break Some(outcome);
                 }
+                // refloat-analysis: allow(wall-clock-in-deterministic-path)
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
                     break None;
                 }
-                let (guard, _timed_out) = self
-                    .shared
-                    .ready
-                    .wait_timeout(slot, remaining)
-                    .expect("ticket lock");
+                let (guard, _timed_out) = sync::wait_timeout(&self.shared.ready, slot, remaining);
                 slot = guard;
             }
         };
@@ -246,7 +251,8 @@ impl std::fmt::Debug for SolveTicket {
 pub struct SolveClient {
     core: Arc<ClientCore>,
     handles: Vec<JoinHandle<()>>,
-    started: Instant,
+    /// Start time in the runtime clock's seconds (for report wall-time deltas).
+    started_s: f64,
     cache_baseline: CacheStats,
     decision_baseline: DecisionStats,
 }
@@ -271,6 +277,10 @@ impl SolveClient {
         metrics
             .gauge(metric_names::WORKERS)
             .set(config.workers as f64);
+        let clock: Arc<dyn Clock> = match &config.trace {
+            Some(sink) => sink.clock(),
+            None => Arc::new(WallClock::new()),
+        };
         let core = Arc::new(ClientCore {
             sched: JobScheduler::new(config.queue_capacity, config.scheduler),
             cache,
@@ -282,6 +292,7 @@ impl SolveClient {
             cancelled: AtomicU64::new(0),
             metrics,
             trace: config.trace.clone(),
+            clock,
         });
         let handles = (0..config.workers)
             .map(|worker_id| {
@@ -289,13 +300,17 @@ impl SolveClient {
                 std::thread::Builder::new()
                     .name(format!("refloat-worker-{worker_id}"))
                     .spawn(move || worker::worker_loop(worker_id, &core))
+                    // refloat-analysis: allow(panic-in-service-path) — thread-spawn
+                    // failure at startup is unrecoverable for the pool; nothing is
+                    // in flight yet, so failing fast is correct.
                     .expect("spawn worker thread")
             })
             .collect();
+        let started_s = core.clock.now_s();
         SolveClient {
             core,
             handles,
-            started: Instant::now(),
+            started_s,
             cache_baseline,
             decision_baseline,
         }
@@ -308,12 +323,12 @@ impl SolveClient {
     pub fn submit(&self, plan: SolvePlan) -> Result<SolveTicket, SubmitError> {
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
         let priority = plan.priority;
-        let submitted_at = Instant::now();
-        let deadline = plan.deadline.map(|d| submitted_at + d);
+        let submitted_at_s = self.core.clock.now_s();
+        let deadline = plan.deadline.map(|d| submitted_at_s + d.as_secs_f64());
         let shared = Arc::new(TicketShared::new());
         let queued = QueuedTicket {
             plan,
-            submitted_at,
+            submitted_at_s,
             ticket: Arc::clone(&shared),
         };
         match self.core.sched.push(id, priority, deadline, queued) {
@@ -404,11 +419,11 @@ impl SolveClient {
     /// A report over everything completed so far (cache/decision counters are
     /// deltas since this client started).
     pub fn report(&self) -> RuntimeReport {
-        let completed = self.core.completed.lock().expect("telemetry lock");
+        let completed = sync::lock(&self.core.completed);
         let sched = self.core.sched.stats();
         RuntimeReport::aggregate(
             &completed,
-            self.started.elapsed().as_secs_f64(),
+            (self.core.clock.now_s() - self.started_s).max(0.0),
             self.core.cache.stats().delta_since(&self.cache_baseline),
             self.core
                 .decisions

@@ -7,19 +7,19 @@
 //! plus in-flight deduplication, so concurrent first-touch jobs on the same matrix
 //! run exactly one analysis and the rest coalesce onto its result.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
 
 use refloat_core::autotune::FormatDecision;
 use refloat_solvers::SolverKind;
+use refloat_telemetry::{sync, Clock};
 
 /// What pins an auto-tuning decision: the matrix content, the blocking (candidates
 /// share the job format's `b`), the requested tolerance, the crossbar capacity the
 /// cost model ranked against, and the Krylov solver the verification trials ran
 /// (CG and BiCGSTAB converge differently on the same quantized operator, so their
 /// decisions must not be shared).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DecisionKey {
     /// Content hash of the matrix (structure + values).
     pub fingerprint: u64,
@@ -104,8 +104,9 @@ struct DecisionEntry {
 }
 
 struct DecisionInner {
-    map: HashMap<DecisionKey, DecisionEntry>,
-    pending: HashSet<DecisionKey>,
+    /// Ordered map so iteration (the LRU victim scan) visits keys deterministically.
+    map: BTreeMap<DecisionKey, DecisionEntry>,
+    pending: BTreeSet<DecisionKey>,
     tick: u64,
     stats: DecisionStats,
 }
@@ -123,8 +124,8 @@ impl FormatDecisionCache {
         assert!(capacity >= 1, "decision cache capacity must be at least 1");
         FormatDecisionCache {
             inner: Mutex::new(DecisionInner {
-                map: HashMap::new(),
-                pending: HashSet::new(),
+                map: BTreeMap::new(),
+                pending: BTreeSet::new(),
                 tick: 0,
                 stats: DecisionStats::default(),
             }),
@@ -140,7 +141,7 @@ impl FormatDecisionCache {
 
     /// Decisions currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("decision cache lock").map.len()
+        sync::lock(&self.inner).map.len()
     }
 
     /// Whether the cache is empty.
@@ -150,34 +151,34 @@ impl FormatDecisionCache {
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> DecisionStats {
-        self.inner.lock().expect("decision cache lock").stats
+        sync::lock(&self.inner).stats
     }
 
     /// Whether a key is currently cached (does not touch recency).
     pub fn contains(&self, key: &DecisionKey) -> bool {
-        self.inner
-            .lock()
-            .expect("decision cache lock")
-            .map
-            .contains_key(key)
+        sync::lock(&self.inner).map.contains_key(key)
     }
 
     /// Returns the decision for `key`, calling `analyse` (outside the lock) only if no
-    /// other caller has cached or is currently computing it.
+    /// other caller has cached or is currently computing it.  Analysis timing is read
+    /// from `clock` so a `ManualClock` run reports exactly-zero analysis seconds.
     pub fn get_or_analyse<F>(
         &self,
         key: DecisionKey,
+        clock: &dyn Clock,
         analyse: F,
     ) -> (FormatDecision, DecisionOutcome)
     where
         F: FnOnce() -> FormatDecision,
     {
-        let mut inner = self.inner.lock().expect("decision cache lock");
+        let mut inner = sync::lock(&self.inner);
         let mut waited = false;
         loop {
             if inner.map.contains_key(&key) {
                 inner.tick += 1;
                 let tick = inner.tick;
+                // refloat-analysis: allow(panic-in-service-path) — key presence was
+                // checked two lines above under the same guard.
                 let entry = inner.map.get_mut(&key).expect("entry just found");
                 entry.last_used = tick;
                 let decision = entry.decision;
@@ -192,7 +193,7 @@ impl FormatDecisionCache {
             }
             if inner.pending.contains(&key) {
                 waited = true;
-                inner = self.ready.wait(inner).expect("decision cache lock");
+                inner = sync::wait(&self.ready, inner);
                 continue;
             }
             inner.pending.insert(key);
@@ -208,11 +209,11 @@ impl FormatDecisionCache {
             key,
             armed: true,
         };
-        let started = Instant::now();
+        let started_s = clock.now_s();
         let decision = analyse();
-        let analysis_seconds = started.elapsed().as_secs_f64();
+        let analysis_seconds = (clock.now_s() - started_s).max(0.0);
 
-        let mut inner = self.inner.lock().expect("decision cache lock");
+        let mut inner = sync::lock(&self.inner);
         guard.armed = false;
         inner.pending.remove(&key);
         inner.tick += 1;
@@ -259,12 +260,7 @@ impl Drop for PendingGuard<'_> {
         if !self.armed {
             return;
         }
-        self.cache
-            .inner
-            .lock()
-            .expect("decision cache lock")
-            .pending
-            .remove(&self.key);
+        sync::lock(&self.cache.inner).pending.remove(&self.key);
         self.cache.ready.notify_all();
     }
 }
@@ -274,6 +270,7 @@ mod tests {
     use super::*;
     use refloat_core::ReFloatConfig;
     use refloat_solvers::SolverKind;
+    use refloat_telemetry::WallClock;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn decision(e: u32) -> FormatDecision {
@@ -292,8 +289,9 @@ mod tests {
         let cache = FormatDecisionCache::new(4);
         let key = DecisionKey::new(7, 4, 1e-6, 1 << 18, SolverKind::Cg);
         let analyses = AtomicU64::new(0);
+        let clock = WallClock::new();
         let run = || {
-            cache.get_or_analyse(key, || {
+            cache.get_or_analyse(key, &clock, || {
                 analyses.fetch_add(1, Ordering::SeqCst);
                 decision(3)
             })
@@ -312,16 +310,20 @@ mod tests {
     #[test]
     fn distinct_tolerances_and_chips_are_distinct_decisions() {
         let cache = FormatDecisionCache::new(8);
+        let clock = WallClock::new();
         cache.get_or_analyse(
             DecisionKey::new(7, 4, 1e-6, 1 << 18, SolverKind::Cg),
+            &clock,
             || decision(3),
         );
         cache.get_or_analyse(
             DecisionKey::new(7, 4, 1e-8, 1 << 18, SolverKind::Cg),
+            &clock,
             || decision(4),
         );
         cache.get_or_analyse(
             DecisionKey::new(7, 4, 1e-6, 1 << 12, SolverKind::Cg),
+            &clock,
             || decision(5),
         );
         assert_eq!(cache.len(), 3);
@@ -332,11 +334,12 @@ mod tests {
     #[test]
     fn lru_evicts_the_least_recently_used_decision() {
         let cache = FormatDecisionCache::new(2);
+        let clock = WallClock::new();
         let key = |tag: u64| DecisionKey::new(tag, 4, 1e-6, 1 << 18, SolverKind::Cg);
-        cache.get_or_analyse(key(1), || decision(2));
-        cache.get_or_analyse(key(2), || decision(3));
-        cache.get_or_analyse(key(1), || decision(2)); // touch 1; 2 becomes LRU
-        cache.get_or_analyse(key(3), || decision(4)); // evicts 2
+        cache.get_or_analyse(key(1), &clock, || decision(2));
+        cache.get_or_analyse(key(2), &clock, || decision(3));
+        cache.get_or_analyse(key(1), &clock, || decision(2)); // touch 1; 2 becomes LRU
+        cache.get_or_analyse(key(3), &clock, || decision(4)); // evicts 2
         assert!(cache.contains(&key(1)));
         assert!(!cache.contains(&key(2)));
         assert!(cache.contains(&key(3)));
@@ -348,10 +351,11 @@ mod tests {
         let cache = FormatDecisionCache::new(4);
         let key = DecisionKey::new(42, 4, 1e-6, 1 << 18, SolverKind::Cg);
         let analyses = AtomicU64::new(0);
+        let clock = WallClock::new();
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {
-                    cache.get_or_analyse(key, || {
+                    cache.get_or_analyse(key, &clock, || {
                         analyses.fetch_add(1, Ordering::SeqCst);
                         // Give the other threads a chance to actually race it.
                         std::thread::sleep(std::time::Duration::from_millis(10));

@@ -2,7 +2,6 @@
 //! validated [`SolvePlan`](crate::SolvePlan)), and per-job outcomes.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use refloat_core::{EscalationPolicy, ReFloatConfig};
 use refloat_solvers::{RefinementConfig, SolveResult, SolverConfig};
@@ -204,7 +203,8 @@ pub(crate) struct QueuedJob {
     pub id: u64,
     pub job: SolveJob,
     pub priority: Priority,
-    pub submitted_at: Instant,
+    /// Submission time in the runtime clock's seconds (see `telemetry::clock`).
+    pub submitted_at_s: f64,
 }
 
 /// The result of one job: the raw solver outcome plus its telemetry.

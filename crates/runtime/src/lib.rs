@@ -153,6 +153,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod accel;
 pub mod cache;

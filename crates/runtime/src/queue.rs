@@ -7,6 +7,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use refloat_telemetry::sync;
+
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -42,7 +44,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        sync::lock(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -53,9 +55,9 @@ impl<T> BoundedQueue<T> {
     /// Enqueues an item, blocking while the queue is full.  Returns the item back if
     /// the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock");
+            state = sync::wait(&self.not_full, state);
         }
         if state.closed {
             return Err(item);
@@ -69,7 +71,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues an item, blocking while the queue is empty and open.  Returns `None`
     /// once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -79,13 +81,13 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock");
+            state = sync::wait(&self.not_empty, state);
         }
     }
 
     /// Closes the queue: consumers drain what is left, producers fail fast.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        sync::lock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }

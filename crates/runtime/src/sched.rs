@@ -56,12 +56,13 @@
 //! * **The dequeue order itself is deterministic** given the interleaving of
 //!   submissions and dequeues, because promotion ages in dequeue counts: no
 //!   wall-clock reading participates in the ordering unless soft deadlines are
-//!   used (deadlines are resolved to submission-time instants and compared as
-//!   values, so two runs submitting the same deadlines in the same order still
-//!   agree).
+//!   used (deadlines are resolved to clock seconds at submission and compared as
+//!   plain values, so two runs submitting the same deadlines in the same order
+//!   still agree — and a `ManualClock` pins them exactly).
 
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+
+use refloat_telemetry::sync;
 
 /// The service class of a job: how urgently the scheduler should run it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -164,7 +165,8 @@ pub struct SchedulerStats {
 struct Pending<T> {
     id: u64,
     priority: Priority,
-    deadline: Option<Instant>,
+    /// Soft deadline, in the runtime clock's seconds (see `telemetry::clock`).
+    deadline: Option<f64>,
     /// Value of the dequeue counter when this job was submitted (ages the job for
     /// anti-starvation promotion).
     enqueued_at_dequeue: u64,
@@ -222,7 +224,7 @@ impl<T> JobScheduler<T> {
     /// Jobs currently pending (excludes in-flight jobs).
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("scheduler lock").pending.len()
+        sync::lock(&self.state).pending.len()
     }
 
     /// Submits a job, blocking while the pending set is at capacity
@@ -231,12 +233,12 @@ impl<T> JobScheduler<T> {
         &self,
         id: u64,
         priority: Priority,
-        deadline: Option<Instant>,
+        deadline: Option<f64>,
         payload: T,
     ) -> Result<(), T> {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = sync::lock(&self.state);
         while state.pending.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("scheduler lock");
+            state = sync::wait(&self.not_full, state);
         }
         if state.closed {
             return Err(payload);
@@ -311,10 +313,14 @@ impl<T> JobScheduler<T> {
             return ba < bb;
         }
         if ba == 1 {
-            // Both fresh with deadlines: earliest-deadline-first.
-            let (da, db) = (a.deadline.expect("band 1"), b.deadline.expect("band 1"));
-            if da != db {
-                return da < db;
+            // Both fresh with deadlines: earliest-deadline-first (total_cmp keeps
+            // the order total even for pathological NaN deadlines).
+            if let (Some(da), Some(db)) = (a.deadline, b.deadline) {
+                match da.total_cmp(&db) {
+                    std::cmp::Ordering::Less => return true,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal => {}
+                }
             }
         }
         a.id < b.id
@@ -324,7 +330,7 @@ impl<T> JobScheduler<T> {
     /// the scheduler is open.  Returns `None` once the scheduler is closed *and*
     /// drained.
     pub fn pop(&self) -> Option<Popped<T>> {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = sync::lock(&self.state);
         loop {
             if !state.pending.is_empty() {
                 let idx = self.select(&state);
@@ -342,7 +348,7 @@ impl<T> JobScheduler<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("scheduler lock");
+            state = sync::wait(&self.not_empty, state);
         }
     }
 
@@ -350,7 +356,7 @@ impl<T> JobScheduler<T> {
     /// already started (or finished, or never existed) — in-flight jobs cannot be
     /// recalled.
     pub fn cancel(&self, id: u64) -> Option<T> {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = sync::lock(&self.state);
         let idx = state.pending.iter().position(|p| p.id == id)?;
         let job = state.pending.remove(idx);
         drop(state);
@@ -361,7 +367,7 @@ impl<T> JobScheduler<T> {
 
     /// Marks one popped job finished (drain accounting).
     pub fn finish_one(&self) {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = sync::lock(&self.state);
         debug_assert!(state.inflight > 0, "finish_one without a matching pop");
         state.inflight = state.inflight.saturating_sub(1);
         if state.inflight == 0 && state.pending.is_empty() {
@@ -373,7 +379,7 @@ impl<T> JobScheduler<T> {
     /// Closes the scheduler: workers drain what is pending, new submissions fail
     /// fast with their payload handed back.
     pub fn close(&self) {
-        self.state.lock().expect("scheduler lock").closed = true;
+        sync::lock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
         self.idle.notify_all();
@@ -381,15 +387,15 @@ impl<T> JobScheduler<T> {
 
     /// Blocks until no job is pending or in flight.
     pub fn wait_idle(&self) {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = sync::lock(&self.state);
         while !(state.pending.is_empty() && state.inflight == 0) {
-            state = self.idle.wait(state).expect("scheduler lock");
+            state = sync::wait(&self.idle, state);
         }
     }
 
     /// Counter snapshot for the runtime report.
     pub fn stats(&self) -> SchedulerStats {
-        let state = self.state.lock().expect("scheduler lock");
+        let state = sync::lock(&self.state);
         SchedulerStats {
             peak_depth: state.peak_depth,
             dequeues: state.dequeues,
@@ -443,22 +449,9 @@ mod tests {
     #[test]
     fn soft_deadlines_run_edf_within_a_class() {
         let s = JobScheduler::new(16, SchedulerPolicy::default());
-        let now = Instant::now();
         s.push(0, Priority::Standard, None, ()).unwrap();
-        s.push(
-            1,
-            Priority::Standard,
-            Some(now + Duration::from_secs(60)),
-            (),
-        )
-        .unwrap();
-        s.push(
-            2,
-            Priority::Standard,
-            Some(now + Duration::from_secs(5)),
-            (),
-        )
-        .unwrap();
+        s.push(1, Priority::Standard, Some(60.0), ()).unwrap();
+        s.push(2, Priority::Standard, Some(5.0), ()).unwrap();
         // Deadline jobs run EDF ahead of deadline-free peers; a higher class still
         // outranks any deadline.
         s.push(3, Priority::Interactive, None, ()).unwrap();
@@ -497,16 +490,10 @@ mod tests {
         // jobs.
         let promote_every = 4u64;
         let s = JobScheduler::new(64, SchedulerPolicy::priority(promote_every));
-        let now = Instant::now();
         s.push(0, Priority::Batch, None, ()).unwrap();
         for id in 1..=40 {
-            s.push(
-                id,
-                Priority::Interactive,
-                Some(now + Duration::from_millis(id)),
-                (),
-            )
-            .unwrap();
+            s.push(id, Priority::Interactive, Some(id as f64 * 1e-3), ())
+                .unwrap();
         }
         let order = drain_ids(&s);
         let batch_position = order.iter().position(|&id| id == 0).unwrap();

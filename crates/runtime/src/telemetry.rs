@@ -437,7 +437,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -525,7 +525,9 @@ impl RuntimeReport {
             latency_mean_s: if latencies.is_empty() {
                 0.0
             } else {
-                latencies.iter().sum::<f64>() / latencies.len() as f64
+                // Pairwise accumulation (vecops::sum) keeps report means stable and
+                // shard-order independent even over long traffic logs.
+                refloat_sparse::vecops::sum(&latencies) / latencies.len() as f64
             },
             latency_max_s: latencies.iter().cloned().fold(0.0, f64::max),
             queue_wait_p50_s: percentile(&queue_waits, 0.50),

@@ -3,14 +3,12 @@
 //! shards) through the encode cache, solve (plain, sharded, batched multi-RHS, or
 //! mixed-precision refined), and account the simulated-chip cost.
 
-use std::time::Instant;
-
 use refloat_core::autotune::{self, AutotuneConfig};
 use refloat_core::{OperatorShard, ReFloatConfig, ReFloatMatrix, ShardedReFloatMatrix};
 use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
 use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
-use refloat_telemetry::{SpanKind, TraceSink};
+use refloat_telemetry::{sync, Clock, SpanKind, TraceSink};
 
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
@@ -45,14 +43,14 @@ pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
     while let Some(popped) = core.sched.pop() {
         let QueuedTicket {
             plan,
-            submitted_at,
+            submitted_at_s,
             ticket,
         } = popped.payload;
         let queued = QueuedJob {
             id: popped.id,
             job: plan.job,
             priority: popped.priority,
-            submitted_at,
+            submitted_at_s,
         };
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_job(
@@ -63,15 +61,13 @@ pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
                 &mut accelerator,
                 &mut programmed,
                 core.trace.as_deref(),
+                core.clock.as_ref(),
             )
         }));
         match run {
             Ok(outcome) => {
                 metric_handles.record(&outcome.telemetry);
-                core.completed
-                    .lock()
-                    .expect("telemetry lock")
-                    .push(outcome.telemetry.clone());
+                sync::lock(&core.completed).push(outcome.telemetry.clone());
                 ticket.complete(TicketOutcome::Completed(Box::new(outcome)));
             }
             Err(payload) => {
@@ -138,6 +134,8 @@ impl LinearOperator for CsrRef<'_> {
 /// optional final fp64 rung.
 struct CachedLadder<'a> {
     cache: &'a EncodedMatrixCache,
+    /// The runtime clock rung-fetch timing is read from.
+    clock: &'a dyn Clock,
     csr: &'a CsrMatrix,
     fingerprint: u64,
     formats: Vec<ReFloatConfig>,
@@ -160,8 +158,10 @@ struct CachedLadder<'a> {
 }
 
 impl<'a> CachedLadder<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cache: &'a EncodedMatrixCache,
+        clock: &'a dyn Clock,
         csr: &'a CsrMatrix,
         fingerprint: u64,
         spec: &RefinementSpec,
@@ -173,6 +173,7 @@ impl<'a> CachedLadder<'a> {
         let ops = formats.iter().map(|_| None).collect();
         CachedLadder {
             cache,
+            clock,
             csr,
             fingerprint,
             formats,
@@ -221,12 +222,12 @@ impl PrecisionLadder for CachedLadder<'_> {
     fn solve(&mut self, level: usize, rhs: &[f64], config: &SolverConfig) -> SolveResult {
         if level < self.formats.len() {
             if self.ops[level].is_none() {
-                let fetch_started = Instant::now();
+                let fetch_started_s = self.clock.now_s();
                 let format = self.formats[level];
                 let key = CacheKey::whole(self.fingerprint, format);
-                let (encoded, outcome) = self
-                    .cache
-                    .get_or_encode(key, || ReFloatMatrix::from_csr(self.csr, format));
+                let (encoded, outcome) = self.cache.get_or_encode(key, self.clock, || {
+                    ReFloatMatrix::from_csr(self.csr, format)
+                });
                 if let CacheOutcome::Miss { encode_seconds } = outcome {
                     self.encode_s += encode_seconds;
                 }
@@ -243,8 +244,10 @@ impl PrecisionLadder for CachedLadder<'_> {
                     }
                 };
                 self.ops[level] = Some(op);
-                self.fetch_s += fetch_started.elapsed().as_secs_f64();
+                self.fetch_s += (self.clock.now_s() - fetch_started_s).max(0.0);
             }
+            // refloat-analysis: allow(panic-in-service-path) — the branch above just
+            // populated this rung; absence is a construction bug, not a job state.
             let op = self.ops[level].as_mut().expect("rung fetched above");
             self.solver.solve(op, rhs, config)
         } else {
@@ -265,6 +268,7 @@ struct RefinedOutcome {
 
 /// Runs one refined job: the outer fp64 defect-correction loop over the cache-backed
 /// ladder, then charges every inner pass (and the host-side fp64 work) to the chip.
+#[allow(clippy::too_many_arguments)]
 fn run_refined(
     job: &SolveJob,
     spec: &RefinementSpec,
@@ -273,6 +277,7 @@ fn run_refined(
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
     jt: &mut JobTrace<'_>,
+    clock: &dyn Clock,
 ) -> RefinedOutcome {
     let csr = job.matrix.csr();
     // The ladder can only adopt a whole-matrix operator; a held sharded operator is
@@ -283,6 +288,7 @@ fn run_refined(
     };
     let mut ladder = CachedLadder::new(
         cache,
+        clock,
         csr,
         job.matrix.fingerprint(),
         spec,
@@ -292,11 +298,11 @@ fn run_refined(
     );
     let config = spec.refinement_config();
     let solve_anchor = jt.now_s();
-    let solve_started = Instant::now();
+    let solve_started_s = clock.now_s();
     let refined = refine(&mut CsrRef(csr), rhs, &mut ladder, &config);
     // Rung fetches (encode / coalesced wait / clone) interleave with the solve; keep
     // solver time clean of them.
-    let solve_s = solve_started.elapsed().as_secs_f64() - ladder.fetch_s;
+    let solve_s = (clock.now_s() - solve_started_s - ladder.fetch_s).max(0.0);
     jt.span(SpanKind::Execute, solve_anchor, || {
         format!(
             "refined outer={} inner={} escalations={}",
@@ -398,10 +404,11 @@ fn run_plain(
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
     jt: &mut JobTrace<'_>,
+    clock: &dyn Clock,
 ) -> PlainOutcome {
     let key = job.cache_key();
     let lookup_anchor = jt.now_s();
-    let (encoded, cache_outcome) = cache.get_or_encode(key, || {
+    let (encoded, cache_outcome) = cache.get_or_encode(key, clock, || {
         ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
     });
     let encode_s = match cache_outcome {
@@ -429,11 +436,11 @@ fn run_plain(
         _ => (*encoded).clone(),
     };
     let solve_anchor = jt.now_s();
-    let solve_started = Instant::now();
+    let solve_started_s = clock.now_s();
     let results = job
         .solver
         .solve_batch(&mut operator, rhss, &job.solver_config);
-    let solve_s = solve_started.elapsed().as_secs_f64();
+    let solve_s = (clock.now_s() - solve_started_s).max(0.0);
     let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
     jt.span(SpanKind::Execute, solve_anchor, || {
         format!("rhs={} iterations={:?}", rhss.len(), iterations)
@@ -466,9 +473,13 @@ fn run_sharded(
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
     jt: &mut JobTrace<'_>,
+    clock: &dyn Clock,
 ) -> PlainOutcome {
     let csr = job.matrix.csr();
     let parts = block_row_shards(csr, job.format.b, job.shards)
+        // refloat-analysis: allow(panic-in-service-path) — `b` comes from a
+        // ReFloatConfig the plan validator already accepted; failure here is an
+        // in-crate construction bug the catch_unwind containment converts to Failed.
         .expect("valid blocking exponent from a validated ReFloatConfig");
     let count = parts.len() as u32;
     let mut keys = Vec::with_capacity(parts.len());
@@ -485,7 +496,7 @@ fn run_sharded(
         );
         // The shard CSR is only materialized on a cache miss; hits skip both the row
         // extraction and the encode.
-        let (encoded, outcome) = cache.get_or_encode(key, || {
+        let (encoded, outcome) = cache.get_or_encode(key, clock, || {
             ReFloatMatrix::from_csr(&extract_row_range(csr, part.rows.clone()), job.format)
         });
         match outcome {
@@ -534,11 +545,11 @@ fn run_sharded(
     };
 
     let solve_anchor = jt.now_s();
-    let solve_started = Instant::now();
+    let solve_started_s = clock.now_s();
     let results = job
         .solver
         .solve_batch(&mut operator, rhss, &job.solver_config);
-    let solve_s = solve_started.elapsed().as_secs_f64();
+    let solve_s = (clock.now_s() - solve_started_s).max(0.0);
     let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
     jt.span(SpanKind::Execute, solve_anchor, || {
         format!("rhs={} iterations={:?}", rhss.len(), iterations)
@@ -587,15 +598,15 @@ fn execute_job(
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
     trace: Option<&TraceSink>,
+    clock: &dyn Clock,
 ) -> JobOutcome {
     let QueuedJob {
         id,
         mut job,
         priority,
-        submitted_at,
+        submitted_at_s,
     } = queued;
-    let dequeued_at = Instant::now();
-    let queue_wait_s = dequeued_at.duration_since(submitted_at).as_secs_f64();
+    let queue_wait_s = (clock.now_s() - submitted_at_s).max(0.0);
     let mut jt = JobTrace::new(trace, id, accelerator.worker_id());
     jt.span_backdated(SpanKind::QueueWait, queue_wait_s, || {
         format!("priority={}", priority.label())
@@ -623,7 +634,7 @@ fn execute_job(
             job.solver,
         );
         let analysis_anchor = jt.now_s();
-        let (decision, outcome) = decisions.get_or_analyse(key, || {
+        let (decision, outcome) = decisions.get_or_analyse(key, clock, || {
             autotune::plan_format(
                 job.matrix.csr(),
                 &AutotuneConfig::new(spec.tolerance, job.format.b)
@@ -705,7 +716,16 @@ fn execute_job(
             "refined jobs are single-RHS and single-chip; the plan validator must \
              have rejected this"
         );
-        let refined = run_refined(&job, &spec, rhs, cache, accelerator, programmed, &mut jt);
+        let refined = run_refined(
+            &job,
+            &spec,
+            rhs,
+            cache,
+            accelerator,
+            programmed,
+            &mut jt,
+            clock,
+        );
         (
             refined.result,
             Vec::new(),
@@ -718,11 +738,13 @@ fn execute_job(
         )
     } else {
         let plain = if job.shards > 1 {
-            run_sharded(&job, &rhss, cache, accelerator, programmed, &mut jt)
+            run_sharded(&job, &rhss, cache, accelerator, programmed, &mut jt, clock)
         } else {
-            run_plain(&job, &rhss, cache, accelerator, programmed, &mut jt)
+            run_plain(&job, &rhss, cache, accelerator, programmed, &mut jt, clock)
         };
         let mut results = plain.results.into_iter();
+        // refloat-analysis: allow(panic-in-service-path) — solve_batch returns one
+        // result per RHS by contract; an empty batch cannot pass the plan validator.
         let result = results.next().expect("one result per RHS");
         (
             result,
@@ -768,6 +790,7 @@ fn execute_job(
                 accelerator,
                 programmed,
                 &mut jt,
+                clock,
             );
             tele.fell_back = true;
             tele.achieved_relative_residual = refined.telemetry.final_relative_residual;
@@ -808,7 +831,7 @@ fn execute_job(
         queue_wait_s,
         encode_s,
         solve_s,
-        latency_s: submitted_at.elapsed().as_secs_f64(),
+        latency_s: (clock.now_s() - submitted_at_s).max(0.0),
         iterations: result.iterations,
         converged: converged_override
             .unwrap_or_else(|| result.converged() && extra_results.iter().all(|r| r.converged())),

@@ -24,6 +24,7 @@
 //! in-memory-computing recipe, expressed over the same [`LinearOperator`] abstraction.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bicgstab;
 pub mod cg;
@@ -49,7 +50,7 @@ pub use result::{SolveResult, SolverConfig, StopReason};
 /// This lives in the solver crate so that both the hardware time model (`reram-sim`,
 /// which re-exports it) and the precision-ladder dispatch of [`refinement`] can name a
 /// solver without depending on each other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SolverKind {
     /// Conjugate Gradient: 1 SpMV per iteration.
     Cg,

@@ -336,9 +336,10 @@ impl CsrMatrix {
             .all(|(a, b)| (a - b).abs() <= tol)
     }
 
-    /// Frobenius norm of the matrix.
+    /// Frobenius norm of the matrix (pairwise accumulation via [`crate::vecops::dot`],
+    /// so the result is independent of how callers shard the value array).
     pub fn frobenius_norm(&self) -> f64 {
-        self.vals.iter().map(|v| v * v).sum::<f64>().sqrt()
+        crate::vecops::dot(&self.vals, &self.vals).sqrt()
     }
 
     /// Maximum absolute value of any stored entry (0 for an empty matrix).

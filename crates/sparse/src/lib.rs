@@ -24,6 +24,7 @@
 //! `refloat-core` crate, never baked into the substrate.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod blocked;
 pub mod coo;

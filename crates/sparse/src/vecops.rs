@@ -60,6 +60,28 @@ pub fn dot_kahan(x: &[f64], y: &[f64]) -> f64 {
     sum
 }
 
+/// Pairwise (cascade) reduction of `Σ xᵢ` — same tree shape as [`pairwise_dot`].
+fn pairwise_sum(x: &[f64]) -> f64 {
+    if x.len() <= PAIRWISE_LEAF {
+        let mut acc = 0.0;
+        for v in x {
+            acc += v;
+        }
+        return acc;
+    }
+    let mid = x.len() / 2;
+    let (l, r) = x.split_at(mid);
+    pairwise_sum(l) + pairwise_sum(r)
+}
+
+/// Sum `Σ xᵢ`, accumulated pairwise (error `O(log n · ε)` instead of the naive
+/// loop's `O(n · ε)`); the summation order is a pure function of the length, so the
+/// result is bitwise reproducible.  This is the sanctioned alternative to
+/// `.sum::<f64>()` that the naive-float-accumulation lint points at.
+pub fn sum(x: &[f64]) -> f64 {
+    pairwise_sum(x)
+}
+
 /// Euclidean norm `‖x‖₂` (pairwise accumulation, see [`dot`]).
 pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()

@@ -20,10 +20,12 @@
 //! *simulated* seconds from the cycle-accurate cost model (bitwise reproducible).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bench;
 pub mod clock;
 pub mod metrics;
+pub mod sync;
 pub mod trace;
 
 pub use bench::{validate, BenchReport, BENCH_SCHEMA_VERSION};

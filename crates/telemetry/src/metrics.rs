@@ -16,6 +16,8 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Serialize, Value};
 
+use crate::sync;
+
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -165,7 +167,7 @@ impl HistogramSnapshot {
                 return self.bounds[i.min(self.bounds.len() - 1)];
             }
         }
-        *self.bounds.last().expect("bounds are non-empty")
+        self.bounds.last().copied().unwrap_or(0.0)
     }
 
     /// Mean of all observations (0.0 when empty).
@@ -234,20 +236,20 @@ impl MetricsRegistry {
 
     /// Returns the counter with this name, creating it if needed.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        let mut map = sync::lock(&self.counters);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// Returns the gauge with this name, creating it if needed.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        let mut map = sync::lock(&self.gauges);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// Returns the histogram with this name, creating it with the given bounds if
     /// needed (an existing histogram keeps its original bounds).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        let mut map = sync::lock(&self.histograms);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
@@ -262,24 +264,15 @@ impl MetricsRegistry {
     /// A consistent, name-sorted snapshot of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self
-                .counters
-                .lock()
-                .expect("metrics registry poisoned")
+            counters: sync::lock(&self.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .expect("metrics registry poisoned")
+            gauges: sync::lock(&self.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .expect("metrics registry poisoned")
+            histograms: sync::lock(&self.histograms)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

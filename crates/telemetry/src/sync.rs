@@ -1,0 +1,79 @@
+//! Poison-recovering lock helpers for service paths.
+//!
+//! The runtime contains job panics with `catch_unwind` (a poisoned job resolves its
+//! ticket as `Failed` and the worker keeps serving).  Rust's `Mutex` records such a
+//! panic as *poisoning*, and before this module every `.lock().expect("...")` on the
+//! shared state turned one already-contained panic into a cascading outage: the next
+//! job to touch the same mutex panicked too, and so did every report and metrics
+//! snapshot after it.
+//!
+//! Recovering the guard is sound here because every critical section in this
+//! workspace holds its lock across plain in-memory updates only — the expensive,
+//! panic-prone work (encoding, format analysis, the solve itself) always runs
+//! *outside* the locks, and the in-lock updates (push an entry, bump a counter,
+//! flip a flag) cannot be observed half-applied after an unwind at their panic-free
+//! boundaries.  A service that can contain a panic must also be able to keep
+//! serving afterwards; these helpers make that the default.
+//!
+//! The panic-in-service-path lint of `refloat-analysis` flags bare
+//! `.lock().unwrap()`/`.expect()` in service modules; routing acquisitions through
+//! this module is the sanctioned fix.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Acquires `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the re-acquired guard if another holder panicked
+/// while this thread slept.
+pub fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar` up to `timeout`, recovering the re-acquired guard if another
+/// holder panicked while this thread slept.
+pub fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_from_a_poisoned_mutex() {
+        let shared = Arc::new(Mutex::new(7u64));
+        let poisoner = Arc::clone(&shared);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first acquisition");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(shared.lock().is_err(), "the mutex really is poisoned");
+        // The helper still hands out a usable guard.
+        let mut guard = lock(&shared);
+        *guard += 1;
+        assert_eq!(*guard, 8);
+    }
+
+    #[test]
+    fn wait_and_wait_timeout_return_usable_guards() {
+        let mutex = Mutex::new(0u32);
+        let condvar = Condvar::new();
+        let guard = lock(&mutex);
+        let (guard, timed_out) = wait_timeout(&condvar, guard, Duration::from_millis(1));
+        assert!(timed_out.timed_out());
+        assert_eq!(*guard, 0);
+    }
+}

@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::clock::{Clock, WallClock};
+use crate::sync;
 
 /// What a trace event describes.  One variant per instrumented stage of a job's life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +152,14 @@ impl TraceSink {
         Self::new(Arc::new(WallClock::new()))
     }
 
+    /// The clock this sink stamps events with.  The runtime reads *all* of its
+    /// wall-clock telemetry (queue wait, encode/solve seconds, latency) through
+    /// this clock when tracing is configured, so a [`ManualClock`](crate::ManualClock)
+    /// sink pins every host-time field — not just the trace timestamps.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
     /// Current reading of the sink's clock, in seconds.
     pub fn now_s(&self) -> f64 {
         self.clock.now_s()
@@ -158,7 +167,7 @@ impl TraceSink {
 
     /// Records a single event.
     pub fn record(&self, event: TraceEvent) {
-        self.events.lock().expect("trace sink poisoned").push(event);
+        sync::lock(&self.events).push(event);
     }
 
     /// Records a whole job's events with one lock acquisition.
@@ -166,15 +175,12 @@ impl TraceSink {
         if batch.is_empty() {
             return;
         }
-        self.events
-            .lock()
-            .expect("trace sink poisoned")
-            .extend(batch);
+        sync::lock(&self.events).extend(batch);
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace sink poisoned").len()
+        sync::lock(&self.events).len()
     }
 
     /// True when no events have been recorded.
@@ -184,7 +190,7 @@ impl TraceSink {
 
     /// All events so far, sorted by `(job_id, seq)` — the canonical export order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let mut events = self.events.lock().expect("trace sink poisoned").clone();
+        let mut events = sync::lock(&self.events).clone();
         events.sort_by_key(|e| (e.job_id, e.seq));
         events
     }
@@ -193,6 +199,9 @@ impl TraceSink {
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
         for event in self.snapshot() {
+            // The shim serializer is infallible for plain named-field structs; a
+            // failure here is a serde-shim bug, not a runtime condition.
+            // refloat-analysis: allow(panic-in-service-path)
             out.push_str(&serde_json::to_string(&event).expect("trace event renders"));
             out.push('\n');
         }

@@ -38,6 +38,8 @@
 //! binaries that regenerate every table and figure of the paper (the index is in
 //! `DESIGN.md`; measured-vs-paper numbers are in `EXPERIMENTS.md`).
 
+#![forbid(unsafe_code)]
+
 pub use refloat_core as core;
 pub use refloat_matgen as matgen;
 pub use refloat_runtime as runtime;
