@@ -44,6 +44,10 @@ pub const FLOAT_ACCUM_EXEMPT: &[&str] = &["crates/sparse/src/vecops.rs"];
 pub const SERVICE_PATHS: &[&str] = &[
     "crates/runtime/src/worker.rs",
     "crates/runtime/src/client.rs",
+    "crates/runtime/src/node.rs",
+    "crates/runtime/src/cluster/mod.rs",
+    "crates/runtime/src/cluster/router.rs",
+    "crates/runtime/src/cluster/admission.rs",
     "crates/runtime/src/sched.rs",
     "crates/runtime/src/cache.rs",
     "crates/runtime/src/decision.rs",

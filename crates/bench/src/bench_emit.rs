@@ -4,8 +4,9 @@
 //! Three binaries always emit (so every run from the repo root refreshes the tracked
 //! baseline): `serve_traffic` → `BENCH_runtime.json`, `bench_encode` →
 //! `BENCH_encode.json`, `bench_spmv` → `BENCH_spmv.json`.  The figure binaries
-//! (`fig_scheduling`, `fig_sharding`) emit only when `--bench-dir` is passed, since
-//! their default runs are acceptance checks rather than measurements.
+//! (`fig_scheduling`, `fig_sharding`, `fig_cluster` → `BENCH_cluster.json`) emit
+//! only when `--bench-dir` is passed, since their default runs are acceptance
+//! checks rather than measurements.
 //!
 //! `bench_check` validates every `BENCH_*.json` in a directory against the
 //! [`required_metrics`] vocabulary below and the schema in
@@ -19,7 +20,7 @@ use crate::json::flag_value;
 
 /// Areas whose `BENCH_<area>.json` file must exist in a trajectory directory
 /// (`bench_check` fails when one is missing).
-pub const TRACKED_AREAS: [&str; 3] = ["runtime", "encode", "spmv"];
+pub const TRACKED_AREAS: [&str; 4] = ["runtime", "encode", "spmv", "cluster"];
 
 /// The metrics each area's report must carry, as finite numbers.  Renaming or
 /// dropping one of these is schema drift and fails `bench_check`.
@@ -41,6 +42,14 @@ pub fn required_metrics(area: &str) -> Option<&'static [&'static str]> {
             "csr_nnz_per_s",
             "quantized_nnz_per_s",
             "model_cycles_per_spmv",
+        ]),
+        "cluster" => Some(&[
+            "speedup_4_nodes",
+            "throughput_1_jobs_per_s",
+            "throughput_4_jobs_per_s",
+            "shed_rate_overload",
+            "interactive_p99_wait_ms_overload",
+            "affinity_hit_rate",
         ]),
         "scheduling" => Some(&["interactive_p99_improvement_x", "throughput_ratio"]),
         "sharding" => Some(&["speedup_4_chips", "reduction_share_8_chips"]),

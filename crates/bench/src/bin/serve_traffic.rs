@@ -5,13 +5,30 @@
 //!
 //! Prints the runtime report (throughput, p50/p99 latency, cache hit rate, simulated
 //! chip time) plus a determinism digest over the numeric results: at a fixed `--seed`
-//! the digest is identical across runs and worker counts, because every job's numerics
-//! are independent of scheduling.
+//! the digest is identical across runs, worker counts, **and node counts**, because
+//! every job's numerics are independent of scheduling and placement.
 //!
 //! ```text
 //! serve_traffic [--jobs N] [--workers N] [--seed S] [--cache N] [--quick]
 //!               [--json PATH] [--trace PATH] [--bench-dir DIR]
+//!               [--nodes N] [--max-in-system N] [--quota N]
+//!               [--arrivals poisson|bursty] [--rate JOBS_PER_S]
+//!               [--tenants N] [--skew S]
 //! ```
+//!
+//! * `--nodes N` serves the trace through an N-node [`ClusterRuntime`] (affinity
+//!   router, per-node caches) instead of a single pool; `--max-in-system` /
+//!   `--quota` add admission bounds (they require `--nodes`).
+//! * `--arrivals` switches from the closed-loop replay to **open-loop** traffic:
+//!   arrival times come from a seeded Poisson/bursty process
+//!   (`refloat_matgen::traffic`) and are paced in real time, so the offered load —
+//!   set with `--rate`, skewed over `--tenants` by `--skew` — does not adapt to
+//!   the service.  Over-capacity submissions are *shed* (typed, counted), which is
+//!   the regime the digest is not defined for (the completed set depends on
+//!   timing); the digest is printed for closed-loop runs only.
+//!
+//! Bad flag combinations (`--rate` without `--arrivals`, `--nodes 0`, `--arrivals
+//! never`) exit with a one-line usage error and status 2 — never a panic.
 //!
 //! `--trace PATH` attaches a span/event [`TraceSink`] to the runtime and writes the
 //! JSONL export to `PATH` after the drain.  Every run also refreshes the tracked
@@ -25,12 +42,21 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
+use refloat_bench::args::{
+    parse_nonneg_f64, parse_positive_f64, parse_positive_usize, parse_u64, raw_value, require_with,
+    UsageError,
+};
 use refloat_bench::bench_emit::{default_bench_dir, emit};
 use refloat_bench::json::{flag_value, has_flag, json_path_from_args, write_json};
 use refloat_core::ReFloatConfig;
 use refloat_matgen::generators;
+use refloat_matgen::traffic::{generate, ArrivalProcess, TrafficSpec};
+use refloat_runtime::cluster::{AdmissionConfig, ClusterConfig, ClusterRuntime};
 use refloat_runtime::fingerprint::fnv1a_u64;
-use refloat_runtime::{CacheOutcomeKind, MatrixHandle, RuntimeConfig, SolvePlan, SolveRuntime};
+use refloat_runtime::{
+    CacheOutcomeKind, JobOutcome, MatrixHandle, RuntimeConfig, SolveClient, SolvePlan,
+    SolveRuntime, SubmitError, TicketOutcome,
+};
 use refloat_solvers::SolverConfig;
 use refloat_telemetry::{BenchReport, TraceSink};
 use reram_sim::SolverKind;
@@ -142,6 +168,7 @@ struct TraceRecord {
     matrix: String,
     solver: String,
     cache: String,
+    node: u64,
     iterations: u64,
     converged: bool,
     queue_wait_ms: f64,
@@ -152,22 +179,248 @@ struct TraceRecord {
     simulated_s: f64,
 }
 
-fn arg_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+/// Everything the flags resolved to.
+struct Options {
+    quick: bool,
+    jobs: usize,
+    workers: usize,
+    seed: u64,
+    cache_capacity: usize,
+    /// `Some(n)` = serve through an n-node cluster.
+    nodes: Option<usize>,
+    admission: AdmissionConfig,
+    /// `Some` = open-loop traffic instead of the closed-loop replay.
+    open_loop: Option<OpenLoopOptions>,
+}
+
+struct OpenLoopOptions {
+    arrivals: ArrivalProcess,
+    tenants: usize,
+    skew: f64,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, UsageError> {
+    let quick = has_flag(args, "--quick");
+    let jobs = parse_u64(args, "--jobs")?.unwrap_or(240) as usize;
+    let workers = parse_positive_usize(args, "--workers")?.unwrap_or(4);
+    let seed = parse_u64(args, "--seed")?.unwrap_or(2023);
+    let cache_capacity = parse_positive_usize(args, "--cache")?.unwrap_or(32);
+    let nodes = parse_positive_usize(args, "--nodes")?;
+
+    // Admission bounds only exist at the cluster layer.
+    require_with(args, "--max-in-system", nodes.is_some(), "--nodes")?;
+    require_with(args, "--quota", nodes.is_some(), "--nodes")?;
+    let admission = AdmissionConfig {
+        max_in_system: parse_positive_usize(args, "--max-in-system")?,
+        per_tenant_quota: parse_positive_usize(args, "--quota")?,
+    };
+
+    // Traffic-shape flags only exist in open-loop mode.
+    let arrivals_kind = raw_value(args, "--arrivals")?;
+    let open = arrivals_kind.is_some();
+    require_with(args, "--rate", open, "--arrivals")?;
+    require_with(args, "--tenants", open, "--arrivals")?;
+    require_with(args, "--skew", open, "--arrivals")?;
+    let open_loop = match arrivals_kind.as_deref() {
+        None => None,
+        Some(kind) => {
+            let rate_per_s = parse_positive_f64(args, "--rate")?.unwrap_or(25.0);
+            let arrivals = match kind {
+                "poisson" => ArrivalProcess::Poisson { rate_per_s },
+                "bursty" => ArrivalProcess::Bursty {
+                    rate_per_s,
+                    mean_burst: 6.0,
+                    within_burst_gap_s: 1e-4,
+                },
+                other => {
+                    return Err(UsageError::UnknownValue {
+                        flag: "--arrivals".to_string(),
+                        value: other.to_string(),
+                        allowed: "poisson, bursty",
+                    })
+                }
+            };
+            Some(OpenLoopOptions {
+                arrivals,
+                tenants: parse_positive_usize(args, "--tenants")?.unwrap_or(16),
+                skew: parse_nonneg_f64(args, "--skew")?.unwrap_or(1.1),
+            })
+        }
+    };
+    Ok(Options {
+        quick,
+        jobs,
+        workers,
+        seed,
+        cache_capacity,
+        nodes,
+        admission,
+        open_loop,
+    })
+}
+
+/// Builds one trace plan (closed- and open-loop share the construction, so the
+/// numerics of job `i` on catalog entry `which` are mode-independent).
+fn build_plan(tenant: String, entry: &CatalogEntry, solver_config: &SolverConfig) -> SolvePlan {
+    SolvePlan::new(tenant, entry.handle.clone(), entry.format)
+        .solver(entry.solver)
+        .solver_config(solver_config.clone())
+        .build()
+        .expect("valid trace plan")
+}
+
+/// What a serving pass hands back to the shared reporting tail.
+struct ServeResult {
+    jobs: Vec<JobOutcome>,
+    report: refloat_runtime::RuntimeReport,
+    shed: u64,
+    /// Closed-loop runs compute the determinism digest; open-loop runs don't (the
+    /// completed set depends on real-time shedding).
+    digest: Option<u64>,
+}
+
+/// Closed-loop replay through an already-running client (single-node semantics
+/// come from `SolveRuntime::run_with`; this path serves the `--nodes` cluster).
+fn serve_closed_loop_cluster(
+    client: SolveClient,
+    picks: &[usize],
+    catalog: &[CatalogEntry],
+    solver_config: &SolverConfig,
+) -> ServeResult {
+    let tickets: Vec<_> = picks
+        .iter()
+        .enumerate()
+        .map(|(i, &which)| {
+            client
+                .submit(build_plan(
+                    format!("tenant-{}", i % 16),
+                    &catalog[which],
+                    solver_config,
+                ))
+                .expect("an unbounded cluster admits the whole closed-loop trace")
+        })
+        .collect();
+    let jobs: Vec<JobOutcome> = tickets
+        .into_iter()
+        .filter_map(|t| match t.wait() {
+            TicketOutcome::Completed(outcome) => Some(*outcome),
+            TicketOutcome::Cancelled => None,
+            TicketOutcome::Failed(message) => panic!("trace job panicked: {message}"),
+        })
+        .collect();
+    let report = client.shutdown();
+    ServeResult {
+        digest: Some(digest_of(&jobs)),
+        jobs,
+        report,
+        shed: 0,
+    }
+}
+
+/// Open-loop traffic: arrivals are paced by the trace, not by completions, so the
+/// service sees the configured offered load whether or not it keeps up.
+fn serve_open_loop(
+    client: SolveClient,
+    open: &OpenLoopOptions,
+    options: &Options,
+    catalog: &[CatalogEntry],
+    solver_config: &SolverConfig,
+) -> ServeResult {
+    let weights: Vec<f64> = catalog.iter().map(|e| e.weight).collect();
+    let spec = TrafficSpec {
+        jobs: options.jobs,
+        tenants: open.tenants,
+        tenant_skew: open.skew,
+        arrivals: open.arrivals,
+        seed: options.seed,
+    };
+    let trace = generate(&spec, &weights);
+    println!(
+        "open-loop: {} arrivals over {:.2}s offered ({:.1} jobs/s, {} tenants, skew {})",
+        trace.len(),
+        trace.last().map(|a| a.at_s).unwrap_or(0.0),
+        open.arrivals.rate_per_s(),
+        open.tenants,
+        open.skew,
+    );
+    // refloat-analysis: allow(wall-clock-in-deterministic-path) — open-loop pacing
+    // is *defined* by host time: arrivals must land at their trace offsets in real
+    // time whether or not the service keeps up.  The digest is not computed here.
+    let started = std::time::Instant::now();
+    let mut tickets = Vec::with_capacity(trace.len());
+    let mut shed = 0u64;
+    for arrival in &trace {
+        // Pace to the trace: sleep until this arrival's offset has elapsed.
+        // refloat-analysis: allow(wall-clock-in-deterministic-path) — see above.
+        let elapsed = started.elapsed().as_secs_f64();
+        if arrival.at_s > elapsed {
+            std::thread::sleep(std::time::Duration::from_secs_f64(arrival.at_s - elapsed));
+        }
+        let plan = build_plan(
+            format!("tenant-{}", arrival.tenant),
+            &catalog[arrival.item],
+            solver_config,
+        );
+        match client.submit(plan) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::Overloaded { .. }) | Err(SubmitError::QuotaExceeded { .. }) => {
+                shed += 1;
+            }
+            Err(SubmitError::Closed(_)) => panic!("client closed mid-trace"),
+        }
+    }
+    let jobs: Vec<JobOutcome> = tickets
+        .into_iter()
+        .filter_map(|t| match t.wait() {
+            TicketOutcome::Completed(outcome) => Some(*outcome),
+            TicketOutcome::Cancelled => None,
+            TicketOutcome::Failed(message) => panic!("trace job panicked: {message}"),
+        })
+        .collect();
+    let report = client.shutdown();
+    ServeResult {
+        jobs,
+        report,
+        shed,
+        digest: None,
+    }
+}
+
+/// The determinism digest: numeric results only (iterations + solution
+/// checksums), independent of scheduling, wall-clock, worker and node counts.
+fn digest_of(jobs: &[JobOutcome]) -> u64 {
+    let mut digest = refloat_runtime::fingerprint::FNV_OFFSET;
+    for job in jobs {
+        digest = fnv1a_u64(digest, job.job_id);
+        digest = fnv1a_u64(digest, job.result.iterations as u64);
+        let checksum: f64 = job.result.x.iter().sum();
+        digest = fnv1a_u64(digest, checksum.to_bits());
+    }
+    digest
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = has_flag(&args, "--quick");
-    let jobs = arg_value(&args, "--jobs").unwrap_or(240) as usize;
-    let workers = arg_value(&args, "--workers").unwrap_or(4) as usize;
-    let seed = arg_value(&args, "--seed").unwrap_or(2023);
-    let cache_capacity = arg_value(&args, "--cache").unwrap_or(32) as usize;
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(usage) => {
+            eprintln!("serve_traffic: {usage}");
+            std::process::exit(2);
+        }
+    };
+    run(&args, &options);
+}
 
+fn run(args: &[String], options: &Options) {
+    let (quick, jobs, workers) = (options.quick, options.jobs, options.workers);
+    let (seed, cache_capacity, nodes) = (options.seed, options.cache_capacity, options.nodes);
     println!("serve_traffic: {jobs} jobs, {workers} workers, seed {seed}, cache {cache_capacity}");
+    if let Some(n) = nodes {
+        println!(
+            "cluster: {n} nodes, admission max_in_system={:?} quota={:?}",
+            options.admission.max_in_system, options.admission.per_tenant_quota
+        );
+    }
     let catalog = catalog(seed, quick);
     let weights: Vec<f64> = catalog.iter().map(|e| e.weight).collect();
     println!("catalog: {} matrices", catalog.len());
@@ -193,56 +446,83 @@ fn main() {
     // A wall-clock trace sink when asked for; span timestamps are host-dependent but
     // the event *stream* (kinds, details, per-job order) is part of the determinism
     // contract checked below.
-    let trace_path = flag_value(&args, "--trace");
+    let trace_path = flag_value(args, "--trace");
     let trace_sink = trace_path.as_ref().map(|_| Arc::new(TraceSink::wall()));
 
-    let runtime = SolveRuntime::new(RuntimeConfig {
+    let node_config = RuntimeConfig {
         workers,
         queue_capacity: 2 * workers.max(1),
         cache_capacity,
         trace: trace_sink.clone(),
         ..RuntimeConfig::default()
-    });
-    let outcome = runtime.run_with(|submitter| {
-        for (i, &which) in picks.iter().enumerate() {
-            let entry = &catalog[which];
-            let plan = SolvePlan::new(
-                format!("tenant-{}", i % 16),
-                entry.handle.clone(),
-                entry.format,
-            )
-            .solver(entry.solver)
-            .solver_config(solver_config.clone())
-            .build()
-            .expect("valid trace plan");
-            submitter
-                .submit(plan)
-                .expect("the batch client admits until the producer returns");
+    };
+    let outcome = match (nodes, &options.open_loop) {
+        (None, None) => {
+            // The original closed-loop single-pool replay, untouched: this path's
+            // digest is the cross-PR determinism anchor.
+            let runtime = SolveRuntime::new(node_config);
+            let result = runtime.run_with(|submitter| {
+                for (i, &which) in picks.iter().enumerate() {
+                    submitter
+                        .submit(build_plan(
+                            format!("tenant-{}", i % 16),
+                            &catalog[which],
+                            &solver_config,
+                        ))
+                        .expect("the batch client admits until the producer returns");
+                }
+            });
+            ServeResult {
+                digest: Some(digest_of(&result.jobs)),
+                jobs: result.jobs,
+                report: result.report,
+                shed: 0,
+            }
         }
-    });
+        (maybe_nodes, open_loop) => {
+            let client = match maybe_nodes {
+                Some(n) => ClusterRuntime::start(ClusterConfig {
+                    nodes: n,
+                    node: node_config,
+                    chips_per_node: Vec::new(),
+                    admission: options.admission,
+                    router: Default::default(),
+                }),
+                None => SolveRuntime::start(node_config),
+            };
+            match open_loop {
+                Some(open) => serve_open_loop(client, open, options, &catalog, &solver_config),
+                None => serve_closed_loop_cluster(client, &picks, &catalog, &solver_config),
+            }
+        }
+    };
 
-    // Per-matrix traffic summary.
-    let mut counts = vec![0usize; catalog.len()];
-    for &which in &picks {
-        counts[which] += 1;
-    }
-    println!("\ntraffic (skewed popularity):");
-    for (entry, count) in catalog.iter().zip(counts.iter()) {
-        println!("  {:<16} {:>5} jobs", entry.handle.name(), count);
+    // Per-matrix traffic summary (closed-loop replays only; open-loop prints its
+    // own offered-load line above and the report's tenant totals below).
+    if options.open_loop.is_none() {
+        let mut counts = vec![0usize; catalog.len()];
+        for &which in &picks {
+            counts[which] += 1;
+        }
+        println!("\ntraffic (skewed popularity):");
+        for (entry, count) in catalog.iter().zip(counts.iter()) {
+            println!("  {:<16} {:>5} jobs", entry.handle.name(), count);
+        }
     }
 
     println!("\n{}", outcome.report.render());
-
-    // Determinism digest: numeric results only (iterations + solution checksums),
-    // independent of scheduling and wall-clock.
-    let mut digest = refloat_runtime::fingerprint::FNV_OFFSET;
-    for job in &outcome.jobs {
-        digest = fnv1a_u64(digest, job.job_id);
-        digest = fnv1a_u64(digest, job.result.iterations as u64);
-        let checksum: f64 = job.result.x.iter().sum();
-        digest = fnv1a_u64(digest, checksum.to_bits());
+    if outcome.shed > 0 {
+        println!(
+            "shed {} of {} offered jobs (typed rejections; completed {})",
+            outcome.shed,
+            jobs,
+            outcome.jobs.len()
+        );
     }
-    println!("determinism digest: {digest:016x}");
+
+    if let Some(digest) = outcome.digest {
+        println!("determinism digest: {digest:016x}");
+    }
 
     if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
         std::fs::write(path, sink.export_jsonl()).expect("write --trace output");
@@ -254,9 +534,18 @@ fn main() {
     let bench = BenchReport::new("runtime", "serve_traffic")
         .config_num("jobs", jobs as f64)
         .config_num("workers", workers as f64)
+        .config_num("nodes", nodes.unwrap_or(1) as f64)
         .config_num("seed", seed as f64)
         .config_num("cache", cache_capacity as f64)
         .config_str("mode", if quick { "quick" } else { "full" })
+        .config_str(
+            "loop",
+            if options.open_loop.is_some() {
+                "open"
+            } else {
+                "closed"
+            },
+        )
         .config_str("traced", if trace_sink.is_some() { "yes" } else { "no" })
         .metric("jobs_per_s", report.throughput_jobs_per_s)
         .metric("queue_wait_p50_ms", report.queue_wait_p50_s * 1e3)
@@ -267,9 +556,9 @@ fn main() {
         .metric("model_cycles", report.simulated_cycles as f64)
         .metric("cancelled_jobs", report.cancelled_jobs as f64)
         .metric("unattributed_jobs", report.unattributed_jobs as f64);
-    emit(&bench, &default_bench_dir(&args));
+    emit(&bench, &default_bench_dir(args));
 
-    if let Some(path) = json_path_from_args(&args) {
+    if let Some(path) = json_path_from_args(args) {
         let records: Vec<TraceRecord> = outcome
             .jobs
             .iter()
@@ -286,6 +575,7 @@ fn main() {
                     CacheOutcomeKind::Miss => "miss".to_string(),
                     CacheOutcomeKind::Coalesced => "coalesced".to_string(),
                 },
+                node: job.telemetry.node as u64,
                 iterations: job.telemetry.iterations as u64,
                 converged: job.telemetry.converged,
                 queue_wait_ms: job.telemetry.queue_wait_s * 1e3,
@@ -303,9 +593,10 @@ fn main() {
     // The acceptance bar for the skewed trace; fail loudly if the service regresses.
     // Only meaningful when there is traffic and the cache can hold the working set —
     // deliberately starving the cache (--cache 1) is a legitimate experiment, not a
-    // regression.
+    // regression.  Multi-node runs split the working set over per-node caches, so
+    // the bar applies to the single-pool paths where it was calibrated.
     let hit_rate = outcome.report.hit_rate();
-    if !outcome.jobs.is_empty() && cache_capacity >= catalog.len() {
+    if !outcome.jobs.is_empty() && cache_capacity >= catalog.len() && nodes.unwrap_or(1) == 1 {
         assert!(
             hit_rate > 0.5,
             "skewed trace should be cache-friendly: hit rate {:.1}% <= 50%",

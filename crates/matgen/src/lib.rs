@@ -23,6 +23,8 @@
 
 pub mod generators;
 pub mod rhs;
+pub mod traffic;
 pub mod workloads;
 
+pub use traffic::{Arrival, ArrivalProcess, TrafficSpec};
 pub use workloads::{Workload, WorkloadSpec};

@@ -1,0 +1,285 @@
+//! Open-loop traffic generation: seeded arrival processes and heavy-tailed tenant
+//! populations for driving the solve service the way real front-ends do.
+//!
+//! A *closed-loop* driver (submit, wait, submit …) can never overload a service —
+//! its offered load adapts to the service's speed, hiding every queueing effect the
+//! cluster's admission control exists to manage.  An *open-loop* trace fixes the
+//! arrival times **up front**, independent of completions: jobs arrive when the
+//! trace says they arrive, whether or not the service has kept up.  That is the
+//! regime where shedding, quotas, and p99 queue waits mean something.
+//!
+//! Everything here is a pure function of the [`TrafficSpec`] (ChaCha8 seeded), so a
+//! trace is bitwise-reproducible across runs, worker counts, and node counts — the
+//! same determinism contract the runtime's numerics follow.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential gaps at `rate_per_s` (the classic open-loop
+    /// reference load).
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Bursty arrivals: geometrically-sized bursts of back-to-back jobs
+    /// (`within_burst_gap_s` apart), with exponential gaps between bursts sized so
+    /// the *long-run* rate is still `rate_per_s`.  Stresses admission control much
+    /// harder than Poisson at the same average rate.
+    Bursty {
+        /// Mean arrivals per second, long-run.
+        rate_per_s: f64,
+        /// Mean burst size (geometric; must be ≥ 1).
+        mean_burst: f64,
+        /// Gap between jobs inside one burst, seconds.
+        within_burst_gap_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean arrival rate, jobs per second.
+    pub fn rate_per_s(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s } | ArrivalProcess::Bursty { rate_per_s, .. } => {
+                rate_per_s
+            }
+        }
+    }
+}
+
+/// A reproducible open-loop trace specification.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSpec {
+    /// Total arrivals to generate.
+    pub jobs: usize,
+    /// Distinct tenants; tenant `k` is drawn with weight `(k+1)^-skew`.
+    pub tenants: usize,
+    /// Zipf exponent over the tenant population (0 = uniform; ~1 = realistic
+    /// heavy tail where a couple of tenants dominate the traffic).
+    pub tenant_skew: f64,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// ChaCha8 seed — the trace is a pure function of this spec.
+    pub seed: u64,
+}
+
+/// One arrival of the generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Arrival time, seconds from trace start (non-decreasing across the trace).
+    pub at_s: f64,
+    /// Index of the submitting tenant in `0..spec.tenants`.
+    pub tenant: usize,
+    /// Index of the catalog item this job solves, drawn from `item_weights`.
+    pub item: usize,
+}
+
+/// Zipf-like weights `(k+1)^-s` for `n` ranks (unnormalized; `s = 0` is uniform).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|k| ((k + 1) as f64).powf(-s)).collect()
+}
+
+/// Draws an index from unnormalized `weights` with one uniform variate.
+fn pick(weights: &[f64], rng: &mut ChaCha8Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen::<f64>() * total;
+    for (index, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return index;
+        }
+    }
+    weights.len().saturating_sub(1)
+}
+
+/// An exponential variate with the given mean (inverse-CDF of one uniform draw;
+/// `1 - u` keeps the log argument strictly positive since `u ∈ [0, 1)`).
+fn exponential(mean: f64, rng: &mut ChaCha8Rng) -> f64 {
+    -(1.0 - rng.gen::<f64>()).ln() * mean
+}
+
+/// Generates the full arrival trace of `spec`: arrival times from the process,
+/// tenants from the skewed population, items from `item_weights` (the same
+/// catalog-weight convention the serving benches use).
+///
+/// Deterministic: identical specs and weights yield identical traces, on any
+/// machine, at any worker/node count — the trace is *input*, not measurement.
+pub fn generate(spec: &TrafficSpec, item_weights: &[f64]) -> Vec<Arrival> {
+    assert!(spec.tenants >= 1, "traffic needs at least one tenant");
+    assert!(
+        !item_weights.is_empty(),
+        "traffic needs a non-empty catalog"
+    );
+    assert!(
+        spec.arrivals.rate_per_s() > 0.0,
+        "arrival rate must be positive"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let tenant_weights = zipf_weights(spec.tenants, spec.tenant_skew);
+    let mut arrivals = Vec::with_capacity(spec.jobs);
+    let mut now_s = 0.0f64;
+    match spec.arrivals {
+        ArrivalProcess::Poisson { rate_per_s } => {
+            let mean_gap = 1.0 / rate_per_s;
+            for _ in 0..spec.jobs {
+                now_s += exponential(mean_gap, &mut rng);
+                arrivals.push(Arrival {
+                    at_s: now_s,
+                    tenant: pick(&tenant_weights, &mut rng),
+                    item: pick(item_weights, &mut rng),
+                });
+            }
+        }
+        ArrivalProcess::Bursty {
+            rate_per_s,
+            mean_burst,
+            within_burst_gap_s,
+        } => {
+            assert!(mean_burst >= 1.0, "mean burst size must be at least 1");
+            // A burst of mean size B arriving every mean_burst_gap seconds offers
+            // B / mean_burst_gap jobs/s; solve for the gap that hits rate_per_s.
+            let mean_burst_gap_s = mean_burst / rate_per_s;
+            while arrivals.len() < spec.jobs {
+                now_s += exponential(mean_burst_gap_s, &mut rng);
+                // Geometric burst size with mean `mean_burst`: count Bernoulli
+                // continues at p = 1 - 1/mean.
+                let continue_p = 1.0 - 1.0 / mean_burst;
+                let mut burst = 1;
+                while rng.gen::<f64>() < continue_p {
+                    burst += 1;
+                }
+                // The whole burst shares one tenant — that is what makes bursts
+                // adversarial for per-tenant quotas.
+                let tenant = pick(&tenant_weights, &mut rng);
+                for j in 0..burst {
+                    if arrivals.len() >= spec.jobs {
+                        break;
+                    }
+                    arrivals.push(Arrival {
+                        at_s: now_s + j as f64 * within_burst_gap_s,
+                        tenant,
+                        item: pick(item_weights, &mut rng),
+                    });
+                }
+            }
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arrivals: ArrivalProcess) -> TrafficSpec {
+        TrafficSpec {
+            jobs: 500,
+            tenants: 8,
+            tenant_skew: 1.1,
+            arrivals,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn identical_specs_generate_identical_traces() {
+        let weights = zipf_weights(8, 1.0);
+        let s = spec(ArrivalProcess::Poisson { rate_per_s: 50.0 });
+        assert_eq!(generate(&s, &weights), generate(&s, &weights));
+        let b = spec(ArrivalProcess::Bursty {
+            rate_per_s: 50.0,
+            mean_burst: 6.0,
+            within_burst_gap_s: 1e-4,
+        });
+        assert_eq!(generate(&b, &weights), generate(&b, &weights));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let weights = zipf_weights(4, 0.0);
+        let a = spec(ArrivalProcess::Poisson { rate_per_s: 50.0 });
+        let mut b = a;
+        b.seed = 43;
+        assert_ne!(generate(&a, &weights), generate(&b, &weights));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_near_the_requested_rate() {
+        let s = TrafficSpec {
+            jobs: 4000,
+            tenants: 4,
+            tenant_skew: 0.0,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 100.0 },
+            seed: 7,
+        };
+        let trace = generate(&s, &[1.0]);
+        assert!(trace.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        let span = trace.last().unwrap().at_s;
+        let rate = trace.len() as f64 / span;
+        assert!(
+            (rate - 100.0).abs() / 100.0 < 0.15,
+            "empirical rate {rate:.1}/s too far from 100/s"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_hit_the_long_run_rate_and_share_tenants_within_bursts() {
+        let s = TrafficSpec {
+            jobs: 4000,
+            tenants: 6,
+            tenant_skew: 0.0,
+            arrivals: ArrivalProcess::Bursty {
+                rate_per_s: 100.0,
+                mean_burst: 8.0,
+                within_burst_gap_s: 1e-5,
+            },
+            seed: 11,
+        };
+        let trace = generate(&s, &[1.0, 1.0]);
+        assert!(trace.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        let span = trace.last().unwrap().at_s;
+        let rate = trace.len() as f64 / span;
+        assert!(
+            (rate - 100.0).abs() / 100.0 < 0.25,
+            "empirical long-run rate {rate:.1}/s too far from 100/s"
+        );
+        // Back-to-back arrivals (same burst) share a tenant.
+        let same_burst_pairs = trace
+            .windows(2)
+            .filter(|w| w[1].at_s - w[0].at_s < 5e-5)
+            .count();
+        assert!(same_burst_pairs > 0, "bursts must produce tight pairs");
+        assert!(trace
+            .windows(2)
+            .filter(|w| w[1].at_s - w[0].at_s < 5e-5)
+            .all(|w| w[0].tenant == w[1].tenant));
+    }
+
+    #[test]
+    fn tenant_skew_concentrates_traffic_on_low_ranks() {
+        let s = TrafficSpec {
+            jobs: 2000,
+            tenants: 10,
+            tenant_skew: 1.2,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 10.0 },
+            seed: 3,
+        };
+        let trace = generate(&s, &[1.0]);
+        let tenant0 = trace.iter().filter(|a| a.tenant == 0).count();
+        let tenant9 = trace.iter().filter(|a| a.tenant == 9).count();
+        assert!(
+            tenant0 > 4 * tenant9.max(1),
+            "rank 0 ({tenant0}) must dominate rank 9 ({tenant9}) at skew 1.2"
+        );
+        // Every tenant index stays in range.
+        assert!(trace.iter().all(|a| a.tenant < 10));
+    }
+
+    #[test]
+    fn zero_skew_is_uniform_ish() {
+        let weights = zipf_weights(5, 0.0);
+        assert!(weights.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+    }
+}

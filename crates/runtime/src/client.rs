@@ -2,41 +2,79 @@
 //! [`submit`](SolveClient::submit) returns a [`SolveTicket`], plus graceful
 //! [`drain`](SolveClient::drain)/[`shutdown`](SolveClient::shutdown).
 //!
-//! The client owns a worker pool (one simulated accelerator per worker) fed by the
-//! priority scheduler of [`crate::sched`].  Submission applies backpressure when
-//! the pending set is at capacity, exactly like the old batch path; everything
-//! else is asynchronous: the caller keeps the ticket and collects the outcome
-//! whenever it likes, with [`wait`](SolveTicket::wait),
-//! [`try_get`](SolveTicket::try_get), [`wait_timeout`](SolveTicket::wait_timeout)
-//! or [`cancel`](SolveTicket::cancel).
+//! A client fronts either a single [`crate::node::Node`] (the worker pool,
+//! QoS scheduler, and caches of [`crate::node`]) or a whole
+//! [`ClusterRuntime`](crate::cluster::ClusterRuntime) of them — the ticket surface
+//! (`wait`/`try_get`/`wait_timeout`/`cancel`) and the lifecycle
+//! (`drain`/`shutdown`) are identical either way.  Submission applies
+//! backpressure when a single node's pending set is at capacity; a cluster
+//! instead *sheds* over-capacity traffic with the typed
+//! [`SubmitError::Overloaded`]/[`SubmitError::QuotaExceeded`] (see
+//! [`crate::cluster::admission`]).
 //!
 //! Cancellation is *dequeue-only*: a job that no worker has started is removed
-//! from the scheduler and its ticket resolves to [`TicketOutcome::Cancelled`]
-//! without ever touching a chip (no simulated cycles, no cache traffic); a job
-//! already in flight runs to completion and `cancel` reports `false`.
+//! from its node's scheduler and its ticket resolves to
+//! [`TicketOutcome::Cancelled`] without ever touching a chip (no simulated
+//! cycles, no cache traffic); a job already in flight runs to completion and
+//! `cancel` reports `false`.  On a cluster the cancel refund crosses the router
+//! boundary exactly like the in-node path: the scheduler hands the queued payload
+//! back and dropping it releases the tenant's admission permit.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use refloat_telemetry::{sync, Clock, MetricsRegistry, MetricsSnapshot, TraceSink, WallClock};
+use refloat_telemetry::{sync, MetricsRegistry, MetricsSnapshot, TraceSink};
 
 use crate::cache::{CacheStats, EncodedMatrixCache};
+use crate::cluster::admission::AdmissionPermit;
+use crate::cluster::ClusterBackend;
 use crate::decision::{DecisionStats, FormatDecisionCache};
 use crate::job::JobOutcome;
+use crate::node::{Node, NodeCore};
 use crate::plan::SolvePlan;
-use crate::sched::JobScheduler;
-use crate::telemetry::{metric_names, JobMetricHandles, JobTelemetry, RuntimeReport};
-use crate::worker;
+use crate::telemetry::{metric_names, AggregateContext, RuntimeReport};
 use crate::RuntimeConfig;
 
-/// Why a submission was not admitted.
+/// Why a submission was not admitted.  Every variant hands the plan back intact —
+/// nothing is ever silently dropped.
 #[derive(Debug)]
 pub enum SubmitError {
-    /// The client is draining or shut down.  The plan is handed back intact —
-    /// nothing is ever silently dropped.
+    /// The client is draining or shut down.
     Closed(Box<SolvePlan>),
+    /// Cluster admission control shed the job: the cluster-wide in-system bound
+    /// was already full.  Shedding is deliberate — a typed rejection the caller
+    /// can retry against, instead of an unbounded queue collapsing every
+    /// tenant's latency at once.
+    Overloaded {
+        /// The rejected plan, handed back intact.
+        plan: Box<SolvePlan>,
+        /// Jobs admitted and unfinished when the submission arrived.
+        in_system: usize,
+        /// The configured cluster-wide bound.
+        capacity: usize,
+    },
+    /// Cluster admission control shed the job: this tenant's fair-share quota of
+    /// in-system jobs was already full (other tenants are unaffected).
+    QuotaExceeded {
+        /// The rejected plan, handed back intact.
+        plan: Box<SolvePlan>,
+        /// This tenant's admitted-and-unfinished jobs at submission time.
+        in_system: usize,
+        /// The configured per-tenant bound.
+        quota: usize,
+    },
+}
+
+impl SubmitError {
+    /// Recovers the rejected plan (every variant carries it back).
+    pub fn into_plan(self) -> SolvePlan {
+        match self {
+            SubmitError::Closed(plan)
+            | SubmitError::Overloaded { plan, .. }
+            | SubmitError::QuotaExceeded { plan, .. } => *plan,
+        }
+    }
 }
 
 impl std::fmt::Display for SubmitError {
@@ -45,6 +83,26 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Closed(plan) => write!(
                 f,
                 "solve client is closed; plan from tenant {:?} was not admitted",
+                plan.tenant()
+            ),
+            SubmitError::Overloaded {
+                plan,
+                in_system,
+                capacity,
+            } => write!(
+                f,
+                "cluster overloaded ({in_system}/{capacity} jobs in system); plan from \
+                 tenant {:?} was shed",
+                plan.tenant()
+            ),
+            SubmitError::QuotaExceeded {
+                plan,
+                in_system,
+                quota,
+            } => write!(
+                f,
+                "tenant {:?} is over its fair-share quota ({in_system}/{quota} jobs in \
+                 system); plan was shed",
                 plan.tenant()
             ),
         }
@@ -94,7 +152,7 @@ pub(crate) struct TicketShared {
 }
 
 impl TicketShared {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         TicketShared {
             slot: Mutex::new(TicketSlot::Pending),
             ready: Condvar::new(),
@@ -120,35 +178,19 @@ impl TicketShared {
     }
 }
 
-/// A submitted job's payload while it waits in the scheduler.
+/// A submitted job's payload while it waits in a node's scheduler.
 pub(crate) struct QueuedTicket {
     pub plan: SolvePlan,
     /// Submission time in the runtime clock's seconds (see `telemetry::clock`).
     pub submitted_at_s: f64,
     pub ticket: Arc<TicketShared>,
-}
-
-/// State shared between the client handle and its worker threads.
-pub(crate) struct ClientCore {
-    pub sched: JobScheduler<QueuedTicket>,
-    pub cache: Arc<EncodedMatrixCache>,
-    pub decisions: Arc<FormatDecisionCache>,
-    pub chip_crossbars: Option<u64>,
-    pub workers: usize,
-    next_id: AtomicU64,
-    /// Telemetry of every completed job, in completion order (the report source).
-    pub completed: Mutex<Vec<JobTelemetry>>,
-    cancelled: AtomicU64,
-    /// The live metrics registry: workers stream job completions into it, so it is
-    /// pollable mid-traffic without draining (see
-    /// [`SolveClient::metrics_snapshot`]).
-    pub metrics: Arc<MetricsRegistry>,
-    /// The trace sink, when the runtime was configured with one.
-    pub trace: Option<Arc<TraceSink>>,
-    /// The clock every wall-time telemetry field is read from.  Sourced from the
-    /// trace sink when tracing is configured (so a `ManualClock` sink pins *all*
-    /// host-time fields, not just trace timestamps), else a fresh [`WallClock`].
-    pub clock: Arc<dyn Clock>,
+    /// The tenant's admission permit when the job was routed by a cluster
+    /// (`None` on the single-node path).  Dropping the payload — on completion,
+    /// cancellation, or a panicked worker — refunds the quota exactly once.
+    pub permit: Option<AdmissionPermit>,
+    /// First trace `seq` the worker may use for this job (a cluster reserves the
+    /// leading slots for its admit/route events; 0 on the single-node path).
+    pub trace_seq_base: u32,
 }
 
 /// The handle on one queued (or running, or finished) job.
@@ -158,10 +200,16 @@ pub(crate) struct ClientCore {
 pub struct SolveTicket {
     id: u64,
     shared: Arc<TicketShared>,
-    core: Arc<ClientCore>,
+    /// The node the job was placed on — cancel goes straight to its scheduler,
+    /// so the refund path is identical for single-node and routed submissions.
+    node: Arc<NodeCore>,
 }
 
 impl SolveTicket {
+    pub(crate) fn new(id: u64, shared: Arc<TicketShared>, node: Arc<NodeCore>) -> Self {
+        SolveTicket { id, shared, node }
+    }
+
     /// The job's submission id (its position in submission order; equal-priority
     /// traffic is also dequeued in this order).
     pub fn id(&self) -> u64 {
@@ -214,20 +262,24 @@ impl SolveTicket {
 
     /// Attempts to dequeue the job before any worker starts it.
     ///
-    /// Returns `true` when the job was still pending: it is removed from the
-    /// scheduler, the ticket resolves to [`TicketOutcome::Cancelled`], and the
-    /// job is refunded entirely — no simulated cycles, no cache traffic, no
-    /// telemetry row.  Returns `false` when a worker already picked the job up
-    /// (it will run to completion) or it already resolved.
+    /// Returns `true` when the job was still pending: it is removed from its
+    /// node's scheduler, the ticket resolves to [`TicketOutcome::Cancelled`], and
+    /// the job is refunded entirely — no simulated cycles, no cache traffic, no
+    /// telemetry row, and (on a cluster) the tenant's admission quota slot is
+    /// released.  Returns `false` when a worker already picked the job up (it
+    /// will run to completion) or it already resolved.
     pub fn cancel(&self) -> bool {
-        match self.core.sched.cancel(self.id) {
+        match self.node.sched.cancel(self.id) {
             Some(queued) => {
-                self.core.cancelled.fetch_add(1, Ordering::Relaxed);
-                self.core
+                self.node.cancelled.fetch_add(1, Ordering::Relaxed);
+                self.node
                     .metrics
                     .counter(metric_names::JOBS_CANCELLED)
                     .inc();
                 queued.ticket.complete(TicketOutcome::Cancelled);
+                // Dropping the payload here releases the admission permit of a
+                // routed job — the cross-router refund mirrors the in-node one.
+                drop(queued);
                 true
             }
             None => false,
@@ -241,20 +293,29 @@ impl std::fmt::Debug for SolveTicket {
     }
 }
 
-/// A long-lived handle on a running solve service: a worker pool, the shared
-/// caches, and the QoS scheduler in front of them.
+/// What a client fronts: one node, or a routed cluster of them.
+enum Backend {
+    Single {
+        node: Node,
+        cache_baseline: CacheStats,
+        decision_baseline: DecisionStats,
+    },
+    Cluster(ClusterBackend),
+}
+
+/// A long-lived handle on a running solve service: one worker pool (plus shared
+/// caches and the QoS scheduler in front of it), or a whole routed cluster —
+/// same submit/wait/cancel/drain/shutdown surface either way.
 ///
-/// Created by [`SolveRuntime::start`](crate::SolveRuntime::start) (owning) or
-/// [`SolveRuntime::client`](crate::SolveRuntime::client) (sharing the runtime's
-/// caches).  Dropping the client shuts it down gracefully: admission closes,
-/// accepted jobs finish, workers join.
+/// Created by [`SolveRuntime::start`](crate::SolveRuntime::start) (one node),
+/// [`SolveRuntime::client`](crate::SolveRuntime::client) (one node, sharing the
+/// runtime's caches) or [`ClusterRuntime::start`](crate::cluster::ClusterRuntime::start)
+/// (N nodes behind the router).  Dropping the client shuts it down gracefully:
+/// admission closes, accepted jobs finish, workers join.
 pub struct SolveClient {
-    core: Arc<ClientCore>,
-    handles: Vec<JoinHandle<()>>,
+    backend: Backend,
     /// Start time in the runtime clock's seconds (for report wall-time deltas).
     started_s: f64,
-    cache_baseline: CacheStats,
-    decision_baseline: DecisionStats,
 }
 
 impl SolveClient {
@@ -263,92 +324,88 @@ impl SolveClient {
         cache: Arc<EncodedMatrixCache>,
         decisions: Arc<FormatDecisionCache>,
     ) -> Self {
-        assert!(config.workers >= 1, "runtime needs at least one worker");
-        assert!(
-            config.queue_capacity >= 1,
-            "queue capacity must be at least 1"
-        );
         let cache_baseline = cache.stats();
         let decision_baseline = decisions.stats();
         let metrics = Arc::new(MetricsRegistry::new());
-        // Registering up front creates the full metric vocabulary, so a snapshot
-        // taken before the first job completes already carries every (zero) counter.
-        let _ = JobMetricHandles::register(&metrics);
         metrics
             .gauge(metric_names::WORKERS)
             .set(config.workers as f64);
-        let clock: Arc<dyn Clock> = match &config.trace {
-            Some(sink) => sink.clock(),
-            None => Arc::new(WallClock::new()),
-        };
-        let core = Arc::new(ClientCore {
-            sched: JobScheduler::new(config.queue_capacity, config.scheduler),
-            cache,
-            decisions,
-            chip_crossbars: config.chip_crossbars,
-            workers: config.workers,
-            next_id: AtomicU64::new(0),
-            completed: Mutex::new(Vec::new()),
-            cancelled: AtomicU64::new(0),
-            metrics,
-            trace: config.trace.clone(),
-            clock,
-        });
-        let handles = (0..config.workers)
-            .map(|worker_id| {
-                let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("refloat-worker-{worker_id}"))
-                    .spawn(move || worker::worker_loop(worker_id, &core))
-                    // refloat-analysis: allow(panic-in-service-path) — thread-spawn
-                    // failure at startup is unrecoverable for the pool; nothing is
-                    // in flight yet, so failing fast is correct.
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        let started_s = core.clock.now_s();
+        metrics.gauge(metric_names::NODES).set(1.0);
+        let node = Node::spawn(0, 0, config, cache, decisions, metrics);
+        let started_s = node.core().clock.now_s();
         SolveClient {
-            core,
-            handles,
+            backend: Backend::Single {
+                node,
+                cache_baseline,
+                decision_baseline,
+            },
             started_s,
-            cache_baseline,
-            decision_baseline,
         }
     }
 
-    /// Submits a plan without blocking on its execution (submission itself blocks
-    /// only while the pending set is at capacity — backpressure).  Returns the
-    /// job's ticket, or [`SubmitError::Closed`] with the plan handed back when
-    /// the client is draining or shut down.
+    pub(crate) fn from_cluster(cluster: ClusterBackend) -> Self {
+        let started_s = cluster.clock.now_s();
+        SolveClient {
+            backend: Backend::Cluster(cluster),
+            started_s,
+        }
+    }
+
+    /// Submits a plan without blocking on its execution.  On a single node,
+    /// submission blocks only while the pending set is at capacity
+    /// (backpressure); a cluster never queues past its admission bound and
+    /// instead sheds with [`SubmitError::Overloaded`] /
+    /// [`SubmitError::QuotaExceeded`].  Returns the job's ticket, or
+    /// [`SubmitError::Closed`] with the plan handed back when the client is
+    /// draining or shut down.
     pub fn submit(&self, plan: SolvePlan) -> Result<SolveTicket, SubmitError> {
-        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
-        let priority = plan.priority;
-        let submitted_at_s = self.core.clock.now_s();
-        let deadline = plan.deadline.map(|d| submitted_at_s + d.as_secs_f64());
-        let shared = Arc::new(TicketShared::new());
-        let queued = QueuedTicket {
-            plan,
-            submitted_at_s,
-            ticket: Arc::clone(&shared),
-        };
-        match self.core.sched.push(id, priority, deadline, queued) {
-            Ok(()) => Ok(SolveTicket {
-                id,
-                shared,
-                core: Arc::clone(&self.core),
-            }),
-            Err(queued) => Err(SubmitError::Closed(Box::new(queued.plan))),
+        match &self.backend {
+            Backend::Single { node, .. } => {
+                let core = node.core();
+                let id = core.next_id.fetch_add(1, Ordering::Relaxed);
+                let priority = plan.priority;
+                let submitted_at_s = core.clock.now_s();
+                let deadline = plan.deadline.map(|d| submitted_at_s + d.as_secs_f64());
+                let shared = Arc::new(TicketShared::new());
+                let queued = QueuedTicket {
+                    plan,
+                    submitted_at_s,
+                    ticket: Arc::clone(&shared),
+                    permit: None,
+                    trace_seq_base: 0,
+                };
+                match core.sched.push(id, priority, deadline, queued) {
+                    Ok(()) => Ok(SolveTicket::new(id, shared, Arc::clone(core))),
+                    Err(queued) => Err(SubmitError::Closed(Box::new(queued.plan))),
+                }
+            }
+            Backend::Cluster(cluster) => cluster.submit(plan),
         }
     }
 
-    /// Jobs submitted so far (admitted or not).
+    /// Jobs submitted so far (admitted or not — shed and closed submissions
+    /// consume an id too).
     pub fn submitted(&self) -> u64 {
-        self.core.next_id.load(Ordering::Relaxed)
+        match &self.backend {
+            Backend::Single { node, .. } => node.core().next_id.load(Ordering::Relaxed),
+            Backend::Cluster(cluster) => cluster.submitted(),
+        }
     }
 
     /// Jobs cancelled before a worker started them.
     pub fn cancelled(&self) -> u64 {
-        self.core.cancelled.load(Ordering::Relaxed)
+        match &self.backend {
+            Backend::Single { node, .. } => node.core().cancelled.load(Ordering::Relaxed),
+            Backend::Cluster(cluster) => cluster.cancelled(),
+        }
+    }
+
+    /// Nodes serving this client (1 unless it fronts a cluster).
+    pub fn nodes(&self) -> usize {
+        match &self.backend {
+            Backend::Single { .. } => 1,
+            Backend::Cluster(cluster) => cluster.nodes.len(),
+        }
     }
 
     /// A point-in-time view of the live metrics registry.
@@ -357,7 +414,9 @@ impl SolveClient {
     /// workers stream completions into the registry with atomic operations, so the
     /// snapshot is cheap and safe to poll **mid-traffic** on an undrained client.
     /// The vocabulary (see [`metric_names`]) is registered at
-    /// startup, so every counter is present (zero-valued) from the first call.
+    /// startup, so every counter is present (zero-valued) from the first call; a
+    /// cluster client additionally carries the routing/shedding counters and
+    /// per-node completion counters.
     ///
     /// ```
     /// use refloat_runtime::{metric_names, RuntimeConfig, SolvePlan, SolveRuntime};
@@ -380,18 +439,38 @@ impl SolveClient {
     /// client.shutdown();
     /// ```
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        // The queue-depth high-water mark lives in the scheduler; refresh the gauge
-        // so polls see the current peak.
-        self.core
-            .metrics
-            .gauge(metric_names::QUEUE_DEPTH_PEAK)
-            .set(self.core.sched.stats().peak_depth as f64);
-        self.core.metrics.snapshot()
+        // The queue-depth high-water mark lives in the scheduler(s); refresh the
+        // gauge so polls see the current peak (a cluster reports its worst node).
+        match &self.backend {
+            Backend::Single { node, .. } => {
+                let core = node.core();
+                core.metrics
+                    .gauge(metric_names::QUEUE_DEPTH_PEAK)
+                    .set(core.sched.stats().peak_depth as f64);
+                core.metrics.snapshot()
+            }
+            Backend::Cluster(cluster) => {
+                let peak = cluster
+                    .nodes
+                    .iter()
+                    .map(|n| n.core().sched.stats().peak_depth)
+                    .max()
+                    .unwrap_or(0);
+                cluster
+                    .metrics
+                    .gauge(metric_names::QUEUE_DEPTH_PEAK)
+                    .set(peak as f64);
+                cluster.metrics.snapshot()
+            }
+        }
     }
 
     /// The trace sink this client records spans into, when tracing is enabled.
     pub fn trace(&self) -> Option<&Arc<TraceSink>> {
-        self.core.trace.as_ref()
+        match &self.backend {
+            Backend::Single { node, .. } => node.core().trace.as_ref(),
+            Backend::Cluster(cluster) => cluster.trace.as_ref(),
+        }
     }
 
     /// Stops admission and blocks until every accepted job has resolved its
@@ -403,44 +482,67 @@ impl SolveClient {
     /// lifecycle step is [`shutdown`](Self::shutdown) (or `Drop`), which joins the
     /// worker threads.
     pub fn drain(&self) {
-        self.core.sched.close();
-        self.core.sched.wait_idle();
+        match &self.backend {
+            Backend::Single { node, .. } => {
+                node.close();
+                node.wait_idle();
+            }
+            Backend::Cluster(cluster) => {
+                // Close every node first so the whole fleet stops admitting at
+                // once, then wait for each backlog to empty.
+                for node in &cluster.nodes {
+                    node.close();
+                }
+                for node in &cluster.nodes {
+                    node.wait_idle();
+                }
+            }
+        }
     }
 
-    /// Drains and joins the worker pool, returning the final report.
+    /// Drains and joins the worker pool(s), returning the final report.
     pub fn shutdown(mut self) -> RuntimeReport {
         self.drain();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        match &mut self.backend {
+            Backend::Single { node, .. } => node.join_workers(),
+            Backend::Cluster(cluster) => {
+                for node in &mut cluster.nodes {
+                    node.join_workers();
+                }
+            }
         }
         self.report()
     }
 
     /// A report over everything completed so far (cache/decision counters are
-    /// deltas since this client started).
+    /// deltas since this client started; a cluster sums them over its nodes and
+    /// carries the shed counts).
     pub fn report(&self) -> RuntimeReport {
-        let completed = sync::lock(&self.core.completed);
-        let sched = self.core.sched.stats();
-        RuntimeReport::aggregate(
-            &completed,
-            (self.core.clock.now_s() - self.started_s).max(0.0),
-            self.core.cache.stats().delta_since(&self.cache_baseline),
-            self.core
-                .decisions
-                .stats()
-                .delta_since(&self.decision_baseline),
-            self.core.workers,
-            sched.peak_depth,
-            self.core.cancelled.load(Ordering::Relaxed) as usize,
-        )
-    }
-}
-
-impl Drop for SolveClient {
-    fn drop(&mut self) {
-        self.core.sched.close();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        match &self.backend {
+            Backend::Single {
+                node,
+                cache_baseline,
+                decision_baseline,
+            } => {
+                let core = node.core();
+                let completed = sync::lock(&core.completed);
+                let sched = core.sched.stats();
+                RuntimeReport::aggregate(
+                    &completed,
+                    AggregateContext {
+                        wall_s: (core.clock.now_s() - self.started_s).max(0.0),
+                        cache: core.cache.stats().delta_since(cache_baseline),
+                        decisions: core.decisions.stats().delta_since(decision_baseline),
+                        workers: core.workers,
+                        nodes: 1,
+                        queue_depth_peak: sched.peak_depth,
+                        cancelled_jobs: core.cancelled.load(Ordering::Relaxed) as usize,
+                        shed_overloaded: 0,
+                        shed_quota: 0,
+                    },
+                )
+            }
+            Backend::Cluster(cluster) => cluster.report(self.started_s),
         }
     }
 }

@@ -1,0 +1,273 @@
+//! Admission control: per-tenant fair-share quotas and a cluster-wide in-system
+//! bound, layered *on top of* the per-node QoS scheduling.
+//!
+//! The QoS queue decides *which* admitted job runs next; admission control decides
+//! whether a submission gets to queue at all.  Under sustained overload an
+//! unbounded queue converts every tenant's latency into the backlog's — so past the
+//! configured bound the cluster **sheds** with a typed
+//! [`SubmitError`](crate::SubmitError) instead of queueing toward collapse, and a
+//! single tenant flooding the cluster exhausts its own quota long before it can
+//! starve the rest.
+//!
+//! Accounting is permit-based: [`TenantLedger::try_admit`] hands back an
+//! [`AdmissionPermit`] whose `Drop` refunds the tenant exactly once, so every exit
+//! path — completion, cancellation, even a panicked worker — releases the slot
+//! without bespoke bookkeeping at each site.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use refloat_telemetry::{sync, Gauge};
+
+/// The admission bounds a cluster enforces at submit time.
+///
+/// `None` disables a bound.  The defaults admit everything — admission control is
+/// opt-in, so a cluster without explicit bounds behaves like N independent nodes
+/// behind a router.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionConfig {
+    /// Cluster-wide cap on jobs in system (queued + running).  Submissions beyond
+    /// it are shed with [`SubmitError::Overloaded`](crate::SubmitError).
+    pub max_in_system: Option<usize>,
+    /// Per-tenant cap on jobs in system.  Submissions beyond it are shed with
+    /// [`SubmitError::QuotaExceeded`](crate::SubmitError); other tenants are
+    /// unaffected.
+    pub per_tenant_quota: Option<usize>,
+}
+
+/// Why a submission was not admitted (converted to the public
+/// [`SubmitError`](crate::SubmitError) by the cluster backend, which owns the plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionReject {
+    /// The cluster-wide bound was full: `in_system` of `capacity` slots taken.
+    Overloaded {
+        /// Jobs in system at rejection time.
+        in_system: usize,
+        /// The configured cluster-wide bound.
+        capacity: usize,
+    },
+    /// The tenant's bound was full: `in_system` of `quota` slots taken.
+    QuotaExceeded {
+        /// The tenant's jobs in system at rejection time.
+        in_system: usize,
+        /// The configured per-tenant bound.
+        quota: usize,
+    },
+}
+
+/// In-system occupancy, per tenant and total.
+struct LedgerState {
+    per_tenant: BTreeMap<Arc<str>, usize>,
+    total: usize,
+}
+
+/// The cluster's admission ledger: who currently occupies how many in-system slots.
+pub struct TenantLedger {
+    /// Lock-order leaf "tenants": nothing else is ever locked while holding it.
+    tenants: Mutex<LedgerState>,
+    /// The `tenants_active` gauge, updated on admit/refund (absent when the ledger
+    /// runs without a metrics registry, e.g. inside a simulation harness).
+    tenants_active: Option<Arc<Gauge>>,
+}
+
+impl TenantLedger {
+    /// An empty ledger.  Pass the `tenants_active` gauge to keep it live-updated,
+    /// or `None` to run gauge-free (simulation harnesses).
+    pub fn new(tenants_active: Option<Arc<Gauge>>) -> Self {
+        TenantLedger {
+            tenants: Mutex::new(LedgerState {
+                per_tenant: BTreeMap::new(),
+                total: 0,
+            }),
+            tenants_active,
+        }
+    }
+
+    /// Admits one job for `tenant` under `config`'s bounds, or says why not.
+    ///
+    /// Both bounds are checked under one lock acquisition, so a mixed burst can
+    /// never overshoot either bound by racing between the checks.
+    pub fn try_admit(
+        self: &Arc<Self>,
+        tenant: &Arc<str>,
+        config: &AdmissionConfig,
+    ) -> Result<AdmissionPermit, AdmissionReject> {
+        let mut state = sync::lock(&self.tenants);
+        if let Some(capacity) = config.max_in_system {
+            if state.total >= capacity {
+                return Err(AdmissionReject::Overloaded {
+                    in_system: state.total,
+                    capacity,
+                });
+            }
+        }
+        let occupied = state.per_tenant.get(tenant).copied().unwrap_or(0);
+        if let Some(quota) = config.per_tenant_quota {
+            if occupied >= quota {
+                return Err(AdmissionReject::QuotaExceeded {
+                    in_system: occupied,
+                    quota,
+                });
+            }
+        }
+        state.total += 1;
+        *state.per_tenant.entry(Arc::clone(tenant)).or_insert(0) += 1;
+        let active = state.per_tenant.len();
+        drop(state);
+        if let Some(gauge) = &self.tenants_active {
+            gauge.set(active as f64);
+        }
+        Ok(AdmissionPermit {
+            ledger: Arc::clone(self),
+            tenant: Arc::clone(tenant),
+        })
+    }
+
+    /// Jobs currently in system, cluster-wide.
+    pub fn in_system(&self) -> usize {
+        sync::lock(&self.tenants).total
+    }
+
+    /// Jobs currently in system for one tenant.
+    #[cfg(test)]
+    pub(crate) fn tenant_in_system(&self, tenant: &str) -> usize {
+        sync::lock(&self.tenants)
+            .per_tenant
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn refund(&self, tenant: &Arc<str>) {
+        let mut state = sync::lock(&self.tenants);
+        state.total = state.total.saturating_sub(1);
+        if let Some(count) = state.per_tenant.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                state.per_tenant.remove(tenant);
+            }
+        }
+        let active = state.per_tenant.len();
+        drop(state);
+        if let Some(gauge) = &self.tenants_active {
+            gauge.set(active as f64);
+        }
+    }
+}
+
+impl std::fmt::Debug for TenantLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = sync::lock(&self.tenants);
+        f.debug_struct("TenantLedger")
+            .field("total", &state.total)
+            .field("tenants", &state.per_tenant.len())
+            .finish()
+    }
+}
+
+/// One admitted job's slot in the ledger.  Travels inside the queued payload;
+/// dropping it — wherever the job's lifetime ends — refunds the tenant exactly once.
+pub struct AdmissionPermit {
+    ledger: Arc<TenantLedger>,
+    tenant: Arc<str>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.ledger.refund(&self.tenant);
+    }
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    #[test]
+    fn unbounded_config_admits_everything() {
+        let ledger = Arc::new(TenantLedger::new(None));
+        let config = AdmissionConfig::default();
+        let permits: Vec<_> = (0..100)
+            .map(|_| ledger.try_admit(&tenant("t"), &config).expect("admitted"))
+            .collect();
+        assert_eq!(ledger.in_system(), 100);
+        drop(permits);
+        assert_eq!(ledger.in_system(), 0);
+    }
+
+    #[test]
+    fn the_cluster_bound_sheds_overloaded_and_permits_refund() {
+        let ledger = Arc::new(TenantLedger::new(None));
+        let config = AdmissionConfig {
+            max_in_system: Some(2),
+            per_tenant_quota: None,
+        };
+        let a = ledger.try_admit(&tenant("a"), &config).expect("1st");
+        let _b = ledger.try_admit(&tenant("b"), &config).expect("2nd");
+        assert_eq!(
+            ledger.try_admit(&tenant("c"), &config).unwrap_err(),
+            AdmissionReject::Overloaded {
+                in_system: 2,
+                capacity: 2
+            }
+        );
+        drop(a);
+        assert!(ledger.try_admit(&tenant("c"), &config).is_ok());
+    }
+
+    #[test]
+    fn a_flooding_tenant_exhausts_its_own_quota_without_starving_others() {
+        let ledger = Arc::new(TenantLedger::new(None));
+        let config = AdmissionConfig {
+            max_in_system: None,
+            per_tenant_quota: Some(3),
+        };
+        let flood: Vec<_> = (0..3)
+            .map(|_| ledger.try_admit(&tenant("noisy"), &config).expect("quota"))
+            .collect();
+        assert_eq!(
+            ledger.try_admit(&tenant("noisy"), &config).unwrap_err(),
+            AdmissionReject::QuotaExceeded {
+                in_system: 3,
+                quota: 3
+            }
+        );
+        // Another tenant is unaffected by the noisy one's saturation.
+        let quiet = ledger.try_admit(&tenant("quiet"), &config).expect("quiet");
+        assert_eq!(ledger.tenant_in_system("noisy"), 3);
+        assert_eq!(ledger.tenant_in_system("quiet"), 1);
+        drop(flood);
+        assert_eq!(ledger.tenant_in_system("noisy"), 0);
+        drop(quiet);
+        assert_eq!(ledger.in_system(), 0);
+    }
+
+    #[test]
+    fn the_active_tenants_gauge_tracks_distinct_occupants() {
+        let registry = refloat_telemetry::MetricsRegistry::new();
+        let gauge = registry.gauge("tenants_active");
+        let ledger = Arc::new(TenantLedger::new(Some(gauge.clone())));
+        let config = AdmissionConfig::default();
+        let a = ledger.try_admit(&tenant("a"), &config).expect("a");
+        let b1 = ledger.try_admit(&tenant("b"), &config).expect("b1");
+        let b2 = ledger.try_admit(&tenant("b"), &config).expect("b2");
+        assert_eq!(gauge.get(), 2.0);
+        drop(b1);
+        assert_eq!(gauge.get(), 2.0, "tenant b still holds a slot");
+        drop(b2);
+        assert_eq!(gauge.get(), 1.0);
+        drop(a);
+        assert_eq!(gauge.get(), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! The cluster router: places each admitted plan on a node by shard-capacity fit,
+//! cache affinity, and load.
+//!
+//! # Placement keys, in precedence order
+//!
+//! 1. **Shard-capacity fit** — a sharded job only fits nodes with at least
+//!    `shards` simulated chips; ineligible nodes are filtered out first.  When *no*
+//!    node fits, the job overflows to the largest node (the partitioner will clamp
+//!    the shard count there) rather than being rejected: capacity shaping is the
+//!    admission layer's job, not the router's.
+//! 2. **Cache affinity** — the router remembers, per matrix fingerprint, the node
+//!    it last placed that matrix on.  Repeat tenants and repeat fingerprints land
+//!    on the node that already holds their encodings (per-node caches are private,
+//!    so affinity is what makes them pay), *unless* the sticky node's load exceeds
+//!    the least-loaded eligible node by more than
+//!    [`spill_margin`](RouterPolicy::spill_margin) — then the job **spills** to the
+//!    least-loaded node and the stickiness moves with it (future repeats follow the
+//!    spill, warming the new node once instead of ping-ponging).
+//! 3. **Least load** — everything else goes to the eligible node with the fewest
+//!    queued-plus-running jobs (ties break to the lowest node index, which keeps
+//!    placement deterministic for a fixed submission order).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use refloat_telemetry::sync;
+
+/// Tunables for [`Router::place`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterPolicy {
+    /// Route repeat fingerprints back to the node holding their encodings.
+    pub affinity: bool,
+    /// How much deeper (in queued+running jobs) the sticky node may be than the
+    /// least-loaded eligible node before the job spills away from its cache.
+    pub spill_margin: usize,
+}
+
+impl Default for RouterPolicy {
+    fn default() -> Self {
+        RouterPolicy {
+            affinity: true,
+            spill_margin: 8,
+        }
+    }
+}
+
+/// Which placement key decided a routing (exported in traces and counted in
+/// metrics, so `fig_cluster` can attribute throughput to affinity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The fingerprint's sticky node won (its encodings are already resident).
+    Affinity,
+    /// No stickiness applied; the least-loaded eligible node won.
+    LeastLoaded,
+    /// The sticky node was too deep; the job moved to the least-loaded node and
+    /// took its stickiness along.
+    Spill,
+    /// No node had enough chips for the requested shards; the largest node won.
+    Overflow,
+}
+
+impl RouteKind {
+    /// Stable label used in trace details and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteKind::Affinity => "affinity",
+            RouteKind::LeastLoaded => "least_loaded",
+            RouteKind::Spill => "spill",
+            RouteKind::Overflow => "overflow",
+        }
+    }
+}
+
+/// One placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The chosen node's index.
+    pub node: usize,
+    /// Which key decided it.
+    pub kind: RouteKind,
+}
+
+/// The placement engine.  Holds only the fingerprint→node stickiness map; load and
+/// chip capacities are passed per call so the router never reaches into the nodes.
+#[derive(Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    /// Lock-order leaf "placement": nothing else is ever locked while holding it.
+    placement: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl Router {
+    /// A router with the given policy.
+    pub fn new(policy: RouterPolicy) -> Self {
+        Router {
+            policy,
+            placement: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Places one job.  `loads[i]` is node `i`'s queued+running count and
+    /// `chips[i]` its simulated-chip capacity; `shards` is the job's requested
+    /// shard count and `fingerprint` its matrix identity.
+    ///
+    /// Deterministic: for fixed inputs (including the stickiness accumulated from
+    /// prior calls) the decision is a pure function — ties always break to the
+    /// lowest node index.
+    pub fn place(
+        &self,
+        fingerprint: u64,
+        shards: usize,
+        loads: &[usize],
+        chips: &[usize],
+    ) -> Placement {
+        debug_assert_eq!(loads.len(), chips.len());
+        debug_assert!(!loads.is_empty(), "a cluster has at least one node");
+        let eligible: Vec<usize> = (0..loads.len())
+            .filter(|&i| chips[i] >= shards.max(1))
+            .collect();
+        if eligible.is_empty() {
+            // Nothing fits: overflow to the biggest node (lowest index on ties) and
+            // let the partitioner clamp the shard count there.
+            let node = (0..chips.len())
+                .max_by_key(|&i| (chips[i], std::cmp::Reverse(i)))
+                .unwrap_or(0);
+            return Placement {
+                node,
+                kind: RouteKind::Overflow,
+            };
+        }
+        let least = eligible
+            .iter()
+            .copied()
+            .min_by_key(|&i| (loads[i], i))
+            .unwrap_or(eligible[0]);
+        if !self.policy.affinity {
+            return Placement {
+                node: least,
+                kind: RouteKind::LeastLoaded,
+            };
+        }
+        let mut placement = sync::lock(&self.placement);
+        match placement.get(&fingerprint).copied() {
+            Some(sticky) if eligible.contains(&sticky) => {
+                if loads[sticky] <= loads[least].saturating_add(self.policy.spill_margin) {
+                    Placement {
+                        node: sticky,
+                        kind: RouteKind::Affinity,
+                    }
+                } else {
+                    // Spill: move the stickiness with the job so future repeats
+                    // warm the new node once instead of ping-ponging.
+                    placement.insert(fingerprint, least);
+                    Placement {
+                        node: least,
+                        kind: RouteKind::Spill,
+                    }
+                }
+            }
+            _ => {
+                placement.insert(fingerprint, least);
+                Placement {
+                    node: least,
+                    kind: RouteKind::LeastLoaded,
+                }
+            }
+        }
+    }
+
+    /// Distinct fingerprints with a sticky node (observability/testing).
+    pub fn tracked_fingerprints(&self) -> usize {
+        sync::lock(&self.placement).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        Router::new(RouterPolicy::default())
+    }
+
+    #[test]
+    fn first_touch_goes_least_loaded_and_repeats_stick() {
+        let r = router();
+        let chips = [8, 8, 8];
+        let first = r.place(42, 1, &[3, 1, 2], &chips);
+        assert_eq!(
+            first,
+            Placement {
+                node: 1,
+                kind: RouteKind::LeastLoaded
+            }
+        );
+        // Repeat sticks to node 1 even though node 2 is now emptier.
+        let repeat = r.place(42, 1, &[3, 2, 0], &chips);
+        assert_eq!(
+            repeat,
+            Placement {
+                node: 1,
+                kind: RouteKind::Affinity
+            }
+        );
+    }
+
+    #[test]
+    fn a_deep_sticky_node_spills_and_the_stickiness_moves() {
+        let r = Router::new(RouterPolicy {
+            affinity: true,
+            spill_margin: 2,
+        });
+        let chips = [8, 8];
+        assert_eq!(r.place(7, 1, &[0, 5], &chips).node, 0);
+        // Node 0 is now 3 deeper than node 1's 0 — past the margin of 2.
+        let spilled = r.place(7, 1, &[3, 0], &chips);
+        assert_eq!(
+            spilled,
+            Placement {
+                node: 1,
+                kind: RouteKind::Spill
+            }
+        );
+        // The stickiness followed the spill.
+        assert_eq!(r.place(7, 1, &[0, 1], &chips).kind, RouteKind::Affinity);
+        assert_eq!(r.place(7, 1, &[0, 1], &chips).node, 1);
+    }
+
+    #[test]
+    fn sharded_jobs_only_fit_nodes_with_enough_chips() {
+        let r = router();
+        // Node 0 is empty but only has 2 chips; the 4-shard job must go to node 1.
+        let placed = r.place(9, 4, &[0, 6], &[2, 8]);
+        assert_eq!(placed.node, 1);
+        assert_eq!(placed.kind, RouteKind::LeastLoaded);
+    }
+
+    #[test]
+    fn an_oversized_job_overflows_to_the_largest_node() {
+        let r = router();
+        let placed = r.place(9, 64, &[0, 0, 0], &[4, 8, 8]);
+        assert_eq!(
+            placed,
+            Placement {
+                node: 1,
+                kind: RouteKind::Overflow
+            },
+            "ties break to the lowest index among largest nodes"
+        );
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_node_index() {
+        let r = Router::new(RouterPolicy {
+            affinity: false,
+            spill_margin: 0,
+        });
+        assert_eq!(r.place(1, 1, &[2, 2, 2], &[8, 8, 8]).node, 0);
+    }
+
+    #[test]
+    fn disabling_affinity_never_sticks() {
+        let r = Router::new(RouterPolicy {
+            affinity: false,
+            spill_margin: 8,
+        });
+        let chips = [8, 8];
+        assert_eq!(r.place(5, 1, &[1, 0], &chips).node, 1);
+        assert_eq!(r.place(5, 1, &[0, 1], &chips).node, 0);
+        assert_eq!(r.tracked_fingerprints(), 0);
+    }
+}

@@ -53,7 +53,16 @@
 //! * [`SolveRuntime`] (here) — the factory owning the caches; [`SolveRuntime::start`]
 //!   (or [`SolveRuntime::client`]) spawns the worker pool and returns the client,
 //!   while [`run_batch`](SolveRuntime::run_batch)/[`run_with`](SolveRuntime::run_with)
-//!   survive as thin deterministic wrappers over it.
+//!   survive as thin deterministic wrappers over it;
+//! * [`Node`] (`node`) — the reusable serving unit everything above runs on: one
+//!   worker pool plus its QoS scheduler, caches, and telemetry log.  A single-node
+//!   client wraps exactly one; a cluster wraps several;
+//! * [`ClusterRuntime`] / [`ClusterConfig`] (`cluster`) — N nodes behind an
+//!   affinity-aware router with typed admission control: repeat fingerprints land
+//!   on the node already holding their encodings, sharded jobs go where they fit,
+//!   and under overload the cluster *sheds* with
+//!   [`SubmitError::Overloaded`]/[`SubmitError::QuotaExceeded`] instead of
+//!   queueing toward collapse — same client/ticket surface, same numerics.
 //!
 //! # Service mode
 //!
@@ -158,9 +167,11 @@
 pub mod accel;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod decision;
 pub mod fingerprint;
 pub mod job;
+pub mod node;
 pub mod plan;
 pub mod queue;
 pub mod sched;
@@ -171,15 +182,19 @@ mod worker;
 pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache, ShardId};
 pub use client::{SolveClient, SolveTicket, SubmitError, TicketOutcome};
+pub use cluster::{
+    AdmissionConfig, ClusterConfig, ClusterRuntime, Placement, RouteKind, Router, RouterPolicy,
+};
 pub use decision::{DecisionKey, DecisionOutcome, DecisionStats, FormatDecisionCache};
 pub use fingerprint::fingerprint_csr;
 pub use job::{AutoFormatSpec, JobOutcome, MatrixHandle, RefinementSpec};
+pub use node::Node;
 pub use plan::{PlanError, PlanViolation, SolvePlan, SolvePlanBuilder};
 pub use queue::BoundedQueue;
-pub use sched::{Priority, SchedulerPolicy, SchedulingMode};
+pub use sched::{JobScheduler, Popped, Priority, SchedulerPolicy, SchedulerStats, SchedulingMode};
 pub use telemetry::{
-    metric_names, AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry,
-    PriorityLane, RefinementTelemetry, RuntimeReport,
+    metric_names, AggregateContext, AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles,
+    JobTelemetry, PriorityLane, RefinementTelemetry, RuntimeReport,
 };
 // Re-export the observability vocabulary so service users need only this crate.
 pub use refloat_telemetry::{

@@ -1,0 +1,179 @@
+//! The reusable serving unit a cluster is built from.
+//!
+//! Everything that used to *be* "the runtime" — the QoS scheduler, the worker pool
+//! of simulated accelerators, the LRU encoded-matrix cache, the format-decision
+//! cache, and the per-pool telemetry log — lives in one [`Node`].  A single-node
+//! [`SolveClient`](crate::SolveClient) wraps exactly one of them (bitwise-identical
+//! to the pre-cluster runtime), and a
+//! [`ClusterRuntime`](crate::cluster::ClusterRuntime) fans submissions out over
+//! several through the affinity-aware router of [`crate::cluster`].
+//!
+//! A node's caches are deliberately **not** shared across the cluster: cache
+//! affinity only pays off because each node keeps its own working set hot, and the
+//! router's fingerprint stickiness is what keeps repeat traffic landing on the node
+//! that already holds its encodings.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use refloat_telemetry::{Clock, Counter, MetricsRegistry, TraceSink, WallClock};
+
+use crate::cache::EncodedMatrixCache;
+use crate::client::QueuedTicket;
+use crate::decision::FormatDecisionCache;
+use crate::sched::JobScheduler;
+use crate::telemetry::{metric_names, JobMetricHandles, JobTelemetry};
+use crate::worker;
+use crate::RuntimeConfig;
+
+/// State shared between a node's handle, its worker threads, and every ticket it
+/// issued (tickets keep the core alive so `cancel` works after the handle moves).
+pub(crate) struct NodeCore {
+    /// This node's index in its cluster (0 for a single-node runtime).
+    pub node_id: usize,
+    /// Global id of this node's first worker: worker `w` of node `n` executes as
+    /// fleet-wide worker `worker_id_base + w`, so per-worker report attribution
+    /// stays collision-free across nodes.
+    pub worker_id_base: usize,
+    pub sched: JobScheduler<QueuedTicket>,
+    pub cache: Arc<EncodedMatrixCache>,
+    pub decisions: Arc<FormatDecisionCache>,
+    pub chip_crossbars: Option<u64>,
+    pub workers: usize,
+    pub next_id: AtomicU64,
+    /// Telemetry of every completed job, in completion order (the report source).
+    pub completed: Mutex<Vec<JobTelemetry>>,
+    pub cancelled: AtomicU64,
+    /// The live metrics registry: workers stream job completions into it, so it is
+    /// pollable mid-traffic without draining.  A cluster's nodes all share one
+    /// registry (per-node dimensions are separate counter names).
+    pub metrics: Arc<MetricsRegistry>,
+    /// This node's completion counter (`node<i>_jobs_completed`), pre-fetched so
+    /// the per-job hot path stays atomic-increments-only.
+    pub node_jobs: Arc<Counter>,
+    /// The trace sink, when the runtime was configured with one.
+    pub trace: Option<Arc<TraceSink>>,
+    /// The clock every wall-time telemetry field is read from.  Sourced from the
+    /// trace sink when tracing is configured (so a `ManualClock` sink pins *all*
+    /// host-time fields, not just trace timestamps), else a fresh [`WallClock`].
+    pub clock: Arc<dyn Clock>,
+}
+
+/// One serving unit: a worker pool over its own scheduler, caches, and telemetry.
+///
+/// Constructed by [`SolveClient`](crate::SolveClient) (one node) or
+/// [`ClusterRuntime`](crate::cluster::ClusterRuntime) (several).  Dropping a node
+/// closes its scheduler and joins its workers.
+pub struct Node {
+    core: Arc<NodeCore>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Node {
+    /// Spawns the node's worker pool.  `metrics` is shared (a cluster passes one
+    /// registry to every node); the caller is responsible for the pool-level
+    /// gauges (`workers`, `nodes`) since only it knows the fleet shape.
+    pub(crate) fn spawn(
+        node_id: usize,
+        worker_id_base: usize,
+        config: &RuntimeConfig,
+        cache: Arc<EncodedMatrixCache>,
+        decisions: Arc<FormatDecisionCache>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        assert!(config.workers >= 1, "a node needs at least one worker");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue capacity must be at least 1"
+        );
+        // Registering up front creates the full metric vocabulary, so a snapshot
+        // taken before the first job completes already carries every (zero) counter.
+        let _ = JobMetricHandles::register(&metrics);
+        let node_jobs = metrics.counter(&metric_names::node_jobs_completed(node_id));
+        let clock: Arc<dyn Clock> = match &config.trace {
+            Some(sink) => sink.clock(),
+            None => Arc::new(WallClock::new()),
+        };
+        let core = Arc::new(NodeCore {
+            node_id,
+            worker_id_base,
+            sched: JobScheduler::new(config.queue_capacity, config.scheduler),
+            cache,
+            decisions,
+            chip_crossbars: config.chip_crossbars,
+            workers: config.workers,
+            next_id: AtomicU64::new(0),
+            completed: Mutex::new(Vec::new()),
+            cancelled: AtomicU64::new(0),
+            metrics,
+            node_jobs,
+            trace: config.trace.clone(),
+            clock,
+        });
+        let handles = (0..config.workers)
+            .map(|local| {
+                let worker_id = worker_id_base + local;
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("refloat-worker-{worker_id}"))
+                    .spawn(move || worker::worker_loop(worker_id, &core))
+                    // refloat-analysis: allow(panic-in-service-path) — thread-spawn
+                    // failure at startup is unrecoverable for the pool; nothing is
+                    // in flight yet, so failing fast is correct.
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Node { core, handles }
+    }
+
+    /// The shared core (scheduler, caches, telemetry).
+    pub(crate) fn core(&self) -> &Arc<NodeCore> {
+        &self.core
+    }
+
+    /// This node's index in its cluster (0 for a single-node runtime).
+    pub fn id(&self) -> usize {
+        self.core.node_id
+    }
+
+    /// Jobs currently queued on or running inside this node — the load signal the
+    /// cluster router balances on.
+    pub fn load(&self) -> usize {
+        self.core.sched.load()
+    }
+
+    /// Stops admission into this node's scheduler (pending jobs still drain).
+    pub(crate) fn close(&self) {
+        self.core.sched.close();
+    }
+
+    /// Blocks until nothing is pending or in flight on this node.
+    pub(crate) fn wait_idle(&self) {
+        self.core.sched.wait_idle();
+    }
+
+    /// Joins the worker threads (call after [`close`](Self::close); idempotent).
+    pub(crate) fn join_workers(&mut self) {
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.core.sched.close();
+        self.join_workers();
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("node_id", &self.core.node_id)
+            .field("workers", &self.core.workers)
+            .field("worker_id_base", &self.core.worker_id_base)
+            .finish()
+    }
+}

@@ -184,15 +184,22 @@ struct SchedState<T> {
 }
 
 /// A job handed to a worker.
-pub(crate) struct Popped<T> {
+pub struct Popped<T> {
+    /// The job's submission id.
     pub id: u64,
+    /// The QoS class it was scheduled under.
     pub priority: Priority,
+    /// The queued payload.
     pub payload: T,
 }
 
 /// A bounded, priority-aware MPMC job scheduler (`Mutex` + `Condvar`, no async
 /// runtime).  See the module docs for the ordering and determinism contract.
-pub(crate) struct JobScheduler<T> {
+///
+/// Public so simulation harnesses (e.g. the `fig_cluster` discrete-event driver)
+/// can schedule their own payload type with the *exact* production policy; the
+/// service itself instantiates it with an in-crate payload.
+pub struct JobScheduler<T> {
     state: Mutex<SchedState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -223,6 +230,7 @@ impl<T> JobScheduler<T> {
 
     /// Jobs currently pending (excludes in-flight jobs).
     #[cfg(test)]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         sync::lock(&self.state).pending.len()
     }
@@ -350,6 +358,36 @@ impl<T> JobScheduler<T> {
             }
             state = sync::wait(&self.not_empty, state);
         }
+    }
+
+    /// Dequeues the most urgent job if one is pending, without blocking.  Unlike
+    /// [`pop`](Self::pop) this never waits: an empty pending set returns `None`
+    /// whether or not the scheduler is closed.  Event-driven dispatchers (the
+    /// virtual-time cluster bench) pull work with this while thread pools block on
+    /// `pop`.
+    pub fn try_pop(&self) -> Option<Popped<T>> {
+        let mut state = sync::lock(&self.state);
+        if state.pending.is_empty() {
+            return None;
+        }
+        let idx = self.select(&state);
+        let job = state.pending.remove(idx);
+        state.dequeues += 1;
+        state.inflight += 1;
+        drop(state);
+        self.not_full.notify_one();
+        Some(Popped {
+            id: job.id,
+            priority: job.priority,
+            payload: job.payload,
+        })
+    }
+
+    /// Jobs currently in the system: pending in the queue plus popped-but-unfinished.
+    /// The cluster router reads this as a node's instantaneous load.
+    pub fn load(&self) -> usize {
+        let state = sync::lock(&self.state);
+        state.pending.len() + state.inflight
     }
 
     /// Removes a not-yet-dequeued job, returning its payload; `None` when the job

@@ -80,6 +80,31 @@ pub mod metric_names {
     pub const QUEUE_DEPTH_PEAK: &str = "queue_depth_peak";
     /// Gauge: worker threads serving the client.
     pub const WORKERS: &str = "workers";
+    /// Counter: jobs the cluster router placed on a node (single-node runtimes
+    /// never touch it).
+    pub const JOBS_ROUTED: &str = "jobs_routed";
+    /// Counter: routed jobs placed on the node already holding their encodings
+    /// (the fingerprint-affinity placement key won).
+    pub const ROUTE_AFFINITY_HITS: &str = "route_affinity_hits";
+    /// Counter: routed jobs whose affinity node was too loaded, spilling to the
+    /// least-loaded node instead (the sticky mapping moves with them).
+    pub const ROUTE_SPILLS: &str = "route_spills";
+    /// Counter: submissions shed by admission control because the cluster-wide
+    /// in-system bound was reached ([`SubmitError::Overloaded`](crate::SubmitError)).
+    pub const JOBS_SHED_OVERLOAD: &str = "jobs_shed_overload";
+    /// Counter: submissions shed because the tenant's fair-share quota was full
+    /// ([`SubmitError::QuotaExceeded`](crate::SubmitError)).
+    pub const JOBS_SHED_QUOTA: &str = "jobs_shed_quota";
+    /// Gauge: nodes serving the cluster (1 for a single-node runtime).
+    pub const NODES: &str = "nodes";
+    /// Gauge: tenants currently holding at least one admitted, unfinished job.
+    pub const TENANTS_ACTIVE: &str = "tenants_active";
+
+    /// The per-node completion counter's name (`node<i>_jobs_completed`), one per
+    /// node, registered when the node's workers spawn.
+    pub fn node_jobs_completed(node: usize) -> String {
+        format!("node{node}_jobs_completed")
+    }
 }
 
 /// Pre-fetched handles on every job-completion metric.
@@ -293,8 +318,11 @@ pub struct JobTelemetry {
     pub tenant: String,
     /// Matrix name (from the handle).
     pub matrix: String,
-    /// Worker that executed the job.
+    /// Worker that executed the job (pool-global: a cluster numbers its workers
+    /// contiguously across nodes, so the index is unique fleet-wide).
     pub worker: usize,
+    /// Node that executed the job (0 for a single-node runtime).
+    pub node: usize,
     /// Solver kind.
     pub solver: SolverKind,
     /// QoS class the job was scheduled under.
@@ -326,6 +354,48 @@ pub struct JobTelemetry {
     pub autotune: Option<AutotuneTelemetry>,
 }
 
+/// Everything [`RuntimeReport::aggregate`] needs besides the telemetry rows: the
+/// batch wall time, the cache/decision counter deltas, the pool shape, and the
+/// cluster-level counts the rows themselves cannot carry (cancelled and shed jobs
+/// never produce telemetry).
+#[derive(Debug, Clone)]
+pub struct AggregateContext {
+    /// Batch wall-clock seconds (first submission to last completion).
+    pub wall_s: f64,
+    /// Encode-cache counter increments during the batch.
+    pub cache: CacheStats,
+    /// Decision-cache counter increments during the batch.
+    pub decisions: DecisionStats,
+    /// Worker threads that served the batch (cluster: total across nodes).
+    pub workers: usize,
+    /// Nodes that served the batch (1 for the single-node runtime).
+    pub nodes: usize,
+    /// Scheduler queue-depth high-water mark (cluster: the worst node).
+    pub queue_depth_peak: usize,
+    /// Jobs cancelled before a worker started them.
+    pub cancelled_jobs: usize,
+    /// Submissions shed because the cluster-wide in-system bound was reached.
+    pub shed_overloaded: u64,
+    /// Submissions shed because a tenant's fair-share quota was full.
+    pub shed_quota: u64,
+}
+
+impl Default for AggregateContext {
+    fn default() -> Self {
+        AggregateContext {
+            wall_s: 0.0,
+            cache: CacheStats::default(),
+            decisions: DecisionStats::default(),
+            workers: 1,
+            nodes: 1,
+            queue_depth_peak: 0,
+            cancelled_jobs: 0,
+            shed_overloaded: 0,
+            shed_quota: 0,
+        }
+    }
+}
+
 /// Aggregated statistics for one batch.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -335,6 +405,8 @@ pub struct RuntimeReport {
     pub converged: usize,
     /// Worker threads that served the batch.
     pub workers: usize,
+    /// Nodes that served the batch (1 for the single-node runtime).
+    pub nodes: usize,
     /// Batch wall-clock seconds (submission of the first job to completion of the
     /// last).
     pub wall_s: f64,
@@ -379,8 +451,15 @@ pub struct RuntimeReport {
     pub rhs_total: usize,
     /// Total simulated seconds spent in inter-chip gathers of sharded jobs.
     pub reduction_total_s: f64,
-    /// Jobs per worker (index = worker id).
+    /// Jobs per worker (index = pool-global worker id).
     pub per_worker_jobs: Vec<u64>,
+    /// Jobs per node (index = node id; a single-node runtime reports one entry).
+    pub per_node_jobs: Vec<u64>,
+    /// Submissions shed with [`SubmitError::Overloaded`](crate::SubmitError) (they
+    /// never entered a queue: no telemetry row, no cycles, no cache traffic).
+    pub shed_overloaded: u64,
+    /// Submissions shed with [`SubmitError::QuotaExceeded`](crate::SubmitError).
+    pub shed_quota: u64,
     /// Jobs whose telemetry named a worker outside the pool (should be 0; counted so
     /// `per_worker_jobs` totals plus this always sum to `jobs`).
     pub unattributed_jobs: u64,
@@ -445,15 +524,18 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
 impl RuntimeReport {
     /// Aggregates the telemetry of a finished batch (or of everything a
     /// [`SolveClient`](crate::SolveClient) has completed so far).
-    pub fn aggregate(
-        jobs: &[JobTelemetry],
-        wall_s: f64,
-        cache: CacheStats,
-        decisions: DecisionStats,
-        workers: usize,
-        queue_depth_peak: usize,
-        cancelled_jobs: usize,
-    ) -> Self {
+    pub fn aggregate(jobs: &[JobTelemetry], ctx: AggregateContext) -> Self {
+        let AggregateContext {
+            wall_s,
+            cache,
+            decisions,
+            workers,
+            nodes,
+            queue_depth_peak,
+            cancelled_jobs,
+            shed_overloaded,
+            shed_quota,
+        } = ctx;
         // Replay every row through the same recording path live workers use, so the
         // report's totals are *derived from* the metrics registry rather than being
         // a second, independently maintained accumulation that could drift from it.
@@ -466,16 +548,21 @@ impl RuntimeReport {
             .counter(metric_names::JOBS_CANCELLED)
             .add(cancelled_jobs as u64);
         registry
+            .counter(metric_names::JOBS_SHED_OVERLOAD)
+            .add(shed_overloaded);
+        registry
+            .counter(metric_names::JOBS_SHED_QUOTA)
+            .add(shed_quota);
+        registry
             .gauge(metric_names::QUEUE_DEPTH_PEAK)
             .set(queue_depth_peak as f64);
         registry.gauge(metric_names::WORKERS).set(workers as f64);
-        let metrics = registry.snapshot();
-        let counter = |name: &str| metrics.counter(name).unwrap_or(0);
-        let hist_sum = |name: &str| metrics.histogram(name).map(|h| h.sum).unwrap_or(0.0);
+        registry.gauge(metric_names::NODES).set(nodes as f64);
 
         let latencies: Vec<f64> = jobs.iter().map(|j| j.latency_s).collect();
         let queue_waits: Vec<f64> = jobs.iter().map(|j| j.queue_wait_s).collect();
         let mut per_worker_jobs = vec![0u64; workers];
+        let mut per_node_jobs = vec![0u64; nodes.max(1)];
         let mut unattributed_jobs = 0u64;
         for job in jobs {
             match per_worker_jobs.get_mut(job.worker) {
@@ -492,7 +579,26 @@ impl RuntimeReport {
                     unattributed_jobs += 1;
                 }
             }
+            if let Some(slot) = per_node_jobs.get_mut(job.node) {
+                *slot += 1;
+            } else {
+                debug_assert!(
+                    false,
+                    "job {} attributed to node {} of a {}-node cluster",
+                    job.job_id, job.node, nodes
+                );
+            }
         }
+        // The per-node completion counters workers stream into live are replayed
+        // here too, so a report's metrics snapshot carries the node dimension.
+        for (node, count) in per_node_jobs.iter().enumerate() {
+            registry
+                .counter(&metric_names::node_jobs_completed(node))
+                .add(*count);
+        }
+        let metrics = registry.snapshot();
+        let counter = |name: &str| metrics.counter(name).unwrap_or(0);
+        let hist_sum = |name: &str| metrics.histogram(name).map(|h| h.sum).unwrap_or(0.0);
         // Every class gets a lane, traffic or not — consumers index by class.
         let per_priority = Priority::ALL
             .into_iter()
@@ -514,6 +620,7 @@ impl RuntimeReport {
             jobs: counter(metric_names::JOBS_COMPLETED) as usize,
             converged: counter(metric_names::JOBS_CONVERGED) as usize,
             workers,
+            nodes: nodes.max(1),
             wall_s,
             throughput_jobs_per_s: if wall_s > 0.0 {
                 jobs.len() as f64 / wall_s
@@ -545,6 +652,9 @@ impl RuntimeReport {
             rhs_total: counter(metric_names::RHS_TOTAL) as usize,
             reduction_total_s: hist_sum(metric_names::REDUCTION_S),
             per_worker_jobs,
+            per_node_jobs,
+            shed_overloaded,
+            shed_quota,
             unattributed_jobs,
             refined_jobs: counter(metric_names::REFINED_JOBS) as usize,
             escalations: counter(metric_names::ESCALATIONS),
@@ -602,6 +712,12 @@ impl RuntimeReport {
             "cancelled       {} jobs dequeued before starting (no chip time charged)\n",
             self.cancelled_jobs
         ));
+        if self.shed_overloaded + self.shed_quota > 0 {
+            out.push_str(&format!(
+                "shed            {} overloaded, {} over-quota (typed rejections, never queued)\n",
+                self.shed_overloaded, self.shed_quota
+            ));
+        }
         out.push_str(&format!(
             "encode cache    {:.1}% hit rate ({} hits, {} coalesced, {} misses, {} evictions), {:.3} s encoding\n",
             self.hit_rate() * 100.0,
@@ -643,6 +759,12 @@ impl RuntimeReport {
             ));
         }
         out.push_str(&format!("worker load     {:?}\n", self.per_worker_jobs));
+        if self.nodes > 1 {
+            out.push_str(&format!(
+                "node load       {:?} across {} nodes\n",
+                self.per_node_jobs, self.nodes
+            ));
+        }
         if self.unattributed_jobs > 0 {
             out.push_str(&format!(
                 "WARNING         {} jobs attributed to workers outside the pool\n",
@@ -689,6 +811,7 @@ impl Serialize for RuntimeReport {
             ("jobs".to_string(), Value::Num(self.jobs as f64)),
             ("converged".to_string(), Value::Num(self.converged as f64)),
             ("workers".to_string(), Value::Num(self.workers as f64)),
+            ("nodes".to_string(), Value::Num(self.nodes as f64)),
             ("wall_s".to_string(), Value::Num(self.wall_s)),
             (
                 "throughput_jobs_per_s".to_string(),
@@ -775,6 +898,20 @@ impl Serialize for RuntimeReport {
                         .collect(),
                 ),
             ),
+            (
+                "per_node_jobs".to_string(),
+                Value::Array(
+                    self.per_node_jobs
+                        .iter()
+                        .map(|&n| Value::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "shed_overloaded".to_string(),
+                Value::Num(self.shed_overloaded as f64),
+            ),
+            ("shed_quota".to_string(), Value::Num(self.shed_quota as f64)),
             (
                 "refined_jobs".to_string(),
                 Value::Num(self.refined_jobs as f64),
@@ -878,6 +1015,7 @@ mod tests {
             tenant: "t".to_string(),
             matrix: "m".to_string(),
             worker,
+            node: 0,
             solver: SolverKind::Cg,
             priority: Priority::Standard,
             shards: 1,
@@ -904,12 +1042,12 @@ mod tests {
         ];
         let report = RuntimeReport::aggregate(
             &jobs,
-            0.1,
-            CacheStats::default(),
-            DecisionStats::default(),
-            2,
-            3,
-            0,
+            AggregateContext {
+                wall_s: 0.1,
+                workers: 2,
+                queue_depth_peak: 3,
+                ..Default::default()
+            },
         );
         let attributed: u64 = report.per_worker_jobs.iter().sum();
         assert_eq!(attributed + report.unattributed_jobs, report.jobs as u64);
@@ -927,12 +1065,13 @@ mod tests {
         jobs[9].queue_wait_s = 1e-6;
         let report = RuntimeReport::aggregate(
             &jobs,
-            0.1,
-            CacheStats::default(),
-            DecisionStats::default(),
-            1,
-            7,
-            2,
+            AggregateContext {
+                wall_s: 0.1,
+                workers: 1,
+                queue_depth_peak: 7,
+                cancelled_jobs: 2,
+                ..Default::default()
+            },
         );
         // Nearest-rank p99 of 10 samples is the maximum standard-lane wait (1 ms).
         assert!(report.queue_wait_p99_s >= report.queue_wait_p50_s);
@@ -977,12 +1116,12 @@ mod tests {
         let jobs = vec![telemetry(0, 5, false)];
         let _ = RuntimeReport::aggregate(
             &jobs,
-            0.1,
-            CacheStats::default(),
-            DecisionStats::default(),
-            2,
-            1,
-            0,
+            AggregateContext {
+                wall_s: 0.1,
+                workers: 2,
+                queue_depth_peak: 1,
+                ..Default::default()
+            },
         );
     }
 
@@ -992,12 +1131,12 @@ mod tests {
         let jobs = vec![telemetry(0, 5, false), telemetry(1, 0, false)];
         let report = RuntimeReport::aggregate(
             &jobs,
-            0.1,
-            CacheStats::default(),
-            DecisionStats::default(),
-            2,
-            2,
-            0,
+            AggregateContext {
+                wall_s: 0.1,
+                workers: 2,
+                queue_depth_peak: 2,
+                ..Default::default()
+            },
         );
         assert_eq!(report.unattributed_jobs, 1);
         let attributed: u64 = report.per_worker_jobs.iter().sum();

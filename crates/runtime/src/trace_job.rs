@@ -17,12 +17,21 @@ pub(crate) struct JobTrace<'a> {
 }
 
 impl<'a> JobTrace<'a> {
-    pub(crate) fn new(sink: Option<&'a TraceSink>, job_id: u64, worker: usize) -> Self {
+    /// `seq_base` is the first sequence number this builder may use: a cluster
+    /// reserves the leading slots of a job's timeline for its submit-side
+    /// admit/route events, so worker events must start after them to keep
+    /// `(job_id, seq)` unique.  0 on the single-node path.
+    pub(crate) fn new(
+        sink: Option<&'a TraceSink>,
+        job_id: u64,
+        worker: usize,
+        seq_base: u32,
+    ) -> Self {
         JobTrace {
             sink,
             job_id,
             worker: worker as u64,
-            seq: 0,
+            seq: seq_base,
             events: Vec::new(),
         }
     }
@@ -97,7 +106,7 @@ mod tests {
 
     #[test]
     fn disabled_trace_is_free_and_never_formats_details() {
-        let mut jt = JobTrace::new(None, 1, 0);
+        let mut jt = JobTrace::new(None, 1, 0, 0);
         assert!(!jt.enabled());
         jt.instant(SpanKind::Dequeue, || panic!("must not be called"));
         jt.span(SpanKind::Execute, 0.0, || panic!("must not be called"));
@@ -105,10 +114,21 @@ mod tests {
     }
 
     #[test]
+    fn seq_base_reserves_leading_slots_for_cluster_events() {
+        let sink = TraceSink::wall();
+        let mut jt = JobTrace::new(Some(&sink), 9, 1, 2);
+        jt.instant(SpanKind::Dequeue, || "after-admit-and-route".to_string());
+        jt.flush();
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 2, "seqs 0/1 stay free for admit/route");
+    }
+
+    #[test]
     fn events_are_sequenced_and_flushed_as_one_batch() {
         let clock = Arc::new(ManualClock::new());
         let sink = TraceSink::new(Arc::clone(&clock) as Arc<dyn refloat_telemetry::Clock>);
-        let mut jt = JobTrace::new(Some(&sink), 7, 3);
+        let mut jt = JobTrace::new(Some(&sink), 7, 3, 0);
         clock.set(1.0);
         let start = jt.now_s();
         clock.set(1.5);

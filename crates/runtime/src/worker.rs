@@ -12,9 +12,10 @@ use refloat_telemetry::{sync, Clock, SpanKind, TraceSink};
 
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
-use crate::client::{ClientCore, QueuedTicket, TicketOutcome};
+use crate::client::{QueuedTicket, TicketOutcome};
 use crate::decision::{DecisionKey, DecisionOutcome, FormatDecisionCache};
 use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
+use crate::node::NodeCore;
 use crate::telemetry::{
     AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry, RefinementTelemetry,
 };
@@ -30,7 +31,7 @@ use crate::trace_job::JobTrace;
 /// neither hang `drain`/`shutdown` nor strand its waiter.  (The pre-service
 /// scoped-thread pool propagated the panic to the batch caller instead; the batch
 /// wrappers in `lib.rs` restore that behaviour by re-panicking on `Failed`.)
-pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
+pub(crate) fn worker_loop(worker_id: usize, core: &NodeCore) {
     let mut accelerator =
         SimulatedAccelerator::new(worker_id).with_chip_crossbars(core.chip_crossbars);
     // The worker's "programmed" operator, mirroring the simulated chip state: reused
@@ -45,6 +46,8 @@ pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
             plan,
             submitted_at_s,
             ticket,
+            permit,
+            trace_seq_base,
         } = popped.payload;
         let queued = QueuedJob {
             id: popped.id,
@@ -62,11 +65,20 @@ pub(crate) fn worker_loop(worker_id: usize, core: &ClientCore) {
                 &mut programmed,
                 core.trace.as_deref(),
                 core.clock.as_ref(),
+                trace_seq_base,
             )
         }));
+        // Refund the tenant's admission quota (cluster path) only after the job's
+        // full lifetime — completed, failed, or contained-panic — so the in-system
+        // bound counts running work, not just queued work; but *before* resolving
+        // the ticket, so a tenant that observed `wait()` return is guaranteed its
+        // slot is already free for the next submit.
+        drop(permit);
         match run {
-            Ok(outcome) => {
+            Ok(mut outcome) => {
+                outcome.telemetry.node = core.node_id;
                 metric_handles.record(&outcome.telemetry);
+                core.node_jobs.inc();
                 sync::lock(&core.completed).push(outcome.telemetry.clone());
                 ticket.complete(TicketOutcome::Completed(Box::new(outcome)));
             }
@@ -599,6 +611,7 @@ fn execute_job(
     programmed: &mut Option<ProgrammedOp>,
     trace: Option<&TraceSink>,
     clock: &dyn Clock,
+    trace_seq_base: u32,
 ) -> JobOutcome {
     let QueuedJob {
         id,
@@ -607,7 +620,7 @@ fn execute_job(
         submitted_at_s,
     } = queued;
     let queue_wait_s = (clock.now_s() - submitted_at_s).max(0.0);
-    let mut jt = JobTrace::new(trace, id, accelerator.worker_id());
+    let mut jt = JobTrace::new(trace, id, accelerator.worker_id(), trace_seq_base);
     jt.span_backdated(SpanKind::QueueWait, queue_wait_s, || {
         format!("priority={}", priority.label())
     });
@@ -823,6 +836,8 @@ fn execute_job(
         tenant: job.tenant.to_string(),
         matrix: job.matrix.name().to_string(),
         worker: accelerator.worker_id(),
+        // The executor is node-agnostic; worker_loop stamps the owning node's id.
+        node: 0,
         solver: job.solver,
         priority,
         shards,

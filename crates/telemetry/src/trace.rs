@@ -37,11 +37,20 @@ pub enum SpanKind {
     HostFp64,
     /// A simulated chip-phase cycle event (program / compute / stream-write / ...).
     ChipPhase,
+    /// Instant event: cluster admission control accepted the job (detail carries
+    /// tenant and in-system occupancy).
+    Admit,
+    /// Instant event: the cluster router placed the job on a node (detail carries
+    /// the node index and the placement key that won).
+    Route,
+    /// Instant event: admission control rejected the job with a typed error
+    /// instead of queueing it (detail says overloaded / quota).
+    Shed,
 }
 
 impl SpanKind {
     /// All kinds, in serialization-label order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::QueueWait,
         SpanKind::Dequeue,
         SpanKind::CacheLookup,
@@ -52,6 +61,9 @@ impl SpanKind {
         SpanKind::AutotuneAnalysis,
         SpanKind::HostFp64,
         SpanKind::ChipPhase,
+        SpanKind::Admit,
+        SpanKind::Route,
+        SpanKind::Shed,
     ];
 
     /// The stable string label used in JSONL exports.
@@ -67,6 +79,9 @@ impl SpanKind {
             SpanKind::AutotuneAnalysis => "autotune_analysis",
             SpanKind::HostFp64 => "host_fp64",
             SpanKind::ChipPhase => "chip_phase",
+            SpanKind::Admit => "admit",
+            SpanKind::Route => "route",
+            SpanKind::Shed => "shed",
         }
     }
 

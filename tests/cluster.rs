@@ -1,0 +1,277 @@
+//! Workspace-level tests of the multi-node cluster runtime: node attribution,
+//! numeric invariance across node/worker counts, typed admission shedding, quota
+//! refunds across the router boundary, and open-loop trace reproducibility.
+
+use refloat::prelude::*;
+use refloat::runtime::SubmitError;
+
+/// A small mixed catalog: repeat fingerprints (affinity traffic) plus a
+/// BiCGSTAB lane.
+fn catalog() -> Vec<(MatrixHandle, ReFloatConfig, SolverKind)> {
+    let gen = &refloat::matgen::generators::laplacian_2d;
+    vec![
+        (
+            MatrixHandle::new("poisson-16", gen(16, 16, 0.3).to_csr()),
+            ReFloatConfig::new(4, 3, 8, 3, 8),
+            SolverKind::Cg,
+        ),
+        (
+            MatrixHandle::new("poisson-12", gen(12, 12, 0.4).to_csr()),
+            ReFloatConfig::new(5, 3, 3, 3, 8),
+            SolverKind::Cg,
+        ),
+        (
+            MatrixHandle::new(
+                "convdiff-10",
+                refloat::matgen::generators::convection_diffusion_2d(10, 10, 6.0).to_csr(),
+            ),
+            ReFloatConfig::new(4, 3, 8, 3, 8),
+            SolverKind::BiCgStab,
+        ),
+    ]
+}
+
+fn trace_plans(count: usize) -> Vec<SolvePlan> {
+    let catalog = catalog();
+    (0..count)
+        .map(|i| {
+            // Deterministic skew: two thirds of the traffic hits the hot matrix.
+            let which = if i % 3 != 2 { 0 } else { 1 + (i / 3) % 2 };
+            let (handle, format, solver) = &catalog[which];
+            SolvePlan::new(format!("tenant-{}", i % 5), handle.clone(), *format)
+                .solver(*solver)
+                .build()
+                .expect("valid plan")
+        })
+        .collect()
+}
+
+/// Submits every plan, waits in order, and returns the per-job numeric signature
+/// (job id, iterations, solution bits) plus the shutdown report.
+fn serve(
+    client: SolveClient,
+    plans: Vec<SolvePlan>,
+) -> (Vec<(u64, usize, Vec<u64>)>, RuntimeReport) {
+    let tickets: Vec<SolveTicket> = plans
+        .into_iter()
+        .map(|plan| client.submit(plan).expect("admitted"))
+        .collect();
+    let mut signatures = Vec::new();
+    for ticket in tickets {
+        let outcome = ticket.wait().completed().expect("completed");
+        assert!(outcome.result.converged());
+        signatures.push((
+            outcome.job_id,
+            outcome.result.iterations,
+            outcome.result.x.iter().map(|v| v.to_bits()).collect(),
+        ));
+    }
+    (signatures, client.shutdown())
+}
+
+#[test]
+fn a_cluster_serves_a_trace_and_attributes_every_job_to_a_node() {
+    let client = ClusterRuntime::start(ClusterConfig::uniform(
+        3,
+        RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        },
+    ));
+    assert_eq!(client.nodes(), 3);
+    let (signatures, report) = serve(client, trace_plans(36));
+    assert_eq!(signatures.len(), 36);
+    assert_eq!(report.jobs, 36);
+    assert_eq!(report.nodes, 3);
+    assert_eq!(report.workers, 6);
+    assert_eq!(
+        report.per_node_jobs.iter().sum::<u64>(),
+        36,
+        "every job is attributed to exactly one node: {:?}",
+        report.per_node_jobs
+    );
+    assert_eq!(report.shed_overloaded, 0);
+    assert_eq!(report.shed_quota, 0);
+    // The affinity router concentrates each matrix on few nodes, so per-node
+    // caches still hit on the skewed trace.
+    assert!(
+        report.hit_rate() > 0.5,
+        "affinity routing keeps per-node caches warm, hit rate {:.2}",
+        report.hit_rate()
+    );
+}
+
+#[test]
+fn numeric_results_are_bitwise_invariant_across_node_and_worker_counts() {
+    let single = {
+        let client = SolveRuntime::start(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        serve(client, trace_plans(24)).0
+    };
+    for (nodes, workers) in [(2usize, 1usize), (2, 3), (3, 2)] {
+        let client = ClusterRuntime::start(ClusterConfig::uniform(
+            nodes,
+            RuntimeConfig {
+                workers,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let (signatures, _) = serve(client, trace_plans(24));
+        assert_eq!(
+            signatures, single,
+            "{nodes} nodes x {workers} workers must match the 1x1 runtime bitwise"
+        );
+    }
+}
+
+#[test]
+fn the_in_system_bound_sheds_typed_overloaded_errors() {
+    let client = ClusterRuntime::start(ClusterConfig {
+        nodes: 1,
+        node: RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        },
+        chips_per_node: Vec::new(),
+        admission: AdmissionConfig {
+            max_in_system: Some(2),
+            per_tenant_quota: None,
+        },
+        router: Default::default(),
+    });
+    // Two slow jobs fill the system (one running on the only worker, one queued;
+    // the matrix is big enough that neither finishes before the probe below)...
+    let a = refloat::matgen::generators::laplacian_2d(24, 24, 0.3).to_csr();
+    let handle = MatrixHandle::new("big-poisson", a);
+    let blocker = || {
+        SolvePlan::new("carol", handle.clone(), ReFloatConfig::new(4, 3, 8, 3, 8))
+            .build()
+            .expect("valid plan")
+    };
+    let blockers: Vec<SolveTicket> = (0..2)
+        .map(|_| client.submit(blocker()).expect("under the bound"))
+        .collect();
+    // ...so the third offered job is shed with the typed overload error, and the
+    // rejected plan comes back to the caller for retry/downgrade.
+    match client.submit(blocker()) {
+        Err(SubmitError::Overloaded {
+            plan,
+            in_system,
+            capacity,
+        }) => {
+            assert_eq!(in_system, 2);
+            assert_eq!(capacity, 2);
+            assert!(!plan.tenant().is_empty(), "the plan is returned intact");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    for ticket in blockers {
+        ticket.wait().completed().expect("blockers complete");
+    }
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 2);
+    assert_eq!(report.shed_overloaded, 1);
+}
+
+#[test]
+fn cancel_refunds_a_tenant_quota_slot_across_the_router_boundary() {
+    let client = ClusterRuntime::start(ClusterConfig {
+        nodes: 1,
+        node: RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        },
+        chips_per_node: Vec::new(),
+        admission: AdmissionConfig {
+            max_in_system: None,
+            per_tenant_quota: Some(2),
+        },
+        router: Default::default(),
+    });
+    let a = refloat::matgen::generators::laplacian_2d(24, 24, 0.3).to_csr();
+    let handle = MatrixHandle::new("big-poisson", a);
+    let plan = |tenant: &str| {
+        SolvePlan::new(tenant, handle.clone(), ReFloatConfig::new(4, 3, 8, 3, 8))
+            .build()
+            .expect("valid plan")
+    };
+    // alice fills her quota: one job runs, one queues.
+    let running = client.submit(plan("alice")).expect("first slot");
+    let queued = client.submit(plan("alice")).expect("second slot");
+    match client.submit(plan("alice")) {
+        Err(SubmitError::QuotaExceeded {
+            in_system, quota, ..
+        }) => {
+            assert_eq!(in_system, 2);
+            assert_eq!(quota, 2);
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // Another tenant is not starved by alice's quota.
+    let bob = client.submit(plan("bob")).expect("per-tenant isolation");
+    // Cancelling alice's queued job refunds her slot through the router, so the
+    // next submit is admitted again.
+    assert!(queued.cancel(), "a queued job can still be recalled");
+    assert!(matches!(queued.wait(), TicketOutcome::Cancelled));
+    let retried = client.submit(plan("alice")).expect("refunded slot");
+    for ticket in [running, bob, retried] {
+        ticket.wait().completed().expect("completes");
+    }
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 3);
+    assert_eq!(report.cancelled_jobs, 1);
+    assert_eq!(report.shed_quota, 1);
+}
+
+#[test]
+fn an_open_loop_trace_replays_to_the_same_digest_on_any_cluster_shape() {
+    use refloat::matgen::traffic::{generate, ArrivalProcess, TrafficSpec};
+    let spec = TrafficSpec {
+        jobs: 18,
+        tenants: 4,
+        tenant_skew: 1.0,
+        arrivals: ArrivalProcess::Bursty {
+            rate_per_s: 50.0,
+            mean_burst: 4.0,
+            within_burst_gap_s: 1e-4,
+        },
+        seed: 99,
+    };
+    let catalog = catalog();
+    let weights: Vec<f64> = (0..catalog.len()).map(|r| 1.0 / (r + 1) as f64).collect();
+    let trace = generate(&spec, &weights);
+    assert_eq!(
+        trace,
+        generate(&spec, &weights),
+        "traces are bitwise-reproducible"
+    );
+    let serve_trace = |nodes: usize, workers: usize| {
+        let client = ClusterRuntime::start(ClusterConfig::uniform(
+            nodes,
+            RuntimeConfig {
+                workers,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let plans: Vec<SolvePlan> = trace
+            .iter()
+            .map(|arrival| {
+                let (handle, format, solver) = &catalog[arrival.item];
+                SolvePlan::new(
+                    format!("tenant-{}", arrival.tenant),
+                    handle.clone(),
+                    *format,
+                )
+                .solver(*solver)
+                .build()
+                .expect("valid plan")
+            })
+            .collect();
+        serve(client, plans).0
+    };
+    let reference = serve_trace(1, 2);
+    assert_eq!(serve_trace(2, 1), reference);
+    assert_eq!(serve_trace(3, 2), reference);
+}

@@ -81,6 +81,64 @@ fn live_metrics_snapshot_is_populated_before_drain() {
     );
 }
 
+#[test]
+fn a_live_undrained_cluster_reports_node_and_tenant_dimensions() {
+    let client = ClusterRuntime::start(ClusterConfig::uniform(
+        2,
+        RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        },
+    ));
+
+    // The cluster vocabulary is registered at spawn, before any traffic, so a
+    // dashboard keyed on node/tenant metric names never key-errors.
+    let idle = client.metrics_snapshot();
+    assert_eq!(idle.gauge(metric_names::NODES), Some(2.0));
+    assert_eq!(idle.gauge(metric_names::WORKERS), Some(4.0));
+    assert_eq!(idle.gauge(metric_names::TENANTS_ACTIVE), Some(0.0));
+    assert_eq!(idle.counter(metric_names::JOBS_ROUTED), Some(0));
+    assert_eq!(idle.counter(metric_names::ROUTE_AFFINITY_HITS), Some(0));
+    assert_eq!(idle.counter(metric_names::ROUTE_SPILLS), Some(0));
+    assert_eq!(idle.counter(metric_names::JOBS_SHED_OVERLOAD), Some(0));
+    assert_eq!(idle.counter(metric_names::JOBS_SHED_QUOTA), Some(0));
+    for node in 0..2 {
+        assert_eq!(
+            idle.counter(&metric_names::node_jobs_completed(node)),
+            Some(0),
+            "node {node} counter exists at zero"
+        );
+    }
+
+    // Serve traffic and poll again WITHOUT shutting down: the cluster is live and
+    // undrained when this snapshot is taken.
+    let tickets: Vec<SolveTicket> = plans(12)
+        .into_iter()
+        .map(|p| client.submit(p).expect("cluster is accepting"))
+        .collect();
+    for ticket in tickets {
+        assert!(ticket.wait().completed().is_some());
+    }
+    let live = client.metrics_snapshot();
+    assert_eq!(live.counter(metric_names::JOBS_COMPLETED), Some(12));
+    assert_eq!(live.counter(metric_names::JOBS_ROUTED), Some(12));
+    let per_node: u64 = (0..2)
+        .map(|n| {
+            live.counter(&metric_names::node_jobs_completed(n))
+                .expect("per-node counter exists")
+        })
+        .sum();
+    assert_eq!(per_node, 12, "node counters partition the completed jobs");
+    // All permits were released on completion, so no tenant is in-system.
+    assert_eq!(live.gauge(metric_names::TENANTS_ACTIVE), Some(0.0));
+
+    // The shutdown report aggregates from the same registry the live poll read.
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 12);
+    assert_eq!(report.nodes, 2);
+    assert_eq!(report.per_node_jobs.iter().sum::<u64>(), 12);
+}
+
 /// Runs the same batch through a runtime wired to a [`ManualClock`] sink under the
 /// deterministic-trace contract (1 worker, FIFO) and returns the JSONL export.
 fn traced_jsonl() -> String {

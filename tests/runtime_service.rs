@@ -866,6 +866,7 @@ fn submit_after_drain_returns_the_plan_instead_of_dropping_it() {
             assert_eq!(plan.priority(), Priority::Interactive);
         }
         Ok(_) => panic!("a drained client must not admit new plans"),
+        Err(other) => panic!("a single-node client never sheds, got {other}"),
     }
     let report = client.shutdown();
     assert_eq!(report.jobs, 1, "the late plan was refused, not lost");
