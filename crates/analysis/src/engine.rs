@@ -45,6 +45,8 @@ pub const SERVICE_PATHS: &[&str] = &[
     "crates/runtime/src/worker.rs",
     "crates/runtime/src/client.rs",
     "crates/runtime/src/node.rs",
+    "crates/runtime/src/health.rs",
+    "crates/reram-sim/src/fault.rs",
     "crates/runtime/src/cluster/mod.rs",
     "crates/runtime/src/cluster/router.rs",
     "crates/runtime/src/cluster/admission.rs",

@@ -20,7 +20,7 @@ use crate::json::flag_value;
 
 /// Areas whose `BENCH_<area>.json` file must exist in a trajectory directory
 /// (`bench_check` fails when one is missing).
-pub const TRACKED_AREAS: [&str; 4] = ["runtime", "encode", "spmv", "cluster"];
+pub const TRACKED_AREAS: [&str; 5] = ["runtime", "encode", "spmv", "cluster", "faults"];
 
 /// The metrics each area's report must carry, as finite numbers.  Renaming or
 /// dropping one of these is schema drift and fails `bench_check`.
@@ -50,6 +50,13 @@ pub fn required_metrics(area: &str) -> Option<&'static [&'static str]> {
             "shed_rate_overload",
             "interactive_p99_wait_ms_overload",
             "affinity_hit_rate",
+        ]),
+        "faults" => Some(&[
+            "extra_iteration_ratio",
+            "detections",
+            "re_encodes",
+            "degraded_jobs",
+            "rerouted_jobs",
         ]),
         "scheduling" => Some(&["interactive_p99_improvement_x", "throughput_ratio"]),
         "sharding" => Some(&["speedup_4_chips", "reduction_share_8_chips"]),

@@ -306,6 +306,12 @@ fn serve_closed_loop_cluster(
             TicketOutcome::Completed(outcome) => Some(*outcome),
             TicketOutcome::Cancelled => None,
             TicketOutcome::Failed(message) => panic!("trace job panicked: {message}"),
+            // No fault policy and no kills in this binary: a degraded job would
+            // mean the clean path regressed, and it must never leave the digest.
+            TicketOutcome::Degraded(job) => panic!(
+                "trace job {} degraded ({:?}) on a fault-free run",
+                job.job_id, job.reason
+            ),
         })
         .collect();
     let report = client.shutdown();
@@ -375,6 +381,12 @@ fn serve_open_loop(
             TicketOutcome::Completed(outcome) => Some(*outcome),
             TicketOutcome::Cancelled => None,
             TicketOutcome::Failed(message) => panic!("trace job panicked: {message}"),
+            // No fault policy and no kills in this binary: a degraded job would
+            // mean the clean path regressed, and it must never leave the digest.
+            TicketOutcome::Degraded(job) => panic!(
+                "trace job {} degraded ({:?}) on a fault-free run",
+                job.job_id, job.reason
+            ),
         })
         .collect();
     let report = client.shutdown();

@@ -28,6 +28,8 @@
 //! * [`sharded`] — [`ShardedReFloatMatrix`], the operator partitioned into block-row
 //!   shards (one per chip of a multi-chip accelerator), bitwise identical to the
 //!   unsharded operator for every shard count,
+//! * [`resilience`] — fault-aware encoding support: spare row/column remapping around
+//!   stuck cells and per-block ABFT checksum rows for SpMV corruption detection,
 //! * [`feinberg`] — the exponent-truncation baseline of Feinberg et al. [ISCA'18] as
 //!   described in §III.C of the paper (correct matrix, fixed-window vectors),
 //! * [`truncate`] — the plain fraction/exponent truncation formats of the Table I study,
@@ -53,6 +55,7 @@ pub mod formats;
 pub mod locality;
 pub mod matrix;
 pub mod memory;
+pub mod resilience;
 pub mod scalar;
 pub mod sharded;
 pub mod truncate;
@@ -63,4 +66,5 @@ pub use block::ReFloatBlock;
 pub use escalation::EscalationPolicy;
 pub use format::{ReFloatConfig, RoundingMode, UnderflowMode};
 pub use matrix::ReFloatMatrix;
+pub use resilience::{AbftChecksum, RemapPlan, SpareBudget, StuckCell};
 pub use sharded::{OperatorShard, ShardedReFloatMatrix};

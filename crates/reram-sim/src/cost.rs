@@ -15,6 +15,13 @@ pub fn cycle_count_eq3(e_m: u32, f_m: u32, e_v: u32, f_v: u32) -> u64 {
     ((1u64 << e_v) + f_v as u64 + 1) + ((1u64 << e_m) + f_m as u64 + 1) - 1
 }
 
+/// Extra pipeline cycles per block-MVM when the ABFT checksum row is enabled: the
+/// checksum row rides in the same crossbar as its block, so its dot product streams
+/// through the existing pipeline and costs one additional accumulation cycle (the
+/// host-side comparison of `Σy` against the checksum prediction is free — it folds
+/// into the reduction the host already performs per SpMV).
+pub const ABFT_CHECK_CYCLES_PER_BLOCK: u64 = 1;
+
 /// The per-cluster crossbar count used by the §VI.B capacity arithmetic:
 /// `2^e` exponent paddings + `f` fraction bit-slices + 1 leading-one slice.
 ///

@@ -1,0 +1,743 @@
+//! Persistent device faults: stuck-at cells, conductance drift with age, and wear.
+//!
+//! Where [`crate::noise`] models benign zero-mean *read* noise (Fig. 10), this module
+//! models the faults that production ReRAM actually serves through:
+//!
+//! * **Stuck-at cells** — manufacturing defects and endurance failures pin a cell at
+//!   minimum (`stuck-at-low`) or maximum (`stuck-at-high`) conductance.  The set of
+//!   stuck cells is *persistent*: a pure, seeded function of
+//!   `(seed, chip, crossbar, age)` — see [`FaultMap`] — so any thread, retry, or
+//!   replay observes bitwise-identical hardware.
+//! * **Drift with age** — a programmed conductance state relaxes over time.  We model a
+//!   per-crossbar common-mode lognormal factor `exp(σ_eff · z)` whose effective sigma
+//!   grows with the programming count (`σ_eff = σ · ln(1 + age)`), after the
+//!   lognormal resistance-state modeling of RRAM reliability studies.  A freshly
+//!   programmed crossbar (`age = 0`) has no drift.
+//! * **Wear** — every reprogramming accumulates writes ([`ChipFaultState`]); the stuck
+//!   cell count escalates linearly with age, so heavily re-encoded chips degrade.
+//!
+//! [`FaultyReFloatOperator`] is the execution path: it wraps an encoded matrix, applies
+//! spare-row/column remapping ([`refloat_core::resilience::RemapPlan`]) around the
+//! sampled stuck cells, corrupts whatever the spares could not absorb, applies
+//! per-crossbar drift, and (optionally) runs the per-block ABFT checksum test after
+//! every SpMV, counting detections for the runtime's `HealthTracker` to consume.
+//! [`DeviceHealth`] is the read-side summary trait the accelerators expose.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+use crate::noise::irwin_hall_unit;
+use refloat_core::resilience::{AbftChecksum, RemapPlan, SpareBudget, StuckCell};
+use refloat_core::vector::VectorConverter;
+use refloat_core::ReFloatMatrix;
+use refloat_solvers::LinearOperator;
+use refloat_sparse::vecops;
+
+/// Knobs of the persistent fault model.  All sampling is a pure function of these
+/// values plus `(chip, crossbar, age)` — no global state, no wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModelConfig {
+    /// Master seed; distinct seeds give statistically independent fleets.
+    pub seed: u64,
+    /// Probability that a cell is stuck at minimum conductance (reads as 0).
+    pub stuck_low_rate: f64,
+    /// Probability that a cell is stuck at maximum conductance (reads as the top of
+    /// the block's representable window).
+    pub stuck_high_rate: f64,
+    /// Base lognormal drift sigma; the effective sigma is `σ · ln(1 + age)`.
+    pub drift_sigma: f64,
+    /// Linear escalation of the stuck rates per programming: at age `n` the rates are
+    /// multiplied by `1 + wear_growth · n`.
+    pub wear_growth: f64,
+}
+
+impl FaultModelConfig {
+    /// Rates representative of a mature ReRAM process: ~0.1% stuck-low, ~0.02%
+    /// stuck-high, 1% base drift sigma, 0.1% wear escalation per reprogram.
+    pub fn realistic(seed: u64) -> Self {
+        FaultModelConfig {
+            seed,
+            stuck_low_rate: 1e-3,
+            stuck_high_rate: 2e-4,
+            drift_sigma: 0.01,
+            wear_growth: 1e-3,
+        }
+    }
+
+    /// A fault-free device (all rates zero) — useful as an explicit control.
+    pub fn pristine(seed: u64) -> Self {
+        FaultModelConfig {
+            seed,
+            stuck_low_rate: 0.0,
+            stuck_high_rate: 0.0,
+            drift_sigma: 0.0,
+            wear_growth: 0.0,
+        }
+    }
+}
+
+/// SplitMix64-style avalanche over a seed and a few key parts — the sub-stream keying
+/// for per-crossbar RNGs.
+fn mix(seed: u64, parts: &[u64]) -> u64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for &p in parts {
+        h ^= p.wrapping_mul(0xff51_afd7_ed55_8ccd).rotate_left(31);
+        h = h
+            .wrapping_mul(0xc4ce_b9fe_1a85_ec53)
+            .wrapping_add(0x1656_67b1_9e37_79f9);
+    }
+    h ^= h >> 33;
+    h.wrapping_mul(0xff51_afd7_ed55_8ccd)
+}
+
+/// One sampled stuck cell inside a crossbar grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckCellSample {
+    /// Local row, `< grid`.
+    pub row: u16,
+    /// Local column, `< grid`.
+    pub col: u16,
+    /// `true` = stuck-at-high.
+    pub high: bool,
+}
+
+/// The persistent per-crossbar fault map of one chip.
+///
+/// Stuck cells grow monotonically with age: each crossbar owns a deterministic
+/// defect *stream*; age only moves the cut-off along the stream, so the map at age
+/// `n + 1` is a superset of the map at age `n` (defects never heal).
+#[derive(Debug, Clone)]
+pub struct FaultMap {
+    config: FaultModelConfig,
+    chip: usize,
+}
+
+impl FaultMap {
+    /// A fault map for one chip under the given model.
+    pub fn new(config: FaultModelConfig, chip: usize) -> Self {
+        FaultMap { config, chip }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &FaultModelConfig {
+        &self.config
+    }
+
+    /// The stuck cells of `crossbar` (a `grid × grid` array) at programming age `age`.
+    ///
+    /// Pure and deterministic: same `(seed, chip, crossbar, grid, age)` ⇒ bitwise-same
+    /// result on any thread.  Monotone: raising `age` (or the configured rates) never
+    /// removes a cell.
+    pub fn stuck_cells(&self, crossbar: usize, grid: usize, age: u64) -> Vec<StuckCellSample> {
+        let rate = self.config.stuck_low_rate + self.config.stuck_high_rate;
+        if rate <= 0.0 || grid == 0 {
+            return Vec::new();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(
+            self.config.seed,
+            &[self.chip as u64, crossbar as u64, 0xA11C_E5ED],
+        ));
+        // Probabilistic rounding with a per-crossbar threshold drawn *before* the cell
+        // stream: count = floor(expected − u) + 1 is monotone in `expected`, so aging
+        // only ever appends to the defect list.
+        let u: f64 = rng.gen();
+        let cells = (grid * grid) as f64;
+        let expected = cells * rate * (1.0 + self.config.wear_growth * age as f64);
+        let count = ((expected - u).floor() + 1.0).max(0.0) as usize;
+        let count = count.min(grid * grid);
+        let high_share = self.config.stuck_high_rate / rate;
+        let mut seen: BTreeSet<(u16, u16)> = BTreeSet::new();
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let row = rng.gen_range(0..grid) as u16;
+            let col = rng.gen_range(0..grid) as u16;
+            if !seen.insert((row, col)) {
+                continue;
+            }
+            let high = rng.gen::<f64>() < high_share;
+            out.push(StuckCellSample { row, col, high });
+        }
+        out
+    }
+
+    /// The common-mode conductance drift factor of `crossbar` at programming age
+    /// `age`: `exp(σ_eff · z)` with `σ_eff = σ · ln(1 + age)` and `z` a bounded
+    /// unit deviate.  Freshly programmed (`age = 0`) crossbars return exactly 1.
+    pub fn drift_factor(&self, crossbar: usize, age: u64) -> f64 {
+        let sigma_eff = self.config.drift_sigma * (1.0 + age as f64).ln();
+        if sigma_eff == 0.0 {
+            return 1.0;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(
+            self.config.seed,
+            &[self.chip as u64, crossbar as u64, 0xD21F_7000 + age],
+        ));
+        (sigma_eff * irwin_hall_unit(&mut rng)).exp()
+    }
+}
+
+/// Mutable per-chip fault state: the persistent [`FaultMap`] plus the programming
+/// count (the "age" every sampling call is keyed on) and accumulated wear.
+#[derive(Debug, Clone)]
+pub struct ChipFaultState {
+    map: FaultMap,
+    chip: usize,
+    grid: usize,
+    programmings: u64,
+    wear_writes: u64,
+}
+
+impl ChipFaultState {
+    /// Fault state for one chip whose crossbars are `grid × grid` cells.
+    pub fn new(config: FaultModelConfig, chip: usize, grid: usize) -> Self {
+        ChipFaultState {
+            map: FaultMap::new(config, chip),
+            chip,
+            grid,
+            programmings: 0,
+            wear_writes: 0,
+        }
+    }
+
+    /// The underlying fault map.
+    pub fn map(&self) -> &FaultMap {
+        &self.map
+    }
+
+    /// The crossbar grid size this chip was built with.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// The programming age (count of whole-matrix programmings).
+    pub fn age(&self) -> u64 {
+        self.programmings
+    }
+
+    /// Records one (re)programming of `blocks` crossbars: bumps the age every
+    /// subsequent sampling call is keyed on and accumulates wear writes.
+    pub fn record_programming(&mut self, blocks: u64) {
+        self.programmings += 1;
+        self.wear_writes += blocks;
+    }
+}
+
+/// A point-in-time health summary of one chip, as exposed by [`DeviceHealth`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSummary {
+    /// The chip id.
+    pub chip: usize,
+    /// Whole-matrix programmings so far (the fault-model age).
+    pub programmings: u64,
+    /// Accumulated crossbar writes.
+    pub wear_writes: u64,
+    /// Stuck-at-low cells over the probe crossbars.
+    pub stuck_low: usize,
+    /// Stuck-at-high cells over the probe crossbars.
+    pub stuck_high: usize,
+    /// The effective drift sigma at the current age.
+    pub drift_sigma_effective: f64,
+    /// A dimensionless degradation score: probed stuck-cell fraction plus effective
+    /// drift sigma.  0 = pristine; monotone non-decreasing with age.
+    pub degradation: f64,
+}
+
+/// Read-side health reporting: anything owning fault state can summarize it.
+///
+/// The summary probes a fixed, small set of crossbars (so it is cheap and identical
+/// across callers) and is a pure function of the fault state — calling it never
+/// perturbs the device.
+pub trait DeviceHealth {
+    /// Summarizes current device health.
+    fn health(&self) -> HealthSummary;
+}
+
+/// How many crossbars the health probe samples.
+const HEALTH_PROBE_CROSSBARS: usize = 8;
+
+impl DeviceHealth for ChipFaultState {
+    fn health(&self) -> HealthSummary {
+        let mut stuck_low = 0;
+        let mut stuck_high = 0;
+        for xbar in 0..HEALTH_PROBE_CROSSBARS {
+            for cell in self.map.stuck_cells(xbar, self.grid, self.programmings) {
+                if cell.high {
+                    stuck_high += 1;
+                } else {
+                    stuck_low += 1;
+                }
+            }
+        }
+        let probe_cells = (HEALTH_PROBE_CROSSBARS * self.grid * self.grid).max(1) as f64;
+        let sigma_eff = self.map.config.drift_sigma * (1.0 + self.programmings as f64).ln();
+        HealthSummary {
+            chip: self.chip,
+            programmings: self.programmings,
+            wear_writes: self.wear_writes,
+            stuck_low,
+            stuck_high,
+            drift_sigma_effective: sigma_eff,
+            degradation: (stuck_low + stuck_high) as f64 / probe_cells + sigma_eff,
+        }
+    }
+}
+
+/// One uncovered stuck cell's effect on a block's SpMV contribution.
+#[derive(Debug, Clone, Copy)]
+struct Corruption {
+    row: u16,
+    col: u16,
+    /// `stuck_value − clean_value` at that position; the apply adds
+    /// `delta · drift · x̃[col]` to `y[row]`.
+    delta: f64,
+}
+
+/// A ReFloat operator executing on faulty hardware.
+///
+/// Construction samples the chip's stuck cells for every block (block *i* maps to
+/// crossbar *i*), plans spare remapping under the given budget, and precomputes the
+/// residual corruption and per-crossbar drift factors at the chip's current age.
+/// Every [`apply`](LinearOperator::apply) then runs the quantized SpMV through that
+/// fixed hardware state; with ABFT enabled, each apply ends with the checksum residual
+/// test and bumps [`detections`](Self::detections) on failure.
+pub struct FaultyReFloatOperator {
+    inner: ReFloatMatrix,
+    converter: VectorConverter,
+    scratch: Vec<f64>,
+    /// Per-block common-mode drift factor.
+    drift: Vec<f64>,
+    /// Per-block residual corruption (uncovered stuck cells only).
+    corruptions: Vec<Vec<Corruption>>,
+    checksum: Option<AbftChecksum>,
+    abft_threshold: f64,
+    detections: u64,
+    uncovered: usize,
+    covered: usize,
+}
+
+impl FaultyReFloatOperator {
+    /// Wraps an encoded matrix with the fault state of `chip`, remapping around stuck
+    /// cells under `spares`.  `abft_threshold` = `Some(t)` enables the per-apply
+    /// checksum test at relative threshold `t` (1e-8 is a safe default: clean applies
+    /// sit near machine epsilon).
+    pub fn new(
+        inner: ReFloatMatrix,
+        chip: &ChipFaultState,
+        spares: SpareBudget,
+        abft_threshold: Option<f64>,
+    ) -> Self {
+        Self::remapped(inner, chip, spares, abft_threshold, 0)
+    }
+
+    /// Like [`new`](Self::new), but programs block *i* onto crossbar
+    /// `i + crossbar_offset` instead of crossbar *i*.
+    ///
+    /// Stuck cells are monotone — re-programming the *same* crossbars can never
+    /// heal a defect — so a retry after a detected corruption must move the
+    /// encoding onto fresh crossbars to have any chance of succeeding.  The
+    /// runtime's re-encode path passes `attempt × num_blocks` here so each retry
+    /// samples a disjoint crossbar range of the same persistent chip.
+    pub fn remapped(
+        inner: ReFloatMatrix,
+        chip: &ChipFaultState,
+        spares: SpareBudget,
+        abft_threshold: Option<f64>,
+        crossbar_offset: usize,
+    ) -> Self {
+        let config = *inner.config();
+        let bs = config.block_size();
+        let age = chip.age();
+        let max_mag = 2f64.powi(config.max_offset() + 1);
+
+        // Sample every block's crossbar and plan remapping across all of them.
+        let mut cells: Vec<StuckCell> = Vec::new();
+        for (b, _) in inner.blocks().iter().enumerate() {
+            for s in chip.map().stuck_cells(b + crossbar_offset, bs, age) {
+                cells.push(StuckCell {
+                    block: b,
+                    row: s.row,
+                    col: s.col,
+                    high: s.high,
+                });
+            }
+        }
+        let plan = RemapPlan::plan(&cells, &spares);
+
+        let (nrows, ncols) = (LinearOperator::nrows(&inner), LinearOperator::ncols(&inner));
+        let mut corruptions: Vec<Vec<Corruption>> = vec![Vec::new(); inner.num_blocks()];
+        for cell in plan.uncovered() {
+            let blk = &inner.blocks()[cell.block];
+            // Edge blocks cover a partial tile; a defect outside the logical matrix
+            // maps to no element and cannot corrupt anything.
+            if blk.block_row * bs + cell.row as usize >= nrows
+                || blk.block_col * bs + cell.col as usize >= ncols
+            {
+                continue;
+            }
+            let clean = blk
+                .iter_decoded()
+                .find(|&(ii, jj, _)| ii == cell.row && jj == cell.col)
+                .map(|(_, _, v)| v)
+                .unwrap_or(0.0);
+            // Stuck-at-high pins the cell at the top of the block's representable
+            // window (`2^{eb + max_offset + 1}`); stuck-at-low reads as zero.
+            let stuck = if cell.high {
+                max_mag * 2f64.powi(blk.eb)
+            } else {
+                0.0
+            };
+            let delta = stuck - clean;
+            if delta != 0.0 {
+                corruptions[cell.block].push(Corruption {
+                    row: cell.row,
+                    col: cell.col,
+                    delta,
+                });
+            }
+        }
+
+        let drift: Vec<f64> = (0..inner.num_blocks())
+            .map(|b| chip.map().drift_factor(b + crossbar_offset, age))
+            .collect();
+        let checksum = abft_threshold.map(|_| AbftChecksum::from_matrix(&inner));
+        FaultyReFloatOperator {
+            inner,
+            converter: VectorConverter::new(config),
+            scratch: vec![0.0; ncols],
+            drift,
+            corruptions,
+            checksum,
+            abft_threshold: abft_threshold.unwrap_or(0.0),
+            detections: 0,
+            uncovered: plan.uncovered().len(),
+            covered: plan.covered().len(),
+        }
+    }
+
+    /// Number of checksum-test failures across all applies so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Stuck cells the spare budget could not absorb (the active corruption).
+    pub fn uncovered_faults(&self) -> usize {
+        self.uncovered
+    }
+
+    /// Stuck cells remapped onto spares (read correctly).
+    pub fn covered_faults(&self) -> usize {
+        self.covered
+    }
+
+    /// Whether the ABFT checksum test runs after every apply.
+    pub fn abft_enabled(&self) -> bool {
+        self.checksum.is_some()
+    }
+}
+
+impl LinearOperator for FaultyReFloatOperator {
+    fn nrows(&self) -> usize {
+        LinearOperator::nrows(&self.inner)
+    }
+
+    fn ncols(&self) -> usize {
+        LinearOperator::ncols(&self.inner)
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        let mut buf = std::mem::take(&mut self.scratch);
+        self.converter.convert_into(x, &mut buf);
+        for yi in y.iter_mut() {
+            *yi = 0.0;
+        }
+        let bs = self.inner.config().block_size();
+        for (b, blk) in self.inner.blocks().iter().enumerate() {
+            let row0 = blk.block_row * bs;
+            let col0 = blk.block_col * bs;
+            let d = self.drift[b];
+            if d == 1.0 {
+                // Bitwise-identical to the clean operator when this crossbar has no
+                // drift — fault-free configs therefore reproduce clean digests.
+                for (ii, jj, v) in blk.iter_decoded() {
+                    y[row0 + ii as usize] += v * buf[col0 + jj as usize];
+                }
+            } else {
+                for (ii, jj, v) in blk.iter_decoded() {
+                    y[row0 + ii as usize] += v * d * buf[col0 + jj as usize];
+                }
+            }
+            for c in &self.corruptions[b] {
+                y[row0 + c.row as usize] += c.delta * d * buf[col0 + c.col as usize];
+            }
+        }
+        if let Some(checksum) = &self.checksum {
+            let residual = checksum.residual(&buf, &self.drift, vecops::sum(y));
+            if residual > self.abft_threshold {
+                self.detections += 1;
+            }
+        }
+        self.scratch = buf;
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{} + faults ({} uncovered, ABFT {})",
+            self.inner.name(),
+            self.uncovered,
+            if self.checksum.is_some() { "on" } else { "off" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use refloat_core::ReFloatConfig;
+    use refloat_matgen::{generators, rhs};
+    use refloat_solvers::{cg, SolverConfig};
+
+    fn small_refloat() -> ReFloatMatrix {
+        let a = generators::laplacian_2d(16, 16, 0.4).to_csr();
+        ReFloatMatrix::from_csr(&a, ReFloatConfig::new(4, 3, 8, 3, 8))
+    }
+
+    fn heavy_faults(seed: u64) -> FaultModelConfig {
+        FaultModelConfig {
+            seed,
+            stuck_low_rate: 5e-3,
+            stuck_high_rate: 1e-3,
+            drift_sigma: 0.0,
+            wear_growth: 0.0,
+        }
+    }
+
+    #[test]
+    fn pristine_model_is_bitwise_identical_to_the_clean_operator() {
+        let chip = ChipFaultState::new(FaultModelConfig::pristine(9), 0, 16);
+        let mut clean = small_refloat();
+        let mut faulty = FaultyReFloatOperator::new(
+            small_refloat(),
+            &chip,
+            SpareBudget::default_per_crossbar(),
+            Some(1e-8),
+        );
+        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.01).sin() + 1.0).collect();
+        let mut y1 = vec![0.0; 256];
+        let mut y2 = vec![0.0; 256];
+        clean.apply(&x, &mut y1);
+        faulty.apply(&x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(faulty.detections(), 0);
+        assert_eq!(faulty.uncovered_faults(), 0);
+    }
+
+    #[test]
+    fn fault_maps_and_drift_are_identical_across_threads() {
+        let sample = || {
+            let map = FaultMap::new(FaultModelConfig::realistic(42), 3);
+            let mut cells = Vec::new();
+            let mut drifts = Vec::new();
+            for xbar in 0..32 {
+                for age in 0..4 {
+                    cells.push(map.stuck_cells(xbar, 16, age));
+                    drifts.push(map.drift_factor(xbar, age).to_bits());
+                }
+            }
+            (cells, drifts)
+        };
+        let reference = sample();
+        let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(sample)).collect();
+        for h in handles {
+            let got = h.join().expect("sampler thread");
+            assert_eq!(got.0, reference.0, "stuck cells must be thread-invariant");
+            assert_eq!(got.1, reference.1, "drift must be thread-invariant");
+        }
+    }
+
+    #[test]
+    fn stuck_cells_grow_monotonically_with_age() {
+        let map = FaultMap::new(FaultModelConfig::realistic(7), 0);
+        for xbar in 0..16 {
+            let mut prev = map.stuck_cells(xbar, 16, 0);
+            for age in 1..200 {
+                let next = map.stuck_cells(xbar, 16, age);
+                assert!(next.len() >= prev.len());
+                assert_eq!(&next[..prev.len()], &prev[..], "defects never heal");
+                prev = next;
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_crossbars_have_no_drift_and_aged_ones_do() {
+        let map = FaultMap::new(FaultModelConfig::realistic(11), 0);
+        for xbar in 0..8 {
+            assert_eq!(map.drift_factor(xbar, 0), 1.0);
+        }
+        let drifted = (0..64).filter(|&x| map.drift_factor(x, 10) != 1.0).count();
+        assert!(drifted > 32, "most aged crossbars should drift: {drifted}");
+    }
+
+    #[test]
+    fn abft_detects_uncovered_stuck_cells_and_stays_quiet_when_covered() {
+        // No spares: heavy fault rates guarantee uncovered cells somewhere.
+        let chip = ChipFaultState::new(heavy_faults(5), 0, 16);
+        let mut faulty =
+            FaultyReFloatOperator::new(small_refloat(), &chip, SpareBudget::none(), Some(1e-8));
+        assert!(faulty.uncovered_faults() > 0, "test needs active faults");
+        let x: Vec<f64> = (0..256).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+        let mut y = vec![0.0; 256];
+        faulty.apply(&x, &mut y);
+        assert!(faulty.detections() > 0, "corruption must trip the checksum");
+
+        // A huge spare budget covers everything: no corruption, no detections.
+        let mut covered = FaultyReFloatOperator::new(
+            small_refloat(),
+            &chip,
+            SpareBudget { rows: 16, cols: 16 },
+            Some(1e-8),
+        );
+        assert_eq!(covered.uncovered_faults(), 0);
+        assert!(covered.covered_faults() > 0);
+        let mut y2 = vec![0.0; 256];
+        covered.apply(&x, &mut y2);
+        assert_eq!(covered.detections(), 0);
+    }
+
+    #[test]
+    fn drift_alone_never_trips_the_checksum() {
+        let config = FaultModelConfig {
+            seed: 13,
+            stuck_low_rate: 0.0,
+            stuck_high_rate: 0.0,
+            drift_sigma: 0.05,
+            wear_growth: 0.0,
+        };
+        let mut chip = ChipFaultState::new(config, 0, 16);
+        for _ in 0..5 {
+            chip.record_programming(100);
+        }
+        let mut clean = small_refloat();
+        let mut faulty =
+            FaultyReFloatOperator::new(small_refloat(), &chip, SpareBudget::none(), Some(1e-8));
+        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.02).cos() + 1.5).collect();
+        let mut y1 = vec![0.0; 256];
+        let mut y2 = vec![0.0; 256];
+        clean.apply(&x, &mut y1);
+        faulty.apply(&x, &mut y2);
+        assert_ne!(y1, y2, "5% aged drift must perturb the result");
+        assert_eq!(
+            faulty.detections(),
+            0,
+            "common-mode drift is benign to ABFT"
+        );
+    }
+
+    #[test]
+    fn cg_on_remapped_hardware_converges_like_clean_hardware() {
+        let a = generators::laplacian_2d(16, 16, 0.4).to_csr();
+        let b = rhs::ones(a.nrows());
+        let cfg = SolverConfig::relative(1e-8).with_max_iterations(3000);
+        let mut clean = small_refloat();
+        let r_clean = cg(&mut clean, &b, &cfg);
+        assert!(r_clean.converged());
+
+        // Full coverage ⇒ the faulty operator is numerically the clean one.
+        let chip = ChipFaultState::new(heavy_faults(3), 0, 16);
+        let mut remapped = FaultyReFloatOperator::new(
+            small_refloat(),
+            &chip,
+            SpareBudget { rows: 16, cols: 16 },
+            Some(1e-8),
+        );
+        let r_remapped = cg(&mut remapped, &b, &cfg);
+        assert!(r_remapped.converged());
+        assert_eq!(r_remapped.iterations, r_clean.iterations);
+        assert_eq!(remapped.detections(), 0);
+    }
+
+    #[test]
+    fn remapped_operator_samples_a_disjoint_crossbar_range() {
+        // The retry path's whole premise: the same chip, the same encoding, but a
+        // crossbar offset gives an independent draw of the persistent fault map.
+        let chip = ChipFaultState::new(heavy_faults(5), 0, 16);
+        let mut base =
+            FaultyReFloatOperator::new(small_refloat(), &chip, SpareBudget::none(), Some(1e-8));
+        assert!(base.uncovered_faults() > 0, "test needs active faults");
+        let blocks = small_refloat().num_blocks();
+        let mut retry = FaultyReFloatOperator::remapped(
+            small_refloat(),
+            &chip,
+            SpareBudget::none(),
+            Some(1e-8),
+            blocks,
+        );
+        let x: Vec<f64> = (0..256).map(|i| 1.0 + (i % 7) as f64 * 0.2).collect();
+        let mut y1 = vec![0.0; 256];
+        let mut y2 = vec![0.0; 256];
+        base.apply(&x, &mut y1);
+        retry.apply(&x, &mut y2);
+        assert_ne!(y1, y2, "offset crossbars carry different defects");
+        // Offset 0 through `remapped` is exactly `new`.
+        let same =
+            FaultyReFloatOperator::remapped(small_refloat(), &chip, SpareBudget::none(), None, 0);
+        assert_eq!(same.uncovered_faults(), base.uncovered_faults());
+    }
+
+    #[test]
+    fn health_summary_degrades_monotonically_with_programmings() {
+        let mut chip = ChipFaultState::new(FaultModelConfig::realistic(21), 4, 16);
+        let fresh = chip.health();
+        assert_eq!(fresh.chip, 4);
+        assert_eq!(fresh.programmings, 0);
+        assert_eq!(fresh.drift_sigma_effective, 0.0);
+        let mut last = fresh.degradation;
+        for round in 1..=50u64 {
+            chip.record_programming(64);
+            let h = chip.health();
+            assert_eq!(h.programmings, round);
+            assert_eq!(h.wear_writes, round * 64);
+            assert!(h.degradation >= last, "wear only accumulates");
+            last = h.degradation;
+        }
+        assert!(last > fresh.degradation);
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_cells_stay_inside_the_grid_and_scale_with_rate(
+            seed in 0u64..1000,
+            crossbar in 0usize..64,
+            grid in 4usize..33,
+            rate in 0.0f64..0.05,
+            age in 0u64..20,
+        ) {
+            let base = FaultModelConfig {
+                seed,
+                stuck_low_rate: rate,
+                stuck_high_rate: rate / 4.0,
+                drift_sigma: 0.0,
+                wear_growth: 0.01,
+            };
+            let cells = FaultMap::new(base, 1).stuck_cells(crossbar, grid, age);
+            let mut positions = BTreeSet::new();
+            for c in &cells {
+                prop_assert!((c.row as usize) < grid);
+                prop_assert!((c.col as usize) < grid);
+                prop_assert!(positions.insert((c.row, c.col)), "positions are distinct");
+            }
+            prop_assert!(cells.len() <= grid * grid);
+            // Doubling the rates never shrinks the defect count.
+            let doubled = FaultModelConfig {
+                stuck_low_rate: rate * 2.0,
+                stuck_high_rate: rate / 2.0,
+                ..base
+            };
+            let more = FaultMap::new(doubled, 1).stuck_cells(crossbar, grid, age);
+            prop_assert!(more.len() >= cells.len());
+        }
+    }
+}

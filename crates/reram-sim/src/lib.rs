@@ -19,7 +19,10 @@
 //! * [`events`] — cycle-event hooks ([`CycleHook`]) through which a host observes the
 //!   per-phase attribution of simulated cycles (program / compute / stream-write /
 //!   reduction / host-fp64) without the simulator depending on a telemetry backend,
-//! * [`noise`] — the random-telegraph-noise model of the Fig. 10 robustness study.
+//! * [`noise`] — the random-telegraph-noise model of the Fig. 10 robustness study,
+//! * [`fault`] — persistent device faults: seeded per-crossbar stuck-at maps, lognormal
+//!   drift-with-age, wear accumulation, the [`DeviceHealth`] summary trait, and the
+//!   fault-injecting [`FaultyReFloatOperator`] with spare remapping and ABFT detection.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +31,7 @@ pub mod accelerator;
 pub mod cost;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod gpu;
 pub mod multichip;
 pub mod noise;
@@ -36,6 +40,9 @@ pub mod xbar;
 pub use accelerator::{AcceleratorConfig, SolverKind, SolverTimeBreakdown};
 pub use cost::{crossbar_count_eq2, crossbars_per_cluster, cycle_count_eq3};
 pub use events::{ChipPhase, CollectingHook, CycleEvent, CycleHook};
+pub use fault::{
+    ChipFaultState, DeviceHealth, FaultMap, FaultModelConfig, FaultyReFloatOperator, HealthSummary,
+};
 pub use gpu::GpuModel;
 pub use multichip::{
     MultiChipAccelerator, MultiChipConfig, MultiChipSolveBreakdown, ShardedSpmvBreakdown,

@@ -20,6 +20,7 @@
 //!   `refloat_core::sharded`).
 
 use crate::accelerator::{AcceleratorConfig, SolverKind};
+use crate::fault::{ChipFaultState, DeviceHealth, FaultModelConfig, HealthSummary};
 
 /// A pool of identical chips plus the host link that gathers per-SpMV results.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,8 @@ pub struct MultiChipSolveBreakdown {
 #[derive(Debug, Clone)]
 pub struct MultiChipAccelerator {
     config: MultiChipConfig,
+    /// Per-chip persistent fault state, present when a fault model is attached.
+    faults: Vec<ChipFaultState>,
 }
 
 impl MultiChipAccelerator {
@@ -99,7 +102,39 @@ impl MultiChipAccelerator {
             config.chips >= 1,
             "a multi-chip pool needs at least one chip"
         );
-        MultiChipAccelerator { config }
+        MultiChipAccelerator {
+            config,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Attaches a persistent fault model: every chip gets its own seeded
+    /// [`ChipFaultState`] over `grid × grid` crossbars, and shard programming starts
+    /// accumulating wear via [`record_programming`](Self::record_programming).
+    pub fn with_fault_model(mut self, model: FaultModelConfig, grid: usize) -> Self {
+        self.faults = (0..self.config.chips)
+            .map(|chip| ChipFaultState::new(model, chip, grid))
+            .collect();
+        self
+    }
+
+    /// Per-chip fault state (empty without an attached fault model).
+    pub fn fault_states(&self) -> &[ChipFaultState] {
+        &self.faults
+    }
+
+    /// Records one shard (re)programming: chip `i` wears by `shard_blocks[i]`
+    /// crossbar writes and its fault-model age advances.  No-op without a fault model.
+    pub fn record_programming(&mut self, shard_blocks: &[u64]) {
+        for (chip, &blocks) in self.faults.iter_mut().zip(shard_blocks.iter()) {
+            chip.record_programming(blocks);
+        }
+    }
+
+    /// Health summaries for every chip of the pool, in chip order.  Empty without an
+    /// attached fault model (a pool with no fault model has nothing to report).
+    pub fn health_summaries(&self) -> Vec<HealthSummary> {
+        self.faults.iter().map(DeviceHealth::health).collect()
     }
 
     /// The pool configuration.
@@ -280,6 +315,26 @@ mod tests {
         let per_iter = one.solver_total_s - one.program_s;
         assert!((hundred.solver_total_s - (hundred.program_s + 100.0 * per_iter)).abs() < 1e-12);
         assert_eq!(one.program_s, pool.program_time_s());
+    }
+
+    #[test]
+    fn pool_health_tracks_per_chip_wear_independently() {
+        let mut pool = MultiChipAccelerator::new(MultiChipConfig::homogeneous(3, small_chip()))
+            .with_fault_model(FaultModelConfig::realistic(17), 16);
+        assert_eq!(pool.health_summaries().len(), 3);
+        assert!(pool.health_summaries().iter().all(|h| h.programmings == 0));
+        // Uneven shard programming wears chips unevenly.
+        pool.record_programming(&[100, 10, 0]);
+        pool.record_programming(&[100, 10, 0]);
+        let health = pool.health_summaries();
+        assert_eq!(health[0].wear_writes, 200);
+        assert_eq!(health[1].wear_writes, 20);
+        assert_eq!(health[2].wear_writes, 0);
+        assert!(health.iter().all(|h| h.programmings == 2));
+        assert!(health[0].drift_sigma_effective > 0.0);
+        // A pool without a fault model reports nothing.
+        let plain = MultiChipAccelerator::new(MultiChipConfig::homogeneous(2, small_chip()));
+        assert!(plain.health_summaries().is_empty());
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl NoisyReFloatOperator {
 /// This is the single definition of the deviate: the per-read perturbation in the SpMV
 /// loop and the test-facing [`NoisyReFloatOperator::gaussian_like`] both call it, so
 /// the sampled distribution can never diverge between the two.
-fn irwin_hall_unit(rng: &mut ChaCha8Rng) -> f64 {
+pub(crate) fn irwin_hall_unit(rng: &mut ChaCha8Rng) -> f64 {
     // Four explicit chained adds: same left-to-right order (and bits) as the old
     // iterator sum, without the open-ended `.sum::<f64>()` accumulation pattern.
     let s = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 2.0;

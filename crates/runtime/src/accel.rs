@@ -5,9 +5,10 @@
 use std::sync::Arc;
 
 use refloat_core::ReFloatConfig;
+use reram_sim::cost::ABFT_CHECK_CYCLES_PER_BLOCK;
 use reram_sim::{
-    AcceleratorConfig, ChipPhase, CycleEvent, CycleHook, GpuModel, MultiChipAccelerator,
-    MultiChipConfig, SolverKind,
+    AcceleratorConfig, ChipFaultState, ChipPhase, CycleEvent, CycleHook, DeviceHealth,
+    FaultModelConfig, GpuModel, HealthSummary, MultiChipAccelerator, MultiChipConfig, SolverKind,
 };
 
 use crate::cache::CacheKey;
@@ -147,6 +148,12 @@ pub struct SimulatedAccelerator {
     /// Optional observer of per-run phase attributions (None = no observation cost
     /// beyond an `is_some` check per run).
     hook: Option<Arc<dyn CycleHook>>,
+    /// Persistent fault state of this chip (None = pristine hardware, the default —
+    /// execution and digests are unchanged).
+    fault: Option<ChipFaultState>,
+    /// Whether the ABFT checksum row is programmed alongside every block (costs
+    /// [`ABFT_CHECK_CYCLES_PER_BLOCK`] extra cycles per block-MVM).
+    abft: bool,
 }
 
 impl SimulatedAccelerator {
@@ -160,7 +167,30 @@ impl SimulatedAccelerator {
             host: GpuModel::v100(),
             chip_crossbars: None,
             hook: None,
+            fault: None,
+            abft: false,
         }
+    }
+
+    /// Builder: attach a persistent fault model (stuck cells, drift, wear) to this
+    /// chip, with `grid × grid` crossbars keyed on the worker id, and optionally
+    /// program the ABFT checksum row alongside every block.
+    pub fn with_fault_model(mut self, model: FaultModelConfig, grid: usize, abft: bool) -> Self {
+        self.fault = Some(ChipFaultState::new(model, self.worker_id, grid));
+        self.abft = abft;
+        self
+    }
+
+    /// The chip's persistent fault state, if a fault model is attached.
+    pub fn fault_state(&self) -> Option<&ChipFaultState> {
+        self.fault.as_ref()
+    }
+
+    /// Forgets what the crossbars hold, forcing the next execution to re-program the
+    /// chip (and wear it).  This is how a detected-corruption retry charges its
+    /// re-encode onto spare resources.
+    pub fn force_remap(&mut self) {
+        self.programmed = None;
     }
 
     /// Builder: price host-side fp64 work (refined jobs) on a different GPU model.
@@ -197,6 +227,9 @@ impl SimulatedAccelerator {
         let mut hw = AcceleratorConfig::refloat(format);
         if let Some(crossbars) = self.chip_crossbars {
             hw.total_crossbars = crossbars;
+        }
+        if self.abft {
+            hw.cycles_per_block_mvm += ABFT_CHECK_CYCLES_PER_BLOCK;
         }
         hw
     }
@@ -245,6 +278,11 @@ impl SimulatedAccelerator {
         assert!(!iterations.is_empty(), "a batch needs at least one RHS");
         let hw = self.chip(format);
         let remapped = self.programmed != Some(key);
+        if remapped {
+            if let Some(fault) = &mut self.fault {
+                fault.record_programming(num_blocks);
+            }
+        }
         let program_s = if remapped {
             hw.cluster_write_time_s()
         } else {
@@ -300,6 +338,11 @@ impl SimulatedAccelerator {
             MultiChipAccelerator::new(MultiChipConfig::homogeneous(keys.len(), self.chip(format)));
         let chip = &pool.config().chip;
         let remapped = self.programmed != Some(keys[0]);
+        if remapped {
+            if let Some(fault) = &mut self.fault {
+                fault.record_programming(shard_blocks.iter().sum());
+            }
+        }
         let program_s = if remapped { pool.program_time_s() } else { 0.0 };
         let spmv = pool.spmv_time(shard_blocks, shard_rows);
         let mut run = SimulatedRun {
@@ -359,6 +402,9 @@ impl SimulatedAccelerator {
                         run.remapped = true;
                         self.usage.remaps += 1;
                         self.programmed = Some(key);
+                        if let Some(fault) = &mut self.fault {
+                            fault.record_programming(num_blocks);
+                        }
                     }
                     let breakdown = hw.solver_time(num_blocks, iterations, solver);
                     let spmv_count = iterations * solver.spmv_per_iteration();
@@ -379,6 +425,25 @@ impl SimulatedAccelerator {
         self.usage.busy_s += run.total_s;
         self.notify(&run);
         run
+    }
+}
+
+impl DeviceHealth for SimulatedAccelerator {
+    /// The chip's health summary.  Without an attached fault model the chip is
+    /// pristine by definition: all-zero counters keyed on the worker id.
+    fn health(&self) -> HealthSummary {
+        match &self.fault {
+            Some(fault) => fault.health(),
+            None => HealthSummary {
+                chip: self.worker_id,
+                programmings: 0,
+                wear_writes: 0,
+                stuck_low: 0,
+                stuck_high: 0,
+                drift_sigma_effective: 0.0,
+                degradation: 0.0,
+            },
+        }
     }
 }
 
@@ -515,6 +580,49 @@ mod tests {
         assert_eq!(hook.seconds_in(ChipPhase::Program), run.program_s);
         let total_cycles: u64 = events.iter().map(|e| e.cycles).sum();
         assert_eq!(total_cycles, run.cycles);
+    }
+
+    #[test]
+    fn abft_charges_one_extra_cycle_per_block_mvm() {
+        let format = ReFloatConfig::paper_default();
+        let mut plain = SimulatedAccelerator::new(0);
+        let mut checked = SimulatedAccelerator::new(1).with_fault_model(
+            FaultModelConfig::pristine(3),
+            format.block_size(),
+            true,
+        );
+        let base = plain.execute(key(1), &format, 2_000, 100, SolverKind::Cg);
+        let abft = checked.execute(key(1), &format, 2_000, 100, SolverKind::Cg);
+        // paper_default is 28 cycles per block-MVM; ABFT makes it 29.
+        assert_eq!(base.cycles, 100 * 28);
+        assert_eq!(abft.cycles, 100 * 29);
+        assert!(abft.compute_s > base.compute_s);
+    }
+
+    #[test]
+    fn health_reports_pristine_without_a_fault_model_and_wear_with_one() {
+        let format = ReFloatConfig::paper_default();
+        let plain = SimulatedAccelerator::new(7);
+        let pristine = plain.health();
+        assert_eq!(pristine.chip, 7);
+        assert_eq!(pristine.degradation, 0.0);
+
+        let mut chip = SimulatedAccelerator::new(2).with_fault_model(
+            FaultModelConfig::realistic(5),
+            format.block_size(),
+            false,
+        );
+        chip.execute(key(1), &format, 2_000, 10, SolverKind::Cg);
+        chip.execute(key(2), &format, 3_000, 10, SolverKind::Cg);
+        // Warm repeat: no programming, no extra wear.
+        chip.execute(key(2), &format, 3_000, 10, SolverKind::Cg);
+        let health = chip.health();
+        assert_eq!(health.programmings, 2);
+        assert_eq!(health.wear_writes, 5_000);
+        // A forced remap (the retry re-encode path) wears the chip again.
+        chip.force_remap();
+        chip.execute(key(2), &format, 3_000, 10, SolverKind::Cg);
+        assert_eq!(chip.health().programmings, 3);
     }
 
     #[test]

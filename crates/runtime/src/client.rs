@@ -30,6 +30,7 @@ use crate::cache::{CacheStats, EncodedMatrixCache};
 use crate::cluster::admission::AdmissionPermit;
 use crate::cluster::ClusterBackend;
 use crate::decision::{DecisionStats, FormatDecisionCache};
+use crate::health::HealthTracker;
 use crate::job::JobOutcome;
 use crate::node::{Node, NodeCore};
 use crate::plan::SolvePlan;
@@ -111,6 +112,33 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why a job resolved as [`TicketOutcome::Degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The worker's chip was killed and no live worker remained on the node to
+    /// re-route to.
+    ChipKilled,
+    /// ABFT kept detecting corruption after exhausting the re-encode retry
+    /// budget; the attached outcome is the best-effort solve on the faulty chip.
+    AbftUnresolved,
+}
+
+/// A job that could not complete cleanly but was never lost: the typed payload
+/// of [`TicketOutcome::Degraded`].
+#[derive(Debug)]
+pub struct DegradedJob {
+    /// The job's submission id.
+    pub job_id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Why the job degraded.
+    pub reason: DegradedReason,
+    /// Best-effort outcome when the job still ran (always present for
+    /// [`DegradedReason::AbftUnresolved`]; `None` when the chip died before the
+    /// solve could run anywhere).
+    pub outcome: Option<JobOutcome>,
+}
+
 /// How a ticket resolved.
 #[derive(Debug)]
 pub enum TicketOutcome {
@@ -123,6 +151,11 @@ pub enum TicketOutcome {
     /// stays alive (the worker keeps serving, drain/shutdown still complete);
     /// failed jobs carry no telemetry row.  The payload is the panic message.
     Failed(String),
+    /// The job could not complete cleanly under the fault policy — its chip was
+    /// killed with nowhere to re-route, or ABFT detections survived every
+    /// re-encode retry.  The payload says which and carries any best-effort
+    /// result; like cancelled/failed jobs, degraded jobs have no telemetry row.
+    Degraded(Box<DegradedJob>),
 }
 
 impl TicketOutcome {
@@ -130,13 +163,20 @@ impl TicketOutcome {
     pub fn completed(self) -> Option<JobOutcome> {
         match self {
             TicketOutcome::Completed(outcome) => Some(*outcome),
-            TicketOutcome::Cancelled | TicketOutcome::Failed(_) => None,
+            TicketOutcome::Cancelled | TicketOutcome::Failed(_) | TicketOutcome::Degraded(_) => {
+                None
+            }
         }
     }
 
     /// Whether the job was cancelled before starting.
     pub fn is_cancelled(&self) -> bool {
         matches!(self, TicketOutcome::Cancelled)
+    }
+
+    /// Whether the job resolved as degraded under the fault policy.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, TicketOutcome::Degraded(_))
     }
 }
 
@@ -331,7 +371,8 @@ impl SolveClient {
             .gauge(metric_names::WORKERS)
             .set(config.workers as f64);
         metrics.gauge(metric_names::NODES).set(1.0);
-        let node = Node::spawn(0, 0, config, cache, decisions, metrics);
+        let health = Arc::new(HealthTracker::new());
+        let node = Node::spawn(0, 0, config, cache, decisions, metrics, health);
         let started_s = node.core().clock.now_s();
         SolveClient {
             backend: Backend::Single {
@@ -473,6 +514,33 @@ impl SolveClient {
         }
     }
 
+    /// The fleet health ledger (shared across every node on a cluster).  Always
+    /// present; without a fault policy it simply stays pristine.
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        match &self.backend {
+            Backend::Single { node, .. } => &node.core().health,
+            Backend::Cluster(cluster) => &cluster.health,
+        }
+    }
+
+    /// Administratively kills one worker's chip (pool-global worker id).
+    ///
+    /// Idempotent; returns `true` on the first kill.  A killed chip never loses
+    /// or corrupts a job: in-flight and queued work re-routes to surviving
+    /// workers, or resolves with the typed [`TicketOutcome::Degraded`] when the
+    /// whole node is dead (see [`crate::health`]).
+    pub fn kill_chip(&self, worker: usize) -> bool {
+        let newly = self.health().kill_chip(worker);
+        if newly {
+            let metrics = match &self.backend {
+                Backend::Single { node, .. } => &node.core().metrics,
+                Backend::Cluster(cluster) => &cluster.metrics,
+            };
+            metrics.counter(metric_names::CHIPS_KILLED).inc();
+        }
+        newly
+    }
+
     /// Stops admission and blocks until every accepted job has resolved its
     /// ticket.
     ///
@@ -527,6 +595,11 @@ impl SolveClient {
                 let core = node.core();
                 let completed = sync::lock(&core.completed);
                 let sched = core.sched.stats();
+                // The live counters include the adds from degraded jobs, which
+                // carry no telemetry row; only that rowless share goes into the
+                // context, or the aggregate replay would double-count.
+                let row_faults: u64 = completed.iter().map(|j| j.faults_detected).sum();
+                let row_retries: u64 = completed.iter().map(|j| j.fault_retries).sum();
                 RuntimeReport::aggregate(
                     &completed,
                     AggregateContext {
@@ -539,6 +612,19 @@ impl SolveClient {
                         cancelled_jobs: core.cancelled.load(Ordering::Relaxed) as usize,
                         shed_overloaded: 0,
                         shed_quota: 0,
+                        degraded_jobs: core.metrics.counter(metric_names::JOBS_DEGRADED).get(),
+                        rerouted_jobs: core.metrics.counter(metric_names::JOBS_REROUTED).get(),
+                        chips_killed: core.metrics.counter(metric_names::CHIPS_KILLED).get(),
+                        degraded_faults_detected: core
+                            .metrics
+                            .counter(metric_names::FAULTS_DETECTED)
+                            .get()
+                            .saturating_sub(row_faults),
+                        degraded_fault_retries: core
+                            .metrics
+                            .counter(metric_names::FAULT_RETRIES)
+                            .get()
+                            .saturating_sub(row_retries),
                     },
                 )
             }

@@ -37,6 +37,7 @@ use refloat_telemetry::{
 use crate::cache::{CacheStats, EncodedMatrixCache};
 use crate::client::{QueuedTicket, SolveClient, SolveTicket, SubmitError, TicketShared};
 use crate::decision::{DecisionStats, FormatDecisionCache};
+use crate::health::{HealthTracker, NodeHealthSignal};
 use crate::node::Node;
 use crate::plan::SolvePlan;
 use crate::telemetry::{metric_names, AggregateContext, JobTelemetry, RuntimeReport};
@@ -121,11 +122,17 @@ pub(crate) struct ClusterBackend {
     pub(crate) metrics: Arc<MetricsRegistry>,
     pub(crate) trace: Option<Arc<TraceSink>>,
     pub(crate) clock: Arc<dyn Clock>,
+    /// One fleet-wide health ledger shared by every node (workers feed it, the
+    /// router reads per-node signals out of it, `kill_chip` writes to it).
+    pub(crate) health: Arc<HealthTracker>,
+    /// Per-node worker count, for slicing the health ledger into node signals.
+    workers_per_node: usize,
     jobs_routed: Arc<Counter>,
     affinity_hits: Arc<Counter>,
     spills: Arc<Counter>,
     shed_overload: Arc<Counter>,
     shed_quota: Arc<Counter>,
+    route_health_steers: Arc<Counter>,
 }
 
 impl ClusterBackend {
@@ -157,6 +164,7 @@ impl ClusterBackend {
         let spills = metrics.counter(metric_names::ROUTE_SPILLS);
         let shed_overload = metrics.counter(metric_names::JOBS_SHED_OVERLOAD);
         let shed_quota = metrics.counter(metric_names::JOBS_SHED_QUOTA);
+        let route_health_steers = metrics.counter(metric_names::ROUTE_HEALTH_STEERS);
         metrics
             .gauge(metric_names::WORKERS)
             .set((config.nodes * node_config.workers) as f64);
@@ -168,6 +176,7 @@ impl ClusterBackend {
             Some(sink) => sink.clock(),
             None => Arc::new(WallClock::new()),
         };
+        let health = Arc::new(HealthTracker::new());
         let nodes: Vec<Node> = (0..config.nodes)
             .map(|node_id| {
                 // Private caches per node: affinity routing keeps repeat traffic on
@@ -181,6 +190,7 @@ impl ClusterBackend {
                     cache,
                     decisions,
                     Arc::clone(&metrics),
+                    Arc::clone(&health),
                 )
             })
             .collect();
@@ -194,11 +204,14 @@ impl ClusterBackend {
             metrics,
             trace: node_config.trace.clone(),
             clock,
+            health,
+            workers_per_node: node_config.workers,
             jobs_routed,
             affinity_hits,
             spills,
             shed_overload,
             shed_quota,
+            route_health_steers,
         }
     }
 
@@ -250,11 +263,27 @@ impl ClusterBackend {
             }
         };
         let loads: Vec<usize> = self.nodes.iter().map(Node::load).collect();
+        // Health signals are read strictly *before* the router takes its
+        // `placement` lock ("health" precedes "placement" in the declared lock
+        // order).
+        let signals: Vec<NodeHealthSignal> = (0..self.nodes.len())
+            .map(|node_id| {
+                self.health
+                    .node_signal(node_id * self.workers_per_node, self.workers_per_node)
+            })
+            .collect();
         let fingerprint = plan.job.matrix.fingerprint();
-        let placement = self
-            .router
-            .place(fingerprint, plan.shards(), &loads, &self.chips_per_node);
+        let (placement, steered) = self.router.place_with_health(
+            fingerprint,
+            plan.shards(),
+            &loads,
+            &self.chips_per_node,
+            &signals,
+        );
         self.jobs_routed.inc();
+        if steered {
+            self.route_health_steers.inc();
+        }
         match placement.kind {
             RouteKind::Affinity => self.affinity_hits.inc(),
             RouteKind::Spill => self.spills.inc(),
@@ -344,6 +373,11 @@ impl ClusterBackend {
         }
         completed.sort_by_key(|t| t.job_id);
         let workers: usize = self.nodes.iter().map(|n| n.core().workers).sum();
+        // Degraded jobs add to the shared fault counters without a telemetry
+        // row; subtract the row-attributed share so the replay never
+        // double-counts (see the single-node report for the same split).
+        let row_faults: u64 = completed.iter().map(|j| j.faults_detected).sum();
+        let row_retries: u64 = completed.iter().map(|j| j.fault_retries).sum();
         RuntimeReport::aggregate(
             &completed,
             AggregateContext {
@@ -356,6 +390,20 @@ impl ClusterBackend {
                 cancelled_jobs: cancelled as usize,
                 shed_overloaded: self.shed_overload.get(),
                 shed_quota: self.shed_quota.get(),
+                // Nodes share one registry, so these are read once for the fleet.
+                degraded_jobs: self.metrics.counter(metric_names::JOBS_DEGRADED).get(),
+                rerouted_jobs: self.metrics.counter(metric_names::JOBS_REROUTED).get(),
+                chips_killed: self.metrics.counter(metric_names::CHIPS_KILLED).get(),
+                degraded_faults_detected: self
+                    .metrics
+                    .counter(metric_names::FAULTS_DETECTED)
+                    .get()
+                    .saturating_sub(row_faults),
+                degraded_fault_retries: self
+                    .metrics
+                    .counter(metric_names::FAULT_RETRIES)
+                    .get()
+                    .saturating_sub(row_retries),
             },
         )
     }

@@ -16,14 +16,25 @@
 //!    [`spill_margin`](RouterPolicy::spill_margin) — then the job **spills** to the
 //!    least-loaded node and the stickiness moves with it (future repeats follow the
 //!    spill, warming the new node once instead of ping-ponging).
-//! 3. **Least load** — everything else goes to the eligible node with the fewest
-//!    queued-plus-running jobs (ties break to the lowest node index, which keeps
+//! 3. **Least load** — everything else goes to the eligible node with the lowest
+//!    queued-plus-running count *per chip*: a node with three times the chips
+//!    drains its backlog three times as fast, so heterogeneous `chips_per_node`
+//!    fleets balance on `load/chips`, not raw depth (compared exactly by integer
+//!    cross-multiplication; ties break to the lowest node index, which keeps
 //!    placement deterministic for a fixed submission order).
+//!
+//! [`Router::place_with_health`] additionally folds per-node
+//! [`NodeHealthSignal`]s into the decision: dead nodes (no live worker) are
+//! filtered like capacity misfits, and each node's load is padded by a penalty
+//! proportional to its summed degradation score, steering traffic away from
+//! worn or fault-ridden chips before they start detecting corruption.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use refloat_telemetry::sync;
+
+use crate::health::NodeHealthSignal;
 
 /// Tunables for [`Router::place`].
 #[derive(Debug, Clone, Copy)]
@@ -114,9 +125,65 @@ impl Router {
     ) -> Placement {
         debug_assert_eq!(loads.len(), chips.len());
         debug_assert!(!loads.is_empty(), "a cluster has at least one node");
-        let eligible: Vec<usize> = (0..loads.len())
-            .filter(|&i| chips[i] >= shards.max(1))
+        self.select(fingerprint, shards, loads, chips, None, true)
+    }
+
+    /// Like [`place`](Self::place), but folds per-node health into the decision:
+    /// dead nodes are ineligible (unless *every* fitting node is dead, in which
+    /// case the filter is dropped — the job still lands somewhere and the dead
+    /// node resolves it with a typed `Degraded` rather than losing it), and each
+    /// node's load is padded by `ceil(degradation × 8)` phantom jobs so worn
+    /// fleets shed traffic gradually instead of at a cliff.
+    ///
+    /// The second return value reports whether health *changed* the decision
+    /// relative to a health-blind placement over the same inputs (the
+    /// `route_health_steers` counter).
+    pub fn place_with_health(
+        &self,
+        fingerprint: u64,
+        shards: usize,
+        loads: &[usize],
+        chips: &[usize],
+        health: &[NodeHealthSignal],
+    ) -> (Placement, bool) {
+        debug_assert_eq!(loads.len(), chips.len());
+        debug_assert_eq!(loads.len(), health.len());
+        debug_assert!(!loads.is_empty(), "a cluster has at least one node");
+        // What a health-blind router would do (no stickiness commit: only the
+        // decision that actually routes may move the affinity map).
+        let baseline = self.select(fingerprint, shards, loads, chips, None, false);
+        let effective: Vec<usize> = loads
+            .iter()
+            .zip(health)
+            .map(|(&load, h)| load.saturating_add((h.degradation * 8.0).ceil() as usize))
             .collect();
+        let alive: Vec<bool> = health.iter().map(NodeHealthSignal::alive).collect();
+        let actual = self.select(fingerprint, shards, &effective, chips, Some(&alive), true);
+        (actual, actual.node != baseline.node)
+    }
+
+    /// The shared placement core.  `alive` masks nodes out like a capacity misfit
+    /// (dropped entirely when it would empty the eligible set); `commit` gates
+    /// writes to the stickiness map so speculative baselines stay side-effect
+    /// free.
+    fn select(
+        &self,
+        fingerprint: u64,
+        shards: usize,
+        loads: &[usize],
+        chips: &[usize],
+        alive: Option<&[bool]>,
+        commit: bool,
+    ) -> Placement {
+        let fits = |i: usize| chips[i] >= shards.max(1);
+        let mut eligible: Vec<usize> = (0..loads.len())
+            .filter(|&i| fits(i) && alive.map(|a| a[i]).unwrap_or(true))
+            .collect();
+        if eligible.is_empty() && alive.is_some() {
+            // Every fitting node is dead: place anyway (the dead node's drain
+            // resolves the job as Degraded — typed, never lost).
+            eligible = (0..loads.len()).filter(|&i| fits(i)).collect();
+        }
         if eligible.is_empty() {
             // Nothing fits: overflow to the biggest node (lowest index on ties) and
             // let the partitioner clamp the shard count there.
@@ -128,11 +195,14 @@ impl Router {
                 kind: RouteKind::Overflow,
             };
         }
-        let least = eligible
-            .iter()
-            .copied()
-            .min_by_key(|&i| (loads[i], i))
-            .unwrap_or(eligible[0]);
+        // Least load *per chip*, compared exactly via cross-multiplication; strict
+        // `<` with ascending iteration keeps ties on the lowest index.
+        let mut least = eligible[0];
+        for &i in &eligible[1..] {
+            if loads[i] * chips[least] < loads[least] * chips[i] {
+                least = i;
+            }
+        }
         if !self.policy.affinity {
             return Placement {
                 node: least,
@@ -150,7 +220,9 @@ impl Router {
                 } else {
                     // Spill: move the stickiness with the job so future repeats
                     // warm the new node once instead of ping-ponging.
-                    placement.insert(fingerprint, least);
+                    if commit {
+                        placement.insert(fingerprint, least);
+                    }
                     Placement {
                         node: least,
                         kind: RouteKind::Spill,
@@ -158,7 +230,9 @@ impl Router {
                 }
             }
             _ => {
-                placement.insert(fingerprint, least);
+                if commit {
+                    placement.insert(fingerprint, least);
+                }
                 Placement {
                     node: least,
                     kind: RouteKind::LeastLoaded,
@@ -256,6 +330,61 @@ mod tests {
             spill_margin: 0,
         });
         assert_eq!(r.place(1, 1, &[2, 2, 2], &[8, 8, 8]).node, 0);
+    }
+
+    #[test]
+    fn least_load_is_weighted_by_chip_capacity() {
+        let r = router();
+        // Raw depth says node 0 (4 < 6), but per-chip load says node 1
+        // (4/4 = 1.0 vs 6/12 = 0.5): the bigger node drains faster.
+        let placed = r.place(77, 1, &[4, 6], &[4, 12]);
+        assert_eq!(placed.node, 1);
+        assert_eq!(placed.kind, RouteKind::LeastLoaded);
+        // Equal per-chip load ties back to the lowest index.
+        assert_eq!(r.place(78, 1, &[2, 6], &[4, 12]).node, 0);
+    }
+
+    #[test]
+    fn health_steers_away_from_dead_and_degraded_nodes() {
+        let alive = NodeHealthSignal {
+            live_workers: 2,
+            workers: 2,
+            degradation: 0.0,
+            detections: 0,
+        };
+        let r = Router::new(RouterPolicy {
+            affinity: false,
+            spill_margin: 8,
+        });
+        let chips = [8, 8];
+
+        // A dead node is ineligible even when emptier.
+        let dead = NodeHealthSignal {
+            live_workers: 0,
+            ..alive
+        };
+        let (placed, steered) = r.place_with_health(1, 1, &[5, 0], &chips, &[alive, dead]);
+        assert_eq!(placed.node, 0);
+        assert!(steered, "a health-blind router would have picked node 1");
+
+        // Degradation pads the load: 0.5 ⇒ 4 phantom jobs, flipping a 2-vs-5 gap.
+        let worn = NodeHealthSignal {
+            degradation: 0.5,
+            ..alive
+        };
+        let (placed, steered) = r.place_with_health(2, 1, &[5, 2], &chips, &[alive, worn]);
+        assert_eq!(placed.node, 0, "2 + ceil(0.5·8) = 6 > 5");
+        assert!(steered);
+
+        // Healthy fleets place exactly like the health-blind router.
+        let (placed, steered) = r.place_with_health(3, 1, &[5, 2], &chips, &[alive, alive]);
+        assert_eq!(placed.node, 1);
+        assert!(!steered);
+
+        // All fitting nodes dead: the filter drops so the job still lands (the
+        // dead node resolves it as Degraded instead of losing it).
+        let (placed, _) = r.place_with_health(4, 1, &[1, 0], &chips, &[dead, dead]);
+        assert_eq!(placed.node, 1);
     }
 
     #[test]

@@ -170,6 +170,7 @@ pub mod client;
 pub mod cluster;
 pub mod decision;
 pub mod fingerprint;
+pub mod health;
 pub mod job;
 pub mod node;
 pub mod plan;
@@ -181,12 +182,15 @@ mod worker;
 
 pub use accel::{AcceleratorUsage, RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, EncodedMatrixCache, ShardId};
-pub use client::{SolveClient, SolveTicket, SubmitError, TicketOutcome};
+pub use client::{
+    DegradedJob, DegradedReason, SolveClient, SolveTicket, SubmitError, TicketOutcome,
+};
 pub use cluster::{
     AdmissionConfig, ClusterConfig, ClusterRuntime, Placement, RouteKind, Router, RouterPolicy,
 };
 pub use decision::{DecisionKey, DecisionOutcome, DecisionStats, FormatDecisionCache};
 pub use fingerprint::fingerprint_csr;
+pub use health::{ChipHealthRecord, FaultPolicy, HealthTracker, NodeHealthSignal};
 pub use job::{AutoFormatSpec, JobOutcome, MatrixHandle, RefinementSpec};
 pub use node::Node;
 pub use plan::{PlanError, PlanViolation, SolvePlan, SolvePlanBuilder};
@@ -227,6 +231,12 @@ pub struct RuntimeConfig {
     /// either way (tracing only observes wall-clock time, see the
     /// deterministic-clock contract in `refloat-telemetry`).
     pub trace: Option<Arc<TraceSink>>,
+    /// Optional device fault injection ([`FaultPolicy`]): every worker chip gets a
+    /// persistent stuck-cell/drift/wear model, plain unsharded solves run through
+    /// the faulty operator with spare remapping and (optionally) ABFT detection
+    /// plus re-encode retries.  `None` — the default — leaves every execution
+    /// path bit-identical to the fault-free runtime.
+    pub fault: Option<FaultPolicy>,
 }
 
 impl Default for RuntimeConfig {
@@ -238,6 +248,7 @@ impl Default for RuntimeConfig {
             chip_crossbars: None,
             scheduler: SchedulerPolicy::default(),
             trace: None,
+            fault: None,
         }
     }
 }
@@ -384,6 +395,14 @@ impl SolveRuntime {
                 TicketOutcome::Cancelled => None,
                 TicketOutcome::Failed(message) => {
                     panic!("runtime job panicked: {message}")
+                }
+                TicketOutcome::Degraded(degraded) => {
+                    panic!(
+                        "runtime job {} degraded ({:?}); batch wrappers expect clean \
+                         completions — use the service client to receive typed \
+                         Degraded outcomes",
+                        degraded.job_id, degraded.reason
+                    )
                 }
             })
             .collect();

@@ -22,6 +22,7 @@ use refloat_telemetry::{Clock, Counter, MetricsRegistry, TraceSink, WallClock};
 use crate::cache::EncodedMatrixCache;
 use crate::client::QueuedTicket;
 use crate::decision::FormatDecisionCache;
+use crate::health::{FaultPolicy, HealthTracker};
 use crate::sched::JobScheduler;
 use crate::telemetry::{metric_names, JobMetricHandles, JobTelemetry};
 use crate::worker;
@@ -54,6 +55,10 @@ pub(crate) struct NodeCore {
     pub node_jobs: Arc<Counter>,
     /// The trace sink, when the runtime was configured with one.
     pub trace: Option<Arc<TraceSink>>,
+    /// The fault-injection policy, when the runtime was configured with one.
+    pub fault: Option<FaultPolicy>,
+    /// The fleet health ledger (shared across every node of a cluster).
+    pub health: Arc<HealthTracker>,
     /// The clock every wall-time telemetry field is read from.  Sourced from the
     /// trace sink when tracing is configured (so a `ManualClock` sink pins *all*
     /// host-time fields, not just trace timestamps), else a fresh [`WallClock`].
@@ -81,6 +86,7 @@ impl Node {
         cache: Arc<EncodedMatrixCache>,
         decisions: Arc<FormatDecisionCache>,
         metrics: Arc<MetricsRegistry>,
+        health: Arc<HealthTracker>,
     ) -> Self {
         assert!(config.workers >= 1, "a node needs at least one worker");
         assert!(
@@ -109,6 +115,8 @@ impl Node {
             metrics,
             node_jobs,
             trace: config.trace.clone(),
+            fault: config.fault,
+            health,
             clock,
         });
         let handles = (0..config.workers)

@@ -99,6 +99,23 @@ pub mod metric_names {
     pub const NODES: &str = "nodes";
     /// Gauge: tenants currently holding at least one admitted, unfinished job.
     pub const TENANTS_ACTIVE: &str = "tenants_active";
+    /// Counter: ABFT checksum failures detected across all solves (0 unless a fault
+    /// model with ABFT is configured).
+    pub const FAULTS_DETECTED: &str = "faults_detected";
+    /// Counter: detected-corruption retries that re-encoded a job onto spare
+    /// resources.
+    pub const FAULT_RETRIES: &str = "fault_retries";
+    /// Counter: jobs that resolved with a typed `Degraded` outcome instead of a
+    /// clean completion (corruption unresolved after retries, or a chip killed with
+    /// no live worker left to take the job).
+    pub const JOBS_DEGRADED: &str = "jobs_degraded";
+    /// Counter: queued jobs re-routed off a killed chip onto a surviving worker.
+    pub const JOBS_REROUTED: &str = "jobs_rerouted";
+    /// Counter: chips administratively killed mid-trace.
+    pub const CHIPS_KILLED: &str = "chips_killed";
+    /// Counter: cluster placements steered away from the health-blind choice
+    /// because a node looked degraded (dead workers or detection-heavy chips).
+    pub const ROUTE_HEALTH_STEERS: &str = "route_health_steers";
 
     /// The per-node completion counter's name (`node<i>_jobs_completed`), one per
     /// node, registered when the node's workers spawn.
@@ -138,15 +155,21 @@ pub struct JobMetricHandles {
     reduction_s: Arc<Histogram>,
     host_fp64_s: Arc<Histogram>,
     analysis_s: Arc<Histogram>,
+    faults_detected: Arc<Counter>,
+    fault_retries: Arc<Counter>,
 }
 
 impl JobMetricHandles {
     /// Fetches (creating if needed) every job-completion metric of `registry`.
     pub fn register(registry: &MetricsRegistry) -> Self {
         use metric_names as m;
-        // Ensure the cancellation counter exists too, even though it is incremented
-        // by the client (not per completed job).
+        // Ensure the counters incremented outside the per-completed-job path exist
+        // too (cancellation by the client; degraded/rerouted/killed by the worker
+        // loop and kill path), so a live snapshot carries the full vocabulary.
         let _ = registry.counter(m::JOBS_CANCELLED);
+        let _ = registry.counter(m::JOBS_DEGRADED);
+        let _ = registry.counter(m::JOBS_REROUTED);
+        let _ = registry.counter(m::CHIPS_KILLED);
         JobMetricHandles {
             jobs: registry.counter(m::JOBS_COMPLETED),
             converged: registry.counter(m::JOBS_CONVERGED),
@@ -170,6 +193,8 @@ impl JobMetricHandles {
             reduction_s: registry.histogram_seconds(m::REDUCTION_S),
             host_fp64_s: registry.histogram_seconds(m::HOST_FP64_S),
             analysis_s: registry.histogram_seconds(m::ANALYSIS_S),
+            faults_detected: registry.counter(m::FAULTS_DETECTED),
+            fault_retries: registry.counter(m::FAULT_RETRIES),
         }
     }
 
@@ -221,6 +246,8 @@ impl JobMetricHandles {
         if job.simulated.host_fp64_s > 0.0 {
             self.host_fp64_s.observe(job.simulated.host_fp64_s);
         }
+        self.faults_detected.add(job.faults_detected);
+        self.fault_retries.add(job.fault_retries);
     }
 }
 
@@ -352,6 +379,12 @@ pub struct JobTelemetry {
     pub refinement: Option<RefinementTelemetry>,
     /// Format auto-tuning details when the job ran in auto-format mode.
     pub autotune: Option<AutotuneTelemetry>,
+    /// ABFT checksum failures detected while solving this job (0 without a fault
+    /// model).
+    pub faults_detected: u64,
+    /// Detected-corruption retries this job paid (each one re-encoded onto spare
+    /// resources and re-ran the solve).
+    pub fault_retries: u64,
 }
 
 /// Everything [`RuntimeReport::aggregate`] needs besides the telemetry rows: the
@@ -378,6 +411,18 @@ pub struct AggregateContext {
     pub shed_overloaded: u64,
     /// Submissions shed because a tenant's fair-share quota was full.
     pub shed_quota: u64,
+    /// Jobs that resolved with a typed `Degraded` outcome (no telemetry row: the
+    /// solve did not complete cleanly).
+    pub degraded_jobs: u64,
+    /// Queued jobs re-routed off a killed chip onto a surviving worker.
+    pub rerouted_jobs: u64,
+    /// Chips administratively killed during the batch.
+    pub chips_killed: u64,
+    /// ABFT detections recorded by jobs that resolved `Degraded` — those carry
+    /// no telemetry row, so the replay alone would undercount the fleet total.
+    pub degraded_faults_detected: u64,
+    /// Re-encode retries recorded by jobs that resolved `Degraded`.
+    pub degraded_fault_retries: u64,
 }
 
 impl Default for AggregateContext {
@@ -392,6 +437,11 @@ impl Default for AggregateContext {
             cancelled_jobs: 0,
             shed_overloaded: 0,
             shed_quota: 0,
+            degraded_jobs: 0,
+            rerouted_jobs: 0,
+            chips_killed: 0,
+            degraded_faults_detected: 0,
+            degraded_fault_retries: 0,
         }
     }
 }
@@ -478,6 +528,16 @@ pub struct RuntimeReport {
     pub autotune_fallbacks: u64,
     /// Total seconds spent in format analyses (paid by decision-cache misses).
     pub analysis_total_s: f64,
+    /// ABFT checksum failures detected across all solves (0 without a fault model).
+    pub faults_detected: u64,
+    /// Detected-corruption retries that re-encoded a job onto spare resources.
+    pub fault_retries: u64,
+    /// Jobs that resolved with a typed `Degraded` outcome.
+    pub degraded_jobs: u64,
+    /// Queued jobs re-routed off a killed chip onto a surviving worker.
+    pub rerouted_jobs: u64,
+    /// Chips administratively killed during the batch.
+    pub chips_killed: u64,
     /// Decision-cache counter increments during the batch.
     pub decisions: DecisionStats,
     /// The full metrics snapshot the aggregation was derived from (the same
@@ -535,6 +595,11 @@ impl RuntimeReport {
             cancelled_jobs,
             shed_overloaded,
             shed_quota,
+            degraded_jobs,
+            rerouted_jobs,
+            chips_killed,
+            degraded_faults_detected,
+            degraded_fault_retries,
         } = ctx;
         // Replay every row through the same recording path live workers use, so the
         // report's totals are *derived from* the metrics registry rather than being
@@ -553,6 +618,21 @@ impl RuntimeReport {
         registry
             .counter(metric_names::JOBS_SHED_QUOTA)
             .add(shed_quota);
+        registry
+            .counter(metric_names::JOBS_DEGRADED)
+            .add(degraded_jobs);
+        registry
+            .counter(metric_names::JOBS_REROUTED)
+            .add(rerouted_jobs);
+        registry
+            .counter(metric_names::CHIPS_KILLED)
+            .add(chips_killed);
+        registry
+            .counter(metric_names::FAULTS_DETECTED)
+            .add(degraded_faults_detected);
+        registry
+            .counter(metric_names::FAULT_RETRIES)
+            .add(degraded_fault_retries);
         registry
             .gauge(metric_names::QUEUE_DEPTH_PEAK)
             .set(queue_depth_peak as f64);
@@ -663,6 +743,11 @@ impl RuntimeReport {
             autotune_decision_hits: counter(metric_names::AUTOTUNE_DECISION_HITS),
             autotune_fallbacks: counter(metric_names::AUTOTUNE_FALLBACKS),
             analysis_total_s: hist_sum(metric_names::ANALYSIS_S),
+            faults_detected: counter(metric_names::FAULTS_DETECTED),
+            fault_retries: counter(metric_names::FAULT_RETRIES),
+            degraded_jobs,
+            rerouted_jobs,
+            chips_killed,
             decisions,
             metrics,
         }
@@ -730,6 +815,16 @@ impl RuntimeReport {
         out.push_str(&format!(
             "simulated chip  {:.3e} cycles, {:.6} s total, {} remaps\n",
             self.simulated_cycles as f64, self.simulated_total_s, self.remaps
+        ));
+        // Always printed, zero-fault runs included: report snapshots stay
+        // schema-stable whether or not a fault model is configured.
+        out.push_str(&format!(
+            "reliability     {} faults detected, {} retries, {} degraded, {} rerouted, {} chips killed\n",
+            self.faults_detected,
+            self.fault_retries,
+            self.degraded_jobs,
+            self.rerouted_jobs,
+            self.chips_killed,
         ));
         if self.refined_jobs > 0 {
             out.push_str(&format!(
@@ -940,6 +1035,26 @@ impl Serialize for RuntimeReport {
                 "analysis_total_s".to_string(),
                 Value::Num(self.analysis_total_s),
             ),
+            (
+                "faults_detected".to_string(),
+                Value::Num(self.faults_detected as f64),
+            ),
+            (
+                "fault_retries".to_string(),
+                Value::Num(self.fault_retries as f64),
+            ),
+            (
+                "degraded_jobs".to_string(),
+                Value::Num(self.degraded_jobs as f64),
+            ),
+            (
+                "rerouted_jobs".to_string(),
+                Value::Num(self.rerouted_jobs as f64),
+            ),
+            (
+                "chips_killed".to_string(),
+                Value::Num(self.chips_killed as f64),
+            ),
             ("metrics".to_string(), self.metrics.to_value()),
         ])
     }
@@ -1030,7 +1145,54 @@ mod tests {
             simulated,
             refinement,
             autotune: None,
+            faults_detected: 0,
+            fault_retries: 0,
         }
+    }
+
+    #[test]
+    fn render_always_prints_the_reliability_line() {
+        // Zero-fault run: the line is present with all-zero counters, so report
+        // snapshots keep a stable schema whether or not a fault model is on.
+        let jobs = vec![telemetry(0, 0, false)];
+        let clean = RuntimeReport::aggregate(
+            &jobs,
+            AggregateContext {
+                wall_s: 0.1,
+                ..Default::default()
+            },
+        );
+        assert!(clean.render().contains(
+            "reliability     0 faults detected, 0 retries, 0 degraded, 0 rerouted, 0 chips killed"
+        ));
+
+        // Faulty run: the same line carries the counts.
+        let mut faulty_job = telemetry(1, 0, false);
+        faulty_job.faults_detected = 12;
+        faulty_job.fault_retries = 2;
+        let faulty = RuntimeReport::aggregate(
+            &[faulty_job],
+            AggregateContext {
+                wall_s: 0.1,
+                degraded_jobs: 1,
+                rerouted_jobs: 3,
+                chips_killed: 1,
+                ..Default::default()
+            },
+        );
+        let rendered = faulty.render();
+        assert!(rendered.contains(
+            "reliability     12 faults detected, 2 retries, 1 degraded, 3 rerouted, 1 chips killed"
+        ));
+        assert_eq!(faulty.faults_detected, 12);
+        assert_eq!(faulty.fault_retries, 2);
+        assert_eq!(
+            faulty.metrics.counter(metric_names::FAULTS_DETECTED),
+            Some(12)
+        );
+        assert_eq!(faulty.metrics.counter(metric_names::JOBS_DEGRADED), Some(1));
+        assert_eq!(faulty.metrics.counter(metric_names::JOBS_REROUTED), Some(3));
+        assert_eq!(faulty.metrics.counter(metric_names::CHIPS_KILLED), Some(1));
     }
 
     #[test]

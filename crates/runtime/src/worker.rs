@@ -8,16 +8,20 @@ use refloat_core::{OperatorShard, ReFloatConfig, ReFloatMatrix, ShardedReFloatMa
 use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
 use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
-use refloat_telemetry::{sync, Clock, SpanKind, TraceSink};
+use refloat_telemetry::{sync, Clock, SpanKind, TraceEvent, TraceSink};
+use reram_sim::{DeviceHealth, FaultyReFloatOperator};
 
 use crate::accel::{RefinedPassCost, SimulatedAccelerator, SimulatedRun};
 use crate::cache::{CacheKey, CacheOutcome, EncodedMatrixCache, ShardId};
-use crate::client::{QueuedTicket, TicketOutcome};
+use crate::client::{DegradedJob, DegradedReason, QueuedTicket, TicketOutcome};
 use crate::decision::{DecisionKey, DecisionOutcome, FormatDecisionCache};
+use crate::health::{FaultPolicy, HealthTracker, CROSSBAR_GRID};
 use crate::job::{JobOutcome, QueuedJob, RefinementSpec, SolveJob};
 use crate::node::NodeCore;
+use crate::sched::Popped;
 use crate::telemetry::{
-    AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry, RefinementTelemetry,
+    metric_names, AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry,
+    RefinementTelemetry,
 };
 use crate::trace_job::JobTrace;
 
@@ -32,8 +36,15 @@ use crate::trace_job::JobTrace;
 /// scoped-thread pool propagated the panic to the batch caller instead; the batch
 /// wrappers in `lib.rs` restore that behaviour by re-panicking on `Failed`.)
 pub(crate) fn worker_loop(worker_id: usize, core: &NodeCore) {
-    let mut accelerator =
-        SimulatedAccelerator::new(worker_id).with_chip_crossbars(core.chip_crossbars);
+    let build_accelerator = || {
+        let accelerator =
+            SimulatedAccelerator::new(worker_id).with_chip_crossbars(core.chip_crossbars);
+        match &core.fault {
+            Some(policy) => accelerator.with_fault_model(policy.model, CROSSBAR_GRID, policy.abft),
+            None => accelerator,
+        }
+    };
+    let mut accelerator = build_accelerator();
     // The worker's "programmed" operator, mirroring the simulated chip state: reused
     // across consecutive jobs on the same (matrix, format[, shard set]) so hot
     // traffic skips even the O(nnz) clone of the cached encoding.
@@ -42,6 +53,25 @@ pub(crate) fn worker_loop(worker_id: usize, core: &NodeCore) {
     // atomic increments only, pollable mid-traffic via metrics_snapshot().
     let metric_handles = JobMetricHandles::register(&core.metrics);
     while let Some(popped) = core.sched.pop() {
+        if core.health.is_killed(worker_id) {
+            // A killed chip serves nothing, but it never loses what it already
+            // dequeued: hand the job to a live peer or resolve it as Degraded,
+            // then stop serving.  The last live worker to die also drains the
+            // queue so no queued ticket is stranded.
+            resolve_on_killed_chip(worker_id, core, popped);
+            if core
+                .health
+                .live_workers_in(core.worker_id_base, core.workers)
+                == 0
+            {
+                core.sched.close();
+                while let Some(stranded) = core.sched.try_pop() {
+                    degrade_on_dead_node(core, stranded.id, stranded.payload);
+                    core.sched.finish_one();
+                }
+            }
+            break;
+        }
         let QueuedTicket {
             plan,
             submitted_at_s,
@@ -63,6 +93,8 @@ pub(crate) fn worker_loop(worker_id: usize, core: &NodeCore) {
                 core.chip_crossbars,
                 &mut accelerator,
                 &mut programmed,
+                core.fault.as_ref(),
+                &core.health,
                 core.trace.as_deref(),
                 core.clock.as_ref(),
                 trace_seq_base,
@@ -75,24 +107,109 @@ pub(crate) fn worker_loop(worker_id: usize, core: &NodeCore) {
         // slot is already free for the next submit.
         drop(permit);
         match run {
-            Ok(mut outcome) => {
+            Ok((mut outcome, degraded)) => {
                 outcome.telemetry.node = core.node_id;
-                metric_handles.record(&outcome.telemetry);
-                core.node_jobs.inc();
-                sync::lock(&core.completed).push(outcome.telemetry.clone());
-                ticket.complete(TicketOutcome::Completed(Box::new(outcome)));
+                if degraded {
+                    // Like cancelled/failed jobs, a degraded job carries no
+                    // telemetry row — the report's `jobs` counts clean completions
+                    // only — but its fault counters still reach the live registry.
+                    core.metrics
+                        .counter(metric_names::FAULTS_DETECTED)
+                        .add(outcome.telemetry.faults_detected);
+                    core.metrics
+                        .counter(metric_names::FAULT_RETRIES)
+                        .add(outcome.telemetry.fault_retries);
+                    core.metrics.counter(metric_names::JOBS_DEGRADED).inc();
+                    ticket.complete(TicketOutcome::Degraded(Box::new(DegradedJob {
+                        job_id: outcome.job_id,
+                        tenant: outcome.telemetry.tenant.clone(),
+                        reason: DegradedReason::AbftUnresolved,
+                        outcome: Some(outcome),
+                    })));
+                } else {
+                    metric_handles.record(&outcome.telemetry);
+                    core.node_jobs.inc();
+                    sync::lock(&core.completed).push(outcome.telemetry.clone());
+                    ticket.complete(TicketOutcome::Completed(Box::new(outcome)));
+                }
             }
             Err(payload) => {
                 // The accelerator and programmed-operator mirror may be mid-update;
                 // rebuild both so subsequent jobs see a consistent (cold) chip.
-                accelerator =
-                    SimulatedAccelerator::new(worker_id).with_chip_crossbars(core.chip_crossbars);
+                accelerator = build_accelerator();
                 programmed = None;
                 ticket.complete(TicketOutcome::Failed(panic_message(payload.as_ref())));
             }
         }
+        if core.fault.is_some() {
+            // Refresh the chip's degradation score so the cluster router's health
+            // signals track accumulated wear and drift.
+            core.health
+                .update_degradation(worker_id, accelerator.health().degradation);
+        }
         core.sched.finish_one();
     }
+}
+
+/// Disposes of a job a killed chip dequeued: re-push it for a live peer on the
+/// same node (a *reroute*), or — when this worker was the node's last live one —
+/// resolve the ticket with the typed `Degraded` outcome.  Either way the job is
+/// accounted for and its waiter unblocked; nothing is lost or corrupted.
+fn resolve_on_killed_chip(worker_id: usize, core: &NodeCore, popped: Popped<QueuedTicket>) {
+    let Popped {
+        id,
+        priority,
+        payload,
+    } = popped;
+    if core
+        .health
+        .live_workers_in(core.worker_id_base, core.workers)
+        > 0
+    {
+        let mut payload = payload;
+        if let Some(sink) = &core.trace {
+            let now = core.clock.now_s();
+            sink.record(TraceEvent {
+                job_id: id,
+                seq: payload.trace_seq_base,
+                worker: Some(worker_id as u64),
+                kind: SpanKind::Reroute,
+                start_s: now,
+                end_s: now,
+                detail: format!("from_worker={worker_id}"),
+            });
+            // The re-executing worker starts its seqs after the reroute event.
+            payload.trace_seq_base += 1;
+        }
+        // The pop above freed a queue slot, so this push does not block in steady
+        // state; the original deadline was consumed at the first dequeue.
+        match core.sched.push(id, priority, None, payload) {
+            Ok(()) => core.metrics.counter(metric_names::JOBS_REROUTED).inc(),
+            // The scheduler closed while we held the job (shutdown race): the
+            // degraded resolution below still reaches the waiter.
+            Err(payload) => degrade_on_dead_node(core, id, payload),
+        }
+    } else {
+        degrade_on_dead_node(core, id, payload);
+    }
+    core.sched.finish_one();
+}
+
+/// Resolves a queued job's ticket as `Degraded(ChipKilled)` — the typed outcome of
+/// a job stranded on a node with no live worker left.
+fn degrade_on_dead_node(core: &NodeCore, id: u64, payload: QueuedTicket) {
+    core.metrics.counter(metric_names::JOBS_DEGRADED).inc();
+    let tenant = payload.plan.job.tenant.to_string();
+    let ticket = std::sync::Arc::clone(&payload.ticket);
+    // Dropping the payload releases the admission permit before the ticket
+    // resolves, mirroring the completed-job ordering.
+    drop(payload);
+    ticket.complete(TicketOutcome::Degraded(Box::new(DegradedJob {
+        job_id: id,
+        tenant,
+        reason: DegradedReason::ChipKilled,
+        outcome: None,
+    })));
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -475,6 +592,164 @@ fn run_plain(
     }
 }
 
+/// What the fault-injected plain path reports on top of its [`PlainOutcome`].
+struct FaultOutcome {
+    /// ABFT checksum failures observed (probes and the committed solve).
+    detections: u64,
+    /// Re-encode retries paid after a detected corruption.
+    retries: u64,
+    /// The retry budget ran out with ABFT still detecting: the attached result is
+    /// best-effort and the ticket must resolve as `Degraded`.
+    degraded: bool,
+}
+
+/// Runs one unsharded job on faulty hardware: the clean encoding still comes from
+/// the shared cache, but execution goes through a [`FaultyReFloatOperator`] over
+/// the worker chip's persistent fault state (spare remapping, residual corruption,
+/// drift, optional ABFT).
+///
+/// With ABFT on, each attempt starts with a one-SpMV *probe* against the first
+/// RHS: deterministic corruption trips the checksum immediately, so a failing
+/// attempt costs one SpMV — not a full solve — before the re-encode retry moves
+/// the encoding onto a fresh crossbar range (stuck cells never heal in place, so
+/// retrying the same crossbars could never succeed).  When the retry budget runs
+/// out, the solve runs anyway for a best-effort answer and the job degrades.
+#[allow(clippy::too_many_arguments)]
+fn run_plain_faulty(
+    job: &SolveJob,
+    rhss: &[&[f64]],
+    policy: &FaultPolicy,
+    health: &HealthTracker,
+    cache: &EncodedMatrixCache,
+    accelerator: &mut SimulatedAccelerator,
+    jt: &mut JobTrace<'_>,
+    clock: &dyn Clock,
+) -> (PlainOutcome, FaultOutcome) {
+    let key = job.cache_key();
+    let lookup_anchor = jt.now_s();
+    let (encoded, cache_outcome) = cache.get_or_encode(key, clock, || {
+        ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
+    });
+    let encode_s = match cache_outcome {
+        CacheOutcome::Miss { encode_seconds } => encode_seconds,
+        CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
+    };
+    jt.span(SpanKind::CacheLookup, lookup_anchor, || {
+        format!("outcome={}", CacheOutcomeKind::from(cache_outcome).label())
+    });
+    if encode_s > 0.0 {
+        jt.span_backdated(SpanKind::Encode, encode_s, || {
+            format!("blocks={}", encoded.num_blocks())
+        });
+    }
+
+    let worker = accelerator.worker_id();
+    let num_blocks = encoded.num_blocks();
+    let abft_threshold = policy.abft.then_some(policy.abft_threshold);
+    let mut fault = FaultOutcome {
+        detections: 0,
+        retries: 0,
+        degraded: false,
+    };
+    let mut simulated = SimulatedRun::zero();
+    let solve_anchor = jt.now_s();
+    let solve_started_s = clock.now_s();
+    let mut attempt: u32 = 0;
+    let results = loop {
+        let state = accelerator.fault_state();
+        // refloat-analysis: allow(panic-in-service-path) — the worker attached a
+        // fault model to its accelerator whenever a policy is configured; absence
+        // here is an in-crate construction bug.
+        let state = state.expect("fault policy implies fault state");
+        // Each attempt programs block i onto crossbar i + attempt·blocks: a fresh
+        // draw of the same persistent fault map (defects are monotone per
+        // crossbar, so in-place retries could never clear them).
+        let mut operator = FaultyReFloatOperator::remapped(
+            (*encoded).clone(),
+            state,
+            policy.spares(),
+            abft_threshold,
+            attempt as usize * num_blocks,
+        );
+        if abft_threshold.is_some() {
+            let mut probe = vec![0.0; LinearOperator::nrows(&operator)];
+            operator.apply(rhss[0], &mut probe);
+            if operator.detections() > 0 {
+                fault.detections += operator.detections();
+                health.record_detections(worker, operator.detections());
+                jt.instant(SpanKind::FaultDetect, || {
+                    format!("attempt={attempt} worker={worker}")
+                });
+                // The probe still cost one SpMV's worth of chip time.
+                simulated.absorb(&accelerator.execute_batch(
+                    key,
+                    &job.format,
+                    num_blocks as u64,
+                    &[1],
+                    job.solver,
+                ));
+                if attempt < policy.max_retries {
+                    fault.retries += 1;
+                    health.record_re_encode(worker);
+                    let re_encode_anchor = jt.now_s();
+                    // Wear the chip: the next execution re-programs (and ages) it.
+                    accelerator.force_remap();
+                    jt.span(SpanKind::ReEncode, re_encode_anchor, || {
+                        format!("attempt={} blocks={num_blocks}", attempt + 1)
+                    });
+                    attempt += 1;
+                    continue;
+                }
+                // Retry budget exhausted: commit the solve anyway so the waiter
+                // gets a best-effort answer inside its typed Degraded outcome.
+                fault.degraded = true;
+            }
+        }
+        let counted = operator.detections();
+        let results = job
+            .solver
+            .solve_batch(&mut operator, rhss, &job.solver_config);
+        // Mid-solve detections (corruption is input-dependent, so a clean probe
+        // does not guarantee a clean iteration history) are recorded but not
+        // retried — the solve already committed.
+        let late = operator.detections() - counted;
+        if late > 0 {
+            fault.detections += late;
+            health.record_detections(worker, late);
+        }
+        break results;
+    };
+    let solve_s = (clock.now_s() - solve_started_s).max(0.0);
+    let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
+    jt.span(SpanKind::Execute, solve_anchor, || {
+        format!(
+            "rhs={} iterations={:?} detections={} retries={}",
+            rhss.len(),
+            iterations,
+            fault.detections,
+            fault.retries
+        )
+    });
+    simulated.absorb(&accelerator.execute_batch(
+        key,
+        &job.format,
+        num_blocks as u64,
+        &iterations,
+        job.solver,
+    ));
+    (
+        PlainOutcome {
+            results,
+            simulated,
+            encode_s,
+            solve_s,
+            cache: cache_outcome.into(),
+            shards: 1,
+        },
+        fault,
+    )
+}
+
 /// Runs one sharded job: resolve each block-row shard's encoding through the cache
 /// (keyed by `(fingerprint, shard, format)`), assemble the multi-chip operator, solve
 /// every right-hand side, and charge the pool (makespan + inter-chip gather).
@@ -601,6 +876,10 @@ fn run_sharded(
     }
 }
 
+/// Executes one job end to end.  The second return value reports whether the job
+/// *degraded*: ABFT kept detecting corruption after the fault policy's retry
+/// budget, so the outcome is best-effort and the caller must resolve the ticket
+/// as `Degraded` instead of `Completed`.
 #[allow(clippy::too_many_arguments)]
 fn execute_job(
     queued: QueuedJob,
@@ -609,10 +888,12 @@ fn execute_job(
     chip_crossbars: Option<u64>,
     accelerator: &mut SimulatedAccelerator,
     programmed: &mut Option<ProgrammedOp>,
+    fault: Option<&FaultPolicy>,
+    health: &HealthTracker,
     trace: Option<&TraceSink>,
     clock: &dyn Clock,
     trace_seq_base: u32,
-) -> JobOutcome {
+) -> (JobOutcome, bool) {
     let QueuedJob {
         id,
         mut job,
@@ -712,6 +993,9 @@ fn execute_job(
         .chain(job.extra_rhs.iter().map(|b| b.as_slice()))
         .collect();
 
+    let mut faults_detected: u64 = 0;
+    let mut fault_retries: u64 = 0;
+    let mut fault_degraded = false;
     let (
         mut result,
         extra_results,
@@ -750,8 +1034,33 @@ fn execute_job(
             1,
         )
     } else {
+        // Fault injection covers the plain unsharded path only: sharded and
+        // auto-format jobs always execute on clean operators (the shared cache
+        // never stores a faulty encoding either way).
         let plain = if job.shards > 1 {
             run_sharded(&job, &rhss, cache, accelerator, programmed, &mut jt, clock)
+        } else if let Some(policy) = fault.filter(|_| job.auto_format.is_none()) {
+            let (plain, fault_outcome) = run_plain_faulty(
+                &job,
+                &rhss,
+                policy,
+                health,
+                cache,
+                accelerator,
+                &mut jt,
+                clock,
+            );
+            faults_detected = fault_outcome.detections;
+            fault_retries = fault_outcome.retries;
+            fault_degraded = fault_outcome.degraded;
+            // The chip holds a faulty operator now; the clean programmed-operator
+            // mirror no longer matches it, and the accelerator's own programmed
+            // key must drop too — every faulty job writes a fresh (re-sampled)
+            // encoding into the crossbars, so the next one re-programs and ages
+            // the chip rather than riding a phantom clean residency.
+            *programmed = None;
+            accelerator.force_remap();
+            plain
         } else {
             run_plain(&job, &rhss, cache, accelerator, programmed, &mut jt, clock)
         };
@@ -853,11 +1162,16 @@ fn execute_job(
         simulated,
         refinement,
         autotune: autotune_tele,
+        faults_detected,
+        fault_retries,
     };
-    JobOutcome {
-        job_id: id,
-        result,
-        extra_results,
-        telemetry,
-    }
+    (
+        JobOutcome {
+            job_id: id,
+            result,
+            extra_results,
+            telemetry,
+        },
+        fault_degraded,
+    )
 }

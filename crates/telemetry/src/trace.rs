@@ -46,11 +46,20 @@ pub enum SpanKind {
     /// Instant event: admission control rejected the job with a typed error
     /// instead of queueing it (detail says overloaded / quota).
     Shed,
+    /// Instant event: the ABFT checksum flagged a corrupted SpMV result
+    /// (detail carries the residual and the chip id).
+    FaultDetect,
+    /// Re-encoding of a job's matrix onto spare resources after a detected
+    /// fault (detail says which retry attempt this is).
+    ReEncode,
+    /// Instant event: a job was re-routed away from a killed or degraded chip
+    /// (detail carries the source worker id).
+    Reroute,
 }
 
 impl SpanKind {
     /// All kinds, in serialization-label order.
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::QueueWait,
         SpanKind::Dequeue,
         SpanKind::CacheLookup,
@@ -64,6 +73,9 @@ impl SpanKind {
         SpanKind::Admit,
         SpanKind::Route,
         SpanKind::Shed,
+        SpanKind::FaultDetect,
+        SpanKind::ReEncode,
+        SpanKind::Reroute,
     ];
 
     /// The stable string label used in JSONL exports.
@@ -82,6 +94,9 @@ impl SpanKind {
             SpanKind::Admit => "admit",
             SpanKind::Route => "route",
             SpanKind::Shed => "shed",
+            SpanKind::FaultDetect => "fault_detect",
+            SpanKind::ReEncode => "re_encode",
+            SpanKind::Reroute => "reroute",
         }
     }
 

@@ -55,9 +55,9 @@ pub mod prelude {
     };
     pub use refloat_matgen::{Workload, WorkloadSpec};
     pub use refloat_runtime::{
-        AdmissionConfig, AutoFormatSpec, ClusterConfig, ClusterRuntime, MatrixHandle, PlanError,
-        Priority, RefinementSpec, RuntimeConfig, RuntimeReport, SchedulerPolicy, SolveClient,
-        SolvePlan, SolveRuntime, SolveTicket, TicketOutcome,
+        AdmissionConfig, AutoFormatSpec, ClusterConfig, ClusterRuntime, FaultPolicy, MatrixHandle,
+        PlanError, Priority, RefinementSpec, RuntimeConfig, RuntimeReport, SchedulerPolicy,
+        SolveClient, SolvePlan, SolveRuntime, SolveTicket, TicketOutcome,
     };
     pub use refloat_solvers::{
         bicgstab, cg, refine, LinearOperator, OperatorLadder, PrecisionLadder, RefinementConfig,

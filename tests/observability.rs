@@ -47,6 +47,12 @@ fn live_metrics_snapshot_is_populated_before_drain() {
     assert!(!idle.is_empty());
     assert_eq!(idle.counter(metric_names::JOBS_COMPLETED), Some(0));
     assert_eq!(idle.gauge(metric_names::WORKERS), Some(2.0));
+    // The reliability vocabulary is registered at spawn even with faults off.
+    assert_eq!(idle.counter(metric_names::FAULTS_DETECTED), Some(0));
+    assert_eq!(idle.counter(metric_names::FAULT_RETRIES), Some(0));
+    assert_eq!(idle.counter(metric_names::JOBS_DEGRADED), Some(0));
+    assert_eq!(idle.counter(metric_names::JOBS_REROUTED), Some(0));
+    assert_eq!(idle.counter(metric_names::CHIPS_KILLED), Some(0));
 
     // Submit traffic and wait for completion — but do NOT shut down: the runtime is
     // live and undrained when the snapshot is taken.
@@ -102,6 +108,10 @@ fn a_live_undrained_cluster_reports_node_and_tenant_dimensions() {
     assert_eq!(idle.counter(metric_names::ROUTE_SPILLS), Some(0));
     assert_eq!(idle.counter(metric_names::JOBS_SHED_OVERLOAD), Some(0));
     assert_eq!(idle.counter(metric_names::JOBS_SHED_QUOTA), Some(0));
+    assert_eq!(idle.counter(metric_names::ROUTE_HEALTH_STEERS), Some(0));
+    assert_eq!(idle.counter(metric_names::JOBS_DEGRADED), Some(0));
+    assert_eq!(idle.counter(metric_names::JOBS_REROUTED), Some(0));
+    assert_eq!(idle.counter(metric_names::CHIPS_KILLED), Some(0));
     for node in 0..2 {
         assert_eq!(
             idle.counter(&metric_names::node_jobs_completed(node)),

@@ -1,0 +1,306 @@
+//! Workspace-level tests of the reliability stack: fault injection must be off by
+//! default (and bit-clean under a pristine model), ABFT must detect and bound the
+//! damage of stuck-cell corruption, disabling ABFT must corrupt *silently* (the
+//! control arm), killed chips must never lose a job, and the cluster router must
+//! steer traffic away from dead nodes.
+
+use refloat::prelude::*;
+use refloat::runtime::{metric_names, DegradedReason};
+use refloat::sim::FaultModelConfig;
+
+fn hot_matrix() -> MatrixHandle {
+    MatrixHandle::new(
+        "poisson-16",
+        refloat::matgen::generators::laplacian_2d(16, 16, 0.3).to_csr(),
+    )
+}
+
+fn format() -> ReFloatConfig {
+    ReFloatConfig::new(4, 3, 8, 3, 8)
+}
+
+fn plans(count: usize) -> Vec<SolvePlan> {
+    let handle = hot_matrix();
+    (0..count)
+        .map(|i| {
+            SolvePlan::new(format!("tenant-{}", i % 3), handle.clone(), format())
+                .solver_config(
+                    SolverConfig::relative(1e-8)
+                        .with_max_iterations(2_000)
+                        .with_trace(false),
+                )
+                .build()
+                .expect("valid plan")
+        })
+        .collect()
+}
+
+/// Stuck rates high enough that the 2+2 spare budget cannot absorb every defect:
+/// uncovered cells survive the remap and actively corrupt the analog MVM.
+fn heavy_faults(seed: u64) -> FaultModelConfig {
+    FaultModelConfig {
+        seed,
+        stuck_low_rate: 2e-2,
+        stuck_high_rate: 4e-3,
+        drift_sigma: 0.0,
+        wear_growth: 0.0,
+    }
+}
+
+#[test]
+fn pristine_fault_model_is_bitwise_clean_and_pays_only_the_abft_cycle() {
+    // Reference: the default runtime, no fault policy at all.
+    let clean = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        ..RuntimeConfig::default()
+    })
+    .run_batch(plans(6));
+
+    // Fault injection on, but with an explicitly fault-free device: the remap is
+    // a no-op, drift is 1.0, and the ABFT probe never fires — numerics must be
+    // bit-identical to the clean runtime; only the simulated checksum cycles and
+    // the probe SpMV differ.
+    let policy = FaultPolicy::realistic(7).with_model(FaultModelConfig::pristine(7));
+    let faulty = SolveRuntime::new(RuntimeConfig {
+        workers: 2,
+        fault: Some(policy),
+        ..RuntimeConfig::default()
+    })
+    .run_batch(plans(6));
+
+    for (a, b) in clean.jobs.iter().zip(faulty.jobs.iter()) {
+        assert_eq!(a.result.iterations, b.result.iterations);
+        let bits_a: Vec<u64> = a.result.x.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = b.result.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "pristine fault model changed job numerics");
+    }
+    assert_eq!(faulty.report.faults_detected, 0);
+    assert_eq!(faulty.report.fault_retries, 0);
+    assert_eq!(faulty.report.degraded_jobs, 0);
+    assert!(
+        faulty.report.simulated_cycles > clean.report.simulated_cycles,
+        "ABFT checksum column and probe must be charged to the chip model"
+    );
+    let rendered = faulty.report.render();
+    assert!(rendered.contains("reliability"));
+}
+
+#[test]
+fn heavy_faults_are_detected_retried_and_every_ticket_resolves() {
+    let clean = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        ..RuntimeConfig::default()
+    })
+    .run_batch(plans(1));
+    let clean_iterations = clean.jobs[0].result.iterations;
+
+    let policy = FaultPolicy::realistic(3).with_model(heavy_faults(3));
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 2,
+        fault: Some(policy),
+        ..RuntimeConfig::default()
+    });
+    let tickets: Vec<SolveTicket> = plans(12)
+        .into_iter()
+        .map(|p| client.submit(p).expect("accepting"))
+        .collect();
+
+    let (mut completed, mut degraded) = (0usize, 0usize);
+    for ticket in tickets {
+        match ticket.wait() {
+            TicketOutcome::Completed(outcome) => {
+                completed += 1;
+                // Bounded damage: a job that survived ABFT (possibly after
+                // re-encode retries) pays at most a small iteration overhead.
+                assert!(outcome.result.converged(), "survivors must converge");
+                assert!(
+                    outcome.result.iterations <= 3 * clean_iterations + 10,
+                    "unbounded iteration overhead: {} vs clean {}",
+                    outcome.result.iterations,
+                    clean_iterations
+                );
+            }
+            TicketOutcome::Degraded(job) => {
+                degraded += 1;
+                assert_eq!(job.reason, DegradedReason::AbftUnresolved);
+                assert!(
+                    job.outcome.is_some(),
+                    "ABFT-unresolved jobs carry the best-effort solve"
+                );
+            }
+            other => panic!("a faulty chip must not lose or fail jobs: {other:?}"),
+        }
+    }
+    assert_eq!(completed + degraded, 12, "zero lost jobs");
+
+    let detections = client.health().total_detections();
+    assert!(detections > 0, "heavy stuck rates must trip the ABFT probe");
+    let report = client.shutdown();
+    assert!(report.faults_detected > 0);
+    assert_eq!(report.jobs, completed);
+    assert_eq!(report.degraded_jobs as usize, degraded);
+    assert!(report.render().contains("reliability"));
+}
+
+#[test]
+fn disabling_abft_lets_the_same_faults_corrupt_silently() {
+    let a = hot_matrix().csr().clone();
+    let b = vec![1.0; a.nrows()];
+
+    // Control arm: same heavy defects, checksum test off.  Nothing detects, no
+    // job degrades — and the answer is detectably wrong in true fp64 residual.
+    let silent = SolveRuntime::new(RuntimeConfig {
+        workers: 1,
+        fault: Some(
+            FaultPolicy::realistic(3)
+                .with_model(heavy_faults(3))
+                .without_abft(),
+        ),
+        ..RuntimeConfig::default()
+    })
+    .run_batch(plans(2));
+    assert_eq!(silent.report.faults_detected, 0, "no ABFT, no detections");
+    assert_eq!(silent.report.degraded_jobs, 0);
+    for job in &silent.jobs {
+        let true_rel = a.relative_residual(&b, &job.result.x);
+        assert!(
+            true_rel > 1e-8,
+            "silent corruption should be detectably wrong, got {true_rel:.3e}"
+        );
+    }
+}
+
+#[test]
+fn a_zero_retry_budget_degrades_detected_jobs_typed() {
+    let policy = FaultPolicy::realistic(3)
+        .with_model(heavy_faults(3))
+        .with_max_retries(0);
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 1,
+        fault: Some(policy),
+        ..RuntimeConfig::default()
+    });
+    let tickets: Vec<SolveTicket> = plans(4)
+        .into_iter()
+        .map(|p| client.submit(p).expect("accepting"))
+        .collect();
+    let degraded = tickets
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|outcome| {
+            // Every ticket resolves; with no retry budget a detected corruption
+            // degrades immediately.
+            matches!(outcome, TicketOutcome::Degraded(job)
+                if job.reason == DegradedReason::AbftUnresolved && job.outcome.is_some())
+        })
+        .count();
+    assert!(degraded > 0, "heavy faults with zero retries must degrade");
+    let report = client.shutdown();
+    assert_eq!(report.degraded_jobs as usize, degraded);
+    assert_eq!(report.fault_retries, 0, "no retry budget, no retries");
+}
+
+#[test]
+fn a_killed_chip_reroutes_to_the_surviving_worker() {
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 2,
+        ..RuntimeConfig::default()
+    });
+    assert!(client.kill_chip(0), "first kill reports true");
+    assert!(!client.kill_chip(0), "kills are idempotent");
+
+    let tickets: Vec<SolveTicket> = plans(8)
+        .into_iter()
+        .map(|p| client.submit(p).expect("accepting"))
+        .collect();
+    for ticket in tickets {
+        assert!(
+            ticket.wait().completed().is_some(),
+            "a live peer exists, so every job completes cleanly"
+        );
+    }
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 8);
+    assert_eq!(report.chips_killed, 1);
+    assert_eq!(report.degraded_jobs, 0);
+    assert_eq!(
+        report.per_worker_jobs[0], 0,
+        "the killed worker completes nothing"
+    );
+    assert_eq!(report.per_worker_jobs[1], 8);
+}
+
+#[test]
+fn killing_the_last_chip_degrades_jobs_instead_of_losing_them() {
+    let client = SolveRuntime::start(RuntimeConfig {
+        workers: 1,
+        ..RuntimeConfig::default()
+    });
+    assert!(client.kill_chip(0));
+
+    // The single worker is dead: the first admitted job must resolve as the
+    // typed Degraded outcome, never hang or vanish.
+    let ticket = client
+        .submit(plans(1).remove(0))
+        .expect("admission is still open at kill time");
+    match ticket.wait() {
+        TicketOutcome::Degraded(job) => {
+            assert_eq!(job.reason, DegradedReason::ChipKilled);
+            assert!(job.outcome.is_none(), "the job never touched a chip");
+        }
+        other => panic!("expected a typed Degraded outcome, got {other:?}"),
+    }
+
+    // Afterwards the dead node closes its queue: a late plan is either refused
+    // typed (plan handed back) or degraded typed — never lost.
+    match client.submit(plans(1).remove(0)) {
+        Ok(late) => assert!(late.wait().is_degraded()),
+        Err(err) => assert!(matches!(err, refloat::runtime::SubmitError::Closed(_))),
+    }
+
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 0, "nothing completed cleanly");
+    assert!(report.degraded_jobs >= 1);
+    assert_eq!(report.chips_killed, 1);
+}
+
+#[test]
+fn the_cluster_steers_traffic_away_from_a_dead_node() {
+    let client = ClusterRuntime::start(ClusterConfig::uniform(
+        2,
+        RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        },
+    ));
+    // Kill both chips of node 0 (pool-global workers 0 and 1).
+    assert!(client.kill_chip(0));
+    assert!(client.kill_chip(1));
+
+    let tickets: Vec<SolveTicket> = plans(12)
+        .into_iter()
+        .map(|p| client.submit(p).expect("cluster is accepting"))
+        .collect();
+    for ticket in tickets {
+        assert!(
+            ticket.wait().completed().is_some(),
+            "node 1 is alive: the router must land every job there"
+        );
+    }
+
+    let live = client.metrics_snapshot();
+    assert!(
+        live.counter(metric_names::ROUTE_HEALTH_STEERS).unwrap() > 0,
+        "some placements must differ from the health-blind baseline"
+    );
+    let report = client.shutdown();
+    assert_eq!(report.jobs, 12);
+    assert_eq!(report.chips_killed, 2);
+    assert_eq!(report.degraded_jobs, 0);
+    assert_eq!(
+        report.per_node_jobs[0], 0,
+        "the dead node completes nothing: {:?}",
+        report.per_node_jobs
+    );
+    assert_eq!(report.per_node_jobs[1], 12);
+}
