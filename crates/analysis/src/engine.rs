@@ -44,6 +44,7 @@ pub const FLOAT_ACCUM_EXEMPT: &[&str] = &["crates/sparse/src/vecops.rs"];
 pub const SERVICE_PATHS: &[&str] = &[
     "crates/runtime/src/worker.rs",
     "crates/runtime/src/client.rs",
+    "crates/runtime/src/sequence.rs",
     "crates/runtime/src/node.rs",
     "crates/runtime/src/health.rs",
     "crates/reram-sim/src/fault.rs",

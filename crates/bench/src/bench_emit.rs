@@ -20,7 +20,14 @@ use crate::json::flag_value;
 
 /// Areas whose `BENCH_<area>.json` file must exist in a trajectory directory
 /// (`bench_check` fails when one is missing).
-pub const TRACKED_AREAS: [&str; 5] = ["runtime", "encode", "spmv", "cluster", "faults"];
+pub const TRACKED_AREAS: [&str; 6] = [
+    "runtime",
+    "encode",
+    "spmv",
+    "cluster",
+    "faults",
+    "transient",
+];
 
 /// The metrics each area's report must carry, as finite numbers.  Renaming or
 /// dropping one of these is schema drift and fails `bench_check`.
@@ -57,6 +64,13 @@ pub fn required_metrics(area: &str) -> Option<&'static [&'static str]> {
             "re_encodes",
             "degraded_jobs",
             "rerouted_jobs",
+        ]),
+        "transient" => Some(&[
+            "model_cycle_reduction_x",
+            "jobs_per_s_speedup_x",
+            "blocks_reused_fraction",
+            "warm_start_hits",
+            "steps",
         ]),
         "scheduling" => Some(&["interactive_p99_improvement_x", "throughput_ratio"]),
         "sharding" => Some(&["speedup_4_chips", "reduction_share_8_chips"]),

@@ -52,6 +52,7 @@ pub mod escalation;
 pub mod feinberg;
 pub mod format;
 pub mod formats;
+pub mod incremental;
 pub mod locality;
 pub mod matrix;
 pub mod memory;
@@ -65,6 +66,9 @@ pub use autotune::{AutotuneConfig, FormatCandidate, FormatDecision, FormatPlan};
 pub use block::ReFloatBlock;
 pub use escalation::EscalationPolicy;
 pub use format::{ReFloatConfig, RoundingMode, UnderflowMode};
+pub use incremental::{
+    assert_bitwise_identical, reencode_incremental, IncrementalEncode, IncrementalStats,
+};
 pub use matrix::ReFloatMatrix;
 pub use resilience::{AbftChecksum, RemapPlan, SpareBudget, StuckCell};
 pub use sharded::{OperatorShard, ShardedReFloatMatrix};

@@ -58,6 +58,25 @@ impl ReFloatMatrix {
         }
     }
 
+    /// Assembles a matrix from already-encoded blocks (block-row-major order), used by
+    /// [`crate::incremental`] to stitch reused and re-encoded blocks together.
+    pub(crate) fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        config: ReFloatConfig,
+        blocks: Vec<ReFloatBlock>,
+    ) -> Self {
+        ReFloatMatrix {
+            nrows,
+            ncols,
+            config,
+            blocks,
+            converter: VectorConverter::new(config),
+            quantized_input: vec![0.0; ncols],
+            quantize_vectors: true,
+        }
+    }
+
     /// Convenience: blocks a CSR matrix with the configuration's `b` and encodes it.
     pub fn from_csr(a: &CsrMatrix, config: ReFloatConfig) -> Self {
         let blocked = BlockedMatrix::from_csr(a, config.b)

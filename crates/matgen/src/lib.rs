@@ -21,10 +21,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fem;
 pub mod generators;
 pub mod rhs;
 pub mod traffic;
+pub mod transient;
 pub mod workloads;
 
 pub use traffic::{Arrival, ArrivalProcess, TrafficSpec};
+pub use transient::{SolveStep, TransientChain, TransientSpec};
 pub use workloads::{Workload, WorkloadSpec};

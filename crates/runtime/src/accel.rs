@@ -311,6 +311,61 @@ impl SimulatedAccelerator {
         run
     }
 
+    /// Like [`execute_batch`](Self::execute_batch), but for a sequence step whose
+    /// encoding came from an incremental re-encode against the operator the chip
+    /// currently holds (`predecessor`): instead of a full cluster rewrite, only the
+    /// touched fraction of the crossbar ranges is reprogrammed — charged as
+    /// `reprogram_fraction` of the cluster write time — and only the `touched_blocks`
+    /// re-encoded blocks age the fault model.  When the chip holds anything else the
+    /// delta does not apply and this falls back to the full [`execute_batch`](Self::execute_batch) charge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_batch_delta(
+        &mut self,
+        key: CacheKey,
+        predecessor: CacheKey,
+        reprogram_fraction: f64,
+        touched_blocks: u64,
+        format: &ReFloatConfig,
+        num_blocks: u64,
+        iterations: &[u64],
+        solver: SolverKind,
+    ) -> SimulatedRun {
+        if self.programmed != Some(predecessor) {
+            return self.execute_batch(key, format, num_blocks, iterations, solver);
+        }
+        assert!(!iterations.is_empty(), "a batch needs at least one RHS");
+        let hw = self.chip(format);
+        let fraction = reprogram_fraction.clamp(0.0, 1.0);
+        let remapped = touched_blocks > 0;
+        if remapped {
+            if let Some(fault) = &mut self.fault {
+                fault.record_programming(touched_blocks);
+            }
+        }
+        let program_s = hw.cluster_write_time_s() * fraction;
+        let mut run = SimulatedRun {
+            program_s,
+            remapped,
+            total_s: program_s,
+            ..SimulatedRun::zero()
+        };
+        for &iters in iterations {
+            let breakdown = hw.solver_time(num_blocks, iters, solver);
+            let spmv_count = iters * solver.spmv_per_iteration();
+            run.cycles += spmv_count * breakdown.rounds_per_spmv * hw.cycles_per_block_mvm;
+            run.compute_s += spmv_count as f64 * breakdown.spmv_compute_s;
+            run.stream_write_s += spmv_count as f64 * breakdown.spmv_write_s;
+            run.total_s += breakdown.solver_total_s;
+        }
+        self.programmed = Some(key);
+        self.usage.jobs += 1;
+        self.usage.cycles += run.cycles;
+        self.usage.busy_s += run.total_s;
+        self.usage.remaps += u64::from(remapped);
+        self.notify(&run);
+        run
+    }
+
     /// Accounts one completed *sharded* solve on a pool of `keys.len()` chips: shards
     /// execute in parallel (each SpMV costs the slowest shard, the makespan), every
     /// SpMV pays the fixed-order inter-chip gather, and the whole pool is programmed

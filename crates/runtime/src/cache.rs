@@ -200,6 +200,19 @@ impl EncodedMatrixCache {
         sync::lock(&self.inner).map.contains_key(key)
     }
 
+    /// Non-counting lookup: the cached encoding for `key` if present.  Refreshes LRU
+    /// recency but records neither hit nor miss — sequence steps use it to probe for
+    /// a predecessor's encoding without skewing the hit-rate statistics.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<ReFloatMatrix>> {
+        let mut inner = sync::lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.matrix)
+        })
+    }
+
     /// Returns the encoded matrix for `key`, calling `encode` (outside the lock) only
     /// if no other caller has cached or is currently encoding it.  Encode timing is
     /// read from `clock` so a `ManualClock` run reports exactly-zero encode seconds.

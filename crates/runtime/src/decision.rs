@@ -159,6 +159,19 @@ impl FormatDecisionCache {
         sync::lock(&self.inner).map.contains_key(key)
     }
 
+    /// Non-counting lookup: the cached decision for `key` if present.  Refreshes LRU
+    /// recency but records neither hit nor miss — sequence steps use it to probe for
+    /// a predecessor's decision without skewing the hit-rate statistics.
+    pub fn peek(&self, key: &DecisionKey) -> Option<FormatDecision> {
+        let mut inner = sync::lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            entry.decision
+        })
+    }
+
     /// Returns the decision for `key`, calling `analyse` (outside the lock) only if no
     /// other caller has cached or is currently computing it.  Analysis timing is read
     /// from `clock` so a `ManualClock` run reports exactly-zero analysis seconds.

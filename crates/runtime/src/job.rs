@@ -54,6 +54,36 @@ impl MatrixHandle {
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
+
+    /// The shared matrix itself (sequence steps keep it as the next step's
+    /// predecessor source without copying the CSR arrays).
+    pub(crate) fn csr_arc(&self) -> Arc<CsrMatrix> {
+        Arc::clone(&self.csr)
+    }
+}
+
+/// The previous step of a solve sequence, as seen by the worker: enough to attempt an
+/// incremental re-encode of the current matrix against the predecessor's cached
+/// encoding (the raw CSR is needed because encoded blocks store only quantized
+/// values).
+#[derive(Debug, Clone)]
+pub(crate) struct SequencePredecessor {
+    /// Fingerprint of the previous step's matrix (keys its cache entries).
+    pub fingerprint: u64,
+    /// The previous step's raw matrix.
+    pub csr: Arc<CsrMatrix>,
+}
+
+/// Sequence context a [`SolveSequence`](crate::SolveSequence) attaches to a job.
+/// Jobs without it (`SolveJob::sequence == None`) run the exact pre-sequence code
+/// paths, bit for bit.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SequenceSpec {
+    /// The previous step, when its encoding/decision may be reusable.
+    pub predecessor: Option<SequencePredecessor>,
+    /// Warm-start guess: the previous step's solution (residual-guarded by the
+    /// worker, so a stale guess can only cost one SpMV, never accuracy).
+    pub initial_guess: Option<Arc<Vec<f64>>>,
 }
 
 /// Mixed-precision refinement settings for a plan (see
@@ -182,6 +212,10 @@ pub(crate) struct SolveJob {
     /// blocking `b`, while `(e, f)(ev, fv)` come from the memoized per-matrix
     /// analysis.
     pub auto_format: Option<AutoFormatSpec>,
+    /// Sequence context attached by a [`SolveSequence`](crate::SolveSequence):
+    /// predecessor (for incremental re-encode / decision reuse) and warm-start guess.
+    /// `None` for every job submitted outside a sequence.
+    pub sequence: Option<SequenceSpec>,
 }
 
 impl SolveJob {

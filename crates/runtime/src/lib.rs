@@ -50,6 +50,11 @@
 //! * [`RefinementSpec`] / [`AutoFormatSpec`] (`job`) — opt-in mixed-precision
 //!   refinement and per-matrix format auto-tuning, both resolved through the shared
 //!   caches;
+//! * [`SolveSequence`] (`sequence`) — transient solve chains: each step reuses the
+//!   previous step's cached encoding (incremental re-encode, charged only for the
+//!   touched crossbar fraction), solution (residual-guarded warm start) and format
+//!   decision, while jobs submitted outside a sequence stay bit-identical to the
+//!   pre-sequence runtime;
 //! * [`SolveRuntime`] (here) — the factory owning the caches; [`SolveRuntime::start`]
 //!   (or [`SolveRuntime::client`]) spawns the worker pool and returns the client,
 //!   while [`run_batch`](SolveRuntime::run_batch)/[`run_with`](SolveRuntime::run_with)
@@ -176,6 +181,7 @@ pub mod node;
 pub mod plan;
 pub mod queue;
 pub mod sched;
+pub mod sequence;
 pub mod telemetry;
 mod trace_job;
 mod worker;
@@ -196,9 +202,10 @@ pub use node::Node;
 pub use plan::{PlanError, PlanViolation, SolvePlan, SolvePlanBuilder};
 pub use queue::BoundedQueue;
 pub use sched::{JobScheduler, Popped, Priority, SchedulerPolicy, SchedulerStats, SchedulingMode};
+pub use sequence::SolveSequence;
 pub use telemetry::{
     metric_names, AggregateContext, AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles,
-    JobTelemetry, PriorityLane, RefinementTelemetry, RuntimeReport,
+    JobTelemetry, PriorityLane, RefinementTelemetry, RuntimeReport, SequenceTelemetry,
 };
 // Re-export the observability vocabulary so service users need only this crate.
 pub use refloat_telemetry::{

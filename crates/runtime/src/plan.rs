@@ -412,6 +412,7 @@ impl SolvePlanBuilder {
                 solver_config,
                 refinement: self.refinement,
                 auto_format: self.auto_format,
+                sequence: None,
             },
             priority: self.priority,
             deadline: self.deadline,

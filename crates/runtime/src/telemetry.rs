@@ -116,6 +116,22 @@ pub mod metric_names {
     /// Counter: cluster placements steered away from the health-blind choice
     /// because a node looked degraded (dead workers or detection-heavy chips).
     pub const ROUTE_HEALTH_STEERS: &str = "route_health_steers";
+    /// Counter: jobs submitted through a [`SolveSequence`](crate::SolveSequence)
+    /// step (they carry predecessor context the worker can exploit).
+    pub const SEQ_STEPS: &str = "seq_steps";
+    /// Counter: sequence steps whose warm-start guess passed the residual guard
+    /// (zero-iteration short-circuit or correction solve; rejected guesses fall
+    /// back to the plain zero-start solve).
+    pub const WARM_START_HITS: &str = "warm_start_hits";
+    /// Counter: blocks re-quantized by incremental sequence re-encodes (partial or
+    /// full crossbar rewrites).
+    pub const BLOCKS_REENCODED: &str = "blocks_reencoded";
+    /// Counter: blocks reused verbatim from the predecessor's encoding by
+    /// incremental sequence re-encodes (no quantization, no device writes).
+    pub const BLOCKS_REUSED: &str = "blocks_reused";
+    /// Counter: sequence steps that reused the predecessor's format decision
+    /// instead of re-running the auto-format analysis.
+    pub const SEQ_DECISION_CACHE_HITS: &str = "seq_decision_cache_hits";
 
     /// The per-node completion counter's name (`node<i>_jobs_completed`), one per
     /// node, registered when the node's workers spawn.
@@ -157,6 +173,11 @@ pub struct JobMetricHandles {
     analysis_s: Arc<Histogram>,
     faults_detected: Arc<Counter>,
     fault_retries: Arc<Counter>,
+    seq_steps: Arc<Counter>,
+    warm_start_hits: Arc<Counter>,
+    blocks_reencoded: Arc<Counter>,
+    blocks_reused: Arc<Counter>,
+    seq_decision_cache_hits: Arc<Counter>,
 }
 
 impl JobMetricHandles {
@@ -195,6 +216,11 @@ impl JobMetricHandles {
             analysis_s: registry.histogram_seconds(m::ANALYSIS_S),
             faults_detected: registry.counter(m::FAULTS_DETECTED),
             fault_retries: registry.counter(m::FAULT_RETRIES),
+            seq_steps: registry.counter(m::SEQ_STEPS),
+            warm_start_hits: registry.counter(m::WARM_START_HITS),
+            blocks_reencoded: registry.counter(m::BLOCKS_REENCODED),
+            blocks_reused: registry.counter(m::BLOCKS_REUSED),
+            seq_decision_cache_hits: registry.counter(m::SEQ_DECISION_CACHE_HITS),
         }
     }
 
@@ -248,6 +274,17 @@ impl JobMetricHandles {
         }
         self.faults_detected.add(job.faults_detected);
         self.fault_retries.add(job.fault_retries);
+        if let Some(seq) = &job.sequence {
+            self.seq_steps.inc();
+            if seq.warm_start_used {
+                self.warm_start_hits.inc();
+            }
+            self.blocks_reencoded.add(seq.blocks_reencoded);
+            self.blocks_reused.add(seq.blocks_reused);
+            if seq.decision_cache_hit {
+                self.seq_decision_cache_hits.inc();
+            }
+        }
     }
 }
 
@@ -336,6 +373,28 @@ pub struct AutotuneTelemetry {
     pub fell_back: bool,
 }
 
+/// What the sequence machinery did for a job (absent unless the job was submitted
+/// through a [`SolveSequence`](crate::SolveSequence) step).
+#[derive(Debug, Clone)]
+pub struct SequenceTelemetry {
+    /// `true` when the warm-start guess passed the residual guard (the solve ran in
+    /// correction form, or the guess already met the criterion).
+    pub warm_start_used: bool,
+    /// `‖b − A·x₀‖` measured by the guard, when a guess was offered.
+    pub initial_residual: Option<f64>,
+    /// `true` when the encoding came from an incremental re-encode against the
+    /// predecessor (rather than a from-scratch encode or a plain cache hit).
+    pub incremental: bool,
+    /// Blocks re-quantized by the incremental re-encode (0 when `incremental` is
+    /// false).
+    pub blocks_reencoded: u64,
+    /// Blocks reused verbatim from the predecessor's encoding.
+    pub blocks_reused: u64,
+    /// `true` when an auto-format step reused the predecessor's format decision
+    /// instead of re-running the analysis.
+    pub decision_cache_hit: bool,
+}
+
 /// Everything measured about one job.
 #[derive(Debug, Clone)]
 pub struct JobTelemetry {
@@ -385,6 +444,9 @@ pub struct JobTelemetry {
     /// Detected-corruption retries this job paid (each one re-encoded onto spare
     /// resources and re-ran the solve).
     pub fault_retries: u64,
+    /// Sequence-step details when the job was submitted through a
+    /// [`SolveSequence`](crate::SolveSequence) (`None` for all other jobs).
+    pub sequence: Option<SequenceTelemetry>,
 }
 
 /// Everything [`RuntimeReport::aggregate`] needs besides the telemetry rows: the
@@ -538,6 +600,16 @@ pub struct RuntimeReport {
     pub rerouted_jobs: u64,
     /// Chips administratively killed during the batch.
     pub chips_killed: u64,
+    /// Jobs submitted through a [`SolveSequence`](crate::SolveSequence) step.
+    pub seq_steps: usize,
+    /// Sequence steps whose warm-start guess passed the residual guard.
+    pub warm_start_hits: u64,
+    /// Blocks re-quantized by incremental sequence re-encodes.
+    pub blocks_reencoded: u64,
+    /// Blocks reused verbatim from predecessor encodings.
+    pub blocks_reused: u64,
+    /// Sequence steps that reused the predecessor's format decision.
+    pub seq_decision_cache_hits: u64,
     /// Decision-cache counter increments during the batch.
     pub decisions: DecisionStats,
     /// The full metrics snapshot the aggregation was derived from (the same
@@ -748,6 +820,11 @@ impl RuntimeReport {
             degraded_jobs,
             rerouted_jobs,
             chips_killed,
+            seq_steps: counter(metric_names::SEQ_STEPS) as usize,
+            warm_start_hits: counter(metric_names::WARM_START_HITS),
+            blocks_reencoded: counter(metric_names::BLOCKS_REENCODED),
+            blocks_reused: counter(metric_names::BLOCKS_REUSED),
+            seq_decision_cache_hits: counter(metric_names::SEQ_DECISION_CACHE_HITS),
             decisions,
             metrics,
         }
@@ -851,6 +928,16 @@ impl RuntimeReport {
             out.push_str(&format!(
                 "multi-rhs       {} right-hand sides across {} jobs\n",
                 self.rhs_total, self.jobs
+            ));
+        }
+        if self.seq_steps > 0 {
+            out.push_str(&format!(
+                "sequences       {} steps ({} warm-start hits, {} decision reuses), blocks {} reused / {} re-encoded\n",
+                self.seq_steps,
+                self.warm_start_hits,
+                self.seq_decision_cache_hits,
+                self.blocks_reused,
+                self.blocks_reencoded,
             ));
         }
         out.push_str(&format!("worker load     {:?}\n", self.per_worker_jobs));
@@ -1055,6 +1142,23 @@ impl Serialize for RuntimeReport {
                 "chips_killed".to_string(),
                 Value::Num(self.chips_killed as f64),
             ),
+            ("seq_steps".to_string(), Value::Num(self.seq_steps as f64)),
+            (
+                "warm_start_hits".to_string(),
+                Value::Num(self.warm_start_hits as f64),
+            ),
+            (
+                "blocks_reencoded".to_string(),
+                Value::Num(self.blocks_reencoded as f64),
+            ),
+            (
+                "blocks_reused".to_string(),
+                Value::Num(self.blocks_reused as f64),
+            ),
+            (
+                "seq_decision_cache_hits".to_string(),
+                Value::Num(self.seq_decision_cache_hits as f64),
+            ),
             ("metrics".to_string(), self.metrics.to_value()),
         ])
     }
@@ -1147,6 +1251,7 @@ mod tests {
             autotune: None,
             faults_detected: 0,
             fault_retries: 0,
+            sequence: None,
         }
     }
 

@@ -4,8 +4,11 @@
 //! mixed-precision refined), and account the simulated-chip cost.
 
 use refloat_core::autotune::{self, AutotuneConfig};
+use refloat_core::incremental::{reencode_incremental, IncrementalStats};
 use refloat_core::{OperatorShard, ReFloatConfig, ReFloatMatrix, ShardedReFloatMatrix};
-use refloat_solvers::{refine, LinearOperator, PrecisionLadder, SolveResult, SolverConfig};
+use refloat_solvers::{
+    refine_warm, solve_warm_split, LinearOperator, PrecisionLadder, SolveResult, SolverConfig,
+};
 use refloat_sparse::{block_row_shards, extract_row_range, CsrMatrix};
 
 use refloat_telemetry::{sync, Clock, SpanKind, TraceEvent, TraceSink};
@@ -21,7 +24,7 @@ use crate::node::NodeCore;
 use crate::sched::Popped;
 use crate::telemetry::{
     metric_names, AutotuneTelemetry, CacheOutcomeKind, JobMetricHandles, JobTelemetry,
-    RefinementTelemetry,
+    RefinementTelemetry, SequenceTelemetry,
 };
 use crate::trace_job::JobTrace;
 
@@ -284,6 +287,13 @@ struct CachedLadder<'a> {
     fetch_s: f64,
     /// How the *base* rung was resolved (the job-level cache outcome).
     base_outcome: Option<CacheOutcomeKind>,
+    /// The sequence predecessor rung misses diff against (sequence steps only).
+    predecessor: Option<&'a crate::job::SequencePredecessor>,
+    /// Whether any rung fetch re-encoded incrementally, and its block accounting
+    /// summed across rungs (in practice only the base rung of a sequence step).
+    incremental: bool,
+    blocks_reencoded: u64,
+    blocks_reused: u64,
 }
 
 impl<'a> CachedLadder<'a> {
@@ -297,6 +307,7 @@ impl<'a> CachedLadder<'a> {
         base_format: ReFloatConfig,
         solver: refloat_solvers::SolverKind,
         seed: Option<(crate::cache::CacheKey, ReFloatMatrix)>,
+        predecessor: Option<&'a crate::job::SequencePredecessor>,
     ) -> Self {
         let formats = spec.escalation.ladder(base_format);
         let ops = formats.iter().map(|_| None).collect();
@@ -313,6 +324,10 @@ impl<'a> CachedLadder<'a> {
             encode_s: 0.0,
             fetch_s: 0.0,
             base_outcome: None,
+            predecessor,
+            incremental: false,
+            blocks_reencoded: 0,
+            blocks_reused: 0,
         }
     }
 
@@ -354,9 +369,31 @@ impl PrecisionLadder for CachedLadder<'_> {
                 let fetch_started_s = self.clock.now_s();
                 let format = self.formats[level];
                 let key = CacheKey::whole(self.fingerprint, format);
-                let (encoded, outcome) = self.cache.get_or_encode(key, self.clock, || {
-                    ReFloatMatrix::from_csr(self.csr, format)
-                });
+                // A sequence step's rung miss diffs against the predecessor's cached
+                // encoding at the same format, exactly like the plain path: only
+                // dirty blocks re-quantize, and the result is bitwise identical to a
+                // from-scratch encode.
+                let (cache, csr, predecessor) = (self.cache, self.csr, self.predecessor);
+                let mut inc_stats: Option<IncrementalStats> = None;
+                let (encoded, outcome) = {
+                    let inc_stats = &mut inc_stats;
+                    cache.get_or_encode(key, self.clock, || {
+                        if let Some(pred) = predecessor {
+                            let pred_key = CacheKey::whole(pred.fingerprint, format);
+                            if let Some(prev) = cache.peek(&pred_key) {
+                                let inc = reencode_incremental(&prev, &pred.csr, csr);
+                                *inc_stats = Some(inc.stats);
+                                return inc.matrix;
+                            }
+                        }
+                        ReFloatMatrix::from_csr(csr, format)
+                    })
+                };
+                if let Some(stats) = inc_stats {
+                    self.incremental = true;
+                    self.blocks_reencoded += stats.blocks_reencoded() as u64;
+                    self.blocks_reused += stats.blocks_reused as u64;
+                }
                 if let CacheOutcome::Miss { encode_seconds } = outcome {
                     self.encode_s += encode_seconds;
                 }
@@ -393,6 +430,9 @@ struct RefinedOutcome {
     solve_s: f64,
     cache: CacheOutcomeKind,
     telemetry: RefinementTelemetry,
+    /// Sequence-step details when the job carried a [`SequenceSpec`]; the
+    /// decision-reuse flag is filled in by `execute_job`.
+    sequence: Option<SequenceTelemetry>,
 }
 
 /// Runs one refined job: the outer fp64 defect-correction loop over the cache-backed
@@ -415,6 +455,7 @@ fn run_refined(
         Some(ProgrammedOp::Whole(key, op)) => Some((key, op)),
         _ => None,
     };
+    let seq = job.sequence.as_ref();
     let mut ladder = CachedLadder::new(
         cache,
         clock,
@@ -424,11 +465,17 @@ fn run_refined(
         job.format,
         job.solver,
         seed,
+        seq.and_then(|s| s.predecessor.as_ref()),
     );
     let config = spec.refinement_config();
     let solve_anchor = jt.now_s();
     let solve_started_s = clock.now_s();
-    let refined = refine(&mut CsrRef(csr), rhs, &mut ladder, &config);
+    // A sequence step warm-starts the outer loop from the previous solution; the
+    // guard residual is exact (one extra fp64 SpMV, priced below with the other
+    // host-side work), so a carried-over iterate typically starts decades below
+    // ‖b‖ and skips most of the cold passes.
+    let guess = seq.and_then(|s| s.initial_guess.as_deref().map(Vec::as_slice));
+    let refined = refine_warm(&mut CsrRef(csr), rhs, guess, &mut ladder, &config);
     // Rung fetches (encode / coalesced wait / clone) interleave with the solve; keep
     // solver time clean of them.
     let solve_s = (clock.now_s() - solve_started_s - ladder.fetch_s).max(0.0);
@@ -497,6 +544,14 @@ fn run_refined(
         final_relative_residual: refined.final_relative_residual,
         stalled: refined.stop == refloat_solvers::RefinementStop::Stalled,
     };
+    let sequence = seq.map(|_| SequenceTelemetry {
+        warm_start_used: refined.warm_path.used(),
+        initial_residual: refined.initial_residual,
+        incremental: ladder.incremental,
+        blocks_reencoded: ladder.blocks_reencoded,
+        blocks_reused: ladder.blocks_reused,
+        decision_cache_hit: false,
+    });
     let encode_s = ladder.encode_s;
     let cache = ladder.base_outcome.unwrap_or(CacheOutcomeKind::Hit);
     *programmed = ladder
@@ -509,6 +564,7 @@ fn run_refined(
         solve_s,
         cache,
         telemetry,
+        sequence,
     }
 }
 
@@ -522,6 +578,10 @@ struct PlainOutcome {
     /// Chips the job actually spanned (the partitioner may return fewer shards than
     /// requested for small matrices).
     shards: usize,
+    /// Sequence-step details when the job carried a [`SequenceSpec`]; the
+    /// decision-reuse flag is filled in by `execute_job` (the auto-format block runs
+    /// before the plain paths).
+    sequence: Option<SequenceTelemetry>,
 }
 
 /// Runs one unsharded job: resolve the whole-matrix encoding through the cache, then
@@ -536,10 +596,29 @@ fn run_plain(
     clock: &dyn Clock,
 ) -> PlainOutcome {
     let key = job.cache_key();
+    let seq = job.sequence.as_ref();
+    let predecessor = seq.and_then(|s| s.predecessor.as_ref());
+    // Filled by the encode closure when the encoding came from an incremental
+    // re-encode against the predecessor's cached encoding (sequence steps only).
+    let mut inc_stats: Option<IncrementalStats> = None;
     let lookup_anchor = jt.now_s();
-    let (encoded, cache_outcome) = cache.get_or_encode(key, clock, || {
-        ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
-    });
+    let (encoded, cache_outcome) = {
+        let inc_stats = &mut inc_stats;
+        // The closure runs outside the cache lock, so the nested peek cannot
+        // deadlock.  A hit on `key` itself still wins outright — the closure never
+        // runs and the step pays nothing.
+        cache.get_or_encode(key, clock, || {
+            if let Some(pred) = predecessor {
+                let pred_key = CacheKey::whole(pred.fingerprint, job.format);
+                if let Some(prev) = cache.peek(&pred_key) {
+                    let inc = reencode_incremental(&prev, &pred.csr, job.matrix.csr());
+                    *inc_stats = Some(inc.stats);
+                    return inc.matrix;
+                }
+            }
+            ReFloatMatrix::from_csr(job.matrix.csr(), job.format)
+        })
+    };
     let encode_s = match cache_outcome {
         CacheOutcome::Miss { encode_seconds } => encode_seconds,
         CacheOutcome::Hit | CacheOutcome::Coalesced => 0.0,
@@ -566,21 +645,80 @@ fn run_plain(
     };
     let solve_anchor = jt.now_s();
     let solve_started_s = clock.now_s();
-    let results = job
-        .solver
-        .solve_batch(&mut operator, rhss, &job.solver_config);
+    // A sequence step warm-starts its primary right-hand side from the previous
+    // solution.  The guess residual is measured on the host's fp64 matrix
+    // (solve_warm_split): through the quantized operator a good guess drowns in
+    // the format's noise floor, while the fp64 residual stays small and smooth so
+    // the correction solve genuinely starts decades ahead.  The guard falls back
+    // to the plain zero-start solve (bit for bit) when the guess does not help.
+    // Jobs without a sequence take the exact pre-sequence path.
+    let guess = seq.and_then(|s| s.initial_guess.as_deref());
+    let (results, warm_used, initial_residual) = match guess {
+        Some(x0) => {
+            let warm = solve_warm_split(
+                job.solver,
+                &mut operator,
+                &mut job.matrix.csr(),
+                rhss[0],
+                Some(x0),
+                &job.solver_config,
+            );
+            let mut results = vec![warm.result];
+            if rhss.len() > 1 {
+                results.extend(job.solver.solve_batch(
+                    &mut operator,
+                    &rhss[1..],
+                    &job.solver_config,
+                ));
+            }
+            (results, warm.path.used(), warm.initial_residual)
+        }
+        None => (
+            job.solver
+                .solve_batch(&mut operator, rhss, &job.solver_config),
+            false,
+            None,
+        ),
+    };
     let solve_s = (clock.now_s() - solve_started_s).max(0.0);
     let iterations: Vec<u64> = results.iter().map(|r| r.iterations as u64).collect();
     jt.span(SpanKind::Execute, solve_anchor, || {
         format!("rhs={} iterations={:?}", rhss.len(), iterations)
     });
-    let simulated = accelerator.execute_batch(
-        key,
-        &job.format,
-        operator.num_blocks() as u64,
-        &iterations,
-        job.solver,
-    );
+    let mut simulated = match (predecessor, inc_stats.as_ref()) {
+        (Some(pred), Some(stats)) => accelerator.execute_batch_delta(
+            key,
+            CacheKey::whole(pred.fingerprint, job.format),
+            stats.reprogram_fraction(),
+            stats.blocks_reencoded() as u64,
+            &job.format,
+            operator.num_blocks() as u64,
+            &iterations,
+            job.solver,
+        ),
+        _ => accelerator.execute_batch(
+            key,
+            &job.format,
+            operator.num_blocks() as u64,
+            &iterations,
+            job.solver,
+        ),
+    };
+    if initial_residual.is_some() {
+        // The residual-guard SpMV ran on the host fp64 matrix, not the chip.
+        let csr = job.matrix.csr();
+        let guard_s = accelerator.host_spmv_time_s(csr.nnz() as u64, csr.nrows() as u64);
+        simulated.host_fp64_s += guard_s;
+        simulated.total_s += guard_s;
+    }
+    let sequence = seq.map(|_| SequenceTelemetry {
+        warm_start_used: warm_used,
+        initial_residual,
+        incremental: inc_stats.is_some(),
+        blocks_reencoded: inc_stats.map_or(0, |s| s.blocks_reencoded() as u64),
+        blocks_reused: inc_stats.map_or(0, |s| s.blocks_reused as u64),
+        decision_cache_hit: false,
+    });
     *programmed = Some(ProgrammedOp::Whole(key, operator));
     PlainOutcome {
         results,
@@ -589,6 +727,7 @@ fn run_plain(
         solve_s,
         cache: cache_outcome.into(),
         shards: 1,
+        sequence,
     }
 }
 
@@ -745,6 +884,7 @@ fn run_plain_faulty(
             solve_s,
             cache: cache_outcome.into(),
             shards: 1,
+            sequence: None,
         },
         fault,
     )
@@ -873,6 +1013,7 @@ fn run_sharded(
             CacheOutcomeKind::Hit
         },
         shards,
+        sequence: None,
     }
 }
 
@@ -913,6 +1054,7 @@ fn execute_job(
     // cache: the decision is memoized under (fingerprint, b, tolerance, chip), so
     // repeat tenants skip the analysis entirely.
     let mut autotune_tele: Option<AutotuneTelemetry> = None;
+    let mut seq_decision_hit = false;
     if let Some(spec) = job.auto_format.clone() {
         // A sharded job spreads its clusters over `shards` chips, so the streaming
         // rounds the cost model charges must be computed against the pooled capacity
@@ -927,16 +1069,40 @@ fn execute_job(
             chip,
             job.solver,
         );
+        // A sequence step may inherit its predecessor's decision: consecutive
+        // matrices differ by a small perturbation, so the analysis verdict rarely
+        // changes — and the true-residual epilogue below re-verifies the chosen
+        // format against *this* matrix, falling back to refinement if the reused
+        // decision no longer holds.  The inherited decision is published under this
+        // step's key so the next step can chain off it.
+        let predecessor_decision = job
+            .sequence
+            .as_ref()
+            .and_then(|s| s.predecessor.as_ref())
+            .and_then(|p| {
+                decisions.peek(&DecisionKey::new(
+                    p.fingerprint,
+                    job.format.b,
+                    spec.tolerance,
+                    chip,
+                    job.solver,
+                ))
+            });
         let analysis_anchor = jt.now_s();
-        let (decision, outcome) = decisions.get_or_analyse(key, clock, || {
-            autotune::plan_format(
-                job.matrix.csr(),
-                &AutotuneConfig::new(spec.tolerance, job.format.b)
-                    .with_chip_crossbars(chip)
-                    .with_solver(job.solver),
-            )
-            .decision()
-        });
+        let (decision, outcome) =
+            decisions.get_or_analyse(key, clock, || match predecessor_decision {
+                Some(reused) => {
+                    seq_decision_hit = true;
+                    reused
+                }
+                None => autotune::plan_format(
+                    job.matrix.csr(),
+                    &AutotuneConfig::new(spec.tolerance, job.format.b)
+                        .with_chip_crossbars(chip)
+                        .with_solver(job.solver),
+                )
+                .decision(),
+            });
         let analysis_s = match outcome {
             DecisionOutcome::Miss { analysis_seconds } => analysis_seconds,
             DecisionOutcome::Hit | DecisionOutcome::Coalesced => 0.0,
@@ -1005,6 +1171,7 @@ fn execute_job(
         cache_outcome_kind,
         mut refinement,
         shards,
+        sequence_tele,
     ) = if let Some(spec) = job.refinement.clone() {
         // SolvePlanBuilder::build rejects these combinations with a typed PlanError
         // before submission; this backstop only guards in-crate construction bugs.
@@ -1032,6 +1199,7 @@ fn execute_job(
             refined.cache,
             Some(refined.telemetry),
             1,
+            refined.sequence,
         )
     } else {
         // Fault injection covers the plain unsharded path only: sharded and
@@ -1077,7 +1245,25 @@ fn execute_job(
             plain.cache,
             None,
             plain.shards,
+            plain.sequence,
         )
+    };
+
+    // Even a step that reused nothing (first step of a chain, sharded, or refined)
+    // still counts toward the sequence metrics when the job carried a SequenceSpec.
+    let sequence = match sequence_tele {
+        Some(mut seq) => {
+            seq.decision_cache_hit = seq_decision_hit;
+            Some(seq)
+        }
+        None => job.sequence.as_ref().map(|_| SequenceTelemetry {
+            warm_start_used: false,
+            initial_residual: None,
+            incremental: false,
+            blocks_reencoded: 0,
+            blocks_reused: 0,
+            decision_cache_hit: seq_decision_hit,
+        }),
     };
 
     // Auto-format epilogue: measure the *true* residual (one exact fp64 SpMV, charged
@@ -1164,6 +1350,7 @@ fn execute_job(
         autotune: autotune_tele,
         faults_detected,
         fault_retries,
+        sequence,
     };
     (
         JobOutcome {

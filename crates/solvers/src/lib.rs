@@ -33,6 +33,7 @@ pub mod jacobi;
 pub mod operator;
 pub mod refinement;
 pub mod result;
+pub mod warm;
 
 pub use bicgstab::bicgstab;
 pub use cg::{cg, pcg};
@@ -40,10 +41,11 @@ pub use eigs::{EigenConfidence, EigenEstimate};
 pub use jacobi::Equilibration;
 pub use operator::{LinearOperator, OperatorStats};
 pub use refinement::{
-    refine, OperatorLadder, PrecisionLadder, RefinementConfig, RefinementPass, RefinementResult,
-    RefinementStop,
+    refine, refine_warm, OperatorLadder, PrecisionLadder, RefinementConfig, RefinementPass,
+    RefinementResult, RefinementStop,
 };
 pub use result::{SolveResult, SolverConfig, StopReason};
+pub use warm::{solve_warm, solve_warm_split, WarmPath, WarmSolve};
 
 /// Which Krylov solver to run (they differ in SpMVs per iteration).
 ///

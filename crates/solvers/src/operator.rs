@@ -65,6 +65,32 @@ impl LinearOperator for CsrMatrix {
     }
 }
 
+/// A shared CSR reference is itself an operator: `spmv_into` needs only `&self`,
+/// so a `&CsrMatrix` can serve as the high-precision residual operator of
+/// [`solve_warm_split`](crate::solve_warm_split) without cloning the matrix.
+impl LinearOperator for &CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "csr-fp64 ({}x{}, nnz {})",
+            CsrMatrix::nrows(self),
+            CsrMatrix::ncols(self),
+            self.nnz()
+        )
+    }
+}
+
 impl LinearOperator for BlockedMatrix {
     fn nrows(&self) -> usize {
         BlockedMatrix::nrows(self)

@@ -31,6 +31,7 @@
 
 use crate::operator::LinearOperator;
 use crate::result::{SolveResult, SolverConfig, StopReason};
+use crate::warm::WarmPath;
 use crate::SolverKind;
 use refloat_sparse::vecops;
 
@@ -204,6 +205,11 @@ pub struct RefinementPass {
 /// The outcome of a refinement solve.
 #[derive(Debug, Clone)]
 pub struct RefinementResult {
+    /// How the initial guess fared ([`WarmPath::Cold`] when none was offered; see
+    /// [`refine_warm`]).
+    pub warm_path: WarmPath,
+    /// `‖b − A·x₀‖₂` measured in fp64 for the guard, when a guess was offered.
+    pub initial_residual: Option<f64>,
     /// The final (fp64-accumulated) solution iterate.
     pub x: Vec<f64>,
     /// Outer passes executed.
@@ -283,6 +289,35 @@ where
     A: LinearOperator + ?Sized,
     L: PrecisionLadder + ?Sized,
 {
+    refine_warm(a_fp64, b, None, ladder, config)
+}
+
+/// [`refine`] warm-started from an initial guess, with the same guard semantics as
+/// [`solve_warm`](crate::solve_warm): one exact fp64 application measures
+/// `r₀ = b − A·x₀`; a finite, strictly-better-than-zero guess becomes the starting
+/// iterate (the outer loop is defect correction already, so no separate correction
+/// system is needed), anything else falls back to the zero start bitwise identically
+/// to never having offered a guess.
+///
+/// Because the guard residual is *exact*, warm starting composes cleanly with the
+/// quantized ladder: a guess carried over from the previous step of a transient
+/// chain typically starts the outer loop several decades below `‖b‖`, skipping most
+/// of the cold solve's passes — and [`WarmPath::AlreadyConverged`] (zero passes) is
+/// a statement about the true fp64 residual.
+///
+/// # Panics
+/// Panics under the same conditions as [`refine`].
+pub fn refine_warm<A, L>(
+    a_fp64: &mut A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    ladder: &mut L,
+    config: &RefinementConfig,
+) -> RefinementResult
+where
+    A: LinearOperator + ?Sized,
+    L: PrecisionLadder + ?Sized,
+{
     let n = b.len();
     assert_eq!(a_fp64.nrows(), n, "refine: operator rows must match rhs");
     assert_eq!(a_fp64.ncols(), n, "refine: operator must be square");
@@ -313,6 +348,28 @@ where
     let mut rel = if b_norm > 0.0 { 1.0 } else { 0.0 };
     let mut abs = b_norm;
 
+    // A guess replaces the zero start only when its exact residual is finite and
+    // strictly better; otherwise the loop below is bitwise identical to a cold
+    // start (the measurement costs one fp64 SpMV either way).
+    let mut warm_path = WarmPath::Cold;
+    let mut initial_residual = None;
+    if let Some(guess) = x0.filter(|g| g.len() == n) {
+        a_fp64.apply(guess, &mut ax);
+        fp64_spmvs += 1;
+        vecops::sub_into(b, &ax, &mut r_new);
+        let r0_norm = vecops::norm2(&r_new);
+        initial_residual = Some(r0_norm);
+        if r0_norm.is_finite() && r0_norm < b_norm {
+            warm_path = WarmPath::Correction;
+            x.copy_from_slice(guess);
+            std::mem::swap(&mut r, &mut r_new);
+            abs = r0_norm;
+            rel = if b_norm > 0.0 { r0_norm / b_norm } else { 0.0 };
+        } else {
+            warm_path = WarmPath::GuardRejected;
+        }
+    }
+
     // The inner tolerance is relative to each pass's rhs (the current residual);
     // absolute inner tolerances would become unreachable as the residual shrinks.
     let mut inner_config = config.inner.clone();
@@ -320,7 +377,10 @@ where
 
     let mut stop = RefinementStop::MaxOuter;
     if rel <= config.target {
-        stop = RefinementStop::Converged; // zero rhs (or trivially tight target)
+        stop = RefinementStop::Converged; // zero rhs, or an already-converged guess
+        if warm_path == WarmPath::Correction {
+            warm_path = WarmPath::AlreadyConverged;
+        }
     } else {
         for _ in 0..config.max_outer {
             outer += 1;
@@ -383,6 +443,8 @@ where
     }
 
     RefinementResult {
+        warm_path,
+        initial_residual,
         x,
         outer_iterations: outer,
         inner_iterations,
@@ -450,6 +512,109 @@ mod tests {
         assert!(result.final_relative_residual <= 1e-12);
         assert!(result.outer_iterations >= 2, "one pass cannot be enough");
         assert_eq!(result.escalations, 0);
+    }
+
+    fn perturbed_ladder(a: &CsrMatrix, rel_error: f64) -> OperatorLadder {
+        OperatorLadder::new(SolverKind::Cg).with_rung(Box::new(PerturbedOperator {
+            csr: a.clone(),
+            rel_error,
+        }))
+    }
+
+    #[test]
+    fn refine_warm_without_a_guess_is_bitwise_identical_to_refine() {
+        let a = poisson(14);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + ((i % 5) as f64)).collect();
+        let config = RefinementConfig::to_target(1e-11);
+        let cold = refine(&mut a.clone(), &b, &mut perturbed_ladder(&a, 1e-3), &config);
+        let warm = refine_warm(
+            &mut a.clone(),
+            &b,
+            None,
+            &mut perturbed_ladder(&a, 1e-3),
+            &config,
+        );
+        assert_eq!(warm.warm_path, WarmPath::Cold);
+        assert_eq!(warm.initial_residual, None);
+        assert_eq!(warm.fp64_spmvs, cold.fp64_spmvs);
+        assert!(warm
+            .x
+            .iter()
+            .zip(cold.x.iter())
+            .all(|(w, c)| w.to_bits() == c.to_bits()));
+    }
+
+    #[test]
+    fn refine_warm_skips_most_passes_with_a_close_guess() {
+        let a = poisson(14);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + ((i % 5) as f64)).collect();
+        let config = RefinementConfig::to_target(1e-11);
+        let cold = refine(&mut a.clone(), &b, &mut perturbed_ladder(&a, 1e-3), &config);
+        assert!(cold.converged());
+        // A slightly perturbed converged solution: decades below ‖b‖ but not at the
+        // target, like a transient chain's previous step.
+        let mut guess = cold.x.clone();
+        for (i, gi) in guess.iter_mut().enumerate() {
+            *gi += 1e-7 * (0.4 * i as f64).sin();
+        }
+        let warm = refine_warm(
+            &mut a.clone(),
+            &b,
+            Some(&guess),
+            &mut perturbed_ladder(&a, 1e-3),
+            &config,
+        );
+        assert_eq!(warm.warm_path, WarmPath::Correction);
+        assert!(warm.converged());
+        assert!(
+            warm.outer_iterations < cold.outer_iterations,
+            "warm {} vs cold {} passes",
+            warm.outer_iterations,
+            cold.outer_iterations
+        );
+        assert!(warm.inner_iterations < cold.inner_iterations);
+
+        // The converged solution itself short-circuits: zero passes, and the claim
+        // is about the *true* fp64 residual.
+        let short = refine_warm(
+            &mut a.clone(),
+            &b,
+            Some(&cold.x),
+            &mut perturbed_ladder(&a, 1e-3),
+            &config,
+        );
+        assert_eq!(short.warm_path, WarmPath::AlreadyConverged);
+        assert_eq!(short.outer_iterations, 0);
+        assert!(short.converged());
+        assert!(short
+            .x
+            .iter()
+            .zip(cold.x.iter())
+            .all(|(s, c)| s.to_bits() == c.to_bits()));
+    }
+
+    #[test]
+    fn refine_warm_rejects_a_hopeless_guess_and_falls_back_bitwise() {
+        let a = poisson(12);
+        let b = vec![1.0; a.nrows()];
+        let config = RefinementConfig::to_target(1e-10);
+        let cold = refine(&mut a.clone(), &b, &mut perturbed_ladder(&a, 1e-3), &config);
+        let bad = vec![1.0e9; a.nrows()];
+        let warm = refine_warm(
+            &mut a.clone(),
+            &b,
+            Some(&bad),
+            &mut perturbed_ladder(&a, 1e-3),
+            &config,
+        );
+        assert_eq!(warm.warm_path, WarmPath::GuardRejected);
+        assert!(warm.initial_residual.unwrap() >= vecops::norm2(&b));
+        assert_eq!(warm.fp64_spmvs, cold.fp64_spmvs + 1);
+        assert!(warm
+            .x
+            .iter()
+            .zip(cold.x.iter())
+            .all(|(w, c)| w.to_bits() == c.to_bits()));
     }
 
     #[test]

@@ -1,19 +1,29 @@
-//! Domain scenario: steady-state heat conduction (a Poisson problem), the archetypal
-//! PDE → `Ax = b` → iterative-solver workflow the paper's introduction motivates.
+//! Domain scenario: transient heat conduction, the archetypal PDE → `Ax = b` →
+//! iterative-solver workflow the paper's introduction motivates — here as the *time
+//! stepping* loop a real simulation runs, not a single steady solve.
 //!
 //! A plate is discretized on an `n × n` grid with a heterogeneous conductivity field;
-//! the resulting SPD system is solved with CG under (a) full FP64 and (b) the ReFloat
-//! format, and the recovered temperature fields are compared.
+//! implicit time integration then yields one SPD solve per step, where consecutive
+//! operators differ only by slow coefficient drift (and the mass/Δt term) and the
+//! source phase advances a little each step.  The chain is solved twice through the
+//! ReFloat runtime, to the same true-fp64 residual target via mixed-precision
+//! refinement:
+//!
+//! 1. cold — every step is an independent job: full re-quantization, full crossbar
+//!    reprogramming, refinement from zero;
+//! 2. as a [`SolveSequence`] — each step re-encodes only the blocks its drift touched
+//!    and warm-starts refinement from the previous temperature field.
 //!
 //! Run with: `cargo run --release --example heat_equation`
 
+use std::sync::Arc;
+
 use refloat::prelude::*;
-use refloat::sparse::vecops;
 
 /// Assembles the 5-point finite-difference operator for `-∇·(k ∇T) = q` with Dirichlet
 /// boundaries, where the conductivity `k` jumps by 100x in a central inclusion — the
 /// kind of coefficient contrast that widens the matrix's exponent range.
-fn assemble(n: usize) -> (CsrMatrix, Vec<f64>) {
+fn assemble(n: usize) -> CooMatrix {
     let idx = |i: usize, j: usize| i * n + j;
     let conductivity = |i: usize, j: usize| -> f64 {
         let (x, y) = (i as f64 / n as f64, j as f64 / n as f64);
@@ -24,7 +34,6 @@ fn assemble(n: usize) -> (CsrMatrix, Vec<f64>) {
         }
     };
     let mut coo = CooMatrix::new(n * n, n * n);
-    let mut heat_source = vec![0.0; n * n];
     for i in 0..n {
         for j in 0..n {
             let r = idx(i, j);
@@ -44,55 +53,111 @@ fn assemble(n: usize) -> (CsrMatrix, Vec<f64>) {
             couple(i as isize, j as isize - 1, &mut coo, &mut diag);
             couple(i as isize, j as isize + 1, &mut coo, &mut diag);
             coo.push(r, r, diag);
-            // A hot spot near one corner drives the temperature field.
-            let (x, y) = (i as f64 / n as f64, j as f64 / n as f64);
-            heat_source[r] = (-((x - 0.2).powi(2) + (y - 0.2).powi(2)) / 0.01).exp();
         }
     }
-    (coo.to_csr(), heat_source)
+    coo
+}
+
+const TOLERANCE: f64 = 1e-8;
+
+fn plan(step: &SolveStep, arm: &str) -> SolvePlan {
+    SolvePlan::new(
+        "sim",
+        MatrixHandle::new(format!("{arm}-{}", step.index), step.matrix.clone()),
+        ReFloatConfig::new(4, 3, 8, 3, 8),
+    )
+    .rhs(Arc::new(step.rhs.clone()))
+    .refinement(RefinementSpec::to_target(TOLERANCE))
+    .build()
+    .expect("valid plan")
+}
+
+fn runtime() -> SolveClient {
+    SolveRuntime::start(RuntimeConfig {
+        workers: 1,
+        cache_capacity: 8,
+        ..RuntimeConfig::default()
+    })
 }
 
 fn main() {
-    let n = 96;
-    let (a, q) = assemble(n);
+    let n = 24;
+    let steps: Vec<SolveStep> = TransientChain::new(
+        assemble(n),
+        TransientSpec::default()
+            .with_steps(12)
+            .with_seed(2023)
+            // Implicit stepping: a mass/Δt diagonal term, slow per-step conductivity
+            // drift in a window of the domain, and a source whose phase advances.
+            .with_mass(0.5, 0.0)
+            .with_drift(1e-7, 0.25)
+            .with_rhs_phase(1e-6),
+    )
+    .collect();
     println!(
-        "heat-conduction system: {} unknowns, {} non-zeros, conductivity contrast 100x\n",
-        a.nrows(),
-        a.nnz()
-    );
-    let cfg = SolverConfig::relative(1e-8).with_max_iterations(20_000);
-
-    // Reference temperature field in double precision.
-    let exact = cg(&mut a.clone(), &q, &cfg);
-    println!(
-        "FP64    CG: {:>5} iterations (residual {:.2e})",
-        exact.iterations_label(),
-        exact.final_residual
-    );
-
-    // ReFloat temperature field.
-    let format = ReFloatConfig::new(5, 3, 3, 3, 8);
-    let mut rf = ReFloatMatrix::from_csr(&a, format);
-    let approx = cg(&mut rf, &q, &cfg);
-    println!(
-        "ReFloat CG: {:>5} iterations (residual {:.2e})   [{}]",
-        approx.iterations_label(),
-        approx.final_residual,
-        format
+        "transient heat conduction: {} unknowns, {} implicit time steps, conductivity contrast 100x\n",
+        steps[0].matrix.nrows(),
+        steps.len()
     );
 
-    // How close is the reduced-precision temperature field to the FP64 one?
-    let err = vecops::rel_err(&approx.x, &exact.x);
-    let peak_exact = exact.x.iter().cloned().fold(0.0f64, f64::max);
-    let peak_approx = approx.x.iter().cloned().fold(0.0f64, f64::max);
+    // Arm 1: every time step pays the full model cycle (encode + program + cold solve).
+    let cold = runtime();
+    let mut cold_x = Vec::new();
+    for step in &steps {
+        let outcome = cold
+            .submit(plan(step, "cold"))
+            .expect("accepting")
+            .wait()
+            .completed()
+            .expect("cold steps complete");
+        assert!(outcome.result.converged());
+        cold_x.push(outcome.result.x);
+    }
+    let cold_report = cold.shutdown();
+
+    // Arm 2: the same chain as a solve sequence — incremental re-encode plus a
+    // warm-started refinement outer loop.
+    let warm = runtime();
+    let mut seq = warm.sequence();
+    let mut warm_x = Vec::new();
+    for step in &steps {
+        let outcome = seq
+            .step(plan(step, "seq"))
+            .expect("accepting")
+            .completed()
+            .expect("sequence steps complete");
+        assert!(outcome.result.converged());
+        warm_x.push(outcome.result.x);
+    }
+    drop(seq);
+    let warm_report = warm.shutdown();
+
+    // Both arms hit the same *true* fp64 residual target on every step.
+    let worst = |xs: &[Vec<f64>]| {
+        steps
+            .iter()
+            .zip(xs)
+            .map(|(s, x)| s.matrix.relative_residual(&s.rhs, x))
+            .fold(0.0, f64::max)
+    };
+    let (cold_worst, warm_worst) = (worst(&cold_x), worst(&warm_x));
     println!(
-        "\ntemperature field: relative difference {:.2e}; peak temperature {:.4} (FP64) vs {:.4} (ReFloat)",
-        err, peak_exact, peak_approx
+        "cold arm: worst true residual {cold_worst:.2e} over {} steps",
+        steps.len()
     );
     println!(
-        "the quantized operator solves a nearby system ({}-bit matrix fractions), so the fields\n\
-         agree to a few percent while the solver still drives its residual below 1e-8.",
-        format.f
+        "sequence: worst true residual {warm_worst:.2e}, {} warm-start hits, \
+         {} blocks re-encoded / {} reused",
+        warm_report.warm_start_hits, warm_report.blocks_reencoded, warm_report.blocks_reused
     );
-    assert!(exact.converged() && approx.converged());
+    assert!(cold_worst <= TOLERANCE && warm_worst <= TOLERANCE);
+    assert_eq!(warm_report.warm_start_hits, steps.len() as u64 - 1);
+
+    let reduction = cold_report.simulated_total_s / warm_report.simulated_total_s;
+    println!(
+        "\nmodel cycle: {:.3e}s cold vs {:.3e}s warm — {reduction:.1}x less simulated \
+         accelerator time for the same temperatures",
+        cold_report.simulated_total_s, warm_report.simulated_total_s
+    );
+    assert!(reduction > 1.0, "the sequence arm must be cheaper");
 }

@@ -53,11 +53,11 @@ pub mod prelude {
         AutotuneConfig, EscalationPolicy, FormatPlan, ReFloatConfig, ReFloatMatrix, RoundingMode,
         UnderflowMode,
     };
-    pub use refloat_matgen::{Workload, WorkloadSpec};
+    pub use refloat_matgen::{SolveStep, TransientChain, TransientSpec, Workload, WorkloadSpec};
     pub use refloat_runtime::{
         AdmissionConfig, AutoFormatSpec, ClusterConfig, ClusterRuntime, FaultPolicy, MatrixHandle,
         PlanError, Priority, RefinementSpec, RuntimeConfig, RuntimeReport, SchedulerPolicy,
-        SolveClient, SolvePlan, SolveRuntime, SolveTicket, TicketOutcome,
+        SolveClient, SolvePlan, SolveRuntime, SolveSequence, SolveTicket, TicketOutcome,
     };
     pub use refloat_solvers::{
         bicgstab, cg, refine, LinearOperator, OperatorLadder, PrecisionLadder, RefinementConfig,
